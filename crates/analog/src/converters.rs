@@ -1,0 +1,144 @@
+//! DAC/ADC quantization at the crossbar periphery.
+
+use cn_tensor::Tensor;
+
+/// Input digital-to-analog converter: quantizes wordline voltages to
+/// `2^bits` uniform levels over `[-v_max, v_max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dac {
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Full-scale voltage.
+    pub v_max: f32,
+}
+
+impl Dac {
+    /// Creates a DAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero bits or non-positive range.
+    pub fn new(bits: u32, v_max: f32) -> Self {
+        assert!(bits >= 1 && bits <= 16, "bits must be in 1..=16");
+        assert!(v_max > 0.0, "v_max must be positive");
+        Dac { bits, v_max }
+    }
+
+    /// Quantizes one value.
+    pub fn quantize(&self, v: f32) -> f32 {
+        let levels = (1u32 << self.bits) - 1;
+        let clamped = v.clamp(-self.v_max, self.v_max);
+        let norm = (clamped + self.v_max) / (2.0 * self.v_max); // 0..1
+        let k = (norm * levels as f32).round();
+        k / levels as f32 * 2.0 * self.v_max - self.v_max
+    }
+
+    /// Quantizes a whole tensor.
+    pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|v| self.quantize(v))
+    }
+}
+
+/// Output analog-to-digital converter: quantizes bitline currents to
+/// `2^bits` uniform levels over `[-range, range]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Full-scale current (same units as the MAC output).
+    pub range: f32,
+}
+
+impl Adc {
+    /// Creates an ADC.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero bits or non-positive range.
+    pub fn new(bits: u32, range: f32) -> Self {
+        assert!(bits >= 1 && bits <= 16, "bits must be in 1..=16");
+        assert!(range > 0.0, "range must be positive");
+        Adc { bits, range }
+    }
+
+    /// Quantizes one value.
+    pub fn quantize(&self, v: f32) -> f32 {
+        let levels = (1u32 << self.bits) - 1;
+        let clamped = v.clamp(-self.range, self.range);
+        let norm = (clamped + self.range) / (2.0 * self.range);
+        let k = (norm * levels as f32).round();
+        k / levels as f32 * 2.0 * self.range - self.range
+    }
+
+    /// Quantizes a whole tensor.
+    pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|v| self.quantize(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dac_endpoints_are_exact() {
+        let dac = Dac::new(4, 1.0);
+        assert_eq!(dac.quantize(1.0), 1.0);
+        assert_eq!(dac.quantize(-1.0), -1.0);
+    }
+
+    #[test]
+    fn dac_clamps_out_of_range() {
+        let dac = Dac::new(8, 1.0);
+        assert_eq!(dac.quantize(5.0), 1.0);
+        assert_eq!(dac.quantize(-5.0), -1.0);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let dac = Dac::new(6, 1.0);
+        let step = 2.0 / 63.0;
+        for i in 0..100 {
+            let v = -1.0 + 0.02 * i as f32;
+            assert!((dac.quantize(v) - v).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let coarse = Adc::new(3, 1.0);
+        let fine = Adc::new(10, 1.0);
+        let mut e_coarse = 0.0f32;
+        let mut e_fine = 0.0f32;
+        for i in 0..101 {
+            let v = -1.0 + 0.02 * i as f32;
+            e_coarse += (coarse.quantize(v) - v).abs();
+            e_fine += (fine.quantize(v) - v).abs();
+        }
+        assert!(e_fine < e_coarse / 10.0);
+    }
+
+    #[test]
+    fn one_bit_adc_is_sign_like() {
+        let adc = Adc::new(1, 1.0);
+        assert_eq!(adc.quantize(0.7), 1.0);
+        assert_eq!(adc.quantize(-0.2), -1.0);
+    }
+
+    #[test]
+    fn tensor_quantization() {
+        let adc = Adc::new(2, 1.0);
+        let t = Tensor::from_vec(vec![-0.9, 0.1, 0.9], &[3]);
+        let q = adc.quantize_tensor(&t);
+        assert_eq!(q.dims(), &[3]);
+        for (orig, quant) in t.data().iter().zip(q.data().iter()) {
+            assert!((orig - quant).abs() <= 2.0 / 3.0 / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=16")]
+    fn zero_bits_panics() {
+        Dac::new(0, 1.0);
+    }
+}

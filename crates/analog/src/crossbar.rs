@@ -1,0 +1,263 @@
+//! A single RRAM crossbar array with differential weight mapping.
+
+use crate::cell::CellSpec;
+use crate::converters::{Adc, Dac};
+use cn_tensor::{SeededRng, Tensor};
+
+/// One crossbar array computing `y = W·x` by Ohm's and Kirchhoff's laws
+/// (paper Fig. 1).
+///
+/// A signed weight matrix `W` (`[outputs, inputs]`) is represented by two
+/// conductance matrices `G⁺`/`G⁻` (differential pairs, one column pair per
+/// output): `W = α·(G⁺ − G⁻)` with scale `α = max|W| / (g_max − g_min)`.
+/// Wordline voltages encode the input vector; per-output current is the
+/// difference of the two column sums.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    /// Programmed `G⁺` in µS, `[outputs, inputs]`.
+    g_pos: Tensor,
+    /// Programmed `G⁻` in µS, `[outputs, inputs]`.
+    g_neg: Tensor,
+    /// Weight-per-conductance scale `α`.
+    alpha: f32,
+    spec: CellSpec,
+    dac: Option<Dac>,
+    adc: Option<Adc>,
+}
+
+impl Crossbar {
+    /// Programs a crossbar from a nominal weight matrix.
+    ///
+    /// Positive weights raise `G⁺` above `g_min`; negative weights raise
+    /// `G⁻`. Programming variation from `spec` applies to every cell of
+    /// both matrices independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank-2.
+    pub fn program(w: &Tensor, spec: CellSpec, rng: &mut SeededRng) -> Self {
+        assert_eq!(w.rank(), 2, "weights must be [outputs, inputs]");
+        let w_max = w.abs_max();
+        let alpha = if w_max == 0.0 {
+            1.0
+        } else {
+            w_max / spec.range()
+        };
+        let mut g_pos = Tensor::zeros(w.dims());
+        let mut g_neg = Tensor::zeros(w.dims());
+        for ((gp, gn), &wv) in g_pos
+            .data_mut()
+            .iter_mut()
+            .zip(g_neg.data_mut().iter_mut())
+            .zip(w.data().iter())
+        {
+            let magnitude = wv.abs() / alpha + spec.g_min;
+            let (tp, tn) = if wv >= 0.0 {
+                (magnitude, spec.g_min)
+            } else {
+                (spec.g_min, magnitude)
+            };
+            *gp = spec.program(tp, rng);
+            *gn = spec.program(tn, rng);
+        }
+        Crossbar {
+            g_pos,
+            g_neg,
+            alpha,
+            spec,
+            dac: None,
+            adc: None,
+        }
+    }
+
+    /// Attaches a DAC to the wordline drivers.
+    pub fn with_dac(mut self, dac: Dac) -> Self {
+        self.dac = Some(dac);
+        self
+    }
+
+    /// Attaches an ADC to the bitline sensing.
+    pub fn with_adc(mut self, adc: Adc) -> Self {
+        self.adc = Some(adc);
+        self
+    }
+
+    /// Number of outputs (differential column pairs).
+    pub fn outputs(&self) -> usize {
+        self.g_pos.dims()[0]
+    }
+
+    /// Number of inputs (wordlines).
+    pub fn inputs(&self) -> usize {
+        self.g_pos.dims()[1]
+    }
+
+    /// The effective signed weight matrix `α·(G⁺ − G⁻)` currently stored
+    /// (after programming errors; before read noise).
+    pub fn effective_weights(&self) -> Tensor {
+        let mut w = self.g_pos.zip_map(&self.g_neg, |p, n| p - n);
+        w.scale(self.alpha);
+        w
+    }
+
+    /// One analog MAC: `y = W_eff · x` with optional DAC/ADC quantization
+    /// and per-read cell noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[inputs]`.
+    pub fn mac(&self, x: &Tensor, rng: &mut SeededRng) -> Tensor {
+        assert_eq!(x.dims(), &[self.inputs()], "input length mismatch");
+        let v = match &self.dac {
+            Some(dac) => dac.quantize_tensor(x),
+            None => x.clone(),
+        };
+        let (rows, cols) = (self.outputs(), self.inputs());
+        let mut y = Tensor::zeros(&[rows]);
+        for r in 0..rows {
+            let gp = &self.g_pos.data()[r * cols..(r + 1) * cols];
+            let gn = &self.g_neg.data()[r * cols..(r + 1) * cols];
+            let mut acc = 0.0f32;
+            if self.spec.read_sigma > 0.0 {
+                for ((&p, &n), &vi) in gp.iter().zip(gn.iter()).zip(v.data().iter()) {
+                    let p_read = self.spec.read(p, rng);
+                    let n_read = self.spec.read(n, rng);
+                    acc += (p_read - n_read) * vi;
+                }
+            } else {
+                for ((&p, &n), &vi) in gp.iter().zip(gn.iter()).zip(v.data().iter()) {
+                    acc += (p - n) * vi;
+                }
+            }
+            y.data_mut()[r] = acc * self.alpha;
+        }
+        match &self.adc {
+            Some(adc) => adc.quantize_tensor(&y),
+            None => y,
+        }
+    }
+
+    /// Applies stuck-at faults: each cell independently becomes stuck at
+    /// `g_min` (probability `p_sa0`) or `g_max` (probability `p_sa1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are invalid or sum above 1.
+    pub fn inject_stuck_faults(&mut self, p_sa0: f32, p_sa1: f32, rng: &mut SeededRng) {
+        assert!(p_sa0 >= 0.0 && p_sa1 >= 0.0 && p_sa0 + p_sa1 <= 1.0);
+        let (g_min, g_max) = (self.spec.g_min, self.spec.g_max);
+        for g in self
+            .g_pos
+            .data_mut()
+            .iter_mut()
+            .chain(self.g_neg.data_mut().iter_mut())
+        {
+            let u = rng.uniform();
+            if u < p_sa0 {
+                *g = g_min;
+            } else if u < p_sa0 + p_sa1 {
+                *g = g_max;
+            }
+        }
+    }
+
+    /// The cell specification in use.
+    pub fn spec(&self) -> &CellSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal() -> CellSpec {
+        CellSpec::ideal(1.0, 100.0)
+    }
+
+    #[test]
+    fn ideal_mapping_roundtrips_weights() {
+        let mut rng = SeededRng::new(1);
+        let w = rng.normal_tensor(&[4, 6], 0.0, 1.0);
+        let xb = Crossbar::program(&w, ideal(), &mut rng);
+        let w_eff = xb.effective_weights();
+        for (a, b) in w.data().iter().zip(w_eff.data().iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ideal_mac_matches_matvec() {
+        let mut rng = SeededRng::new(2);
+        let w = rng.normal_tensor(&[5, 8], 0.0, 1.0);
+        let x = rng.normal_tensor(&[8], 0.0, 1.0);
+        let xb = Crossbar::program(&w, ideal(), &mut rng);
+        let y = xb.mac(&x, &mut rng);
+        let expect = w.matvec(&x);
+        for (a, b) in y.data().iter().zip(expect.data().iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_matrix_is_stable() {
+        let mut rng = SeededRng::new(3);
+        let w = Tensor::zeros(&[3, 3]);
+        let xb = Crossbar::program(&w, ideal(), &mut rng);
+        assert!(xb.effective_weights().abs_max() < 1e-6);
+    }
+
+    #[test]
+    fn programming_variation_perturbs_weights() {
+        let mut rng = SeededRng::new(4);
+        let w = SeededRng::new(7).normal_tensor(&[6, 6], 0.0, 1.0);
+        let xb = Crossbar::program(&w, CellSpec::typical(0.3), &mut rng);
+        let diff = (&xb.effective_weights() - &w).abs_max();
+        assert!(diff > 0.01, "variation did nothing");
+        // But the result must stay correlated with the nominal weights.
+        let corr = xb.effective_weights().dot(&w) / (xb.effective_weights().norm() * w.norm());
+        assert!(corr > 0.8, "correlation {corr} too low");
+    }
+
+    #[test]
+    fn read_noise_changes_between_macs() {
+        let mut rng = SeededRng::new(5);
+        let w = SeededRng::new(8).normal_tensor(&[4, 4], 0.0, 1.0);
+        let spec = CellSpec {
+            read_sigma: 0.05,
+            ..ideal()
+        };
+        let xb = Crossbar::program(&w, spec, &mut rng);
+        let x = SeededRng::new(9).normal_tensor(&[4], 0.0, 1.0);
+        let y1 = xb.mac(&x, &mut rng);
+        let y2 = xb.mac(&x, &mut rng);
+        assert_ne!(y1, y2);
+    }
+
+    #[test]
+    fn adc_quantizes_output() {
+        let mut rng = SeededRng::new(6);
+        let w = Tensor::eye(2);
+        let xb = Crossbar::program(&w, ideal(), &mut rng).with_adc(Adc::new(1, 1.0));
+        let x = Tensor::from_vec(vec![0.3, -0.4], &[2]);
+        let y = xb.mac(&x, &mut rng);
+        assert_eq!(y.data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn stuck_faults_move_cells_to_rails() {
+        let mut rng = SeededRng::new(7);
+        let w = SeededRng::new(10).normal_tensor(&[8, 8], 0.0, 1.0);
+        let mut xb = Crossbar::program(&w, ideal(), &mut rng);
+        xb.inject_stuck_faults(0.5, 0.5, &mut rng);
+        // All cells are now at a rail.
+        let eff = xb.effective_weights();
+        let alpha_range = w.abs_max();
+        for &v in eff.data() {
+            assert!(
+                v.abs() < 1e-4 || (v.abs() - alpha_range).abs() < 1e-3,
+                "cell not at rail: {v}"
+            );
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Deploying a trained model onto a (simulated) analog accelerator.
+
+use crate::cell::CellSpec;
+use crate::drift::ConductanceDrift;
+use crate::faults::StuckFaults;
+use crate::irdrop::IrDrop;
+use crate::mapping::{conductance_masks, MappingConfig};
+use crate::variation::{GaussianRelative, LognormalWeight, VariationModel};
+use cn_nn::noise::apply_masks;
+use cn_nn::Sequential;
+use cn_tensor::{SeededRng, Tensor};
+
+/// How weights are perturbed when the model is deployed.
+#[derive(Debug, Clone)]
+pub enum DeploymentMode {
+    /// The paper's weight-level log-normal model (eq. 1–2).
+    WeightLognormal {
+        /// Standard deviation of `θ`.
+        sigma: f32,
+    },
+    /// Additive relative Gaussian weight noise.
+    GaussianRelative {
+        /// Relative standard deviation.
+        sigma_rel: f32,
+    },
+    /// Full conductance-level crossbar simulation.
+    Conductance {
+        /// Cell model.
+        spec: CellSpec,
+        /// Physical array edge length.
+        tile_size: usize,
+    },
+    /// Weight-level log-normal variation plus stuck-at faults.
+    LognormalWithFaults {
+        /// Standard deviation of `θ`.
+        sigma: f32,
+        /// Fault model.
+        faults: StuckFaults,
+    },
+    /// Weight-level log-normal variation plus retention drift at time `t`.
+    LognormalWithDrift {
+        /// Standard deviation of `θ`.
+        sigma: f32,
+        /// Drift model.
+        drift: ConductanceDrift,
+        /// Evaluation time (same unit as the drift model's `t0`).
+        t: f32,
+    },
+    /// Weight-level log-normal variation plus static IR-drop attenuation.
+    LognormalWithIrDrop {
+        /// Standard deviation of `θ`.
+        sigma: f32,
+        /// Wire-resistance model.
+        irdrop: IrDrop,
+    },
+}
+
+impl DeploymentMode {
+    /// Samples one full set of per-layer masks for `model`.
+    pub fn sample_masks(&self, model: &Sequential, rng: &mut SeededRng) -> Vec<Tensor> {
+        match self {
+            DeploymentMode::WeightLognormal { sigma } => {
+                let vm = LognormalWeight::new(*sigma);
+                model
+                    .noisy_layers()
+                    .into_iter()
+                    .map(|(_, dims)| vm.sample_mask(&dims, rng))
+                    .collect()
+            }
+            DeploymentMode::GaussianRelative { sigma_rel } => {
+                let vm = GaussianRelative::new(*sigma_rel);
+                model
+                    .noisy_layers()
+                    .into_iter()
+                    .map(|(_, dims)| vm.sample_mask(&dims, rng))
+                    .collect()
+            }
+            DeploymentMode::Conductance { spec, tile_size } => {
+                let cfg = MappingConfig {
+                    tile_size: *tile_size,
+                    spec: *spec,
+                };
+                conductance_masks(model, &cfg, rng)
+            }
+            DeploymentMode::LognormalWithFaults { sigma, faults } => {
+                let vm = LognormalWeight::new(*sigma);
+                model
+                    .noisy_layers()
+                    .into_iter()
+                    .map(|(layer_index, dims)| {
+                        let lognormal = vm.sample_mask(&dims, rng);
+                        let nominal = model
+                            .layer(layer_index)
+                            .lipschitz_matrix()
+                            .expect("analog layer")
+                            .into_reshaped(&dims);
+                        let fault_mask = faults.as_mask(&nominal, rng);
+                        lognormal.zip_map(&fault_mask, |a, b| a * b)
+                    })
+                    .collect()
+            }
+            DeploymentMode::LognormalWithDrift { sigma, drift, t } => {
+                let vm = LognormalWeight::new(*sigma);
+                model
+                    .noisy_layers()
+                    .into_iter()
+                    .map(|(_, dims)| {
+                        let lognormal = vm.sample_mask(&dims, rng);
+                        let drift_mask = drift.mask_at(&dims, *t, rng);
+                        lognormal.zip_map(&drift_mask, |a, b| a * b)
+                    })
+                    .collect()
+            }
+            DeploymentMode::LognormalWithIrDrop { sigma, irdrop } => {
+                let vm = LognormalWeight::new(*sigma);
+                model
+                    .noisy_layers()
+                    .into_iter()
+                    .map(|(layer_index, dims)| {
+                        let lognormal = vm.sample_mask(&dims, rng);
+                        let matrix = model
+                            .layer(layer_index)
+                            .lipschitz_matrix()
+                            .expect("analog layer");
+                        let att = irdrop
+                            .mask(matrix.dims()[0], matrix.dims()[1])
+                            .into_reshaped(&dims);
+                        lognormal.zip_map(&att, |a, b| a * b)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Samples masks and installs them on the model in place.
+    pub fn deploy(&self, model: &mut Sequential, rng: &mut SeededRng) {
+        let masks = self.sample_masks(model, rng);
+        apply_masks(model, &masks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_nn::zoo::mlp;
+    use cn_tensor::Tensor;
+
+    fn probe(model: &mut Sequential) -> Tensor {
+        let x = SeededRng::new(99).normal_tensor(&[2, 4], 0.0, 1.0);
+        model.forward(&x, false)
+    }
+
+    #[test]
+    fn lognormal_deploy_perturbs() {
+        let mut model = mlp(&[4, 8, 3], 1);
+        let clean = probe(&mut model);
+        let mut rng = SeededRng::new(2);
+        DeploymentMode::WeightLognormal { sigma: 0.5 }.deploy(&mut model, &mut rng);
+        assert_ne!(probe(&mut model), clean);
+        model.clear_noise();
+        assert_eq!(probe(&mut model), clean);
+    }
+
+    #[test]
+    fn conductance_deploy_ideal_is_identity() {
+        let mut model = mlp(&[4, 8, 3], 3);
+        let clean = probe(&mut model);
+        let mut rng = SeededRng::new(4);
+        DeploymentMode::Conductance {
+            spec: CellSpec::ideal(1.0, 100.0),
+            tile_size: 64,
+        }
+        .deploy(&mut model, &mut rng);
+        let deployed = probe(&mut model);
+        for (a, b) in clean.data().iter().zip(deployed.data().iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conductance_deploy_with_variation_perturbs() {
+        let mut model = mlp(&[4, 8, 3], 5);
+        let clean = probe(&mut model);
+        let mut rng = SeededRng::new(6);
+        DeploymentMode::Conductance {
+            spec: CellSpec::typical(0.3),
+            tile_size: 64,
+        }
+        .deploy(&mut model, &mut rng);
+        assert_ne!(probe(&mut model), clean);
+    }
+
+    #[test]
+    fn faulty_deploy_zeroes_some_weights() {
+        let mut model = mlp(&[4, 16, 3], 7);
+        let mut rng = SeededRng::new(8);
+        let mode = DeploymentMode::LognormalWithFaults {
+            sigma: 0.0,
+            faults: StuckFaults::new(0.5, 0.0, 0.0),
+        };
+        let masks = mode.sample_masks(&model, &mut rng);
+        let zeros = masks[0].data().iter().filter(|&&m| m == 0.0).count();
+        assert!(zeros > 0, "expected some stuck-at-zero masks");
+        mode.deploy(&mut model, &mut rng);
+    }
+
+    #[test]
+    fn drift_deploy_shrinks_weights_over_time() {
+        let model = mlp(&[4, 8, 3], 20);
+        let drift = ConductanceDrift::new(0.05, 0.0, 1.0);
+        let early = DeploymentMode::LognormalWithDrift {
+            sigma: 0.0,
+            drift,
+            t: 1.0,
+        }
+        .sample_masks(&model, &mut SeededRng::new(21));
+        let late = DeploymentMode::LognormalWithDrift {
+            sigma: 0.0,
+            drift,
+            t: 10_000.0,
+        }
+        .sample_masks(&model, &mut SeededRng::new(21));
+        // At t=t0 the mask is identity; much later everything shrank.
+        assert!(early[0].data().iter().all(|&m| (m - 1.0).abs() < 1e-5));
+        assert!(late[0].data().iter().all(|&m| m < 1.0));
+    }
+
+    #[test]
+    fn irdrop_deploy_attenuates_deterministically() {
+        let model = mlp(&[4, 8, 3], 22);
+        let mode = DeploymentMode::LognormalWithIrDrop {
+            sigma: 0.0,
+            irdrop: IrDrop::new(0.3),
+        };
+        let m1 = mode.sample_masks(&model, &mut SeededRng::new(23));
+        let m2 = mode.sample_masks(&model, &mut SeededRng::new(24));
+        // σ = 0: IR drop alone is deterministic (independent of RNG).
+        assert_eq!(m1, m2);
+        assert!(m1[0].data().iter().all(|&m| m <= 1.0 && m > 0.0));
+        assert!(m1[0].min() < 1.0, "far corner must be attenuated");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_rng_seed() {
+        let model = mlp(&[4, 8, 3], 9);
+        let mode = DeploymentMode::WeightLognormal { sigma: 0.3 };
+        let m1 = mode.sample_masks(&model, &mut SeededRng::new(10));
+        let m2 = mode.sample_masks(&model, &mut SeededRng::new(10));
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Conductance retention drift.
+//!
+//! RRAM conductances decay over time following the empirical power law
+//! `G(t) = G(t₀) · (t/t₀)^{−ν}` with a device-dependent drift exponent
+//! `ν` (typically 0.005–0.1 for filamentary RRAM). Because both cells of
+//! a differential pair drift, the *effective weight* follows the same
+//! law, so drift is naturally expressed as a multiplicative weight mask —
+//! deterministic in `t` with per-device exponent variability.
+//!
+//! This is an extension beyond the paper's evaluation (which considers
+//! programming-time variation only); it demonstrates that the CorrectNet
+//! machinery applies to time-dependent non-idealities unchanged.
+
+use cn_tensor::{SeededRng, Tensor};
+
+/// Power-law conductance drift model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConductanceDrift {
+    /// Mean drift exponent ν.
+    pub nu: f32,
+    /// Device-to-device standard deviation of ν.
+    pub nu_sigma: f32,
+    /// Reference time t₀ (same unit as `t` in [`ConductanceDrift::mask_at`]).
+    pub t0: f32,
+}
+
+impl ConductanceDrift {
+    /// Creates a drift model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative parameters or non-positive `t0`.
+    pub fn new(nu: f32, nu_sigma: f32, t0: f32) -> Self {
+        assert!(nu >= 0.0 && nu_sigma >= 0.0, "exponents must be non-negative");
+        assert!(t0 > 0.0, "reference time must be positive");
+        ConductanceDrift { nu, nu_sigma, t0 }
+    }
+
+    /// Deterministic mean drift factor at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < t0` (drift laws are calibrated forward in time).
+    pub fn mean_factor(&self, t: f32) -> f32 {
+        assert!(t >= self.t0, "drift evaluated before reference time");
+        (t / self.t0).powf(-self.nu)
+    }
+
+    /// Samples a per-weight multiplicative drift mask at time `t`:
+    /// `(t/t₀)^{−νᵢ}` with `νᵢ ~ N(ν, ν_σ²)` clamped at 0.
+    pub fn mask_at(&self, dims: &[usize], t: f32, rng: &mut SeededRng) -> Tensor {
+        assert!(t >= self.t0, "drift evaluated before reference time");
+        let ratio = t / self.t0;
+        let mut mask = Tensor::zeros(dims);
+        for m in mask.data_mut() {
+            let nu_i = rng.normal(self.nu, self.nu_sigma).max(0.0);
+            *m = ratio.powf(-nu_i);
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_drift_at_reference_time() {
+        let d = ConductanceDrift::new(0.05, 0.0, 1.0);
+        assert_eq!(d.mean_factor(1.0), 1.0);
+        let mut rng = SeededRng::new(1);
+        let m = d.mask_at(&[4, 4], 1.0, &mut rng);
+        assert!(m.data().iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn drift_decays_monotonically() {
+        let d = ConductanceDrift::new(0.05, 0.0, 1.0);
+        let mut prev = 1.0;
+        for t in [10.0f32, 100.0, 1000.0, 10_000.0] {
+            let f = d.mean_factor(t);
+            assert!(f < prev, "drift must decay: {f} at t={t}");
+            prev = f;
+        }
+        // Known value: (1000)^-0.05 ≈ 0.708.
+        assert!((d.mean_factor(1000.0) - 0.708).abs() < 1e-3);
+    }
+
+    #[test]
+    fn masks_center_on_mean_factor() {
+        let d = ConductanceDrift::new(0.05, 0.01, 1.0);
+        let mut rng = SeededRng::new(2);
+        let m = d.mask_at(&[50, 50], 1000.0, &mut rng);
+        let mean = m.mean();
+        assert!((mean - d.mean_factor(1000.0)).abs() < 0.02, "{mean}");
+        // Variability spreads the factors.
+        let min = m.min();
+        let max = m.max();
+        assert!(max > min);
+    }
+
+    #[test]
+    fn zero_exponent_is_identity() {
+        let d = ConductanceDrift::new(0.0, 0.0, 1.0);
+        assert_eq!(d.mean_factor(1e6), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before reference time")]
+    fn backward_time_panics() {
+        ConductanceDrift::new(0.05, 0.0, 1.0).mean_factor(0.5);
+    }
+}

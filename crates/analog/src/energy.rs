@@ -1,0 +1,158 @@
+//! Coarse energy accounting for analog vs digital execution.
+//!
+//! Backs the paper's Table I claim that compensation overhead is
+//! "negligible": CorrectNet's generators/compensators run digitally, so
+//! their cost must be compared against the analog MACs of the base
+//! network. Constants are order-of-magnitude values in the range reported
+//! by ISAAC/PRIME-class designs — the *ratios* drive the conclusions, not
+//! the absolute picojoules.
+
+use cn_nn::Sequential;
+use cn_tensor::Tensor;
+
+/// Energy constants (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Energy per analog in-crossbar MAC (amortizing DAC/ADC).
+    pub e_analog_mac_pj: f32,
+    /// Energy per digital 8/16-bit MAC.
+    pub e_digital_mac_pj: f32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            e_analog_mac_pj: 0.3,
+            e_digital_mac_pj: 3.0,
+        }
+    }
+}
+
+/// Per-layer MAC counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerCost {
+    /// Layer name.
+    pub name: String,
+    /// Analog MACs per sample.
+    pub analog_macs: u64,
+    /// Digital MACs per sample (compensation layers).
+    pub digital_macs: u64,
+}
+
+/// Whole-model cost summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerCost>,
+    /// Total analog MACs per sample.
+    pub analog_macs: u64,
+    /// Total digital MACs per sample.
+    pub digital_macs: u64,
+    /// Estimated energy per inference sample (pJ).
+    pub energy_pj: f64,
+}
+
+impl CostReport {
+    /// Fraction of total energy spent on digital (compensation) MACs.
+    pub fn digital_energy_fraction(&self, cost: &CostModel) -> f64 {
+        let d = self.digital_macs as f64 * cost.e_digital_mac_pj as f64;
+        let a = self.analog_macs as f64 * cost.e_analog_mac_pj as f64;
+        if a + d == 0.0 {
+            0.0
+        } else {
+            d / (a + d)
+        }
+    }
+}
+
+/// Analyzes the per-sample MAC counts and energy of a model on inputs of
+/// shape `sample_dims` (without the batch axis).
+pub fn analyze(model: &mut Sequential, sample_dims: &[usize], cost: &CostModel) -> CostReport {
+    let mut in_dims = vec![1usize];
+    in_dims.extend_from_slice(sample_dims);
+    let probe = Tensor::zeros(&in_dims);
+    let acts = model.forward_collect(&probe, false);
+
+    let mut layers = Vec::with_capacity(model.len());
+    let mut analog_total = 0u64;
+    let mut digital_total = 0u64;
+    let mut prev_dims = in_dims.clone();
+    for i in 0..model.len() {
+        let out_dims = acts[i].dims().to_vec();
+        let (a, d) = model.layer(i).macs(&prev_dims, &out_dims);
+        analog_total += a;
+        digital_total += d;
+        layers.push(LayerCost {
+            name: model.layer_name(i).to_string(),
+            analog_macs: a,
+            digital_macs: d,
+        });
+        prev_dims = out_dims;
+    }
+    let energy_pj = analog_total as f64 * cost.e_analog_mac_pj as f64
+        + digital_total as f64 * cost.e_digital_mac_pj as f64;
+    CostReport {
+        layers,
+        analog_macs: analog_total,
+        digital_macs: digital_total,
+        energy_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_nn::zoo::{lenet5, vgg16, LeNetConfig, VggConfig};
+
+    #[test]
+    fn lenet_mac_count_is_exact() {
+        let mut model = lenet5(&LeNetConfig::mnist(1));
+        let report = analyze(&mut model, &[1, 28, 28], &CostModel::default());
+        // conv1: 28·28·6 outputs × 25-long patches (pad 2).
+        let conv1 = 28 * 28 * 6 * 25u64;
+        // conv2: 10·10·16 × 150.
+        let conv2 = 10 * 10 * 16 * 150u64;
+        let fcs = (400 * 120 + 120 * 84 + 84 * 10) as u64;
+        assert_eq!(report.analog_macs, conv1 + conv2 + fcs);
+        assert_eq!(report.digital_macs, 0);
+    }
+
+    #[test]
+    fn energy_scales_with_constants() {
+        let mut model = lenet5(&LeNetConfig::mnist(2));
+        let cheap = analyze(
+            &mut model,
+            &[1, 28, 28],
+            &CostModel {
+                e_analog_mac_pj: 0.1,
+                e_digital_mac_pj: 1.0,
+            },
+        );
+        let pricey = analyze(
+            &mut model,
+            &[1, 28, 28],
+            &CostModel {
+                e_analog_mac_pj: 1.0,
+                e_digital_mac_pj: 1.0,
+            },
+        );
+        assert!((pricey.energy_pj / cheap.energy_pj - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vgg_is_much_heavier_than_lenet() {
+        let mut lenet = lenet5(&LeNetConfig::cifar10(3));
+        let mut vgg = vgg16(&VggConfig::quick(10, 3));
+        let cost = CostModel::default();
+        let rl = analyze(&mut lenet, &[3, 32, 32], &cost);
+        let rv = analyze(&mut vgg, &[3, 32, 32], &cost);
+        assert!(rv.analog_macs > rl.analog_macs);
+    }
+
+    #[test]
+    fn digital_fraction_zero_without_compensation() {
+        let mut model = lenet5(&LeNetConfig::mnist(4));
+        let r = analyze(&mut model, &[1, 28, 28], &CostModel::default());
+        assert_eq!(r.digital_energy_fraction(&CostModel::default()), 0.0);
+    }
+}

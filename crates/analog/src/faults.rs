@@ -1,0 +1,109 @@
+//! Fault models beyond smooth parametric variation.
+
+use cn_tensor::{SeededRng, Tensor};
+
+/// Stuck-at-fault specification for weight-level simulation: a fraction of
+/// weights is forced to zero (cell stuck open / high-resistance) or to a
+/// saturated magnitude (stuck short / low-resistance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckFaults {
+    /// Probability a weight reads as zero.
+    pub p_zero: f32,
+    /// Probability a weight saturates to ±w_sat (keeping its sign).
+    pub p_saturate: f32,
+    /// Saturation magnitude.
+    pub w_sat: f32,
+}
+
+impl StuckFaults {
+    /// Creates a fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are invalid or overlap beyond 1.
+    pub fn new(p_zero: f32, p_saturate: f32, w_sat: f32) -> Self {
+        assert!(p_zero >= 0.0 && p_saturate >= 0.0 && p_zero + p_saturate <= 1.0);
+        assert!(w_sat >= 0.0);
+        StuckFaults {
+            p_zero,
+            p_saturate,
+            w_sat,
+        }
+    }
+
+    /// Applies faults to a weight tensor, returning the faulted copy.
+    pub fn apply(&self, w: &Tensor, rng: &mut SeededRng) -> Tensor {
+        let mut out = w.clone();
+        for v in out.data_mut() {
+            let u = rng.uniform();
+            if u < self.p_zero {
+                *v = 0.0;
+            } else if u < self.p_zero + self.p_saturate {
+                *v = self.w_sat.copysign(if *v == 0.0 { 1.0 } else { *v });
+            }
+        }
+        out
+    }
+
+    /// Builds the *multiplicative* mask equivalent for layers driven by
+    /// [`cn_nn::Layer::set_noise`]: `mask = faulted / nominal` with zeros
+    /// handled explicitly.
+    pub fn as_mask(&self, w: &Tensor, rng: &mut SeededRng) -> Tensor {
+        let faulted = self.apply(w, rng);
+        w.zip_map(&faulted, |nominal, f| {
+            if nominal.abs() < 1e-12 {
+                1.0 // zero weights stay zero regardless of the factor
+            } else {
+                f / nominal
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_identity() {
+        let faults = StuckFaults::new(0.0, 0.0, 5.0);
+        let mut rng = SeededRng::new(1);
+        let w = SeededRng::new(2).normal_tensor(&[10, 10], 0.0, 1.0);
+        assert_eq!(faults.apply(&w, &mut rng), w);
+    }
+
+    #[test]
+    fn fault_rates_are_respected() {
+        let faults = StuckFaults::new(0.3, 0.2, 2.0);
+        let mut rng = SeededRng::new(3);
+        let w = Tensor::ones(&[100, 100]);
+        let f = faults.apply(&w, &mut rng);
+        let zeros = f.data().iter().filter(|&&v| v == 0.0).count();
+        let sat = f.data().iter().filter(|&&v| v == 2.0).count();
+        assert!((zeros as f32 / 10_000.0 - 0.3).abs() < 0.02);
+        assert!((sat as f32 / 10_000.0 - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn saturation_keeps_sign() {
+        let faults = StuckFaults::new(0.0, 1.0, 3.0);
+        let mut rng = SeededRng::new(4);
+        let w = Tensor::from_vec(vec![-0.5, 0.5], &[2]);
+        let f = faults.apply(&w, &mut rng);
+        assert_eq!(f.data(), &[-3.0, 3.0]);
+    }
+
+    #[test]
+    fn mask_reproduces_faults_via_multiplication() {
+        let faults = StuckFaults::new(0.2, 0.1, 2.0);
+        let mut rng1 = SeededRng::new(5);
+        let mut rng2 = SeededRng::new(5);
+        let w = SeededRng::new(6).normal_tensor(&[20, 20], 0.0, 1.0);
+        let direct = faults.apply(&w, &mut rng1);
+        let mask = faults.as_mask(&w, &mut rng2);
+        let via_mask = w.zip_map(&mask, |a, m| a * m);
+        for (a, b) in direct.data().iter().zip(via_mask.data().iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! First-order IR-drop (wire resistance) model.
+//!
+//! Finite wordline/bitline resistance makes cells far from the drivers
+//! see a reduced voltage, attenuating their effective contribution. The
+//! full effect is data-dependent (it depends on the currents of all other
+//! cells on the line); this module implements the standard first-order
+//! static approximation: the effective conductance of the cell at
+//! (row `i`, column `j`) of an `R×C` array is attenuated by
+//!
+//! ```text
+//! a(i, j) = 1 / (1 + α·(i/R + j/C))
+//! ```
+//!
+//! where `α = g_avg·r_wire·N` lumps the average cell conductance, the
+//! per-segment wire resistance and the array size. The attenuation grows
+//! toward the far corner of the array — the characteristic IR-drop
+//! signature — making it a *spatially correlated*, deterministic
+//! counterpart to the i.i.d. variation models. Extension beyond the
+//! paper's evaluation.
+
+use cn_tensor::Tensor;
+
+/// Static IR-drop model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrDrop {
+    /// Lumped severity `α` (0 = ideal wires; 0.05–0.3 is typical for
+    /// large arrays with scaled wires).
+    pub alpha: f32,
+}
+
+impl IrDrop {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative severity.
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha >= 0.0, "severity must be non-negative");
+        IrDrop { alpha }
+    }
+
+    /// Attenuation factor of the cell at (`row`, `col`) in an
+    /// `rows × cols` array.
+    pub fn attenuation(&self, row: usize, col: usize, rows: usize, cols: usize) -> f32 {
+        let pos = row as f32 / rows.max(1) as f32 + col as f32 / cols.max(1) as f32;
+        1.0 / (1.0 + self.alpha * pos)
+    }
+
+    /// Full attenuation mask for a logical `[outputs, inputs]` weight
+    /// matrix mapped onto one array (outputs = columns, inputs = rows in
+    /// the physical crossbar; the mask is expressed in weight layout).
+    pub fn mask(&self, outputs: usize, inputs: usize) -> Tensor {
+        let mut m = Tensor::zeros(&[outputs, inputs]);
+        for o in 0..outputs {
+            for i in 0..inputs {
+                // Physical position: wordline index = input, bitline = output.
+                m.data_mut()[o * inputs + i] = self.attenuation(i, o, inputs, outputs);
+            }
+        }
+        m
+    }
+
+    /// Worst-case attenuation (far corner of the array).
+    pub fn worst_case(&self) -> f32 {
+        1.0 / (1.0 + 2.0 * self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_wires_no_attenuation() {
+        let m = IrDrop::new(0.0).mask(4, 6);
+        assert!(m.data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn near_corner_is_unattenuated() {
+        let d = IrDrop::new(0.2);
+        assert_eq!(d.attenuation(0, 0, 128, 128), 1.0);
+    }
+
+    #[test]
+    fn attenuation_grows_with_distance() {
+        let d = IrDrop::new(0.2);
+        let m = d.mask(8, 8);
+        // Far corner in weight layout: last output, last input.
+        let near = m.at(&[0, 0]);
+        let far = m.at(&[7, 7]);
+        assert!(far < near);
+        assert!(far >= d.worst_case() - 1e-6);
+        // Monotone along each axis.
+        for i in 1..8 {
+            assert!(m.at(&[0, i]) <= m.at(&[0, i - 1]));
+            assert!(m.at(&[i, 0]) <= m.at(&[i - 1, 0]));
+        }
+    }
+
+    #[test]
+    fn worst_case_bound() {
+        let d = IrDrop::new(0.25);
+        assert!((d.worst_case() - 1.0 / 1.5).abs() < 1e-6);
+        let m = d.mask(16, 16);
+        assert!(m.min() >= d.worst_case() - 1e-6);
+        assert!(m.max() <= 1.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # cn-analog
+//!
+//! RRAM crossbar simulation substrate for analog in-memory computing
+//! (paper Fig. 1), plus the Monte-Carlo deployment machinery every
+//! CorrectNet experiment runs on.
+//!
+//! Two fidelity levels are provided:
+//!
+//! - **Weight-level** variation (the model the paper evaluates with,
+//!   eq. 1–2): every weight is multiplied by an independent log-normal
+//!   factor `e^θ`. See [`variation`] and [`deployment`].
+//! - **Conductance-level** simulation: weights are mapped onto differential
+//!   RRAM conductance pairs ([`mapping`]) in (tiled) crossbars
+//!   ([`crossbar`], [`tiled`]) with programming variation, read noise,
+//!   conductance quantization ([`cell`]), stuck-at faults ([`faults`]) and
+//!   DAC/ADC quantization ([`converters`]). The ideal limit reproduces the
+//!   weight-level model.
+//!
+//! [`montecarlo`] samples many deployment instances of a trained
+//! [`cn_nn::Sequential`] and reports the accuracy mean/std the paper plots
+//! (solid lines and ranges in its Figs. 2 and 7); [`energy`] provides a
+//! coarse energy/latency model backing the "negligible hardware cost"
+//! claim of Table I.
+//!
+//! # Example
+//!
+//! ```
+//! use cn_analog::montecarlo::{mc_accuracy, McConfig};
+//! use cn_data::synthetic_mnist;
+//! use cn_nn::zoo::{lenet5, LeNetConfig};
+//!
+//! let data = synthetic_mnist(32, 32, 0);
+//! let model = lenet5(&LeNetConfig::mnist(1));
+//! let result = mc_accuracy(&model, &data.test, &McConfig::new(4, 0.3, 7));
+//! assert_eq!(result.accuracies.len(), 4);
+//! ```
+
+pub mod cell;
+pub mod converters;
+pub mod drift;
+pub mod crossbar;
+pub mod deployment;
+pub mod energy;
+pub mod faults;
+pub mod irdrop;
+pub mod mapping;
+pub mod montecarlo;
+pub mod tiled;
+pub mod variation;
+
+pub use cell::CellSpec;
+pub use crossbar::Crossbar;
+pub use deployment::DeploymentMode;
+pub use montecarlo::{mc_accuracy, McConfig, McResult};
+pub use tiled::TiledCrossbar;
+pub use variation::VariationModel;

@@ -1,0 +1,157 @@
+//! Mapping trained models onto conductance-level crossbars.
+//!
+//! For every analog layer of a [`Sequential`], the unfolded weight matrix
+//! (its Lipschitz matrix — identical element layout to the weight tensor)
+//! is programmed onto a [`TiledCrossbar`]. Reading the effective weights
+//! back yields the *multiplicative equivalent mask* installed via
+//! [`cn_nn::Layer::set_noise`], so the very same inference path used for
+//! weight-level experiments also runs the device-level model.
+//!
+//! Near-zero nominal weights get a unit mask: their differential pair
+//! programs both cells to `g_min` and the residual after variation is
+//! below the conductance-scale resolution (documented approximation).
+
+use crate::cell::CellSpec;
+use crate::tiled::TiledCrossbar;
+use cn_nn::Sequential;
+use cn_tensor::{SeededRng, Tensor};
+
+/// Conductance-level mapping configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingConfig {
+    /// Physical array edge length (e.g. 128).
+    pub tile_size: usize,
+    /// Cell model.
+    pub spec: CellSpec,
+}
+
+impl MappingConfig {
+    /// 128×128 arrays with the given cell spec.
+    pub fn new(spec: CellSpec) -> Self {
+        MappingConfig {
+            tile_size: 128,
+            spec,
+        }
+    }
+}
+
+/// One analog layer programmed onto crossbars.
+#[derive(Debug, Clone)]
+pub struct MappedLayer {
+    /// Index of the layer inside the model.
+    pub layer_index: usize,
+    /// The programmed (tiled) crossbar.
+    pub crossbar: TiledCrossbar,
+    /// Nominal unfolded weight matrix.
+    pub nominal: Tensor,
+}
+
+/// Programs every analog layer of `model` onto crossbars.
+pub fn map_model(model: &Sequential, cfg: &MappingConfig, rng: &mut SeededRng) -> Vec<MappedLayer> {
+    let mut out = Vec::new();
+    for (layer_index, _) in model.noisy_layers() {
+        let nominal = model
+            .layer(layer_index)
+            .lipschitz_matrix()
+            .expect("analog layers expose their weight matrix");
+        let crossbar = TiledCrossbar::program(&nominal, cfg.tile_size, cfg.spec, rng);
+        out.push(MappedLayer {
+            layer_index,
+            crossbar,
+            nominal,
+        });
+    }
+    out
+}
+
+/// Threshold below which a nominal weight is treated as zero when forming
+/// the multiplicative equivalent mask.
+pub const ZERO_WEIGHT_EPS: f32 = 1e-8;
+
+/// Computes, for every analog layer, the multiplicative mask whose
+/// application reproduces the conductance-level effective weights:
+/// `mask = w_eff / w_nominal` (guarded at zero).
+pub fn conductance_masks(
+    model: &Sequential,
+    cfg: &MappingConfig,
+    rng: &mut SeededRng,
+) -> Vec<Tensor> {
+    let noisy = model.noisy_layers();
+    map_model(model, cfg, rng)
+        .into_iter()
+        .zip(noisy)
+        .map(|(mapped, (_, dims))| {
+            let eff = mapped.crossbar.effective_weights();
+            let mask = mapped.nominal.zip_map(&eff, |nom, e| {
+                if nom.abs() < ZERO_WEIGHT_EPS {
+                    1.0
+                } else {
+                    e / nom
+                }
+            });
+            mask.into_reshaped(&dims)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_nn::zoo::{lenet5, LeNetConfig};
+
+    #[test]
+    fn maps_every_analog_layer() {
+        let model = lenet5(&LeNetConfig::mnist(1));
+        let cfg = MappingConfig::new(CellSpec::ideal(1.0, 100.0));
+        let mut rng = SeededRng::new(2);
+        let mapped = map_model(&model, &cfg, &mut rng);
+        assert_eq!(mapped.len(), 5);
+        // conv2 unfolds to [16, 150] → one 128-tile in rows, two in cols.
+        assert_eq!(mapped[1].nominal.dims(), &[16, 150]);
+        assert_eq!(mapped[1].crossbar.tile_count(), 2);
+    }
+
+    #[test]
+    fn ideal_masks_are_unity() {
+        let model = lenet5(&LeNetConfig::mnist(3));
+        let cfg = MappingConfig::new(CellSpec::ideal(1.0, 100.0));
+        let mut rng = SeededRng::new(4);
+        for mask in conductance_masks(&model, &cfg, &mut rng) {
+            assert!(
+                mask.data().iter().all(|&m| (m - 1.0).abs() < 1e-3),
+                "ideal mapping should give unit masks"
+            );
+        }
+    }
+
+    #[test]
+    fn variation_masks_center_on_lognormal_mean() {
+        let model = lenet5(&LeNetConfig::mnist(5));
+        let cfg = MappingConfig::new(CellSpec::typical(0.3));
+        let mut rng = SeededRng::new(6);
+        let masks = conductance_masks(&model, &cfg, &mut rng);
+        // Masks perturb multiplicatively around ≈ e^{σ²/2}, like the
+        // weight-level model (differential pairs add a small spread).
+        let big = &masks[2]; // fc1: largest layer, best statistics
+        let mean = big.mean();
+        assert!((mean - 1.0).abs() < 0.2, "mask mean {mean} far from 1");
+        let var = big
+            .data()
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f32>()
+            / big.numel() as f32;
+        assert!(var > 0.01, "variation should spread the masks (var {var})");
+    }
+
+    #[test]
+    fn mask_shapes_match_noise_dims() {
+        let model = lenet5(&LeNetConfig::mnist(7));
+        let cfg = MappingConfig::new(CellSpec::typical(0.1));
+        let mut rng = SeededRng::new(8);
+        let masks = conductance_masks(&model, &cfg, &mut rng);
+        for ((_, dims), mask) in model.noisy_layers().iter().zip(masks.iter()) {
+            assert_eq!(mask.dims(), &dims[..]);
+        }
+    }
+}

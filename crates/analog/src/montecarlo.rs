@@ -1,0 +1,230 @@
+//! Monte-Carlo accuracy evaluation under deployment variations.
+//!
+//! The paper samples network weights 250 times from the variation model
+//! and reports mean/std inference accuracy (Sec. IV). [`mc_accuracy`] and
+//! friends reproduce this protocol, fanning samples out over worker
+//! threads (each with a cloned model and a deterministic per-sample RNG
+//! stream, so results are independent of thread count).
+
+use crate::deployment::DeploymentMode;
+use cn_data::Dataset;
+use cn_nn::metrics::{evaluate, mean_std};
+use cn_nn::noise::apply_lognormal_from;
+use cn_nn::Sequential;
+use cn_tensor::parallel::num_threads;
+use cn_tensor::SeededRng;
+use parking_lot::Mutex;
+
+/// Monte-Carlo evaluation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Number of deployment samples (paper: 250).
+    pub samples: usize,
+    /// Variation σ for the log-normal modes.
+    pub sigma: f32,
+    /// Evaluation batch size.
+    pub batch_size: usize,
+    /// Master seed; sample `i` uses an independent derived stream.
+    pub seed: u64,
+}
+
+impl McConfig {
+    /// Config with batch size 64.
+    pub fn new(samples: usize, sigma: f32, seed: u64) -> Self {
+        McConfig {
+            samples,
+            sigma,
+            batch_size: 64,
+            seed,
+        }
+    }
+}
+
+/// Outcome of a Monte-Carlo evaluation.
+#[derive(Debug, Clone)]
+pub struct McResult {
+    /// Accuracy of each sampled deployment.
+    pub accuracies: Vec<f32>,
+    /// Mean accuracy.
+    pub mean: f32,
+    /// Sample standard deviation.
+    pub std: f32,
+}
+
+impl McResult {
+    fn from_accuracies(accuracies: Vec<f32>) -> Self {
+        let (mean, std) = mean_std(&accuracies);
+        McResult {
+            accuracies,
+            mean,
+            std,
+        }
+    }
+}
+
+/// Deterministic per-sample RNG stream.
+fn sample_rng(seed: u64, sample: usize) -> SeededRng {
+    SeededRng::new(seed).fork(sample as u64)
+}
+
+/// Generic Monte-Carlo driver: `perturb(model, rng)` prepares sample-
+/// specific state (typically installing noise masks), then test accuracy
+/// is measured.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn mc_with(
+    model: &Sequential,
+    data: &Dataset,
+    samples: usize,
+    seed: u64,
+    batch_size: usize,
+    perturb: impl Fn(&mut Sequential, &mut SeededRng) + Sync,
+) -> McResult {
+    assert!(samples > 0, "need at least one Monte-Carlo sample");
+    let results = Mutex::new(vec![0.0f32; samples]);
+    let workers = num_threads().min(samples);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let results = &results;
+            let perturb = &perturb;
+            scope.spawn(move || {
+                let mut local = model.clone();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= samples {
+                        break;
+                    }
+                    let mut rng = sample_rng(seed, i);
+                    perturb(&mut local, &mut rng);
+                    let acc = evaluate(&mut local, data, batch_size);
+                    results.lock()[i] = acc;
+                }
+            });
+        }
+    });
+    McResult::from_accuracies(results.into_inner())
+}
+
+/// Monte-Carlo accuracy under the paper's weight-level log-normal model on
+/// **all** analog layers.
+pub fn mc_accuracy(model: &Sequential, data: &Dataset, cfg: &McConfig) -> McResult {
+    let sigma = cfg.sigma;
+    mc_with(
+        model,
+        data,
+        cfg.samples,
+        cfg.seed,
+        cfg.batch_size,
+        move |m, rng| apply_lognormal_from(m, 0, sigma, rng),
+    )
+}
+
+/// Monte-Carlo accuracy with variations only on weight layers `≥ start`
+/// (0-based; the paper's Fig. 9 protocol).
+pub fn mc_accuracy_from_layer(
+    model: &Sequential,
+    data: &Dataset,
+    cfg: &McConfig,
+    start: usize,
+) -> McResult {
+    let sigma = cfg.sigma;
+    mc_with(
+        model,
+        data,
+        cfg.samples,
+        cfg.seed,
+        cfg.batch_size,
+        move |m, rng| apply_lognormal_from(m, start, sigma, rng),
+    )
+}
+
+/// Monte-Carlo accuracy under an arbitrary [`DeploymentMode`].
+pub fn mc_accuracy_mode(
+    model: &Sequential,
+    data: &Dataset,
+    cfg: &McConfig,
+    mode: &DeploymentMode,
+) -> McResult {
+    mc_with(
+        model,
+        data,
+        cfg.samples,
+        cfg.seed,
+        cfg.batch_size,
+        move |m, rng| mode.deploy(m, rng),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_data::synthetic_mnist;
+    use cn_nn::optim::Adam;
+    use cn_nn::trainer::{TrainConfig, Trainer};
+    use cn_nn::zoo::{lenet5, LeNetConfig};
+
+    fn trained_lenet() -> (Sequential, cn_data::TrainTest) {
+        let data = synthetic_mnist(200, 60, 21);
+        let mut model = lenet5(&LeNetConfig::mnist(22));
+        let mut opt = Adam::new(2e-3);
+        Trainer::new(TrainConfig::new(4, 32, 23)).fit(&mut model, &data.train, &mut opt);
+        (model, data)
+    }
+
+    #[test]
+    fn zero_sigma_reproduces_clean_accuracy() {
+        let (model, data) = trained_lenet();
+        let mut clean_model = model.clone();
+        let clean = evaluate(&mut clean_model, &data.test, 32);
+        let res = mc_accuracy(&model, &data.test, &McConfig::new(3, 0.0, 1));
+        assert!((res.mean - clean).abs() < 1e-6);
+        assert!(res.std < 1e-5);
+    }
+
+    #[test]
+    fn results_are_deterministic_and_thread_count_independent() {
+        let (model, data) = trained_lenet();
+        let cfg = McConfig::new(6, 0.4, 7);
+        let a = mc_accuracy(&model, &data.test, &cfg);
+        let b = mc_accuracy(&model, &data.test, &cfg);
+        assert_eq!(a.accuracies, b.accuracies);
+    }
+
+    #[test]
+    fn variation_degrades_accuracy_monotonically_in_expectation() {
+        let (model, data) = trained_lenet();
+        let low = mc_accuracy(&model, &data.test, &McConfig::new(5, 0.1, 3));
+        let high = mc_accuracy(&model, &data.test, &McConfig::new(5, 0.8, 3));
+        assert!(
+            high.mean < low.mean + 0.02,
+            "σ=0.8 ({}) should hurt more than σ=0.1 ({})",
+            high.mean,
+            low.mean
+        );
+    }
+
+    #[test]
+    fn later_start_layer_hurts_less() {
+        let (model, data) = trained_lenet();
+        let cfg = McConfig::new(5, 0.6, 5);
+        let all = mc_accuracy_from_layer(&model, &data.test, &cfg, 0);
+        let last_only = mc_accuracy_from_layer(&model, &data.test, &cfg, 4);
+        assert!(
+            last_only.mean >= all.mean - 0.02,
+            "noise on all layers ({}) should hurt at least as much as last-layer-only ({})",
+            all.mean,
+            last_only.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_samples_panics() {
+        let (model, data) = trained_lenet();
+        mc_accuracy(&model, &data.test, &McConfig::new(0, 0.1, 1));
+    }
+}

@@ -1,0 +1,188 @@
+//! Tiled crossbar arrays for matrices larger than one physical array.
+
+use crate::cell::CellSpec;
+use crate::crossbar::Crossbar;
+use cn_tensor::{SeededRng, Tensor};
+
+/// A logical weight matrix partitioned over a grid of fixed-size physical
+/// crossbars, with digital partial-sum accumulation across input tiles
+/// (the ISAAC/PRIME deployment style).
+#[derive(Debug, Clone)]
+pub struct TiledCrossbar {
+    /// `tiles[r][c]` covers output rows `r·tile` and input cols `c·tile`.
+    tiles: Vec<Vec<Crossbar>>,
+    outputs: usize,
+    inputs: usize,
+    tile_size: usize,
+}
+
+impl TiledCrossbar {
+    /// Programs a logical `[outputs, inputs]` matrix onto `tile_size`²
+    /// physical arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank-2 or `tile_size` is zero.
+    pub fn program(w: &Tensor, tile_size: usize, spec: CellSpec, rng: &mut SeededRng) -> Self {
+        assert_eq!(w.rank(), 2, "weights must be [outputs, inputs]");
+        assert!(tile_size > 0, "tile_size must be positive");
+        let (outputs, inputs) = (w.dims()[0], w.dims()[1]);
+        let tr = outputs.div_ceil(tile_size);
+        let tc = inputs.div_ceil(tile_size);
+        let mut tiles = Vec::with_capacity(tr);
+        for r in 0..tr {
+            let r0 = r * tile_size;
+            let r1 = (r0 + tile_size).min(outputs);
+            let mut row = Vec::with_capacity(tc);
+            for c in 0..tc {
+                let c0 = c * tile_size;
+                let c1 = (c0 + tile_size).min(inputs);
+                let mut sub = Tensor::zeros(&[r1 - r0, c1 - c0]);
+                for i in r0..r1 {
+                    for j in c0..c1 {
+                        sub.set(&[i - r0, j - c0], w.at(&[i, j]));
+                    }
+                }
+                row.push(Crossbar::program(&sub, spec, rng));
+            }
+            tiles.push(row);
+        }
+        TiledCrossbar {
+            tiles,
+            outputs,
+            inputs,
+            tile_size,
+        }
+    }
+
+    /// Logical output count.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Logical input count.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of physical arrays in use.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.iter().map(|r| r.len()).sum()
+    }
+
+    /// Reassembled effective weight matrix (after programming errors).
+    pub fn effective_weights(&self) -> Tensor {
+        let mut w = Tensor::zeros(&[self.outputs, self.inputs]);
+        for (r, row) in self.tiles.iter().enumerate() {
+            for (c, tile) in row.iter().enumerate() {
+                let sub = tile.effective_weights();
+                for i in 0..sub.dims()[0] {
+                    for j in 0..sub.dims()[1] {
+                        w.set(
+                            &[r * self.tile_size + i, c * self.tile_size + j],
+                            sub.at(&[i, j]),
+                        );
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// Full MAC `y = W_eff · x`: each tile computes its partial product in
+    /// the analog domain; partial sums accumulate digitally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[inputs]`.
+    pub fn mac(&self, x: &Tensor, rng: &mut SeededRng) -> Tensor {
+        assert_eq!(x.dims(), &[self.inputs], "input length mismatch");
+        let mut y = Tensor::zeros(&[self.outputs]);
+        for (r, row) in self.tiles.iter().enumerate() {
+            for (c, tile) in row.iter().enumerate() {
+                let c0 = c * self.tile_size;
+                let c1 = (c0 + tile.inputs()).min(self.inputs);
+                let sub_x = Tensor::from_vec(x.data()[c0..c1].to_vec(), &[c1 - c0]);
+                let part = tile.mac(&sub_x, rng);
+                let r0 = r * self.tile_size;
+                for (i, &v) in part.data().iter().enumerate() {
+                    y.data_mut()[r0 + i] += v;
+                }
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiling_covers_matrix_exactly() {
+        let mut rng = SeededRng::new(1);
+        let w = rng.normal_tensor(&[10, 7], 0.0, 1.0);
+        let tiled = TiledCrossbar::program(&w, 4, CellSpec::ideal(1.0, 100.0), &mut rng);
+        assert_eq!(tiled.tile_count(), 3 * 2);
+        let w_eff = tiled.effective_weights();
+        for (a, b) in w.data().iter().zip(w_eff.data().iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn tiled_mac_matches_monolithic() {
+        let mut rng = SeededRng::new(2);
+        let w = rng.normal_tensor(&[9, 13], 0.0, 1.0);
+        let x = rng.normal_tensor(&[13], 0.0, 1.0);
+        let tiled = TiledCrossbar::program(&w, 5, CellSpec::ideal(1.0, 100.0), &mut rng);
+        let y = tiled.mac(&x, &mut rng);
+        let expect = w.matvec(&x);
+        for (a, b) in y.data().iter().zip(expect.data().iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exact_tiling_no_remainder() {
+        let mut rng = SeededRng::new(3);
+        let w = rng.normal_tensor(&[8, 8], 0.0, 1.0);
+        let tiled = TiledCrossbar::program(&w, 4, CellSpec::ideal(1.0, 100.0), &mut rng);
+        assert_eq!(tiled.tile_count(), 4);
+    }
+
+    #[test]
+    fn single_tile_degenerate_case() {
+        let mut rng = SeededRng::new(4);
+        let w = rng.normal_tensor(&[3, 3], 0.0, 1.0);
+        let tiled = TiledCrossbar::program(&w, 128, CellSpec::ideal(1.0, 100.0), &mut rng);
+        assert_eq!(tiled.tile_count(), 1);
+        let x = rng.normal_tensor(&[3], 0.0, 1.0);
+        let y = tiled.mac(&x, &mut rng);
+        let expect = w.matvec(&x);
+        for (a, b) in y.data().iter().zip(expect.data().iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn per_tile_scaling_beats_global_for_mixed_magnitudes() {
+        // Tiles holding only small weights get a finer conductance scale,
+        // so quantization error is smaller than with one global scale.
+        let mut w = Tensor::zeros(&[8, 8]);
+        for j in 0..8 {
+            w.set(&[0, j], 10.0); // large weights in tile row 0
+            w.set(&[7, j], 0.01); // small weights in tile row 1
+        }
+        let spec = CellSpec {
+            levels: Some(16),
+            ..CellSpec::ideal(1.0, 100.0)
+        };
+        let mut rng = SeededRng::new(5);
+        let tiled = TiledCrossbar::program(&w, 4, spec, &mut rng);
+        let err_tiled = (&tiled.effective_weights() - &w).abs_max();
+        let mono = Crossbar::program(&w, spec, &mut rng);
+        let err_mono = (&mono.effective_weights() - &w).abs_max();
+        assert!(err_tiled <= err_mono + 1e-6, "{err_tiled} vs {err_mono}");
+    }
+}

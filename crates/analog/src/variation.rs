@@ -1,0 +1,166 @@
+//! Weight-level variation models.
+
+use cn_tensor::{SeededRng, Tensor};
+
+/// A stochastic model of how analog-mapped weights deviate from their
+/// nominal values. Implementations produce a *multiplicative* mask: the
+/// effective weight is `w ⊙ mask`.
+pub trait VariationModel: Send + Sync {
+    /// Samples one mask of the given shape.
+    fn sample_mask(&self, dims: &[usize], rng: &mut SeededRng) -> Tensor;
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> String;
+}
+
+/// The paper's model (eq. 1–2): `w = w_nominal · e^θ`, `θ ~ N(0, σ²)`,
+/// independent per weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LognormalWeight {
+    /// Standard deviation of `θ`.
+    pub sigma: f32,
+}
+
+impl LognormalWeight {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn new(sigma: f32) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LognormalWeight { sigma }
+    }
+
+    /// Mean of the factor `e^θ`: `e^{σ²/2}`.
+    pub fn factor_mean(&self) -> f32 {
+        (self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Standard deviation of the factor: `sqrt((e^{σ²}−1)·e^{σ²})`.
+    pub fn factor_std(&self) -> f32 {
+        let s2 = self.sigma * self.sigma;
+        ((s2.exp() - 1.0) * s2.exp()).sqrt()
+    }
+}
+
+impl VariationModel for LognormalWeight {
+    fn sample_mask(&self, dims: &[usize], rng: &mut SeededRng) -> Tensor {
+        rng.lognormal_mask(dims, self.sigma)
+    }
+
+    fn name(&self) -> String {
+        format!("lognormal(σ={})", self.sigma)
+    }
+}
+
+/// Additive relative Gaussian noise: factor `1 + N(0, σ_rel²)` (an
+/// alternative device model sometimes used in the literature; factors may
+/// go negative for large σ, unlike the log-normal model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianRelative {
+    /// Relative standard deviation.
+    pub sigma_rel: f32,
+}
+
+impl GaussianRelative {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_rel` is negative.
+    pub fn new(sigma_rel: f32) -> Self {
+        assert!(sigma_rel >= 0.0, "sigma_rel must be non-negative");
+        GaussianRelative { sigma_rel }
+    }
+}
+
+impl VariationModel for GaussianRelative {
+    fn sample_mask(&self, dims: &[usize], rng: &mut SeededRng) -> Tensor {
+        let mut t = Tensor::zeros(dims);
+        for x in t.data_mut() {
+            *x = 1.0 + rng.normal(0.0, self.sigma_rel);
+        }
+        t
+    }
+
+    fn name(&self) -> String {
+        format!("gaussian-rel(σ={})", self.sigma_rel)
+    }
+}
+
+/// No variation (identity masks) — the `σ = 0` column of the paper's
+/// Table I.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoVariation;
+
+impl VariationModel for NoVariation {
+    fn sample_mask(&self, dims: &[usize], _rng: &mut SeededRng) -> Tensor {
+        Tensor::ones(dims)
+    }
+
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lognormal_factor_moments() {
+        let m = LognormalWeight::new(0.5);
+        let mut rng = SeededRng::new(1);
+        let mask = m.sample_mask(&[100, 100], &mut rng);
+        assert!((mask.mean() - m.factor_mean()).abs() < 0.02);
+        let mean = mask.mean();
+        let std = (mask.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>()
+            / mask.numel() as f32)
+            .sqrt();
+        assert!((std - m.factor_std()).abs() < 0.05);
+    }
+
+    #[test]
+    fn lognormal_sigma_zero_is_identity() {
+        let m = LognormalWeight::new(0.0);
+        let mut rng = SeededRng::new(2);
+        let mask = m.sample_mask(&[10], &mut rng);
+        assert!(mask.data().iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn gaussian_relative_centered_at_one() {
+        let m = GaussianRelative::new(0.1);
+        let mut rng = SeededRng::new(3);
+        let mask = m.sample_mask(&[50, 50], &mut rng);
+        assert!((mask.mean() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn no_variation_is_ones() {
+        let mut rng = SeededRng::new(4);
+        let mask = NoVariation.sample_mask(&[3, 3], &mut rng);
+        assert!(mask.data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(LognormalWeight::new(0.5).name().contains("0.5"));
+        assert!(GaussianRelative::new(0.2).name().contains("0.2"));
+        assert_eq!(NoVariation.name(), "none");
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let models: Vec<Box<dyn VariationModel>> = vec![
+            Box::new(LognormalWeight::new(0.3)),
+            Box::new(GaussianRelative::new(0.1)),
+            Box::new(NoVariation),
+        ];
+        let mut rng = SeededRng::new(5);
+        for m in &models {
+            assert_eq!(m.sample_mask(&[2, 2], &mut rng).dims(), &[2, 2]);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # cn-baselines
+//!
+//! Re-implementations of the robustness techniques CorrectNet is compared
+//! against in the paper's Fig. 8:
+//!
+//! - [`protection`] / [`replication`] — critical-weight replication into
+//!   SRAM (≈ Charan et al., DAC'20, the paper's ref. [8]): the largest-
+//!   magnitude fraction of weights is stored digitally and is immune to
+//!   variations; optional per-chip *online retraining* fine-tunes the
+//!   digital copies against each sampled variation instance.
+//! - [`sparse_adaptation`] — random sparse adaptation (≈ Mohanty et al.,
+//!   IEDM'17, ref. [9]): a random fraction of weights is mapped to on-chip
+//!   digital memory and retrained per chip.
+//! - [`statistical`] — statistical / noise-aware training (≈ Long et al.,
+//!   DATE'19, ref. [11] and Vortex, DAC'15, ref. [7]): the base network is
+//!   trained with variations resampled every batch; no extra weights.
+//!
+//! All baselines share the paper's evaluation protocol: weight overhead on
+//! the x-axis (the digital-copy fraction; zero for statistical training)
+//! and mean Monte-Carlo accuracy at σ = 0.5 on the y-axis.
+
+pub mod protection;
+pub mod replication;
+pub mod sparse_adaptation;
+pub mod statistical;
+
+pub use protection::{eval_protected, ProtectionMasks, RetrainConfig};
+pub use replication::magnitude_replication;
+pub use sparse_adaptation::random_sparse_adaptation;
+pub use statistical::train_noise_aware;

@@ -1,0 +1,50 @@
+//! Property-based tests for baseline protection masks.
+
+use cn_baselines::protection::ProtectionMasks;
+use cn_nn::zoo::{mlp, lenet5, LeNetConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Top-magnitude masks hit the requested fraction within rounding and
+    /// are always 0/1 valued.
+    #[test]
+    fn top_magnitude_fraction(fraction in 0.0f32..1.0, seed in 0u64..100) {
+        let model = mlp(&[8, 16, 4], seed);
+        let prot = ProtectionMasks::top_magnitude(&model, fraction);
+        let got = prot.protected_fraction();
+        // 8·16+16·4 = 192 weights → 1/192 granularity.
+        prop_assert!((got - fraction).abs() < 0.02, "{got} vs {fraction}");
+        for m in &prot.masks {
+            prop_assert!(m.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    /// Random masks are reproducible per seed and unbiased.
+    #[test]
+    fn random_masks_reproducible(fraction in 0.1f32..0.9, seed in 0u64..100) {
+        let model = lenet5(&LeNetConfig::mnist(1));
+        let a = ProtectionMasks::random(&model, fraction, seed);
+        let b = ProtectionMasks::random(&model, fraction, seed);
+        for (ma, mb) in a.masks.iter().zip(b.masks.iter()) {
+            prop_assert_eq!(ma, mb);
+        }
+        prop_assert!((a.protected_fraction() - fraction).abs() < 0.02);
+    }
+
+    /// Monotonicity: a larger protected fraction never protects fewer
+    /// weights (top-magnitude is nested by construction).
+    #[test]
+    fn top_magnitude_nested(f1 in 0.0f32..1.0, f2 in 0.0f32..1.0, seed in 0u64..50) {
+        prop_assume!(f1 <= f2);
+        let model = mlp(&[6, 12, 3], seed);
+        let small = ProtectionMasks::top_magnitude(&model, f1);
+        let large = ProtectionMasks::top_magnitude(&model, f2);
+        for (ms, ml) in small.masks.iter().zip(large.masks.iter()) {
+            for (a, b) in ms.data().iter().zip(ml.data().iter()) {
+                prop_assert!(b >= a, "protection must be nested");
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Compensation-cost benchmarks backing Table I's "hardware cost is
+//! negligible" claim: forward latency and MAC counts of compensated vs
+//! plain models.
+
+use cn_analog::energy::{analyze, CostModel};
+use cn_data::synthetic_mnist;
+use cn_nn::zoo::{lenet5, LeNetConfig};
+use correctnet::compensation::{apply_compensation, CompensationPlan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_forward_latency(c: &mut Criterion) {
+    let data = synthetic_mnist(32, 32, 1);
+    let (x, _) = data.test.gather(&(0..32).collect::<Vec<_>>());
+    let base = lenet5(&LeNetConfig::mnist(2));
+    let plan = CompensationPlan::uniform(&[0, 1], 0.5);
+    let comp = apply_compensation(&base, &plan, 3);
+
+    let mut group = c.benchmark_group("forward_latency_b32");
+    group.bench_function("lenet_plain", |b| {
+        let mut m = base.clone();
+        b.iter(|| black_box(m.forward(&x, false)));
+    });
+    group.bench_function("lenet_compensated_2layers", |b| {
+        let mut m = comp.clone();
+        b.iter(|| black_box(m.forward(&x, false)));
+    });
+    group.finish();
+}
+
+fn bench_energy_analysis(c: &mut Criterion) {
+    // Not a timing claim — prints the MAC/energy split once so the bench
+    // log records the cost story, then times the analysis itself.
+    let base = lenet5(&LeNetConfig::mnist(4));
+    let plan = CompensationPlan::uniform(&[0, 1], 0.5);
+    let mut comp = apply_compensation(&base, &plan, 5);
+    let report = analyze(&mut comp, &[1, 28, 28], &CostModel::default());
+    eprintln!(
+        "[compensation energy] analog MACs {} | digital MACs {} | digital energy fraction {:.4}",
+        report.analog_macs,
+        report.digital_macs,
+        report.digital_energy_fraction(&CostModel::default())
+    );
+    c.bench_function("energy_analysis_lenet", |b| {
+        b.iter(|| black_box(analyze(&mut comp, &[1, 28, 28], &CostModel::default())));
+    });
+}
+
+fn quick_criterion() -> Criterion {
+    // CI-friendly budget: enough samples for stable medians on
+    // these micro-kernels without multi-minute runs.
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_forward_latency, bench_energy_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Crossbar substrate benchmarks: analog MAC throughput vs array size,
+//! tiled vs monolithic arrays, and programming cost.
+
+use cn_analog::cell::CellSpec;
+use cn_analog::{Crossbar, TiledCrossbar};
+use cn_tensor::SeededRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_mac_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_mac");
+    for size in [32usize, 64, 128] {
+        let mut rng = SeededRng::new(1);
+        let w = rng.normal_tensor(&[size, size], 0.0, 1.0);
+        let x = rng.normal_tensor(&[size], 0.0, 1.0);
+        let xbar = Crossbar::program(&w, CellSpec::ideal(1.0, 100.0), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut mac_rng = SeededRng::new(2);
+            b.iter(|| black_box(xbar.mac(&x, &mut mac_rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mac_with_read_noise(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let w = rng.normal_tensor(&[64, 64], 0.0, 1.0);
+    let x = rng.normal_tensor(&[64], 0.0, 1.0);
+    let ideal = Crossbar::program(&w, CellSpec::ideal(1.0, 100.0), &mut rng);
+    let noisy_spec = CellSpec {
+        read_sigma: 0.05,
+        ..CellSpec::ideal(1.0, 100.0)
+    };
+    let noisy = Crossbar::program(&w, noisy_spec, &mut rng);
+    let mut group = c.benchmark_group("crossbar_read_noise");
+    group.bench_function("ideal_read", |b| {
+        let mut r = SeededRng::new(4);
+        b.iter(|| black_box(ideal.mac(&x, &mut r)));
+    });
+    group.bench_function("noisy_read", |b| {
+        let mut r = SeededRng::new(4);
+        b.iter(|| black_box(noisy.mac(&x, &mut r)));
+    });
+    group.finish();
+}
+
+fn bench_tiled_vs_monolithic(c: &mut Criterion) {
+    let mut rng = SeededRng::new(5);
+    let w = rng.normal_tensor(&[256, 256], 0.0, 1.0);
+    let x = rng.normal_tensor(&[256], 0.0, 1.0);
+    let mono = Crossbar::program(&w, CellSpec::ideal(1.0, 100.0), &mut rng);
+    let tiled = TiledCrossbar::program(&w, 128, CellSpec::ideal(1.0, 100.0), &mut rng);
+    let mut group = c.benchmark_group("tiled_vs_monolithic_256");
+    group.bench_function("monolithic", |b| {
+        let mut r = SeededRng::new(6);
+        b.iter(|| black_box(mono.mac(&x, &mut r)));
+    });
+    group.bench_function("tiled_128", |b| {
+        let mut r = SeededRng::new(6);
+        b.iter(|| black_box(tiled.mac(&x, &mut r)));
+    });
+    group.finish();
+}
+
+fn bench_programming(c: &mut Criterion) {
+    let mut rng = SeededRng::new(7);
+    let w = rng.normal_tensor(&[128, 128], 0.0, 1.0);
+    c.bench_function("program_128x128_with_variation", |b| {
+        let mut r = SeededRng::new(8);
+        b.iter(|| black_box(Crossbar::program(&w, CellSpec::typical(0.3), &mut r)));
+    });
+}
+
+fn quick_criterion() -> Criterion {
+    // CI-friendly budget: enough samples for stable medians on
+    // these micro-kernels without multi-minute runs.
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_mac_sizes,
+    bench_mac_with_read_noise,
+    bench_tiled_vs_monolithic,
+    bench_programming
+
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Lipschitz-regularizer benchmarks: the per-step cost of eq. (11) and
+//! the power-iteration spectral-norm report.
+
+use cn_nn::zoo::{lenet5, vgg16, LeNetConfig, VggConfig};
+use cn_tensor::linalg::{orth_penalty, spectral_norm};
+use cn_tensor::SeededRng;
+use correctnet::lipschitz::LipschitzRegularizer;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_orth_penalty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orth_penalty_grad");
+    for (rows, cols) in [(16usize, 150usize), (64, 576), (120, 400)] {
+        let mut rng = SeededRng::new(1);
+        let w = rng.normal_tensor(&[rows, cols], 0.0, 0.1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &w,
+            |b, w| {
+                b.iter(|| black_box(orth_penalty(w, 0.34)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_model_regularizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regularizer_per_step");
+    let mut lenet = lenet5(&LeNetConfig::mnist(1));
+    let reg = LipschitzRegularizer::for_sigma(1e-3, 0.5);
+    group.bench_function("lenet5", |b| {
+        b.iter(|| black_box(reg.apply(&mut lenet)));
+    });
+    let mut vgg = vgg16(&VggConfig::quick(10, 2));
+    group.bench_function("vgg16_w8", |b| {
+        b.iter(|| black_box(reg.apply(&mut vgg)));
+    });
+    group.finish();
+}
+
+fn bench_spectral_norm(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let w = rng.normal_tensor(&[120, 400], 0.0, 0.1);
+    let mut group = c.benchmark_group("spectral_norm_power_iteration");
+    for iters in [10usize, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            b.iter(|| black_box(spectral_norm(&w, iters)));
+        });
+    }
+    group.finish();
+}
+
+fn quick_criterion() -> Criterion {
+    // CI-friendly budget: enough samples for stable medians on
+    // these micro-kernels without multi-minute runs.
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_orth_penalty,
+    bench_full_model_regularizer,
+    bench_spectral_norm
+
+}
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Compensator training (paper Sec. III-B).
+//!
+//! "The weights in the original layers are fixed to the values after
+//! applying Lipschitz constant regularization and stay non-trainable,
+//! while the weights in the generators and compensators are kept
+//! trainable. … variations are sampled statistically and applied to the
+//! corresponding weight values in the original layer during each training
+//! batch."
+
+use super::freeze_all_but_compensation;
+use cn_data::Dataset;
+use cn_nn::noise::apply_lognormal;
+use cn_nn::optim::Adam;
+use cn_nn::trainer::{EpochStats, TrainConfig, Trainer};
+use cn_nn::Sequential;
+use cn_tensor::SeededRng;
+
+/// Configuration for compensator training.
+#[derive(Debug, Clone, Copy)]
+pub struct CompensationTrainConfig {
+    /// Variation level sampled per batch.
+    pub sigma: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Seed for shuffling and per-batch variation sampling.
+    pub seed: u64,
+}
+
+impl CompensationTrainConfig {
+    /// Defaults used by the experiments.
+    pub fn new(sigma: f32, epochs: usize, seed: u64) -> Self {
+        CompensationTrainConfig {
+            sigma,
+            epochs,
+            batch_size: 32,
+            lr: 2e-3,
+            seed,
+        }
+    }
+}
+
+/// Trains the generators/compensators of a compensated model in place.
+///
+/// Freezes everything except compensation parameters, resamples log-normal
+/// variation masks on the analog base layers before every batch, and runs
+/// the task loss. Masks are cleared afterwards. Returns per-epoch stats.
+pub fn train_compensators(
+    model: &mut Sequential,
+    data: &Dataset,
+    cfg: &CompensationTrainConfig,
+) -> Vec<EpochStats> {
+    freeze_all_but_compensation(model);
+    let sigma = cfg.sigma;
+    let mut noise_rng = SeededRng::new(cfg.seed ^ 0x5a5a);
+    let mut train_cfg = TrainConfig::new(cfg.epochs, cfg.batch_size, cfg.seed);
+    // Keep the frozen base bit-identical (no dropout, no BN-stat updates).
+    train_cfg.train_mode = false;
+    let mut trainer = Trainer::new(train_cfg)
+        .with_before_batch(move |m, _| apply_lognormal(m, sigma, &mut noise_rng));
+    let mut opt = Adam::new(cfg.lr);
+    let stats = trainer.fit(model, data, &mut opt);
+    model.clear_noise();
+    // Leave the model fully trainable again for downstream stages.
+    model.set_frozen(false);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compensation::{apply_compensation, CompensationPlan};
+    use cn_analog::montecarlo::{mc_accuracy, McConfig};
+    use cn_data::synthetic_mnist;
+    use cn_nn::optim::Adam;
+    use cn_nn::zoo::{lenet5, LeNetConfig};
+
+    #[test]
+    fn compensation_improves_noisy_accuracy() {
+        // Train a small LeNet, attach compensation to its first two
+        // layers, train compensators under σ = 0.6 noise, and verify the
+        // Monte-Carlo accuracy under that noise improves.
+        let data = synthetic_mnist(240, 80, 31);
+        let mut base = lenet5(&LeNetConfig::mnist(32));
+        let mut opt = Adam::new(2e-3);
+        Trainer::new(TrainConfig::new(5, 32, 33)).fit(&mut base, &data.train, &mut opt);
+
+        let sigma = 0.6;
+        let mc = McConfig::new(8, sigma, 34);
+        let before = mc_accuracy(&base, &data.test, &mc);
+
+        let plan = CompensationPlan::uniform(&[0, 1], 1.0);
+        let mut comp = apply_compensation(&base, &plan, 35);
+        let cfg = CompensationTrainConfig::new(sigma, 4, 36);
+        let stats = train_compensators(&mut comp, &data.test, &cfg);
+        assert!(!stats.is_empty());
+
+        let after = mc_accuracy(&comp, &data.test, &mc);
+        assert!(
+            after.mean > before.mean + 0.01,
+            "compensation did not help: {} → {}",
+            before.mean,
+            after.mean
+        );
+    }
+
+    #[test]
+    fn base_weights_are_untouched() {
+        let data = synthetic_mnist(60, 20, 41);
+        let base = lenet5(&LeNetConfig::mnist(42));
+        let base_dict = base.state_dict();
+        let plan = CompensationPlan::uniform(&[0], 0.5);
+        let mut comp = apply_compensation(&base, &plan, 43);
+        train_compensators(
+            &mut comp,
+            &data.train,
+            &CompensationTrainConfig::new(0.5, 1, 44),
+        );
+        // Every base entry must be bit-identical after compensator training.
+        let comp_dict: std::collections::HashMap<String, cn_tensor::Tensor> =
+            comp.state_dict().into_iter().collect();
+        for (name, value) in base_dict {
+            // conv1 was renamed conv1_comp; its weight lives under the
+            // same parameter names.
+            let key = if name.starts_with("conv1.") {
+                name.replace("conv1.", "conv1_comp.")
+            } else {
+                name
+            };
+            let after = comp_dict.get(&key).unwrap_or_else(|| {
+                panic!("missing {key} in compensated state dict")
+            });
+            assert_eq!(after, &value, "{key} changed during compensator training");
+        }
+    }
+
+    #[test]
+    fn compensation_params_do_change() {
+        let data = synthetic_mnist(60, 20, 51);
+        let base = lenet5(&LeNetConfig::mnist(52));
+        let plan = CompensationPlan::uniform(&[1], 0.5);
+        let mut comp = apply_compensation(&base, &plan, 53);
+        let before: Vec<cn_tensor::Tensor> = comp
+            .state_dict()
+            .into_iter()
+            .filter(|(n, _)| n.contains("gen_") || n.contains("comp_"))
+            .map(|(_, t)| t)
+            .collect();
+        train_compensators(
+            &mut comp,
+            &data.train,
+            &CompensationTrainConfig::new(0.5, 1, 54),
+        );
+        let after: Vec<cn_tensor::Tensor> = comp
+            .state_dict()
+            .into_iter()
+            .filter(|(n, _)| n.contains("gen_") || n.contains("comp_"))
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(before.len(), after.len());
+        assert!(
+            before.iter().zip(after.iter()).any(|(a, b)| a != b),
+            "compensation weights never moved"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Error suppression: modified Lipschitz-constant regularization
+//! (paper Sec. III-A).
+
+use cn_nn::Sequential;
+use cn_tensor::linalg::{orth_penalty, spectral_norm, DEFAULT_POWER_ITERS};
+
+/// Computes the spectral-norm target λ of paper eq. (10):
+///
+/// ```text
+/// λ = k / ( e^{σ²/2} + 3·sqrt( (e^{σ²} − 1)·e^{σ²} ) )
+/// ```
+///
+/// The denominator is `μ + 3σ` of the log-normal factor `e^θ`: if every
+/// layer's nominal spectral norm stays at λ, the *perturbed* layer stays
+/// `k`-Lipschitz with 3-sigma confidence, so errors entering a layer are
+/// not amplified (eq. 3–9).
+///
+/// # Panics
+///
+/// Panics on non-positive `k` or negative `sigma`.
+pub fn lambda_for(k: f32, sigma: f32) -> f32 {
+    assert!(k > 0.0, "Lipschitz constant k must be positive");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    let s2 = sigma * sigma;
+    let mean = (s2 / 2.0).exp();
+    let std = ((s2.exp() - 1.0) * s2.exp()).sqrt();
+    k / (mean + 3.0 * std)
+}
+
+/// The regularizer of paper eq. (11): adds
+/// `β · Σᵢ ‖WᵢᵀWᵢ − λ²I‖²` to the loss over all regularized layers.
+///
+/// [`LipschitzRegularizer::apply`] is designed as a
+/// [`Trainer::with_regularizer`](cn_nn::trainer::Trainer::with_regularizer)
+/// hook: it accumulates the analytic penalty gradient
+/// (`4·W·(WᵀW − λ²I)`, computed on the smaller-side Gram — see
+/// [`cn_tensor::linalg::orth_penalty`]) into each layer's weight gradient
+/// and returns the penalty value.
+#[derive(Debug, Clone, Copy)]
+pub struct LipschitzRegularizer {
+    /// Regularization strength β.
+    pub beta: f32,
+    /// Spectral-norm target λ (from [`lambda_for`]).
+    pub lambda: f32,
+}
+
+impl LipschitzRegularizer {
+    /// Creates the regularizer from the variation level: `λ = λ(k=1, σ)`,
+    /// the paper's setting ("k is set to 1 to suppress the propagation of
+    /// errors").
+    pub fn for_sigma(beta: f32, sigma: f32) -> Self {
+        LipschitzRegularizer {
+            beta,
+            lambda: lambda_for(1.0, sigma),
+        }
+    }
+
+    /// Accumulates penalty gradients into `model` and returns the total
+    /// weighted penalty `β·Σ‖·‖²`.
+    pub fn apply(&self, model: &mut Sequential) -> f32 {
+        let mut total = 0.0f32;
+        let layer_indices: Vec<usize> =
+            model.lipschitz_matrices().iter().map(|(i, _)| *i).collect();
+        for i in layer_indices {
+            let w = model
+                .layer(i)
+                .lipschitz_matrix()
+                .expect("listed layer has a Lipschitz matrix");
+            let p = orth_penalty(&w, self.lambda);
+            total += p.value;
+            let mut grad = p.grad;
+            grad.scale(self.beta);
+            model.layer_mut(i).accumulate_lipschitz_grad(&grad);
+        }
+        self.beta * total
+    }
+}
+
+/// Per-layer spectral norms (power iteration), for Lipschitz reporting.
+pub fn spectral_norms(model: &Sequential) -> Vec<(usize, f32)> {
+    model
+        .lipschitz_matrices()
+        .into_iter()
+        .map(|(i, w)| (i, spectral_norm(&w, DEFAULT_POWER_ITERS)))
+        .collect()
+}
+
+/// Upper bound on the network's Lipschitz constant: the product of the
+/// per-layer spectral norms (paper eq. 5; ReLU/pool layers are
+/// 1-Lipschitz).
+pub fn lipschitz_product_bound(model: &Sequential) -> f32 {
+    spectral_norms(model).iter().map(|(_, s)| s).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_nn::zoo::mlp;
+
+    #[test]
+    fn lambda_matches_hand_computed_values() {
+        // σ = 0 → factor is exactly 1, λ = k.
+        assert!((lambda_for(1.0, 0.0) - 1.0).abs() < 1e-6);
+        // σ = 0.5: e^{0.125} ≈ 1.1331, std ≈ sqrt((e^{0.25}−1)e^{0.25})
+        // ≈ 0.6039 → λ ≈ 1/(1.1331 + 1.8118) ≈ 0.3396.
+        let l = lambda_for(1.0, 0.5);
+        assert!((l - 0.3396).abs() < 5e-3, "{l}");
+        // λ scales linearly with k.
+        assert!((lambda_for(2.0, 0.5) - 2.0 * l).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lambda_decreases_with_sigma() {
+        let mut prev = lambda_for(1.0, 0.0);
+        for i in 1..=10 {
+            let l = lambda_for(1.0, 0.05 * i as f32);
+            assert!(l < prev, "λ must shrink as σ grows");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn regularizer_reports_positive_penalty_for_random_init() {
+        let mut model = mlp(&[8, 16, 8, 4], 1);
+        let reg = LipschitzRegularizer::for_sigma(0.01, 0.5);
+        model.zero_grad();
+        let value = reg.apply(&mut model);
+        assert!(value > 0.0);
+        // Gradients landed in the weight params.
+        assert!(model.params_mut().iter().any(|p| p.grad.abs_max() > 0.0));
+    }
+
+    #[test]
+    fn pure_regularizer_descent_hits_lambda_target() {
+        use cn_nn::optim::{Optimizer, Sgd};
+        let mut model = mlp(&[6, 12, 6, 3], 2);
+        let reg = LipschitzRegularizer::for_sigma(1.0, 0.5);
+        let mut opt = Sgd::new(0.02);
+        for _ in 0..600 {
+            model.zero_grad();
+            reg.apply(&mut model);
+            let mut params = model.params_mut();
+            opt.step(&mut params);
+        }
+        for (i, s) in spectral_norms(&model) {
+            assert!(
+                (s - reg.lambda).abs() < 0.05,
+                "layer {i} spectral norm {s} vs target {}",
+                reg.lambda
+            );
+        }
+        let bound = lipschitz_product_bound(&model);
+        assert!(bound < reg.lambda.powi(3) + 0.05, "bound {bound}");
+    }
+
+    #[test]
+    fn beta_scales_gradient() {
+        let mut m1 = mlp(&[4, 4], 3);
+        let mut m2 = mlp(&[4, 4], 3);
+        m1.zero_grad();
+        m2.zero_grad();
+        LipschitzRegularizer {
+            beta: 0.1,
+            lambda: 0.5,
+        }
+        .apply(&mut m1);
+        LipschitzRegularizer {
+            beta: 0.2,
+            lambda: 0.5,
+        }
+        .apply(&mut m2);
+        let g1 = m1.params_mut()[0].grad.clone();
+        let g2 = m2.params_mut()[0].grad.clone();
+        for (a, b) in g1.data().iter().zip(g2.data().iter()) {
+            assert!((2.0 * a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_k_panics() {
+        lambda_for(0.0, 0.5);
+    }
+}

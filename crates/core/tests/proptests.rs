@@ -1,0 +1,74 @@
+//! Property-based tests for CorrectNet invariants.
+
+use cn_nn::zoo::{lenet5, LeNetConfig};
+use correctnet::compensation::{
+    apply_compensation, generator_filters, weight_overhead, CompensationPlan, PlanEntry,
+};
+use correctnet::lipschitz::lambda_for;
+use correctnet::report::render_table;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// λ(k, σ) is positive, ≤ k, decreasing in σ and linear in k.
+    #[test]
+    fn lambda_properties(k in 0.1f32..4.0, sigma in 0.0f32..1.2, d in 0.01f32..0.5) {
+        let l = lambda_for(k, sigma);
+        prop_assert!(l > 0.0 && l <= k + 1e-6);
+        prop_assert!(lambda_for(k, sigma + d) < l);
+        prop_assert!((lambda_for(2.0 * k, sigma) - 2.0 * l).abs() < 1e-4);
+    }
+
+    /// Generator sizing: at least one filter, never more than n (for
+    /// ratios ≤ 1), and monotone in the ratio.
+    #[test]
+    fn generator_filter_monotone(n in 1usize..64, r1 in 0.01f32..1.0, r2 in 0.01f32..1.0) {
+        let m1 = generator_filters(n, r1);
+        let m2 = generator_filters(n, r2);
+        prop_assert!(m1 >= 1 && m1 <= n.max(1));
+        if r1 <= r2 {
+            prop_assert!(m1 <= m2);
+        }
+    }
+
+    /// Overhead is monotone under adding compensation entries.
+    #[test]
+    fn overhead_monotone(seed in 0u64..100, r in 0.1f32..1.0) {
+        let model = lenet5(&LeNetConfig::mnist(seed));
+        let one = apply_compensation(&model, &CompensationPlan::uniform(&[0], r), seed);
+        let two = apply_compensation(&model, &CompensationPlan::uniform(&[0, 1], r), seed);
+        prop_assert!(weight_overhead(&one) > 0.0);
+        prop_assert!(weight_overhead(&two) > weight_overhead(&one));
+    }
+
+    /// Identity-initialized compensation never changes clean outputs,
+    /// regardless of placement or ratio.
+    #[test]
+    fn untrained_compensation_is_transparent(
+        layer in 0usize..2,
+        ratio in 0.1f32..1.0,
+        seed in 0u64..100,
+    ) {
+        let model = lenet5(&LeNetConfig::mnist(seed));
+        let plan = CompensationPlan {
+            entries: vec![PlanEntry { weight_layer: layer, ratio }],
+        };
+        let comp = apply_compensation(&model, &plan, seed ^ 1);
+        let x = cn_tensor::SeededRng::new(seed ^ 2).normal_tensor(&[2, 1, 28, 28], 0.0, 1.0);
+        let ya = model.clone().forward(&x, false);
+        let yb = comp.clone().forward(&x, false);
+        for (a, b) in ya.data().iter().zip(yb.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// Table rendering is total for arbitrary cell content.
+    #[test]
+    fn table_renders_any_strings(cells in proptest::collection::vec("[a-zA-Z0-9 %.+-]{0,12}", 4)) {
+        let rows = vec![vec![cells[0].clone(), cells[1].clone()],
+                        vec![cells[2].clone(), cells[3].clone()]];
+        let s = render_table(&["a", "b"], &rows);
+        prop_assert!(s.lines().count() == 4);
+    }
+}

@@ -1,0 +1,188 @@
+//! In-memory labeled image datasets.
+
+use cn_tensor::Tensor;
+
+/// A labeled image classification dataset held in memory.
+///
+/// Images are stored as a single `[N, C, H, W]` tensor; labels are class
+/// indices in `0..num_classes`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// All images, `[N, C, H, W]`.
+    pub images: Tensor,
+    /// Class index per image.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Human-readable name (e.g. `"synth-mnist"`).
+    pub name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating label/image consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if images are not rank-4, counts disagree, or any label is out
+    /// of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize, name: &str) -> Self {
+        assert_eq!(images.rank(), 4, "images must be [N, C, H, W]");
+        assert_eq!(
+            images.dims()[0],
+            labels.len(),
+            "image count {} != label count {}",
+            images.dims()[0],
+            labels.len()
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range for {num_classes} classes"
+        );
+        Dataset {
+            images,
+            labels,
+            num_classes,
+            name: name.to_string(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Shape of one sample: `[C, H, W]`.
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.images.dims()[1..]
+    }
+
+    /// Copies the `i`-th image as a `[1, C, H, W]` tensor with its label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn sample(&self, i: usize) -> (Tensor, usize) {
+        (self.images.batch_slice(i, i + 1), self.labels[i])
+    }
+
+    /// Gathers the given indices into a new `[K, C, H, W]` batch tensor and
+    /// label vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let sample_len: usize = self.sample_dims().iter().product();
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(self.sample_dims());
+        let mut out = Tensor::zeros(&dims);
+        let src = self.images.data();
+        let dst = out.data_mut();
+        for (k, &i) in indices.iter().enumerate() {
+            assert!(i < self.len(), "index {i} out of bounds");
+            dst[k * sample_len..(k + 1) * sample_len]
+                .copy_from_slice(&src[i * sample_len..(i + 1) * sample_len]);
+        }
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        (out, labels)
+    }
+
+    /// Returns the first `n` samples as a sub-dataset (cheap experiment
+    /// scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the dataset size.
+    pub fn take(&self, n: usize) -> Dataset {
+        assert!(n <= self.len(), "cannot take {n} of {}", self.len());
+        Dataset {
+            images: self.images.batch_slice(0, n),
+            labels: self.labels[..n].to_vec(),
+            num_classes: self.num_classes,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+/// A train/test split of a dataset family.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::arange(4 * 3).into_reshaped(&[4, 3, 1, 1]);
+        Dataset::new(images, vec![0, 1, 1, 0], 2, "tiny")
+    }
+
+    #[test]
+    fn construction_and_len() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.sample_dims(), &[3, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn mismatched_labels_panic() {
+        Dataset::new(Tensor::zeros(&[3, 1, 2, 2]), vec![0, 1], 2, "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        Dataset::new(Tensor::zeros(&[1, 1, 2, 2]), vec![5], 2, "bad");
+    }
+
+    #[test]
+    fn sample_returns_batch_of_one() {
+        let d = tiny();
+        let (x, y) = d.sample(2);
+        assert_eq!(x.dims(), &[1, 3, 1, 1]);
+        assert_eq!(x.data(), &[6.0, 7.0, 8.0]);
+        assert_eq!(y, 1);
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let d = tiny();
+        let (x, y) = d.gather(&[3, 0]);
+        assert_eq!(x.dims(), &[2, 3, 1, 1]);
+        assert_eq!(x.data(), &[9.0, 10.0, 11.0, 0.0, 1.0, 2.0]);
+        assert_eq!(y, vec![0, 0]);
+    }
+
+    #[test]
+    fn take_prefix() {
+        let d = tiny().take(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn class_counts() {
+        assert_eq!(tiny().class_counts(), vec![2, 2]);
+    }
+}

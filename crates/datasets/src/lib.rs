@@ -1,0 +1,42 @@
+//! # cn-data
+//!
+//! Seeded synthetic stand-ins for the datasets of the CorrectNet paper
+//! (MNIST, CIFAR-10, CIFAR-100) plus batching utilities.
+//!
+//! No dataset files are available in the offline build environment, so the
+//! paper's datasets are replaced by *procedural, class-structured* image
+//! generators with identical tensor shapes and class counts (see
+//! `DESIGN.md` §4 for the substitution rationale):
+//!
+//! - [`synthetic_mnist`] — `1×28×28` renderings of ten digit glyphs under
+//!   random affine jitter and pixel noise,
+//! - [`synthetic_cifar10`] / [`synthetic_cifar100`] — `3×32×32`
+//!   compositions of class-specific shapes, color palettes and gratings.
+//!
+//! Every generator is deterministic given its seed; train and test splits
+//! are disjoint instance streams of the same class-conditional
+//! distribution, so test accuracy measures genuine generalization.
+//!
+//! # Example
+//!
+//! ```
+//! use cn_data::{synthetic_mnist, BatchIter};
+//!
+//! let data = synthetic_mnist(128, 32, 7);
+//! assert_eq!(data.train.len(), 128);
+//! assert_eq!(data.test.images.dims(), &[32, 1, 28, 28]);
+//! let mut batches = BatchIter::new(&data.train, 16, Some(3));
+//! let (x, y) = batches.next().unwrap();
+//! assert_eq!(x.dims(), &[16, 1, 28, 28]);
+//! assert_eq!(y.len(), 16);
+//! ```
+
+pub mod dataset;
+pub mod loader;
+pub mod stats;
+pub mod synth;
+pub mod transforms;
+
+pub use dataset::{Dataset, TrainTest};
+pub use loader::BatchIter;
+pub use synth::{synthetic_cifar10, synthetic_cifar100, synthetic_mnist, SynthSpec};

@@ -1,0 +1,135 @@
+//! Mini-batch iteration with optional shuffling.
+
+use crate::dataset::Dataset;
+use cn_tensor::{SeededRng, Tensor};
+
+/// Iterator over `(images, labels)` mini-batches of a [`Dataset`].
+///
+/// With a seed, the sample order is a fresh deterministic permutation; the
+/// final short batch is yielded as-is (no padding, no dropping).
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates a batch iterator. `shuffle_seed: None` keeps dataset order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(dataset: &'a Dataset, batch_size: usize, shuffle_seed: Option<u64>) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let order = match shuffle_seed {
+            Some(seed) => SeededRng::new(seed).permutation(dataset.len()),
+            None => (0..dataset.len()).collect(),
+        };
+        BatchIter {
+            dataset,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Number of batches this iterator will yield in total.
+    pub fn num_batches(&self) -> usize {
+        self.dataset.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.dataset.gather(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Dataset {
+        let images = Tensor::arange(n).into_reshaped(&[n, 1, 1, 1]);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3, "seq")
+    }
+
+    #[test]
+    fn covers_all_samples_once() {
+        let d = data(10);
+        let mut seen = vec![false; 10];
+        for (x, _) in BatchIter::new(&d, 3, Some(1)) {
+            for &v in x.data() {
+                let i = v as usize;
+                assert!(!seen[i], "sample {i} seen twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn batch_sizes_and_count() {
+        let d = data(10);
+        let it = BatchIter::new(&d, 4, None);
+        assert_eq!(it.num_batches(), 3);
+        let sizes: Vec<usize> = it.map(|(_, y)| y.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn unshuffled_preserves_order() {
+        let d = data(5);
+        let (x, _) = BatchIter::new(&d, 5, None).next().unwrap();
+        assert_eq!(x.data(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let d = data(16);
+        let a: Vec<f32> = BatchIter::new(&d, 16, Some(9))
+            .next()
+            .unwrap()
+            .0
+            .into_vec();
+        let b: Vec<f32> = BatchIter::new(&d, 16, Some(9))
+            .next()
+            .unwrap()
+            .0
+            .into_vec();
+        let c: Vec<f32> = BatchIter::new(&d, 16, Some(10))
+            .next()
+            .unwrap()
+            .0
+            .into_vec();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_track_images() {
+        let d = data(9);
+        for (x, y) in BatchIter::new(&d, 2, Some(4)) {
+            for (k, &label) in y.iter().enumerate() {
+                let img_val = x.data()[k] as usize;
+                assert_eq!(label, img_val % 3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn zero_batch_panics() {
+        BatchIter::new(&data(3), 0, None);
+    }
+}

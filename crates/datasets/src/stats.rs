@@ -1,0 +1,123 @@
+//! Descriptive statistics over datasets (used by experiment reports).
+
+use crate::dataset::Dataset;
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Number of samples.
+    pub len: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Shape of one sample.
+    pub sample_dims: Vec<usize>,
+    /// Smallest per-class count.
+    pub min_class_count: usize,
+    /// Largest per-class count.
+    pub max_class_count: usize,
+    /// Global pixel mean.
+    pub pixel_mean: f32,
+    /// Global pixel standard deviation.
+    pub pixel_std: f32,
+}
+
+/// Computes a [`DatasetSummary`].
+pub fn summarize(d: &Dataset) -> DatasetSummary {
+    let counts = d.class_counts();
+    let mean = d.images.mean();
+    let var = d
+        .images
+        .data()
+        .iter()
+        .map(|&x| (x - mean) * (x - mean))
+        .sum::<f32>()
+        / d.images.numel().max(1) as f32;
+    DatasetSummary {
+        len: d.len(),
+        num_classes: d.num_classes,
+        sample_dims: d.sample_dims().to_vec(),
+        min_class_count: counts.iter().copied().min().unwrap_or(0),
+        max_class_count: counts.iter().copied().max().unwrap_or(0),
+        pixel_mean: mean,
+        pixel_std: var.sqrt(),
+    }
+}
+
+/// Measures mean inter-class versus intra-class L2 distance on up to
+/// `per_class` samples per class. A ratio above 1 indicates the classes
+/// are geometrically separable — a sanity check that a synthetic dataset
+/// carries learnable signal.
+pub fn separability_ratio(d: &Dataset, per_class: usize) -> f32 {
+    let sample_len: usize = d.sample_dims().iter().product();
+    // Collect up to per_class representatives per class.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); d.num_classes];
+    for (i, &l) in d.labels.iter().enumerate() {
+        if by_class[l].len() < per_class {
+            by_class[l].push(i);
+        }
+    }
+    let dist = |a: usize, b: usize| -> f32 {
+        let xa = &d.images.data()[a * sample_len..(a + 1) * sample_len];
+        let xb = &d.images.data()[b * sample_len..(b + 1) * sample_len];
+        xa.iter()
+            .zip(xb.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
+    };
+    let mut intra = 0.0f32;
+    let mut intra_n = 0usize;
+    let mut inter = 0.0f32;
+    let mut inter_n = 0usize;
+    for (c, members) in by_class.iter().enumerate() {
+        for (ai, &a) in members.iter().enumerate() {
+            for &b in &members[ai + 1..] {
+                intra += dist(a, b);
+                intra_n += 1;
+            }
+            // One representative from each other class keeps this O(C²·k).
+            for other in by_class.iter().skip(c + 1) {
+                if let Some(&b) = other.first() {
+                    inter += dist(a, b);
+                    inter_n += 1;
+                }
+            }
+        }
+    }
+    if intra_n == 0 || inter_n == 0 || intra == 0.0 {
+        return f32::INFINITY;
+    }
+    (inter / inter_n as f32) / (intra / intra_n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthetic_cifar10, synthetic_mnist};
+
+    #[test]
+    fn summary_fields() {
+        let pair = synthetic_mnist(50, 20, 1);
+        let s = summarize(&pair.train);
+        assert_eq!(s.len, 50);
+        assert_eq!(s.num_classes, 10);
+        assert_eq!(s.sample_dims, vec![1, 28, 28]);
+        assert_eq!(s.min_class_count, 5);
+        assert_eq!(s.max_class_count, 5);
+        assert!(s.pixel_std > 0.0);
+    }
+
+    #[test]
+    fn mnist_standin_is_separable() {
+        let pair = synthetic_mnist(100, 10, 2);
+        let r = separability_ratio(&pair.train, 5);
+        assert!(r > 1.05, "separability {r} too low — classes overlap");
+    }
+
+    #[test]
+    fn cifar_standin_is_separable() {
+        let pair = synthetic_cifar10(100, 10, 2);
+        let r = separability_ratio(&pair.train, 5);
+        assert!(r > 1.05, "separability {r} too low — classes overlap");
+    }
+}

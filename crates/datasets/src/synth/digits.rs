@@ -1,0 +1,222 @@
+//! MNIST stand-in: affine-jittered digit glyph rasterizer.
+//!
+//! Each class is a 7×5 bitmap glyph of its digit. An instance renders the
+//! glyph into a 28×28 canvas through a random similarity transform
+//! (translation ±3 px, scale 0.8–1.2, rotation ±15°) with bilinear
+//! sampling, multiplies by a random stroke intensity and adds Gaussian
+//! pixel noise — mirroring the handwriting-like variability MNIST models
+//! are trained to absorb.
+
+use super::SynthSpec;
+use crate::dataset::{Dataset, TrainTest};
+use cn_tensor::{SeededRng, Tensor};
+
+/// Image edge length.
+pub const SIZE: usize = 28;
+
+/// 7×5 digit glyphs ('#' = ink).
+const GLYPHS: [[&str; 7]; 10] = [
+    [
+        " ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### ",
+    ],
+    [
+        "  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### ",
+    ],
+    [
+        " ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####",
+    ],
+    [
+        " ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### ",
+    ],
+    [
+        "   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # ",
+    ],
+    [
+        "#####", "#    ", "#### ", "    #", "    #", "#   #", " ### ",
+    ],
+    [
+        " ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### ",
+    ],
+    [
+        "#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   ",
+    ],
+    [
+        " ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### ",
+    ],
+    [
+        " ### ", "#   #", "#   #", " ####", "    #", "    #", " ### ",
+    ],
+];
+
+const GLYPH_H: usize = 7;
+const GLYPH_W: usize = 5;
+
+/// Bilinear sample of a glyph bitmap at fractional coordinates; outside the
+/// bitmap the ink level is 0.
+fn glyph_sample(digit: usize, gy: f32, gx: f32) -> f32 {
+    let ink = |y: isize, x: isize| -> f32 {
+        if y < 0 || y >= GLYPH_H as isize || x < 0 || x >= GLYPH_W as isize {
+            0.0
+        } else {
+            let row = GLYPHS[digit][y as usize].as_bytes();
+            if row[x as usize] == b'#' {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    };
+    let y0 = gy.floor();
+    let x0 = gx.floor();
+    let fy = gy - y0;
+    let fx = gx - x0;
+    let (yi, xi) = (y0 as isize, x0 as isize);
+    ink(yi, xi) * (1.0 - fy) * (1.0 - fx)
+        + ink(yi, xi + 1) * (1.0 - fy) * fx
+        + ink(yi + 1, xi) * fy * (1.0 - fx)
+        + ink(yi + 1, xi + 1) * fy * fx
+}
+
+/// Renders one digit instance into `out` (a `SIZE*SIZE` slice).
+pub fn render_digit(out: &mut [f32], digit: usize, rng: &mut SeededRng, noise_std: f32) {
+    assert!(digit < 10, "digit class out of range");
+    assert_eq!(out.len(), SIZE * SIZE);
+    // Instance transform parameters.
+    let scale = rng.uniform_range(0.8, 1.2) * 3.2; // glyph cell -> pixels
+    let angle = rng.uniform_range(-0.26, 0.26); // ±15°
+    let tx = rng.uniform_range(-3.0, 3.0);
+    let ty = rng.uniform_range(-3.0, 3.0);
+    let intensity = rng.uniform_range(0.75, 1.0);
+    let (sin, cos) = angle.sin_cos();
+    let cy = SIZE as f32 / 2.0 + ty;
+    let cx = SIZE as f32 / 2.0 + tx;
+    let gcy = GLYPH_H as f32 / 2.0 - 0.5;
+    let gcx = GLYPH_W as f32 / 2.0 - 0.5;
+
+    for py in 0..SIZE {
+        for px in 0..SIZE {
+            // Map the canvas pixel back into glyph coordinates (inverse
+            // similarity transform).
+            let dy = py as f32 - cy;
+            let dx = px as f32 - cx;
+            let ry = (cos * dy + sin * dx) / scale;
+            let rx = (-sin * dy + cos * dx) / scale;
+            let v = glyph_sample(digit, ry + gcy, rx + gcx) * intensity;
+            let noise = if noise_std > 0.0 {
+                rng.normal(0.0, noise_std)
+            } else {
+                0.0
+            };
+            out[py * SIZE + px] = (v + noise).clamp(0.0, 1.0);
+        }
+    }
+}
+
+fn generate_split(n: usize, rng: &mut SeededRng, noise_std: f32, name: &str) -> Dataset {
+    let mut images = Tensor::zeros(&[n, 1, SIZE, SIZE]);
+    let mut labels = Vec::with_capacity(n);
+    let plane = SIZE * SIZE;
+    for i in 0..n {
+        let digit = i % 10; // balanced classes
+        let slice = &mut images.data_mut()[i * plane..(i + 1) * plane];
+        render_digit(slice, digit, rng, noise_std);
+        labels.push(digit);
+    }
+    Dataset::new(images, labels, 10, name)
+}
+
+/// Generates the train/test pair described by `spec`.
+pub fn generate(spec: &SynthSpec) -> TrainTest {
+    let mut master = SeededRng::new(spec.seed);
+    let mut train_rng = master.fork(1);
+    let mut test_rng = master.fork(2);
+    TrainTest {
+        train: generate_split(spec.n_train, &mut train_rng, spec.noise_std, "synth-mnist"),
+        test: generate_split(spec.n_test, &mut test_rng, spec.noise_std, "synth-mnist"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_well_formed() {
+        for (d, glyph) in GLYPHS.iter().enumerate() {
+            for row in glyph {
+                assert_eq!(row.len(), GLYPH_W, "digit {d} row width");
+            }
+        }
+    }
+
+    #[test]
+    fn all_digits_have_ink() {
+        let mut rng = SeededRng::new(1);
+        for d in 0..10 {
+            let mut img = vec![0.0; SIZE * SIZE];
+            render_digit(&mut img, d, &mut rng, 0.0);
+            let ink: f32 = img.iter().sum();
+            assert!(ink > 10.0, "digit {d} nearly blank (ink {ink})");
+        }
+    }
+
+    #[test]
+    fn noiseless_background_is_black() {
+        let mut rng = SeededRng::new(2);
+        let mut img = vec![0.0; SIZE * SIZE];
+        render_digit(&mut img, 1, &mut rng, 0.0);
+        // Digit 1 is narrow: corners must be empty.
+        assert_eq!(img[0], 0.0);
+        assert_eq!(img[SIZE - 1], 0.0);
+    }
+
+    #[test]
+    fn values_stay_in_unit_range() {
+        let mut rng = SeededRng::new(3);
+        let mut img = vec![0.0; SIZE * SIZE];
+        for d in 0..10 {
+            render_digit(&mut img, d, &mut rng, 0.3);
+            assert!(img.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SynthSpec {
+            normalize: false,
+            ..SynthSpec::new(20, 10, 77)
+        };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.train.images, b.train.images);
+        assert_eq!(a.test.images, b.test.images);
+    }
+
+    #[test]
+    fn train_and_test_streams_differ() {
+        let spec = SynthSpec {
+            normalize: false,
+            ..SynthSpec::new(10, 10, 77)
+        };
+        let pair = generate(&spec);
+        assert_ne!(pair.train.images, pair.test.images);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let spec = SynthSpec::new(100, 50, 5);
+        let pair = generate(&spec);
+        assert!(pair.train.class_counts().iter().all(|&c| c == 10));
+        assert!(pair.test.class_counts().iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn instances_of_same_class_differ() {
+        let mut rng = SeededRng::new(9);
+        let mut a = vec![0.0; SIZE * SIZE];
+        let mut b = vec![0.0; SIZE * SIZE];
+        render_digit(&mut a, 3, &mut rng, 0.0);
+        render_digit(&mut b, 3, &mut rng, 0.0);
+        assert_ne!(a, b);
+    }
+}

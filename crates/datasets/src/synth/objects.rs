@@ -1,0 +1,271 @@
+//! CIFAR stand-in: class-parameterized shape / palette / grating compositor.
+//!
+//! A class index deterministically selects
+//!
+//! - a **shape mask** (10 variants: disc, square, triangle, ring, cross,
+//!   diamond, horizontal bars, vertical bars, diagonal stripes, checker),
+//! - a **palette** (foreground/background hues), and
+//! - a **grating** (spatial frequency + orientation) modulating the
+//!   foreground,
+//!
+//! so 10 classes differ in shape and 100 classes differ in
+//! (shape × palette/grating) combinations — coarse/fine structure loosely
+//! analogous to CIFAR-100's 20 superclasses × 5 members. Instances jitter
+//! the shape's position, size and rotation and add pixel noise.
+
+use super::SynthSpec;
+use crate::dataset::{Dataset, TrainTest};
+use cn_tensor::{SeededRng, Tensor};
+
+/// Image edge length.
+pub const SIZE: usize = 32;
+
+/// Number of distinct shape masks.
+pub const NUM_SHAPES: usize = 10;
+
+/// Deterministic per-class rendering parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassStyle {
+    /// Shape mask index in `0..NUM_SHAPES`.
+    pub shape: usize,
+    /// Foreground RGB.
+    pub fg: [f32; 3],
+    /// Background RGB.
+    pub bg: [f32; 3],
+    /// Grating spatial frequency (cycles per image).
+    pub freq: f32,
+    /// Grating orientation (radians).
+    pub orient: f32,
+}
+
+/// Maps a hue in `[0, 1)` to a saturated RGB triple (simple HSV wheel with
+/// full saturation/value).
+fn hue_to_rgb(h: f32) -> [f32; 3] {
+    let h6 = (h.fract() + 1.0).fract() * 6.0;
+    let x = 1.0 - (h6 % 2.0 - 1.0).abs();
+    match h6 as usize {
+        0 => [1.0, x, 0.0],
+        1 => [x, 1.0, 0.0],
+        2 => [0.0, 1.0, x],
+        3 => [0.0, x, 1.0],
+        4 => [x, 0.0, 1.0],
+        _ => [1.0, 0.0, x],
+    }
+}
+
+/// Computes the deterministic style of `class` out of `num_classes`.
+///
+/// # Panics
+///
+/// Panics if `class >= num_classes`.
+pub fn class_style(class: usize, num_classes: usize) -> ClassStyle {
+    assert!(class < num_classes, "class {class} out of {num_classes}");
+    let shape = class % NUM_SHAPES;
+    let combo = class / NUM_SHAPES; // 0 for CIFAR-10, 0..10 for CIFAR-100
+    let combos = num_classes.div_ceil(NUM_SHAPES).max(1);
+    // Spread hues so adjacent combos are maximally separated.
+    let fg_h = (combo as f32 + 0.13) / combos as f32;
+    let bg_h = fg_h + 0.5 + 0.061 * shape as f32;
+    let fg = hue_to_rgb(fg_h);
+    let bg_raw = hue_to_rgb(bg_h);
+    // Dim the background so foreground shapes stay salient.
+    let bg = [bg_raw[0] * 0.35, bg_raw[1] * 0.35, bg_raw[2] * 0.35];
+    ClassStyle {
+        shape,
+        fg,
+        bg,
+        freq: 2.0 + 1.5 * (combo % 4) as f32,
+        orient: std::f32::consts::PI * (combo as f32) / combos.max(1) as f32,
+    }
+}
+
+/// Shape mask value in `[0, 1]` at normalized, shape-local coordinates
+/// (`u`, `v` in roughly `[-1, 1]`).
+fn shape_mask(shape: usize, u: f32, v: f32) -> f32 {
+    let r = (u * u + v * v).sqrt();
+    let inside = |b: bool| if b { 1.0 } else { 0.0 };
+    match shape {
+        0 => inside(r < 0.8),                                   // disc
+        1 => inside(u.abs() < 0.7 && v.abs() < 0.7),            // square
+        2 => inside(v > -0.7 && v < 0.8 && u.abs() < (0.8 - v) * 0.66), // triangle
+        3 => inside(r > 0.45 && r < 0.85),                      // ring
+        4 => inside(u.abs() < 0.25 || v.abs() < 0.25),          // cross
+        5 => inside(u.abs() + v.abs() < 0.9),                   // diamond
+        6 => inside(((v + 1.0) * 2.5).fract() < 0.5),           // horizontal bars
+        7 => inside(((u + 1.0) * 2.5).fract() < 0.5),           // vertical bars
+        8 => inside(((u + v + 2.0) * 1.8).fract() < 0.5),       // diagonal stripes
+        9 => {
+            let cu = ((u + 1.0) * 2.0) as i32;
+            let cv = ((v + 1.0) * 2.0) as i32;
+            inside((cu + cv) % 2 == 0) // checker
+        }
+        _ => unreachable!("shape index out of range"),
+    }
+}
+
+/// Renders one instance of `class` into `out`, a `3*SIZE*SIZE` CHW slice.
+pub fn render_object(
+    out: &mut [f32],
+    class: usize,
+    num_classes: usize,
+    rng: &mut SeededRng,
+    noise_std: f32,
+) {
+    assert_eq!(out.len(), 3 * SIZE * SIZE);
+    let style = class_style(class, num_classes);
+    // Instance jitter.
+    let cx = SIZE as f32 / 2.0 + rng.uniform_range(-3.0, 3.0);
+    let cy = SIZE as f32 / 2.0 + rng.uniform_range(-3.0, 3.0);
+    let radius = SIZE as f32 * rng.uniform_range(0.28, 0.42);
+    let angle = rng.uniform_range(-0.4, 0.4);
+    let (sin, cos) = angle.sin_cos();
+    let phase = rng.uniform_range(0.0, std::f32::consts::TAU);
+    let brightness = rng.uniform_range(0.85, 1.15);
+
+    let (go_s, go_c) = style.orient.sin_cos();
+    let plane = SIZE * SIZE;
+    for py in 0..SIZE {
+        for px in 0..SIZE {
+            let dy = (py as f32 - cy) / radius;
+            let dx = (px as f32 - cx) / radius;
+            let v = cos * dy + sin * dx;
+            let u = -sin * dy + cos * dx;
+            let m = shape_mask(style.shape, u, v);
+            // Class grating modulates the foreground.
+            let t = (px as f32 * go_c + py as f32 * go_s) / SIZE as f32;
+            let g = 0.75 + 0.25 * (std::f32::consts::TAU * style.freq * t + phase).sin();
+            for c in 0..3 {
+                let base = style.bg[c] * (1.0 - m) + style.fg[c] * g * m;
+                let noise = if noise_std > 0.0 {
+                    rng.normal(0.0, noise_std)
+                } else {
+                    0.0
+                };
+                out[c * plane + py * SIZE + px] = (base * brightness + noise).clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+fn generate_split(n: usize, num_classes: usize, rng: &mut SeededRng, noise_std: f32) -> Dataset {
+    let mut images = Tensor::zeros(&[n, 3, SIZE, SIZE]);
+    let mut labels = Vec::with_capacity(n);
+    let sample_len = 3 * SIZE * SIZE;
+    for i in 0..n {
+        let class = i % num_classes; // balanced
+        let slice = &mut images.data_mut()[i * sample_len..(i + 1) * sample_len];
+        render_object(slice, class, num_classes, rng, noise_std);
+        labels.push(class);
+    }
+    let name = format!("synth-objects{num_classes}");
+    Dataset::new(images, labels, num_classes, &name)
+}
+
+/// Generates the train/test pair described by `spec` with the given class
+/// count.
+pub fn generate(spec: &SynthSpec, num_classes: usize) -> TrainTest {
+    let mut master = SeededRng::new(spec.seed ^ 0x0bce_c7f0);
+    let mut train_rng = master.fork(1);
+    let mut test_rng = master.fork(2);
+    TrainTest {
+        train: generate_split(spec.n_train, num_classes, &mut train_rng, spec.noise_std),
+        test: generate_split(spec.n_test, num_classes, &mut test_rng, spec.noise_std),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn styles_are_deterministic_and_distinct() {
+        let a = class_style(7, 100);
+        let b = class_style(7, 100);
+        assert_eq!(a, b);
+        // All 100 styles must be pairwise distinct.
+        let styles: Vec<ClassStyle> = (0..100).map(|c| class_style(c, 100)).collect();
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                assert!(
+                    styles[i] != styles[j],
+                    "classes {i} and {j} share a style"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hue_wheel_is_valid_rgb() {
+        for i in 0..24 {
+            let rgb = hue_to_rgb(i as f32 / 24.0);
+            assert!(rgb.iter().all(|&c| (0.0..=1.0).contains(&c)));
+            // Fully saturated hues always have a unit-valued channel.
+            assert!(rgb.iter().cloned().fold(0.0f32, f32::max) > 0.99);
+        }
+    }
+
+    #[test]
+    fn all_shapes_nonempty_and_not_full() {
+        for s in 0..NUM_SHAPES {
+            let mut hits = 0;
+            let mut total = 0;
+            for yi in -10..=10 {
+                for xi in -10..=10 {
+                    let (u, v) = (xi as f32 / 10.0, yi as f32 / 10.0);
+                    total += 1;
+                    if shape_mask(s, u, v) > 0.5 {
+                        hits += 1;
+                    }
+                }
+            }
+            assert!(hits > total / 20, "shape {s} nearly empty");
+            assert!(hits < total * 19 / 20, "shape {s} nearly full");
+        }
+    }
+
+    #[test]
+    fn rendering_stays_in_unit_range() {
+        let mut rng = SeededRng::new(4);
+        let mut img = vec![0.0; 3 * SIZE * SIZE];
+        for class in [0, 5, 42, 99] {
+            render_object(&mut img, class, 100, &mut rng, 0.2);
+            assert!(img.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let spec = SynthSpec {
+            normalize: false,
+            ..SynthSpec::new(20, 10, 3)
+        };
+        let a = generate(&spec, 10);
+        let b = generate(&spec, 10);
+        assert_eq!(a.train.images, b.train.images);
+    }
+
+    #[test]
+    fn class_balance_cifar100() {
+        let spec = SynthSpec::new(200, 100, 5);
+        let pair = generate(&spec, 100);
+        assert!(pair.train.class_counts().iter().all(|&c| c == 2));
+        assert!(pair.test.class_counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn different_classes_render_differently() {
+        let mut r1 = SeededRng::new(10);
+        let mut r2 = SeededRng::new(10);
+        let mut a = vec![0.0; 3 * SIZE * SIZE];
+        let mut b = vec![0.0; 3 * SIZE * SIZE];
+        render_object(&mut a, 0, 10, &mut r1, 0.0);
+        render_object(&mut b, 1, 10, &mut r2, 0.0);
+        let diff: f32 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / a.len() as f32;
+        assert!(diff > 0.01, "classes 0/1 nearly identical ({diff})");
+    }
+}

@@ -1,0 +1,150 @@
+//! Dataset-level transforms: normalization and one-hot encoding.
+
+use crate::dataset::Dataset;
+use cn_tensor::Tensor;
+
+/// Per-channel mean/std statistics of an image dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Mean per channel.
+    pub mean: Vec<f32>,
+    /// Standard deviation per channel (floored at 1e-6).
+    pub std: Vec<f32>,
+}
+
+/// Computes per-channel statistics over all images.
+pub fn channel_stats(images: &Tensor) -> ChannelStats {
+    assert_eq!(images.rank(), 4, "expected [N, C, H, W]");
+    let (n, c, h, w) = (
+        images.dims()[0],
+        images.dims()[1],
+        images.dims()[2],
+        images.dims()[3],
+    );
+    let plane = h * w;
+    let count = (n * plane).max(1) as f64;
+    let mut mean = vec![0.0f64; c];
+    let mut sq = vec![0.0f64; c];
+    let data = images.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * plane;
+            for &x in &data[base..base + plane] {
+                mean[ci] += x as f64;
+                sq[ci] += (x as f64) * (x as f64);
+            }
+        }
+    }
+    let mean_f: Vec<f32> = mean.iter().map(|m| (m / count) as f32).collect();
+    let std_f: Vec<f32> = sq
+        .iter()
+        .zip(mean_f.iter())
+        .map(|(&s, &m)| (((s / count) as f32 - m * m).max(0.0)).sqrt().max(1e-6))
+        .collect();
+    ChannelStats {
+        mean: mean_f,
+        std: std_f,
+    }
+}
+
+/// Normalizes images in place with the given statistics:
+/// `x ← (x − mean_c) / std_c`.
+pub fn normalize_with(images: &mut Tensor, stats: &ChannelStats) {
+    assert_eq!(images.rank(), 4, "expected [N, C, H, W]");
+    let (n, c, h, w) = (
+        images.dims()[0],
+        images.dims()[1],
+        images.dims()[2],
+        images.dims()[3],
+    );
+    assert_eq!(c, stats.mean.len(), "channel count mismatch");
+    let plane = h * w;
+    let data = images.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * plane;
+            let (m, s) = (stats.mean[ci], stats.std[ci]);
+            for x in &mut data[base..base + plane] {
+                *x = (*x - m) / s;
+            }
+        }
+    }
+}
+
+/// Normalizes a train/test pair with statistics computed **on the training
+/// split only** (no test leakage). Returns the statistics used.
+pub fn normalize_pair(train: &mut Dataset, test: &mut Dataset) -> ChannelStats {
+    let stats = channel_stats(&train.images);
+    normalize_with(&mut train.images, &stats);
+    normalize_with(&mut test.images, &stats);
+    stats
+}
+
+/// One-hot encodes labels into an `[N, num_classes]` tensor.
+pub fn one_hot(labels: &[usize], num_classes: usize) -> Tensor {
+    let mut t = Tensor::zeros(&[labels.len(), num_classes]);
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < num_classes, "label {l} out of range");
+        t.data_mut()[i * num_classes + l] = 1.0;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_channels() {
+        let mut images = Tensor::zeros(&[2, 2, 2, 2]);
+        // channel 0 = 1.0, channel 1 = 3.0
+        for ni in 0..2 {
+            for i in 0..4 {
+                images.data_mut()[(ni * 2) * 4 + i] = 1.0;
+                images.data_mut()[(ni * 2 + 1) * 4 + i] = 3.0;
+            }
+        }
+        let s = channel_stats(&images);
+        assert_eq!(s.mean, vec![1.0, 3.0]);
+        assert!(s.std.iter().all(|&x| x <= 1e-5));
+    }
+
+    #[test]
+    fn normalize_zero_mean_unit_std() {
+        let mut rng = cn_tensor::SeededRng::new(3);
+        let mut images = rng.normal_tensor(&[8, 3, 4, 4], 2.0, 5.0);
+        let stats = channel_stats(&images);
+        normalize_with(&mut images, &stats);
+        let after = channel_stats(&images);
+        for c in 0..3 {
+            assert!(after.mean[c].abs() < 1e-4);
+            assert!((after.std[c] - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn normalize_pair_uses_train_stats() {
+        let mut rng = cn_tensor::SeededRng::new(4);
+        let train_images = rng.normal_tensor(&[16, 1, 2, 2], 10.0, 2.0);
+        let test_images = rng.normal_tensor(&[4, 1, 2, 2], 10.0, 2.0);
+        let mut train = Dataset::new(train_images, vec![0; 16], 1, "t");
+        let mut test = Dataset::new(test_images, vec![0; 4], 1, "t");
+        let stats = normalize_pair(&mut train, &mut test);
+        assert!((stats.mean[0] - 10.0).abs() < 1.0);
+        // Train is exactly standardized; test only approximately.
+        let s = channel_stats(&train.images);
+        assert!(s.mean[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let t = one_hot(&[2, 0], 3);
+        assert_eq!(t.data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_bad_label_panics() {
+        one_hot(&[3], 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use cn_data::synth::{digits, objects, SynthSpec};
+use cn_data::{BatchIter, Dataset};
+use cn_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Digit rendering stays in [0,1] for any noise level and seed.
+    #[test]
+    fn digits_bounded(digit in 0usize..10, noise in 0.0f32..0.5, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let mut img = vec![0.0f32; 28 * 28];
+        digits::render_digit(&mut img, digit, &mut rng, noise);
+        prop_assert!(img.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// Object rendering stays in [0,1] for any class and noise level.
+    #[test]
+    fn objects_bounded(class in 0usize..100, noise in 0.0f32..0.5, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let mut img = vec![0.0f32; 3 * 32 * 32];
+        objects::render_object(&mut img, class, 100, &mut rng, noise);
+        prop_assert!(img.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// Generation is deterministic in (sizes, seed) and splits differ.
+    #[test]
+    fn generation_determinism(n_train in 1usize..30, n_test in 1usize..20, seed in 0u64..200) {
+        let spec = SynthSpec { normalize: false, ..SynthSpec::new(n_train, n_test, seed) };
+        let a = digits::generate(&spec);
+        let b = digits::generate(&spec);
+        prop_assert_eq!(a.train.images, b.train.images);
+        prop_assert_eq!(a.test.labels, b.test.labels);
+    }
+
+    /// Batching covers every sample exactly once for any batch size.
+    #[test]
+    fn batching_partition(n in 1usize..60, batch in 1usize..16, seed in 0u64..200) {
+        let images = Tensor::arange(n).into_reshaped(&[n, 1, 1, 1]);
+        let labels = (0..n).map(|i| i % 3).collect();
+        let d = Dataset::new(images, labels, 3, "t");
+        let mut seen = vec![false; n];
+        for (x, y) in BatchIter::new(&d, batch, Some(seed)) {
+            prop_assert_eq!(x.dims()[0], y.len());
+            for &v in x.data() {
+                let i = v as usize;
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Class styles are injective over the class index for CIFAR-100.
+    #[test]
+    fn styles_injective(a in 0usize..100, b in 0usize..100) {
+        prop_assume!(a != b);
+        prop_assert!(objects::class_style(a, 100) != objects::class_style(b, 100));
+    }
+}

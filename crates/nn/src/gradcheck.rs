@@ -1,0 +1,188 @@
+//! Numeric gradient checking.
+//!
+//! Every layer's backward pass is validated against central-difference
+//! derivatives of the scalar probe `L(x) = ⟨f(x), r⟩` for a fixed random
+//! direction `r`, whose analytic gradient w.r.t. the output is exactly `r`.
+//! This exposes both input-gradient and parameter-gradient errors.
+
+use crate::layer::Layer;
+use cn_tensor::{SeededRng, Tensor};
+
+/// Result of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheck {
+    /// Largest absolute input-gradient error.
+    pub max_input_err: f32,
+    /// Largest absolute parameter-gradient error across all parameters.
+    pub max_param_err: f32,
+}
+
+impl GradCheck {
+    /// True when both errors are below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_input_err <= tol && self.max_param_err <= tol
+    }
+}
+
+/// Checks `layer`'s gradients on a random input of shape `in_dims`.
+///
+/// `train` selects the forward mode. The layer must be deterministic
+/// across repeated forwards (dropout is excluded — its masks are validated
+/// separately).
+pub fn check_layer(
+    layer: &mut dyn Layer,
+    in_dims: &[usize],
+    seed: u64,
+    eps: f32,
+    train: bool,
+) -> GradCheck {
+    let mut rng = SeededRng::new(seed);
+    let x = rng.normal_tensor(in_dims, 0.0, 1.0);
+
+    // Probe direction r in output space.
+    let y0 = layer.forward(&x, train);
+    let r = rng.normal_tensor(y0.dims(), 0.0, 1.0);
+
+    // Analytic gradients.
+    for p in layer.params_mut() {
+        p.zero_grad();
+    }
+    let _ = layer.forward(&x, train);
+    let gx = layer.backward(&r);
+    let analytic_params: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
+
+    // Numeric input gradient.
+    let mut max_input_err = 0.0f32;
+    let mut x_pert = x.clone();
+    for i in 0..x.numel() {
+        let orig = x_pert.data()[i];
+        x_pert.data_mut()[i] = orig + eps;
+        let lp = layer.forward(&x_pert, train).dot(&r);
+        x_pert.data_mut()[i] = orig - eps;
+        let lm = layer.forward(&x_pert, train).dot(&r);
+        x_pert.data_mut()[i] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        max_input_err = max_input_err.max((numeric - gx.data()[i]).abs());
+    }
+
+    // Numeric parameter gradients.
+    let mut max_param_err = 0.0f32;
+    let n_params = layer.params().len();
+    for pi in 0..n_params {
+        let numel = layer.params()[pi].numel();
+        for i in 0..numel {
+            let orig = layer.params()[pi].value.data()[i];
+            layer.params_mut()[pi].value.data_mut()[i] = orig + eps;
+            let lp = layer.forward(&x, train).dot(&r);
+            layer.params_mut()[pi].value.data_mut()[i] = orig - eps;
+            let lm = layer.forward(&x, train).dot(&r);
+            layer.params_mut()[pi].value.data_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            max_param_err =
+                max_param_err.max((numeric - analytic_params[pi].data()[i]).abs());
+        }
+    }
+
+    GradCheck {
+        max_input_err,
+        max_param_err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{AvgPool2d, BatchNorm2d, Conv2d, Dense, Flatten, MaxPool2d, Relu};
+
+    const EPS: f32 = 1e-2;
+    const TOL: f32 = 2e-2;
+
+    #[test]
+    fn dense_gradients() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Dense::new(6, 4, &mut rng);
+        let r = check_layer(&mut layer, &[3, 6], 10, EPS, true);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn dense_gradients_with_noise_mask() {
+        let mut rng = SeededRng::new(2);
+        let mut layer = Dense::new(5, 3, &mut rng);
+        layer.set_noise(Some(rng.lognormal_mask(&[3, 5], 0.5)));
+        let r = check_layer(&mut layer, &[2, 5], 11, EPS, true);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn conv_gradients() {
+        let mut rng = SeededRng::new(3);
+        let mut layer = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let r = check_layer(&mut layer, &[2, 2, 5, 5], 12, EPS, true);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn conv_gradients_strided_unpadded() {
+        let mut rng = SeededRng::new(4);
+        let mut layer = Conv2d::new(1, 2, 3, 2, 0, &mut rng);
+        let r = check_layer(&mut layer, &[1, 1, 7, 7], 13, EPS, true);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn conv_gradients_with_noise_mask() {
+        let mut rng = SeededRng::new(5);
+        let mut layer = Conv2d::new(2, 2, 3, 1, 1, &mut rng);
+        layer.set_noise(Some(rng.lognormal_mask(&[2, 2, 3, 3], 0.5)));
+        let r = check_layer(&mut layer, &[1, 2, 4, 4], 14, EPS, true);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn relu_gradients() {
+        let mut layer = Relu::new();
+        let r = check_layer(&mut layer, &[4, 10], 15, 1e-3, true);
+        // ReLU kinks can inflate numeric error exactly at 0; tolerance is
+        // generous but still catches sign errors.
+        assert!(r.max_input_err < 0.5, "{r:?}");
+    }
+
+    #[test]
+    fn pooling_gradients() {
+        let mut mp = MaxPool2d::new(2);
+        let r = check_layer(&mut mp, &[1, 2, 4, 4], 16, 1e-3, true);
+        assert!(r.max_input_err < 0.5, "{r:?}");
+
+        let mut ap = AvgPool2d::new(2);
+        let r = check_layer(&mut ap, &[1, 2, 4, 4], 17, EPS, true);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn flatten_gradients() {
+        let mut layer = Flatten::new();
+        let r = check_layer(&mut layer, &[2, 3, 2, 2], 18, EPS, true);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn batchnorm_gradients_train_mode() {
+        let mut layer = BatchNorm2d::new(3);
+        let r = check_layer(&mut layer, &[4, 3, 3, 3], 19, EPS,
+
+            true);
+        assert!(r.passes(5e-2), "{r:?}");
+    }
+
+    #[test]
+    fn batchnorm_gradients_eval_mode() {
+        let mut layer = BatchNorm2d::new(2);
+        // Populate running stats first.
+        let mut rng = SeededRng::new(20);
+        let x = rng.normal_tensor(&[8, 2, 3, 3], 1.0, 2.0);
+        let _ = layer.forward(&x, true);
+        let r = check_layer(&mut layer, &[4, 2, 3, 3], 21, EPS, false);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+}

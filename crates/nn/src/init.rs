@@ -1,0 +1,77 @@
+//! Weight initialization schemes.
+
+use cn_tensor::{SeededRng, Tensor};
+
+/// Kaiming (He) uniform initialization for ReLU networks: samples from
+/// `U(−b, b)` with `b = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn kaiming_uniform(dims: &[usize], fan_in: usize, rng: &mut SeededRng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    rng.uniform_tensor(dims, -bound, bound)
+}
+
+/// Xavier (Glorot) uniform initialization: `U(−b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if both fans are zero.
+pub fn xavier_uniform(
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut SeededRng,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fans must not both be zero");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    rng.uniform_tensor(dims, -bound, bound)
+}
+
+/// Bias initialization: `U(−b, b)` with `b = 1/sqrt(fan_in)` (the PyTorch
+/// default for dense/conv biases).
+pub fn bias_uniform(dims: &[usize], fan_in: usize, rng: &mut SeededRng) -> Tensor {
+    let bound = 1.0 / (fan_in.max(1) as f32).sqrt();
+    rng.uniform_tensor(dims, -bound, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_bound_respected() {
+        let mut rng = SeededRng::new(1);
+        let t = kaiming_uniform(&[64, 64], 64, &mut rng);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(t.abs_max() <= bound);
+        // Should come close to the bound with 4096 samples.
+        assert!(t.abs_max() > bound * 0.9);
+    }
+
+    #[test]
+    fn kaiming_variance_scales_with_fan_in() {
+        let mut rng = SeededRng::new(2);
+        let wide = kaiming_uniform(&[100, 100], 10_000, &mut rng);
+        let narrow = kaiming_uniform(&[100, 100], 100, &mut rng);
+        let var = |t: &Tensor| t.sq_norm() / t.numel() as f32;
+        assert!(var(&narrow) > 10.0 * var(&wide));
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = SeededRng::new(3);
+        let t = xavier_uniform(&[32, 32], 32, 32, &mut rng);
+        assert!(t.abs_max() <= (6.0f32 / 64.0).sqrt());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kaiming_uniform(&[4, 4], 4, &mut SeededRng::new(7));
+        let b = kaiming_uniform(&[4, 4], 4, &mut SeededRng::new(7));
+        assert_eq!(a, b);
+    }
+}

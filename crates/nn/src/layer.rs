@@ -1,0 +1,141 @@
+//! The layer abstraction.
+
+use crate::param::Param;
+use cn_tensor::Tensor;
+
+/// A differentiable network layer with cached-activation backprop.
+///
+/// The contract mirrors classic define-by-run frameworks:
+///
+/// 1. [`Layer::forward`] computes outputs and caches whatever the backward
+///    pass needs (inputs, masks, patch matrices…),
+/// 2. [`Layer::backward`] consumes the gradient w.r.t. the layer's output,
+///    **accumulates** parameter gradients into its [`Param`]s, and returns
+///    the gradient w.r.t. its input.
+///
+/// `backward` must be called after a matching `forward` (checked with
+/// panics, since this is a programming error).
+///
+/// # Weight noise (analog variations)
+///
+/// Layers that hold analog-mapped weights ([`noise_dims`](Layer::noise_dims)
+/// returns `Some`) accept a multiplicative noise mask via
+/// [`set_noise`](Layer::set_noise): the *effective* weight used by both
+/// forward and backward becomes `w ⊙ mask`, implementing the paper's
+/// `w·e^θ` variation model while keeping the nominal weights intact.
+/// Digital layers (pooling, activation, and CorrectNet's generator /
+/// compensator convolutions) simply keep the default no-op implementation.
+pub trait Layer: Send + Sync {
+    /// Layer name (unique within a [`Sequential`](crate::Sequential)).
+    fn name(&self) -> &str;
+
+    /// Computes outputs; `train` enables stochastic behaviour (dropout,
+    /// batch-norm statistics updates).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_out`, accumulating parameter gradients and
+    /// returning the input gradient.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to all trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shared access to all trainable parameters.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Shape of the weight tensor subject to analog variations, or `None`
+    /// for digital / parameter-free layers.
+    fn noise_dims(&self) -> Option<Vec<usize>> {
+        None
+    }
+
+    /// Installs (or clears) a multiplicative weight-noise mask shaped like
+    /// [`noise_dims`](Layer::noise_dims).
+    ///
+    /// The default implementation panics when a mask is supplied to a layer
+    /// without analog weights.
+    fn set_noise(&mut self, mask: Option<Tensor>) {
+        assert!(
+            mask.is_none(),
+            "layer {} has no analog weights to perturb",
+            self.name()
+        );
+    }
+
+    /// The matrix whose spectral norm bounds this layer's Lipschitz
+    /// constant (dense weight, or unfolded conv kernel), if the layer is
+    /// subject to Lipschitz regularization.
+    fn lipschitz_matrix(&self) -> Option<Tensor> {
+        None
+    }
+
+    /// Writes a gradient contribution for the Lipschitz matrix back into
+    /// the layer's weight gradient. `grad` has the shape of
+    /// [`lipschitz_matrix`](Layer::lipschitz_matrix).
+    ///
+    /// The default implementation panics for layers without a Lipschitz
+    /// matrix.
+    fn accumulate_lipschitz_grad(&mut self, _grad: &Tensor) {
+        panic!("layer {} has no Lipschitz matrix", self.name());
+    }
+
+    /// Non-trainable state tensors (e.g. batch-norm running statistics),
+    /// persisted in state dicts alongside parameters.
+    fn buffers(&self) -> Vec<(String, &Tensor)> {
+        Vec::new()
+    }
+
+    /// Mutable access to non-trainable state tensors.
+    fn buffers_mut(&mut self) -> Vec<(String, &mut Tensor)> {
+        Vec::new()
+    }
+
+    /// Total number of scalar weights (for overhead accounting).
+    fn weight_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Per-sample multiply-accumulate counts as `(analog, digital)` given
+    /// the layer's activation shapes (batch leading). The default derives
+    /// the analog count from the Lipschitz matrix (each output position
+    /// costs one dot product of its length); digital layers report zero.
+    /// CorrectNet compensation wrappers override this to add their digital
+    /// generator/compensator MACs.
+    fn macs(&self, _in_dims: &[usize], out_dims: &[usize]) -> (u64, u64) {
+        match self.lipschitz_matrix() {
+            Some(m) => {
+                let out_per_sample: usize = out_dims[1..].iter().product();
+                (out_per_sample as u64 * m.dims()[1] as u64, 0)
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Freezes/unfreezes every parameter of this layer.
+    fn set_frozen(&mut self, frozen: bool) {
+        for p in self.params_mut() {
+            p.set_frozen(frozen);
+        }
+    }
+
+    /// Clones the layer behind a fresh box (supports `Clone` for
+    /// heterogeneous layer stacks).
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Concrete-type access for callers that must rebuild or wrap specific
+    /// layers (e.g. CorrectNet wrapping a `Conv2d` with compensation).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable concrete-type access.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

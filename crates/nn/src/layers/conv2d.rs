@@ -1,0 +1,308 @@
+//! 2-D convolution via im2col lowering, with analog weight-noise support.
+
+use crate::init::{bias_uniform, kaiming_uniform};
+use crate::layer::Layer;
+use crate::param::Param;
+use cn_tensor::ops::{col2im, im2col, nchw_to_rows, rows_to_nchw, Conv2dGeometry};
+use cn_tensor::{SeededRng, Tensor};
+
+/// 2-D convolution over `[N, C, H, W]` inputs with square kernels.
+///
+/// The kernel tensor has shape `[out_c, in_c, k, k]`; its unfolded
+/// `[out_c, in_c·k·k]` matrix is the layer's Lipschitz matrix (the operator
+/// the paper's eq. 9–11 constrains). Weights are analog-mapped and accept a
+/// multiplicative noise mask shaped like the kernel.
+///
+/// To bound training memory the backward pass re-runs `im2col` on the
+/// cached input instead of caching the (much larger) patch matrix.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    name: String,
+    w: Param,
+    b: Param,
+    stride: usize,
+    pad: usize,
+    noise: Option<Tensor>,
+    cache_x: Option<Tensor>,
+    cache_geo: Option<Conv2dGeometry>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        Self::with_name("conv", in_c, out_c, kernel, stride, pad, rng)
+    }
+
+    /// Creates a named convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero channel counts / kernel / stride.
+    pub fn with_name(
+        name: &str,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(in_c > 0 && out_c > 0, "channel counts must be positive");
+        assert!(kernel > 0 && stride > 0, "kernel/stride must be positive");
+        let fan_in = in_c * kernel * kernel;
+        Conv2d {
+            name: name.to_string(),
+            w: Param::new(
+                "weight",
+                kaiming_uniform(&[out_c, in_c, kernel, kernel], fan_in, rng),
+            ),
+            b: Param::new("bias", bias_uniform(&[out_c], fan_in, rng)),
+            stride,
+            pad,
+            noise: None,
+            cache_x: None,
+            cache_geo: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.w.value.dims()[1]
+    }
+
+    /// Output channel count (filter count `n` in the paper's Fig. 5).
+    pub fn out_channels(&self) -> usize {
+        self.w.value.dims()[0]
+    }
+
+    /// Kernel edge length.
+    pub fn kernel(&self) -> usize {
+        self.w.value.dims()[2]
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    fn geometry(&self, x: &Tensor) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_c: self.in_channels(),
+            in_h: x.dims()[2],
+            in_w: x.dims()[3],
+            kh: self.kernel(),
+            kw: self.kernel(),
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    fn effective_weight_matrix(&self) -> Tensor {
+        let oc = self.out_channels();
+        let cols = self.in_channels() * self.kernel() * self.kernel();
+        let w = match &self.noise {
+            Some(mask) => self.w.value.zip_map(mask, |w, m| w * m),
+            None => self.w.value.clone(),
+        };
+        w.into_reshaped(&[oc, cols])
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.rank(), 4, "Conv2d expects NCHW input");
+        assert_eq!(
+            x.dims()[1],
+            self.in_channels(),
+            "Conv2d {}: input channels {} != expected {}",
+            self.name,
+            x.dims()[1],
+            self.in_channels()
+        );
+        let geo = self.geometry(x);
+        let cols = im2col(x, &geo);
+        let wmat = self.effective_weight_matrix();
+        let y_rows = &cols.matmul_t(&wmat) + &self.b.value;
+        self.cache_x = Some(x.clone());
+        self.cache_geo = Some(geo);
+        rows_to_nchw(
+            &y_rows,
+            x.dims()[0],
+            self.out_channels(),
+            geo.out_h(),
+            geo.out_w(),
+        )
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .take()
+            .expect("Conv2d::backward called before forward");
+        let geo = self.cache_geo.take().expect("geometry cache missing");
+        let batch = x.dims()[0];
+        let g_rows = nchw_to_rows(grad_out);
+        let cols = im2col(&x, &geo);
+
+        // dW = g_rowsᵀ·cols, chained through the noise mask.
+        let mut dw = g_rows.t_matmul(&cols).into_reshaped(self.w.value.dims());
+        if let Some(mask) = &self.noise {
+            dw = dw.zip_map(mask, |g, m| g * m);
+        }
+        self.w.accumulate(&dw);
+        self.b.accumulate(&g_rows.sum_rows());
+
+        let wmat = self.effective_weight_matrix();
+        let dcols = g_rows.matmul(&wmat);
+        col2im(&dcols, &geo, batch)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn noise_dims(&self) -> Option<Vec<usize>> {
+        Some(self.w.value.dims().to_vec())
+    }
+
+    fn set_noise(&mut self, mask: Option<Tensor>) {
+        if let Some(m) = &mask {
+            assert_eq!(
+                m.dims(),
+                self.w.value.dims(),
+                "noise mask shape mismatch for {}",
+                self.name
+            );
+        }
+        self.noise = mask;
+    }
+
+    fn lipschitz_matrix(&self) -> Option<Tensor> {
+        let oc = self.out_channels();
+        let cols = self.in_channels() * self.kernel() * self.kernel();
+        Some(self.w.value.reshape(&[oc, cols]))
+    }
+
+    fn accumulate_lipschitz_grad(&mut self, grad: &Tensor) {
+        let reshaped = grad.reshape(self.w.value.dims());
+        self.w.accumulate(&reshaped);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SeededRng::new(1);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = rng.normal_tensor(&[2, 3, 8, 8], 0.0, 1.0);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+
+        let mut strided = Conv2d::new(3, 4, 5, 2, 0, &mut rng);
+        let y2 = strided.forward(&x, false);
+        assert_eq!(y2.dims(), &[2, 4, 2, 2]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut rng = SeededRng::new(2);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.w.value = Tensor::ones(&[1, 1, 1, 1]);
+        conv.b.value = Tensor::zeros(&[1]);
+        let x = rng.normal_tensor(&[1, 1, 4, 4], 0.0, 1.0);
+        let y = conv.forward(&x, false);
+        for (a, b) in x.data().iter().zip(y.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let mut rng = SeededRng::new(3);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
+        conv.w.value = Tensor::zeros(&[2, 1, 1, 1]);
+        conv.b.value = Tensor::from_vec(vec![5.0, -3.0], &[2]);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 5.0);
+        assert_eq!(y.at(&[0, 1, 0, 0]), -3.0);
+    }
+
+    #[test]
+    fn noise_mask_perturbs_output() {
+        let mut rng = SeededRng::new(4);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = rng.normal_tensor(&[1, 2, 5, 5], 0.0, 1.0);
+        let clean = conv.forward(&x, false);
+        conv.set_noise(Some(rng.lognormal_mask(&[3, 2, 3, 3], 0.5)));
+        let noisy = conv.forward(&x, false);
+        assert_ne!(clean, noisy);
+        conv.set_noise(None);
+        let clean2 = conv.forward(&x, false);
+        assert_eq!(clean, clean2);
+    }
+
+    #[test]
+    fn backward_shapes_and_accumulation() {
+        let mut rng = SeededRng::new(5);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let x = rng.normal_tensor(&[2, 2, 6, 6], 0.0, 1.0);
+        let y = conv.forward(&x, true);
+        let g = rng.normal_tensor(y.dims(), 0.0, 1.0);
+        let gx = conv.backward(&g);
+        assert_eq!(gx.dims(), x.dims());
+        assert!(conv.w.grad.abs_max() > 0.0);
+        assert!(conv.b.grad.abs_max() > 0.0);
+    }
+
+    #[test]
+    fn lipschitz_matrix_is_unfolded_kernel() {
+        let mut rng = SeededRng::new(6);
+        let conv = Conv2d::new(3, 5, 3, 1, 1, &mut rng);
+        let m = conv.lipschitz_matrix().unwrap();
+        assert_eq!(m.dims(), &[5, 27]);
+        assert_eq!(m.data(), conv.w.value.data());
+    }
+
+    #[test]
+    fn weight_count() {
+        let mut rng = SeededRng::new(7);
+        let conv = Conv2d::new(3, 8, 5, 1, 2, &mut rng);
+        assert_eq!(conv.weight_count(), 8 * 3 * 25 + 8);
+    }
+}

@@ -1,0 +1,227 @@
+//! Fully connected layer with analog weight-noise support.
+
+use crate::init::{bias_uniform, kaiming_uniform};
+use crate::layer::Layer;
+use crate::param::Param;
+use cn_tensor::{SeededRng, Tensor};
+
+/// Fully connected layer `y = x·Wᵀ + b` over `[N, in]` inputs.
+///
+/// The weight matrix (shape `[out, in]`) is assumed to be mapped onto
+/// analog crossbars: a multiplicative noise mask installed with
+/// [`Layer::set_noise`] perturbs the effective weight in both the forward
+/// and backward pass, while nominal weights stay untouched.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    name: String,
+    w: Param,
+    b: Param,
+    noise: Option<Tensor>,
+    cache_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a Kaiming-initialized dense layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut SeededRng) -> Self {
+        Self::with_name("dense", in_features, out_features, rng)
+    }
+
+    /// Creates a named dense layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_name(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(in_features > 0 && out_features > 0, "dims must be positive");
+        Dense {
+            name: name.to_string(),
+            w: Param::new(
+                "weight",
+                kaiming_uniform(&[out_features, in_features], in_features, rng),
+            ),
+            b: Param::new("bias", bias_uniform(&[out_features], in_features, rng)),
+            noise: None,
+            cache_x: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.w.value.dims()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.w.value.dims()[0]
+    }
+
+    fn effective_weight(&self) -> Tensor {
+        match &self.noise {
+            Some(mask) => self.w.value.zip_map(mask, |w, m| w * m),
+            None => self.w.value.clone(),
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.rank(), 2, "Dense expects [N, in] input");
+        assert_eq!(
+            x.dims()[1],
+            self.in_features(),
+            "Dense {}: input features {} != expected {}",
+            self.name,
+            x.dims()[1],
+            self.in_features()
+        );
+        self.cache_x = Some(x.clone());
+        let w_eff = self.effective_weight();
+        &x.matmul_t(&w_eff) + &self.b.value
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .take()
+            .expect("Dense::backward called before forward");
+        // dW_eff = gᵀ·x ; chain through the noise mask for nominal weights.
+        let mut dw = grad_out.t_matmul(&x);
+        if let Some(mask) = &self.noise {
+            dw = dw.zip_map(mask, |g, m| g * m);
+        }
+        self.w.accumulate(&dw);
+        self.b.accumulate(&grad_out.sum_rows());
+        grad_out.matmul(&self.effective_weight())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn noise_dims(&self) -> Option<Vec<usize>> {
+        Some(self.w.value.dims().to_vec())
+    }
+
+    fn set_noise(&mut self, mask: Option<Tensor>) {
+        if let Some(m) = &mask {
+            assert_eq!(
+                m.dims(),
+                self.w.value.dims(),
+                "noise mask shape mismatch for {}",
+                self.name
+            );
+        }
+        self.noise = mask;
+    }
+
+    fn lipschitz_matrix(&self) -> Option<Tensor> {
+        Some(self.w.value.clone())
+    }
+
+    fn accumulate_lipschitz_grad(&mut self, grad: &Tensor) {
+        self.w.accumulate(grad);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> Dense {
+        Dense::new(3, 2, &mut SeededRng::new(1))
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = layer();
+        // Zero the weight: output must equal the bias for any input.
+        l.w.value.data_mut().fill(0.0);
+        let x = Tensor::ones(&[4, 3]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.dims(), &[4, 2]);
+        for r in 0..4 {
+            assert_eq!(y.at(&[r, 0]), l.b.value.at(&[0]));
+            assert_eq!(y.at(&[r, 1]), l.b.value.at(&[1]));
+        }
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut l = layer();
+        l.w.value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]);
+        l.b.value = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn noise_scales_effective_weight() {
+        let mut l = layer();
+        l.w.value = Tensor::ones(&[2, 3]);
+        l.b.value = Tensor::zeros(&[2]);
+        l.set_noise(Some(Tensor::full(&[2, 3], 2.0)));
+        let x = Tensor::ones(&[1, 3]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.data(), &[6.0, 6.0]);
+        l.set_noise(None);
+        let y2 = l.forward(&x, false);
+        assert_eq!(y2.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_param_grads() {
+        let mut l = layer();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let _ = l.forward(&x, true);
+        let g = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let gx = l.backward(&g);
+        assert_eq!(gx.dims(), &[2, 3]);
+        // dW row0 = x row0 (grad col 0 = [1, 0]); dW row1 = x row1.
+        assert_eq!(&l.w.grad.data()[0..3], &[1.0, 2.0, 3.0]);
+        assert_eq!(&l.w.grad.data()[3..6], &[4.0, 5.0, 6.0]);
+        assert_eq!(l.b.grad.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        layer().backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn weight_count() {
+        assert_eq!(layer().weight_count(), 3 * 2 + 2);
+    }
+
+    #[test]
+    fn lipschitz_matrix_is_weight() {
+        let l = layer();
+        assert_eq!(l.lipschitz_matrix().unwrap(), l.w.value);
+    }
+}

@@ -1,0 +1,19 @@
+//! Concrete layers.
+
+pub mod activation;
+pub mod batchnorm;
+pub mod conv2d;
+pub mod dense;
+pub mod dropout;
+pub mod flatten;
+pub mod pool;
+pub mod relu;
+
+pub use activation::{Sigmoid, Tanh};
+pub use batchnorm::BatchNorm2d;
+pub use conv2d::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use relu::Relu;

@@ -1,0 +1,121 @@
+//! Loss functions.
+
+use cn_tensor::Tensor;
+
+/// Fused softmax + cross-entropy over `[N, C]` logits.
+///
+/// Returns the mean loss and the gradient w.r.t. the logits
+/// (`(softmax − onehot)/N`), which is both numerically stable and cheap.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or labels are out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 2, "logits must be [N, C]");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(n, labels.len(), "label count mismatch");
+    let log_probs = logits.log_softmax_rows();
+    let mut loss = 0.0f32;
+    let mut grad = log_probs.map(f32::exp); // softmax probabilities
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        loss -= log_probs.data()[i * c + label];
+        grad.data_mut()[i * c + label] -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    grad.scale(inv_n);
+    (loss * inv_n, grad)
+}
+
+/// Mean squared error `mean((pred − target)²)` and its gradient w.r.t.
+/// `pred`. Used by auxiliary fitting tasks (e.g. policy baselines).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let n = pred.numel().max(1) as f32;
+    let diff = pred - target;
+    let loss = diff.sq_norm() / n;
+    let mut grad = diff;
+    grad.scale(2.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tensor::SeededRng;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![100.0, 0.0, 0.0, 0.0, 100.0, 0.0], &[2, 3]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = SeededRng::new(1);
+        let logits = rng.normal_tensor(&[3, 5], 0.0, 2.0);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 2, 4]);
+        for r in 0..3 {
+            let s: f32 = grad.data()[r * 5..(r + 1) * 5].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let mut rng = SeededRng::new(2);
+        let logits = rng.normal_tensor(&[2, 4], 0.0, 1.0);
+        let labels = [3, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-2;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (softmax_cross_entropy(&lp, &labels).0
+                - softmax_cross_entropy(&lm, &labels).0)
+                / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - num).abs() < 1e-3,
+                "at {i}: {} vs {num}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn stable_under_extreme_logits() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4, 0.0, 0.0], &[2, 2]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss.is_finite());
+        assert!(!grad.has_non_finite());
+    }
+
+    #[test]
+    fn mse_and_gradient() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let target = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

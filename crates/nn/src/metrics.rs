@@ -1,0 +1,106 @@
+//! Evaluation metrics.
+
+use crate::model::Sequential;
+use cn_data::{BatchIter, Dataset};
+
+/// Classification accuracy of logits against labels.
+///
+/// # Panics
+///
+/// Panics if counts disagree.
+pub fn accuracy(logits: &cn_tensor::Tensor, labels: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let hits = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f32 / labels.len() as f32
+}
+
+/// Evaluates model accuracy over a dataset (eval mode, batched).
+pub fn evaluate(model: &mut Sequential, data: &Dataset, batch_size: usize) -> f32 {
+    let mut hits = 0usize;
+    for (x, y) in BatchIter::new(data, batch_size, None) {
+        let logits = model.forward(&x, false);
+        let preds = logits.argmax_rows();
+        hits += preds.iter().zip(y.iter()).filter(|(p, l)| p == l).count();
+    }
+    hits as f32 / data.len().max(1) as f32
+}
+
+/// Confusion matrix `[true][pred]` counts.
+pub fn confusion_matrix(model: &mut Sequential, data: &Dataset, batch_size: usize) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; data.num_classes]; data.num_classes];
+    for (x, y) in BatchIter::new(data, batch_size, None) {
+        let preds = model.forward(&x, false).argmax_rows();
+        for (p, l) in preds.iter().zip(y.iter()) {
+            m[*l][*p] += 1;
+        }
+    }
+    m
+}
+
+/// Mean and sample standard deviation of a slice (used to report MC
+/// accuracy distributions as in the paper's figures).
+pub fn mean_std(xs: &[f32]) -> (f32, f32) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+    if xs.len() == 1 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / (xs.len() - 1) as f32;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use cn_tensor::{SeededRng, Tensor};
+
+    #[test]
+    fn accuracy_basic() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_on_identity_task() {
+        use crate::layer::Layer;
+        use crate::layers::Flatten;
+        // One-hot 3×1×1 images, identity weight: perfect accuracy.
+        let mut rng = SeededRng::new(1);
+        let mut dense = Dense::new(3, 3, &mut rng);
+        dense.params_mut()[0].value = Tensor::eye(3);
+        dense.params_mut()[1].value = Tensor::zeros(&[3]);
+        let mut model = Sequential::new(vec![Box::new(Flatten::new()), Box::new(dense)]);
+        let images = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            &[3, 3, 1, 1],
+        );
+        let data = Dataset::new(images, vec![0, 1, 2], 3, "onehot");
+        assert_eq!(evaluate(&mut model, &data, 2), 1.0);
+        let cm = confusion_matrix(&mut model, &data, 2);
+        for (i, row) in cm.iter().enumerate() {
+            for (j, &n) in row.iter().enumerate() {
+                assert_eq!(n, usize::from(i == j));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_std_values() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-6);
+        assert!((s - 1.0).abs() < 1e-6);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]).1, 0.0);
+    }
+}

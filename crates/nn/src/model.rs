@@ -1,0 +1,351 @@
+//! The [`Sequential`] model container.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use cn_tensor::error::{Result, TensorError};
+use cn_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A feed-forward stack of layers executed in order.
+///
+/// `Sequential` owns heterogeneous boxed [`Layer`]s, giving them unique
+/// names (`"<layer>_<index>"` on collision), aggregates their parameters
+/// for optimizers and regularizers, manages per-layer noise masks, and
+/// serializes/restores state dicts.
+#[derive(Clone)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    names: Vec<String>,
+}
+
+impl Sequential {
+    /// Builds a model from layers, uniquifying their names.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut names = Vec::with_capacity(layers.len());
+        for layer in &layers {
+            let base = layer.name().to_string();
+            let k = counts.entry(base.clone()).or_insert(0);
+            names.push(if *k == 0 {
+                base.clone()
+            } else {
+                format!("{base}_{k}")
+            });
+            *k += 1;
+        }
+        Sequential { layers, names }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Unique name of layer `i`.
+    pub fn layer_name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Immutable access to layer `i`.
+    pub fn layer(&self, i: usize) -> &dyn Layer {
+        self.layers[i].as_ref()
+    }
+
+    /// Mutable access to layer `i`.
+    pub fn layer_mut(&mut self, i: usize) -> &mut dyn Layer {
+        self.layers[i].as_mut()
+    }
+
+    /// Replaces layer `i`, keeping its position (used to wrap layers with
+    /// error compensation). Names are re-derived.
+    pub fn replace_layer(&mut self, i: usize, layer: Box<dyn Layer>) {
+        self.layers[i] = layer;
+        *self = Sequential::new(std::mem::take(&mut self.layers));
+    }
+
+    /// Runs the forward pass through all layers.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    /// Runs the forward pass, returning every intermediate activation
+    /// (index `i` holds the output of layer `i`).
+    pub fn forward_collect(&mut self, x: &Tensor, train: bool) -> Vec<Tensor> {
+        let mut outs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+            outs.push(cur.clone());
+        }
+        outs
+    }
+
+    /// Backpropagates from the output gradient to the input gradient,
+    /// accumulating parameter gradients along the way.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All parameters, prefixed with their layer's unique name.
+    pub fn named_params(&self) -> Vec<(String, &Param)> {
+        let mut out = Vec::new();
+        for (layer, name) in self.layers.iter().zip(self.names.iter()) {
+            for p in layer.params() {
+                out.push((format!("{name}.{}", p.name), p));
+            }
+        }
+        out
+    }
+
+    /// Mutable access to all parameters, in a stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Clears every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar weight count (for the paper's overhead metric).
+    pub fn weight_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weight_count()).sum()
+    }
+
+    /// Indices and noise-tensor shapes of all layers holding analog
+    /// weights.
+    pub fn noisy_layers(&self) -> Vec<(usize, Vec<usize>)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.noise_dims().map(|d| (i, d)))
+            .collect()
+    }
+
+    /// Clears all noise masks.
+    pub fn clear_noise(&mut self) {
+        for layer in &mut self.layers {
+            if layer.noise_dims().is_some() {
+                layer.set_noise(None);
+            }
+        }
+    }
+
+    /// Freezes/unfreezes every parameter in the model.
+    pub fn set_frozen(&mut self, frozen: bool) {
+        for layer in &mut self.layers {
+            layer.set_frozen(frozen);
+        }
+    }
+
+    /// Lipschitz matrices of all regularized layers as
+    /// `(layer_index, matrix)`.
+    pub fn lipschitz_matrices(&self) -> Vec<(usize, Tensor)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.lipschitz_matrix().map(|m| (i, m)))
+            .collect()
+    }
+
+    /// Serializes parameters and buffers into a named state dict.
+    pub fn state_dict(&self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        for (layer, name) in self.layers.iter().zip(self.names.iter()) {
+            for p in layer.params() {
+                out.push((format!("{name}.{}", p.name), p.value.clone()));
+            }
+            for (bname, b) in layer.buffers() {
+                out.push((format!("{name}.{bname}"), b.clone()));
+            }
+        }
+        out
+    }
+
+    /// Restores parameters and buffers from a state dict produced by a
+    /// structurally identical model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Malformed`] on missing entries or shape
+    /// mismatches.
+    pub fn load_state_dict(&mut self, dict: &[(String, Tensor)]) -> Result<()> {
+        let map: HashMap<&str, &Tensor> =
+            dict.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        let names = self.names.clone();
+        for (layer, name) in self.layers.iter_mut().zip(names.iter()) {
+            for p in layer.params_mut() {
+                let key = format!("{name}.{}", p.name);
+                let t = map.get(key.as_str()).ok_or_else(|| {
+                    TensorError::Malformed(format!("missing state dict entry {key}"))
+                })?;
+                if t.dims() != p.value.dims() {
+                    return Err(TensorError::Malformed(format!(
+                        "shape mismatch for {key}: {} vs {}",
+                        t.shape(),
+                        p.value.shape()
+                    )));
+                }
+                p.value = (*t).clone();
+            }
+            for (bname, b) in layer.buffers_mut() {
+                let key = format!("{name}.{bname}");
+                let t = map.get(key.as_str()).ok_or_else(|| {
+                    TensorError::Malformed(format!("missing state dict entry {key}"))
+                })?;
+                if t.dims() != b.dims() {
+                    return Err(TensorError::Malformed(format!(
+                        "shape mismatch for buffer {key}"
+                    )));
+                }
+                *b = (*t).clone();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Sequential[{} layers: {}]",
+            self.layers.len(),
+            self.names.join(" → ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use cn_tensor::SeededRng;
+
+    fn mlp(rng: &mut SeededRng) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Dense::new(4, 6, rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(6, 3, rng)),
+        ])
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut rng = SeededRng::new(1);
+        let m = mlp(&mut rng);
+        assert_eq!(m.layer_name(0), "dense");
+        assert_eq!(m.layer_name(2), "dense_1");
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = SeededRng::new(2);
+        let mut m = mlp(&mut rng);
+        let x = rng.normal_tensor(&[5, 4], 0.0, 1.0);
+        let y = m.forward(&x, true);
+        assert_eq!(y.dims(), &[5, 3]);
+        let gx = m.backward(&Tensor::ones(&[5, 3]));
+        assert_eq!(gx.dims(), &[5, 4]);
+    }
+
+    #[test]
+    fn forward_collect_returns_all_activations() {
+        let mut rng = SeededRng::new(3);
+        let mut m = mlp(&mut rng);
+        let x = rng.normal_tensor(&[2, 4], 0.0, 1.0);
+        let acts = m.forward_collect(&x, false);
+        assert_eq!(acts.len(), 3);
+        assert_eq!(acts[0].dims(), &[2, 6]);
+        assert_eq!(acts[2].dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut rng = SeededRng::new(4);
+        let mut m = mlp(&mut rng);
+        let x = rng.normal_tensor(&[2, 4], 0.0, 1.0);
+        let y = m.forward(&x, true);
+        m.backward(&Tensor::ones(y.dims()));
+        assert!(m.params_mut().iter().any(|p| p.grad.abs_max() > 0.0));
+        m.zero_grad();
+        assert!(m.params_mut().iter().all(|p| p.grad.abs_max() == 0.0));
+    }
+
+    #[test]
+    fn weight_count_sums_layers() {
+        let mut rng = SeededRng::new(5);
+        let m = mlp(&mut rng);
+        assert_eq!(m.weight_count(), (4 * 6 + 6) + (6 * 3 + 3));
+    }
+
+    #[test]
+    fn noisy_layers_lists_dense_only() {
+        let mut rng = SeededRng::new(6);
+        let m = mlp(&mut rng);
+        let noisy = m.noisy_layers();
+        assert_eq!(noisy.len(), 2);
+        assert_eq!(noisy[0], (0, vec![6, 4]));
+        assert_eq!(noisy[1], (2, vec![3, 6]));
+    }
+
+    #[test]
+    fn state_dict_roundtrip() {
+        let mut rng = SeededRng::new(7);
+        let mut m1 = mlp(&mut rng);
+        let mut m2 = mlp(&mut rng); // different init
+        let x = rng.normal_tensor(&[2, 4], 0.0, 1.0);
+        let y1 = m1.forward(&x, false);
+        let y2 = m2.forward(&x, false);
+        assert_ne!(y1, y2);
+        m2.load_state_dict(&m1.state_dict()).unwrap();
+        let y2b = m2.forward(&x, false);
+        assert_eq!(y1, y2b);
+    }
+
+    #[test]
+    fn load_rejects_missing_entries() {
+        let mut rng = SeededRng::new(8);
+        let mut m = mlp(&mut rng);
+        let err = m.load_state_dict(&[]).unwrap_err();
+        assert!(matches!(err, TensorError::Malformed(_)));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut rng = SeededRng::new(9);
+        let mut m1 = mlp(&mut rng);
+        let mut m2 = m1.clone();
+        let x = rng.normal_tensor(&[1, 4], 0.0, 1.0);
+        assert_eq!(m1.forward(&x, false), m2.forward(&x, false));
+        // Mutating the clone leaves the original untouched.
+        m2.params_mut()[0].value.data_mut()[0] += 1.0;
+        assert_ne!(m1.forward(&x, false), m2.forward(&x, false));
+    }
+
+    #[test]
+    fn set_frozen_propagates() {
+        let mut rng = SeededRng::new(10);
+        let mut m = mlp(&mut rng);
+        m.set_frozen(true);
+        assert!(m.params_mut().iter().all(|p| p.is_frozen()));
+    }
+}

@@ -1,0 +1,155 @@
+//! Weight-level variation injection (paper eq. 1–2).
+//!
+//! These helpers sample multiplicative log-normal masks `e^θ` and install
+//! them on a model's analog layers. They are the *weight-level* noise model
+//! the paper evaluates with; the device-level (conductance) model lives in
+//! `cn-analog` and reduces to this one in the ideal-mapping limit.
+
+use crate::model::Sequential;
+use cn_tensor::{SeededRng, Tensor};
+
+/// Samples and installs log-normal masks on **all** analog layers.
+///
+/// Every weight receives an independent factor `e^θ`, `θ ~ N(0, σ²)`.
+pub fn apply_lognormal(model: &mut Sequential, sigma: f32, rng: &mut SeededRng) {
+    apply_lognormal_from(model, 0, sigma, rng);
+}
+
+/// Installs masks only on analog layers with *weight-layer index*
+/// `≥ start` (0-based, counting only layers that hold analog weights).
+///
+/// This implements the paper's Fig. 9 protocol: "inject variations into
+/// the layers from the last one backwards to the i-th layer".
+pub fn apply_lognormal_from(
+    model: &mut Sequential,
+    start: usize,
+    sigma: f32,
+    rng: &mut SeededRng,
+) {
+    let noisy = model.noisy_layers();
+    for (weight_idx, (layer_idx, dims)) in noisy.into_iter().enumerate() {
+        if weight_idx >= start {
+            let mask = rng.lognormal_mask(&dims, sigma);
+            model.layer_mut(layer_idx).set_noise(Some(mask));
+        } else {
+            model.layer_mut(layer_idx).set_noise(None);
+        }
+    }
+}
+
+/// Installs a specific pre-sampled mask per analog layer.
+///
+/// # Panics
+///
+/// Panics if `masks` does not have one entry per analog layer.
+pub fn apply_masks(model: &mut Sequential, masks: &[Tensor]) {
+    let noisy = model.noisy_layers();
+    assert_eq!(
+        noisy.len(),
+        masks.len(),
+        "expected {} masks, got {}",
+        noisy.len(),
+        masks.len()
+    );
+    for ((layer_idx, dims), mask) in noisy.into_iter().zip(masks.iter()) {
+        assert_eq!(mask.dims(), &dims[..], "mask shape mismatch");
+        model.layer_mut(layer_idx).set_noise(Some(mask.clone()));
+    }
+}
+
+/// Samples one full set of masks without installing them.
+pub fn sample_masks(model: &Sequential, sigma: f32, rng: &mut SeededRng) -> Vec<Tensor> {
+    model
+        .noisy_layers()
+        .into_iter()
+        .map(|(_, dims)| rng.lognormal_mask(&dims, sigma))
+        .collect()
+}
+
+/// Number of analog weight layers (the paper's per-layer x-axis in Fig. 9).
+pub fn num_weight_layers(model: &Sequential) -> usize {
+    model.noisy_layers().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use crate::Sequential;
+
+    fn model() -> Sequential {
+        let mut rng = SeededRng::new(1);
+        Sequential::new(vec![
+            Box::new(Dense::new(4, 4, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(4, 4, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn apply_changes_outputs() {
+        let mut m = model();
+        let mut rng = SeededRng::new(2);
+        let x = rng.normal_tensor(&[3, 4], 0.0, 1.0);
+        let clean = m.forward(&x, false);
+        apply_lognormal(&mut m, 0.5, &mut rng);
+        let noisy = m.forward(&x, false);
+        assert_ne!(clean, noisy);
+        m.clear_noise();
+        assert_eq!(m.forward(&x, false), clean);
+    }
+
+    #[test]
+    fn from_index_leaves_early_layers_clean() {
+        let mut m = model();
+        let mut rng = SeededRng::new(3);
+        // Noise only on the last weight layer (index 2 of 3).
+        apply_lognormal_from(&mut m, 2, 0.5, &mut rng);
+        // First two dense layers must have no mask: forward with a probe
+        // input through layer 0 only depends on clean weights. Verify via
+        // noise clearing equivalence.
+        let x = rng.normal_tensor(&[2, 4], 0.0, 1.0);
+        let noisy = m.forward(&x, false);
+        let mut clean = m.clone();
+        clean.clear_noise();
+        let clean_out = clean.forward(&x, false);
+        // Outputs differ (last layer noisy)…
+        assert_ne!(noisy, clean_out);
+        // …but the activations up to layer 3 are identical.
+        let acts_noisy = m.forward_collect(&x, false);
+        let acts_clean = clean.forward_collect(&x, false);
+        assert_eq!(acts_noisy[3], acts_clean[3]);
+    }
+
+    #[test]
+    fn start_zero_perturbs_everything() {
+        let mut m = model();
+        let mut rng = SeededRng::new(4);
+        let x = rng.normal_tensor(&[2, 4], 0.0, 1.0);
+        let acts_clean = m.forward_collect(&x, false);
+        apply_lognormal_from(&mut m, 0, 0.5, &mut rng);
+        let acts_noisy = m.forward_collect(&x, false);
+        assert_ne!(acts_clean[0], acts_noisy[0]);
+    }
+
+    #[test]
+    fn sample_then_apply_reproduces() {
+        let mut m = model();
+        let mut rng = SeededRng::new(5);
+        let masks = sample_masks(&m, 0.5, &mut rng);
+        assert_eq!(masks.len(), 3);
+        apply_masks(&mut m, &masks);
+        let x = SeededRng::new(6).normal_tensor(&[1, 4], 0.0, 1.0);
+        let y1 = m.forward(&x, false);
+        apply_masks(&mut m, &masks);
+        let y2 = m.forward(&x, false);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn weight_layer_count() {
+        assert_eq!(num_weight_layers(&model()), 3);
+    }
+}

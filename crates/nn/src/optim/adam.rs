@@ -1,0 +1,141 @@
+//! Adam optimizer.
+
+use super::Optimizer;
+use crate::param::Param;
+use cn_tensor::Tensor;
+
+/// Adam (Kingma & Ba) with bias-corrected moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u32,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid hyperparameters.
+    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        assert!(eps > 0.0);
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() < params.len() {
+            self.m.resize(params.len(), None);
+            self.v.resize(params.len(), None);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            if p.is_frozen() {
+                continue;
+            }
+            let mut g = p.grad.clone();
+            if self.weight_decay > 0.0 {
+                g.axpy(self.weight_decay, &p.value);
+            }
+            let m = self.m[i].get_or_insert_with(|| Tensor::zeros(g.dims()));
+            let v = self.v[i].get_or_insert_with(|| Tensor::zeros(g.dims()));
+            assert_eq!(m.dims(), g.dims(), "optimizer state shape changed");
+            let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+            for ((mi, vi), (wi, gi)) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(p.value.data_mut().iter_mut().zip(g.data().iter()))
+            {
+                *mi = b1 * *mi + (1.0 - b1) * gi;
+                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *wi -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::testutil::quadratic_descent;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        assert!(quadratic_descent(&mut opt, 200) < 1e-2);
+    }
+
+    #[test]
+    fn frozen_params_are_skipped() {
+        let mut p = Param::new("w", Tensor::ones(&[2]));
+        p.set_frozen(true);
+        p.accumulate(&Tensor::ones(&[2]));
+        let mut opt = Adam::new(0.5);
+        let mut params = [&mut p];
+        opt.step(&mut params);
+        assert_eq!(p.value.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn first_step_size_is_about_lr() {
+        // Bias correction makes the first Adam step ≈ lr regardless of
+        // gradient magnitude.
+        let mut p = Param::new("w", Tensor::zeros(&[1]));
+        p.accumulate(&Tensor::from_vec(vec![1e3], &[1]));
+        let mut opt = Adam::new(0.1);
+        let mut params = [&mut p];
+        opt.step(&mut params);
+        assert!((p.value.data()[0] + 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn handles_mixed_frozen_sets() {
+        let mut a = Param::new("a", Tensor::zeros(&[1]));
+        let mut b = Param::new("b", Tensor::zeros(&[1]));
+        b.set_frozen(true);
+        a.accumulate(&Tensor::ones(&[1]));
+        b.accumulate(&Tensor::ones(&[1]));
+        let mut opt = Adam::new(0.1);
+        let mut params = [&mut a, &mut b];
+        opt.step(&mut params);
+        assert!(params[0].value.data()[0] < 0.0);
+        assert_eq!(params[1].value.data()[0], 0.0);
+    }
+}

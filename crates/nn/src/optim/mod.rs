@@ -1,0 +1,55 @@
+//! Optimizers.
+//!
+//! Optimizers receive the model's parameters in a stable order each step
+//! (as produced by [`Sequential::params_mut`](crate::Sequential::params_mut))
+//! and maintain per-slot state (momentum / moment estimates) indexed by
+//! position. Frozen parameters keep their state slot but are not updated —
+//! this is what implements the paper's compensator-training phase where the
+//! base network is fixed.
+
+pub mod adam;
+pub mod schedule;
+pub mod sgd;
+
+pub use adam::Adam;
+pub use schedule::{Constant, CosineAnneal, LrSchedule, StepDecay};
+pub use sgd::Sgd;
+
+use crate::param::Param;
+
+/// A gradient-based parameter updater.
+pub trait Optimizer {
+    /// Applies one update step to `params` using their accumulated
+    /// gradients. Implementations must skip frozen parameters and must
+    /// tolerate the same parameter list across calls.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use cn_tensor::Tensor;
+
+    /// Minimizes f(x) = ‖x − target‖² with the given optimizer; returns the
+    /// final distance to the target.
+    pub fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let target = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        let mut p = Param::new("x", Tensor::zeros(&[3]));
+        for _ in 0..steps {
+            p.zero_grad();
+            let diff = &p.value - &target;
+            let mut g = diff.clone();
+            g.scale(2.0);
+            p.accumulate(&g);
+            let mut params = [&mut p];
+            opt.step(&mut params);
+        }
+        (&p.value - &target).norm()
+    }
+}

@@ -1,0 +1,105 @@
+//! Learning-rate schedules.
+
+use super::Optimizer;
+
+/// A learning-rate schedule: maps an epoch index to a multiplier on the
+/// base learning rate.
+pub trait LrSchedule {
+    /// Multiplier applied to the base learning rate at `epoch` (0-based).
+    fn factor(&self, epoch: usize) -> f32;
+
+    /// Applies the schedule to an optimizer for the given epoch.
+    fn apply(&self, opt: &mut dyn Optimizer, base_lr: f32, epoch: usize) {
+        opt.set_learning_rate(base_lr * self.factor(epoch).max(1e-8));
+    }
+}
+
+/// Multiplies the rate by `gamma` every `step` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Epochs between decays.
+    pub step: usize,
+    /// Multiplicative decay factor per step.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi((epoch / self.step.max(1)) as i32)
+    }
+}
+
+/// Cosine annealing from 1 to `floor` over `total` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineAnneal {
+    /// Total schedule length in epochs.
+    pub total: usize,
+    /// Final multiplier.
+    pub floor: f32,
+}
+
+impl LrSchedule for CosineAnneal {
+    fn factor(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total) as f32) / self.total.max(1) as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.floor + (1.0 - self.floor) * cos
+    }
+}
+
+/// Constant schedule (identity), useful as a default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Constant;
+
+impl LrSchedule for Constant {
+    fn factor(&self, _epoch: usize) -> f32 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn step_decay_factors() {
+        let s = StepDecay {
+            step: 2,
+            gamma: 0.1,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(1), 1.0);
+        assert!((s.factor(2) - 0.1).abs() < 1e-6);
+        assert!((s.factor(5) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let c = CosineAnneal {
+            total: 10,
+            floor: 0.1,
+        };
+        assert!((c.factor(0) - 1.0).abs() < 1e-6);
+        assert!((c.factor(10) - 0.1).abs() < 1e-6);
+        // Monotone decreasing.
+        for e in 0..10 {
+            assert!(c.factor(e + 1) <= c.factor(e) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn apply_updates_optimizer() {
+        let mut opt = Sgd::new(0.1);
+        StepDecay {
+            step: 1,
+            gamma: 0.5,
+        }
+        .apply(&mut opt, 0.1, 3);
+        assert!((opt.learning_rate() - 0.1 * 0.125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn constant_is_identity() {
+        assert_eq!(Constant.factor(100), 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Stochastic gradient descent with momentum and weight decay.
+
+use super::Optimizer;
+use crate::param::Param;
+use cn_tensor::Tensor;
+
+/// SGD with classical momentum: `v ← μv + g + wd·w`, `w ← w − lr·v`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0, 0.0)
+    }
+
+    /// SGD with momentum and L2 weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive learning rate or momentum outside `[0, 1)`.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() < params.len() {
+            self.velocity.resize(params.len(), None);
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            if p.is_frozen() {
+                continue;
+            }
+            let mut g = p.grad.clone();
+            if self.weight_decay > 0.0 {
+                g.axpy(self.weight_decay, &p.value);
+            }
+            if self.momentum > 0.0 {
+                let v = self.velocity[i].get_or_insert_with(|| Tensor::zeros(g.dims()));
+                assert_eq!(v.dims(), g.dims(), "optimizer state shape changed");
+                v.scale(self.momentum);
+                v.axpy(1.0, &g);
+                p.value.axpy(-self.lr, v);
+            } else {
+                p.value.axpy(-self.lr, &g);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::testutil::quadratic_descent;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!(quadratic_descent(&mut opt, 100) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = Sgd::new(0.02);
+        let mut heavy = Sgd::with_momentum(0.02, 0.9, 0.0);
+        let d_plain = quadratic_descent(&mut plain, 30);
+        let d_heavy = quadratic_descent(&mut heavy, 30);
+        assert!(d_heavy < d_plain, "{d_heavy} !< {d_plain}");
+    }
+
+    #[test]
+    fn frozen_params_are_skipped() {
+        let mut p = Param::new("w", Tensor::ones(&[2]));
+        p.set_frozen(true);
+        p.accumulate(&Tensor::ones(&[2]));
+        let mut opt = Sgd::new(0.5);
+        let mut params = [&mut p];
+        opt.step(&mut params);
+        assert_eq!(p.value.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = Param::new("w", Tensor::ones(&[1]));
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.5);
+        // Zero gradient: only decay acts.
+        let mut params = [&mut p];
+        opt.step(&mut params);
+        assert!((p.value.data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lr_setter() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

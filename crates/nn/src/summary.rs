@@ -1,0 +1,95 @@
+//! Model summaries (layer table with output shapes and parameter counts).
+
+use crate::model::Sequential;
+use cn_tensor::Tensor;
+
+/// One row of a model summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSummary {
+    /// Unique layer name.
+    pub name: String,
+    /// Output shape for the probe input (batch axis first).
+    pub out_shape: Vec<usize>,
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Whether the layer holds analog (variation-prone) weights.
+    pub analog: bool,
+}
+
+/// Summarizes a model on a probe input of shape `sample_dims` (no batch
+/// axis). Runs one forward pass in eval mode.
+pub fn summarize(model: &mut Sequential, sample_dims: &[usize]) -> Vec<LayerSummary> {
+    let mut dims = vec![1usize];
+    dims.extend_from_slice(sample_dims);
+    let probe = Tensor::zeros(&dims);
+    let acts = model.forward_collect(&probe, false);
+    (0..model.len())
+        .map(|i| LayerSummary {
+            name: model.layer_name(i).to_string(),
+            out_shape: acts[i].dims().to_vec(),
+            params: model.layer(i).weight_count(),
+            analog: model.layer(i).noise_dims().is_some(),
+        })
+        .collect()
+}
+
+/// Renders a summary as a fixed-width text table with a totals row.
+pub fn render(rows: &[LayerSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:<18} {:>10} {:>7}\n",
+        "layer", "output", "params", "analog"
+    ));
+    let mut total = 0usize;
+    let mut analog_total = 0usize;
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:<18} {:>10} {:>7}\n",
+            r.name,
+            format!("{:?}", r.out_shape),
+            r.params,
+            if r.analog { "yes" } else { "-" }
+        ));
+        total += r.params;
+        if r.analog {
+            analog_total += r.params;
+        }
+    }
+    out.push_str(&format!(
+        "total: {total} params ({analog_total} analog, {} digital)\n",
+        total - analog_total
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{lenet5, LeNetConfig};
+
+    #[test]
+    fn lenet_summary_shapes_and_counts() {
+        let mut m = lenet5(&LeNetConfig::mnist(1));
+        let rows = summarize(&mut m, &[1, 28, 28]);
+        assert_eq!(rows.len(), m.len());
+        assert_eq!(rows[0].name, "conv1");
+        assert_eq!(rows[0].out_shape, vec![1, 6, 28, 28]);
+        assert!(rows[0].analog);
+        // ReLU has no params and is digital.
+        assert_eq!(rows[1].params, 0);
+        assert!(!rows[1].analog);
+        // Param total matches the model.
+        let total: usize = rows.iter().map(|r| r.params).sum();
+        assert_eq!(total, m.weight_count());
+    }
+
+    #[test]
+    fn render_contains_totals() {
+        let mut m = lenet5(&LeNetConfig::mnist(2));
+        let rows = summarize(&mut m, &[1, 28, 28]);
+        let s = render(&rows);
+        assert!(s.contains("conv1"));
+        assert!(s.contains(&format!("total: {} params", m.weight_count())));
+        assert!(s.contains("analog"));
+    }
+}

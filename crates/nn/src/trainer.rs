@@ -1,0 +1,251 @@
+//! Training loop with regularizer and per-batch hooks.
+
+use crate::loss::softmax_cross_entropy;
+use crate::metrics::accuracy;
+use crate::model::Sequential;
+use crate::optim::Optimizer;
+use cn_data::{BatchIter, Dataset};
+
+/// Configuration of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed controlling batch shuffling (a distinct permutation per epoch).
+    pub shuffle_seed: u64,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+    /// Forward-pass mode: `true` enables dropout and batch-norm statistic
+    /// updates. Compensator training sets `false` so the frozen base
+    /// network (including its batch-norm running statistics) stays
+    /// bit-identical while gradients still flow to the compensation
+    /// modules.
+    pub train_mode: bool,
+}
+
+impl TrainConfig {
+    /// A quiet configuration.
+    pub fn new(epochs: usize, batch_size: usize, shuffle_seed: u64) -> Self {
+        TrainConfig {
+            epochs,
+            batch_size,
+            shuffle_seed,
+            verbose: false,
+            train_mode: true,
+        }
+    }
+}
+
+/// Per-epoch statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Mean task (cross-entropy) loss over batches.
+    pub loss: f32,
+    /// Mean regularization loss over batches (0 without a regularizer).
+    pub reg_loss: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f32,
+}
+
+/// A training driver binding model, optimizer and hooks together.
+///
+/// Two hooks cover every CorrectNet training mode:
+///
+/// - `before_batch(model, batch_index)` runs before each forward pass —
+///   used to **resample variation masks per batch** when training
+///   compensators or noise-aware baselines (paper Sec. III-B),
+/// - `regularizer(model) -> extra_loss` runs after the task backward pass
+///   and may accumulate additional parameter gradients — used for the
+///   Lipschitz penalty of eq. (11).
+#[allow(clippy::type_complexity)]
+pub struct Trainer {
+    config: TrainConfig,
+    before_batch: Option<Box<dyn FnMut(&mut Sequential, usize)>>,
+    regularizer: Option<Box<dyn FnMut(&mut Sequential) -> f32>>,
+}
+
+impl Trainer {
+    /// Creates a trainer with no hooks.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer {
+            config,
+            before_batch: None,
+            regularizer: None,
+        }
+    }
+
+    /// Installs a per-batch hook (e.g. variation-mask resampling).
+    pub fn with_before_batch(
+        mut self,
+        hook: impl FnMut(&mut Sequential, usize) + 'static,
+    ) -> Self {
+        self.before_batch = Some(Box::new(hook));
+        self
+    }
+
+    /// Installs a regularizer hook that accumulates extra gradients and
+    /// returns its loss contribution.
+    pub fn with_regularizer(
+        mut self,
+        hook: impl FnMut(&mut Sequential) -> f32 + 'static,
+    ) -> Self {
+        self.regularizer = Some(Box::new(hook));
+        self
+    }
+
+    /// Runs the configured number of epochs, returning per-epoch stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(
+        &mut self,
+        model: &mut Sequential,
+        data: &Dataset,
+        opt: &mut dyn Optimizer,
+    ) -> Vec<EpochStats> {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let mut stats = Vec::with_capacity(self.config.epochs);
+        let mut global_batch = 0usize;
+        for epoch in 0..self.config.epochs {
+            let mut loss_sum = 0.0f64;
+            let mut reg_sum = 0.0f64;
+            let mut acc_sum = 0.0f64;
+            let mut batches = 0usize;
+            let seed = self
+                .config
+                .shuffle_seed
+                .wrapping_add(epoch as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for (x, y) in BatchIter::new(data, self.config.batch_size, Some(seed)) {
+                if let Some(hook) = &mut self.before_batch {
+                    hook(model, global_batch);
+                }
+                model.zero_grad();
+                let logits = model.forward(&x, self.config.train_mode);
+                let (loss, grad) = softmax_cross_entropy(&logits, &y);
+                acc_sum += accuracy(&logits, &y) as f64;
+                model.backward(&grad);
+                let reg = match &mut self.regularizer {
+                    Some(hook) => hook(model),
+                    None => 0.0,
+                };
+                let mut params = model.params_mut();
+                opt.step(&mut params);
+                loss_sum += loss as f64;
+                reg_sum += reg as f64;
+                batches += 1;
+                global_batch += 1;
+            }
+            let epoch_stats = EpochStats {
+                loss: (loss_sum / batches as f64) as f32,
+                reg_loss: (reg_sum / batches as f64) as f32,
+                accuracy: (acc_sum / batches as f64) as f32,
+            };
+            if self.config.verbose {
+                eprintln!(
+                    "epoch {epoch:>3}: loss {:.4}  reg {:.4}  acc {:.3}",
+                    epoch_stats.loss, epoch_stats.reg_loss, epoch_stats.accuracy
+                );
+            }
+            stats.push(epoch_stats);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Flatten, Relu};
+    use crate::optim::Sgd;
+    use cn_tensor::{SeededRng, Tensor};
+
+    /// A linearly separable toy dataset: class = argmax of 2 pixel groups.
+    fn toy_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = SeededRng::new(seed);
+        let mut images = Tensor::zeros(&[n, 1, 2, 2]);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let base = i * 4;
+            for k in 0..4 {
+                images.data_mut()[base + k] = rng.normal(0.0, 0.3)
+                    + if (k < 2) == (class == 0) { 1.0 } else { 0.0 };
+            }
+            labels.push(class);
+        }
+        Dataset::new(images, labels, 2, "toy")
+    }
+
+    fn small_model(seed: u64) -> Sequential {
+        let mut rng = SeededRng::new(seed);
+        Sequential::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn loss_decreases_and_accuracy_rises() {
+        let data = toy_data(64, 1);
+        let mut model = small_model(2);
+        let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+        let mut trainer = Trainer::new(TrainConfig::new(10, 16, 3));
+        let stats = trainer.fit(&mut model, &data, &mut opt);
+        assert!(stats.last().unwrap().loss < stats[0].loss);
+        assert!(stats.last().unwrap().accuracy > 0.9);
+    }
+
+    #[test]
+    fn before_batch_hook_runs_per_batch() {
+        let data = toy_data(32, 4);
+        let mut model = small_model(5);
+        let mut opt = Sgd::new(0.05);
+        let counter = std::rc::Rc::new(std::cell::Cell::new(0usize));
+        let c2 = counter.clone();
+        let mut trainer = Trainer::new(TrainConfig::new(2, 8, 6))
+            .with_before_batch(move |_, _| c2.set(c2.get() + 1));
+        trainer.fit(&mut model, &data, &mut opt);
+        assert_eq!(counter.get(), 2 * 4);
+    }
+
+    #[test]
+    fn regularizer_loss_is_reported() {
+        let data = toy_data(16, 7);
+        let mut model = small_model(8);
+        let mut opt = Sgd::new(0.05);
+        let mut trainer =
+            Trainer::new(TrainConfig::new(1, 8, 9)).with_regularizer(|_| 1.25);
+        let stats = trainer.fit(&mut model, &data, &mut opt);
+        assert!((stats[0].reg_loss - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_model_does_not_change() {
+        let data = toy_data(16, 10);
+        let mut model = small_model(11);
+        model.set_frozen(true);
+        let before = model.state_dict();
+        let mut opt = Sgd::new(0.5);
+        let mut trainer = Trainer::new(TrainConfig::new(2, 8, 12));
+        trainer.fit(&mut model, &data, &mut opt);
+        let after = model.state_dict();
+        for ((_, a), (_, b)) in before.iter().zip(after.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let data = Dataset::new(Tensor::zeros(&[0, 1, 1, 1]), vec![], 1, "empty");
+        let mut model = small_model(13);
+        let mut opt = Sgd::new(0.1);
+        Trainer::new(TrainConfig::new(1, 4, 0)).fit(&mut model, &data, &mut opt);
+    }
+}

@@ -1,0 +1,334 @@
+//! Model zoo: the architectures evaluated by the paper.
+//!
+//! [`lenet5`] follows LeCun et al. 1989/1998 (two 5×5 convolutions with
+//! average pooling, three dense layers). [`vgg16`] follows Simonyan &
+//! Zisserman's configuration D adapted to 32×32 inputs (thirteen 3×3
+//! convolutions in five max-pooled blocks, then the classifier head) —
+//! with a **width multiplier** scaling every channel count, the
+//! laptop-scale substitution documented in `DESIGN.md` §4. At
+//! `width_mult = 1.0` the topology is the paper's VGG16 verbatim.
+
+use crate::layers::{AvgPool2d, BatchNorm2d, Conv2d, Dense, Dropout, Flatten, MaxPool2d, Relu};
+use crate::model::Sequential;
+use cn_tensor::SeededRng;
+
+/// Configuration for [`lenet5`].
+#[derive(Debug, Clone, Copy)]
+pub struct LeNetConfig {
+    /// Input channels (1 for MNIST, 3 for CIFAR).
+    pub in_channels: usize,
+    /// Input height/width (28 or 32).
+    pub input_hw: usize,
+    /// Output classes.
+    pub num_classes: usize,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl LeNetConfig {
+    /// LeNet-5 for the synthetic MNIST stand-in.
+    pub fn mnist(seed: u64) -> Self {
+        LeNetConfig {
+            in_channels: 1,
+            input_hw: 28,
+            num_classes: 10,
+            seed,
+        }
+    }
+
+    /// LeNet-5 for the synthetic CIFAR-10 stand-in.
+    pub fn cifar10(seed: u64) -> Self {
+        LeNetConfig {
+            in_channels: 3,
+            input_hw: 32,
+            num_classes: 10,
+            seed,
+        }
+    }
+}
+
+/// Builds LeNet-5: `conv(6@5×5) → pool → conv(16@5×5) → pool → 120 → 84 → C`.
+///
+/// 28×28 inputs get `pad=2` on the first convolution (the classic MNIST
+/// adaptation) so both input sizes flow through identical downstream shapes.
+///
+/// # Panics
+///
+/// Panics if `input_hw` is not 28 or 32.
+pub fn lenet5(cfg: &LeNetConfig) -> Sequential {
+    assert!(
+        cfg.input_hw == 28 || cfg.input_hw == 32,
+        "LeNet-5 expects 28 or 32 pixel inputs"
+    );
+    let mut rng = SeededRng::new(cfg.seed);
+    let pad1 = if cfg.input_hw == 28 { 2 } else { 0 };
+    // 28(+2 pad) or 32 → 28 → 14 → 10 → 5.
+    let flat = 16 * 5 * 5;
+    Sequential::new(vec![
+        Box::new(Conv2d::with_name(
+            "conv1",
+            cfg.in_channels,
+            6,
+            5,
+            1,
+            pad1,
+            &mut rng,
+        )),
+        Box::new(Relu::new()),
+        Box::new(AvgPool2d::new(2)),
+        Box::new(Conv2d::with_name("conv2", 6, 16, 5, 1, 0, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(AvgPool2d::new(2)),
+        Box::new(Flatten::new()),
+        Box::new(Dense::with_name("fc1", flat, 120, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(Dense::with_name("fc2", 120, 84, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(Dense::with_name("fc3", 84, cfg.num_classes, &mut rng)),
+    ])
+}
+
+/// Configuration for [`vgg16`].
+#[derive(Debug, Clone, Copy)]
+pub struct VggConfig {
+    /// Output classes.
+    pub num_classes: usize,
+    /// Channel width multiplier (1.0 = paper-faithful 64…512 channels).
+    pub width_mult: f32,
+    /// Input height/width (32 for CIFAR).
+    pub input_hw: usize,
+    /// Insert batch normalization after every convolution.
+    pub batch_norm: bool,
+    /// Dropout rate in the classifier head (0 disables).
+    pub dropout: f32,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl VggConfig {
+    /// Paper-faithful VGG16 (width 1.0, batch norm off, dropout 0.5).
+    pub fn full(num_classes: usize, seed: u64) -> Self {
+        VggConfig {
+            num_classes,
+            width_mult: 1.0,
+            input_hw: 32,
+            batch_norm: false,
+            dropout: 0.5,
+            seed,
+        }
+    }
+
+    /// Laptop-scale profile used by the quick experiments (width 1/8,
+    /// batch norm on for fast convergence without pretraining).
+    pub fn quick(num_classes: usize, seed: u64) -> Self {
+        VggConfig {
+            num_classes,
+            width_mult: 0.125,
+            input_hw: 32,
+            batch_norm: true,
+            dropout: 0.0,
+            seed,
+        }
+    }
+}
+
+/// VGG16 convolutional plan: channels per conv, `None` = 2×2 max pool.
+const VGG16_PLAN: [Option<usize>; 18] = [
+    Some(64),
+    Some(64),
+    None,
+    Some(128),
+    Some(128),
+    None,
+    Some(256),
+    Some(256),
+    Some(256),
+    None,
+    Some(512),
+    Some(512),
+    Some(512),
+    None,
+    Some(512),
+    Some(512),
+    Some(512),
+    None,
+];
+
+fn scaled(c: usize, width_mult: f32) -> usize {
+    ((c as f32 * width_mult).round() as usize).max(4)
+}
+
+/// Builds VGG16 (configuration D) for `input_hw`×`input_hw` images.
+///
+/// Thirteen 3×3/pad-1 convolutions in five max-pooled blocks, then
+/// `Flatten → Dense(512·w) → ReLU → [Dropout] → Dense(num_classes)` —
+/// 15 weight layers total, matching the per-layer x-axis of the paper's
+/// Fig. 9.
+///
+/// # Panics
+///
+/// Panics unless `input_hw` is divisible by 32.
+pub fn vgg16(cfg: &VggConfig) -> Sequential {
+    assert!(
+        cfg.input_hw % 32 == 0 && cfg.input_hw > 0,
+        "VGG16 needs input divisible by 32 (five 2× pools)"
+    );
+    let mut rng = SeededRng::new(cfg.seed);
+    let mut layers: Vec<Box<dyn crate::Layer>> = Vec::new();
+    let mut in_c = 3usize;
+    let mut block = 1usize;
+    let mut conv_in_block = 1usize;
+    for entry in VGG16_PLAN {
+        match entry {
+            Some(c) => {
+                let out_c = scaled(c, cfg.width_mult);
+                let name = format!("conv{block}_{conv_in_block}");
+                layers.push(Box::new(Conv2d::with_name(
+                    &name, in_c, out_c, 3, 1, 1, &mut rng,
+                )));
+                if cfg.batch_norm {
+                    layers.push(Box::new(BatchNorm2d::new(out_c)));
+                }
+                layers.push(Box::new(Relu::new()));
+                in_c = out_c;
+                conv_in_block += 1;
+            }
+            None => {
+                layers.push(Box::new(MaxPool2d::new(2)));
+                block += 1;
+                conv_in_block = 1;
+            }
+        }
+    }
+    let spatial = cfg.input_hw / 32; // after five 2× pools
+    let flat = in_c * spatial * spatial;
+    // The classifier head keeps a 256-unit floor: head weights are a tiny
+    // compute fraction, but a too-narrow final layer loses the weight
+    // averaging that makes late layers robust to multiplicative variation
+    // (the paper's Fig. 9 effect scales as 1/√fan-in).
+    let hidden = scaled(512, cfg.width_mult).max(256.min(scaled(512, 1.0)));
+    layers.push(Box::new(Flatten::new()));
+    layers.push(Box::new(Dense::with_name("fc1", flat, hidden, &mut rng)));
+    layers.push(Box::new(Relu::new()));
+    if cfg.dropout > 0.0 {
+        layers.push(Box::new(Dropout::new(cfg.dropout, cfg.seed ^ 0xd0)));
+    }
+    layers.push(Box::new(Dense::with_name(
+        "fc2",
+        hidden,
+        cfg.num_classes,
+        &mut rng,
+    )));
+    Sequential::new(layers)
+}
+
+/// Builds a plain ReLU MLP with the given feature sizes (used by tests and
+/// the RL policy baseline).
+///
+/// # Panics
+///
+/// Panics if fewer than two sizes are given.
+pub fn mlp(sizes: &[usize], seed: u64) -> Sequential {
+    assert!(sizes.len() >= 2, "mlp needs at least input and output sizes");
+    let mut rng = SeededRng::new(seed);
+    let mut layers: Vec<Box<dyn crate::Layer>> = Vec::new();
+    for (i, pair) in sizes.windows(2).enumerate() {
+        layers.push(Box::new(Dense::with_name(
+            &format!("fc{}", i + 1),
+            pair[0],
+            pair[1],
+            &mut rng,
+        )));
+        if i + 2 < sizes.len() {
+            layers.push(Box::new(Relu::new()));
+        }
+    }
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tensor::Tensor;
+
+    #[test]
+    fn lenet_shapes_mnist() {
+        let mut m = lenet5(&LeNetConfig::mnist(1));
+        let x = Tensor::zeros(&[2, 1, 28, 28]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 10]);
+        // 2 conv + 3 dense analog layers.
+        assert_eq!(m.noisy_layers().len(), 5);
+    }
+
+    #[test]
+    fn lenet_shapes_cifar() {
+        let mut m = lenet5(&LeNetConfig::cifar10(1));
+        let x = Tensor::zeros(&[1, 3, 32, 32]);
+        assert_eq!(m.forward(&x, false).dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn lenet_weight_count_mnist() {
+        let m = lenet5(&LeNetConfig::mnist(0));
+        // conv1: 6·1·25+6, conv2: 16·6·25+16, fc: 400·120+120, 120·84+84, 84·10+10.
+        let expected = (6 * 25 + 6)
+            + (16 * 6 * 25 + 16)
+            + (400 * 120 + 120)
+            + (120 * 84 + 84)
+            + (84 * 10 + 10);
+        assert_eq!(m.weight_count(), expected);
+    }
+
+    #[test]
+    fn vgg_quick_shapes() {
+        let mut m = vgg16(&VggConfig::quick(100, 2));
+        let x = Tensor::zeros(&[1, 3, 32, 32]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 100]);
+        // 13 conv + 2 dense = 15 analog weight layers (paper Fig. 9 x-axis).
+        assert_eq!(m.noisy_layers().len(), 15);
+    }
+
+    #[test]
+    fn vgg_full_channel_progression() {
+        let m = vgg16(&VggConfig {
+            dropout: 0.0,
+            ..VggConfig::full(10, 3)
+        });
+        // First conv has 64 output channels at width 1.0.
+        let lips = m.lipschitz_matrices();
+        assert_eq!(lips[0].1.dims()[0], 64);
+        // Final conv block has 512 channels.
+        assert_eq!(lips[12].1.dims()[0], 512);
+        assert_eq!(lips.len(), 15);
+    }
+
+    #[test]
+    fn vgg_width_scaling() {
+        let m = vgg16(&VggConfig::quick(10, 4));
+        let lips = m.lipschitz_matrices();
+        assert_eq!(lips[0].1.dims()[0], 8); // 64/8
+        assert_eq!(lips[12].1.dims()[0], 64); // 512/8
+        // Classifier head keeps its 256-unit floor at small widths.
+        assert_eq!(lips[13].1.dims()[0], 256);
+        assert_eq!(lips[14].1.dims()[1], 256);
+    }
+
+    #[test]
+    fn mlp_builder() {
+        let mut m = mlp(&[4, 16, 8, 3], 5);
+        let x = Tensor::zeros(&[2, 4]);
+        assert_eq!(m.forward(&x, false).dims(), &[2, 3]);
+        assert_eq!(m.noisy_layers().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "28 or 32")]
+    fn lenet_bad_input_size_panics() {
+        lenet5(&LeNetConfig {
+            input_hw: 27,
+            ..LeNetConfig::mnist(0)
+        });
+    }
+}

@@ -1,0 +1,109 @@
+//! Exhaustive and budget-capped enumeration of compensation placements.
+//!
+//! Used as the reference line in the paper's Fig. 10 ("exhaustive error
+//! compensation") and as ground truth for the RL search on small
+//! candidate sets.
+
+use crate::env::{Environment, Outcome};
+use crate::reward::RewardSpec;
+use crate::search::ExploredPoint;
+
+/// Evaluates the placement that compensates *every* candidate layer with
+/// the given ratio (the paper's exhaustive reference point).
+pub fn all_layers(env: &mut dyn Environment, ratio: f32, reward: &RewardSpec) -> ExploredPoint {
+    let ratios = vec![ratio; env.num_slots()];
+    let outcome = env.evaluate(&ratios);
+    ExploredPoint {
+        reward: reward.reward(outcome.acc_mean, outcome.acc_std, outcome.overhead),
+        ratios,
+        outcome,
+    }
+}
+
+/// Enumerates every subset of candidate layers at a fixed ratio (2^slots
+/// placements), in-budget ones evaluated, and returns all points.
+///
+/// # Panics
+///
+/// Panics if the environment has more than 20 slots (2^20 placements).
+pub fn subsets_at_ratio(
+    env: &mut dyn Environment,
+    ratio: f32,
+    reward: &RewardSpec,
+) -> Vec<ExploredPoint> {
+    let slots = env.num_slots();
+    assert!(slots <= 20, "subset enumeration infeasible for {slots} slots");
+    let mut out = Vec::with_capacity(1 << slots);
+    for mask in 0u32..(1 << slots) {
+        let ratios: Vec<f32> = (0..slots)
+            .map(|i| if mask & (1 << i) != 0 { ratio } else { 0.0 })
+            .collect();
+        let overhead = env.overhead_of(&ratios);
+        let outcome = if reward.over_budget(overhead) {
+            Outcome {
+                acc_mean: 0.0,
+                acc_std: 0.0,
+                overhead,
+            }
+        } else {
+            env.evaluate(&ratios)
+        };
+        out.push(ExploredPoint {
+            reward: reward.reward(outcome.acc_mean, outcome.acc_std, outcome.overhead),
+            ratios,
+            outcome,
+        });
+    }
+    out
+}
+
+/// Best point of a set by reward.
+///
+/// # Panics
+///
+/// Panics on an empty set.
+pub fn best_of(points: &[ExploredPoint]) -> &ExploredPoint {
+    points
+        .iter()
+        .max_by(|a, b| a.reward.partial_cmp(&b.reward).expect("finite rewards"))
+        .expect("non-empty point set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MockEnv;
+
+    #[test]
+    fn all_layers_uses_every_slot() {
+        let mut env = MockEnv::new(vec![1.0; 3], 0.01);
+        let p = all_layers(&mut env, 1.0, &RewardSpec::new(1.0));
+        assert_eq!(p.ratios, vec![1.0; 3]);
+        assert!(p.outcome.acc_mean > 0.89); // exact target hit
+    }
+
+    #[test]
+    fn subset_enumeration_finds_true_optimum() {
+        let mut env = MockEnv::new(vec![1.0, 0.0, 1.0], 0.001);
+        let points = subsets_at_ratio(&mut env, 1.0, &RewardSpec::new(1.0));
+        assert_eq!(points.len(), 8);
+        let best = best_of(&points);
+        assert_eq!(best.ratios, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn over_budget_subsets_skip_evaluation() {
+        let mut env = MockEnv::new(vec![1.0; 4], 1.0); // huge overhead/ratio
+        let points = subsets_at_ratio(&mut env, 1.0, &RewardSpec::new(0.5));
+        // Only the empty subset fits the budget.
+        assert_eq!(env.evaluations, 1);
+        assert_eq!(points.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn refuses_huge_spaces() {
+        let mut env = MockEnv::new(vec![0.0; 21], 0.01);
+        subsets_at_ratio(&mut env, 1.0, &RewardSpec::new(1.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! # cn-rl
+//!
+//! Reinforcement-learning search for error-compensation placement
+//! (paper Sec. III-B, Fig. 6).
+//!
+//! An RNN policy ([`policy`]) emits one action per candidate layer — a
+//! compensation ratio `Sᵢ` from a discrete set including "none" — and is
+//! trained with REINFORCE ([`search`]) against the reward of paper
+//! eq. (12):
+//!
+//! ```text
+//! R = acc_avg − acc_std − overhead   if overhead ≤ limit
+//!     −overhead                       otherwise
+//! ```
+//!
+//! The environment ([`env`]) evaluates a placement by building the
+//! compensated model, training its generators/compensators against
+//! per-batch variation samples, and Monte-Carlo-evaluating the result —
+//! exactly the [`correctnet::CorrectNetStages`] pipeline. Evaluations are
+//! memoized, mirroring the paper's skip-on-overflow trick for fast agent
+//! learning. [`exhaustive`] provides the all-layers reference of Fig. 10
+//! and small-space ground truth; [`random_search`] is a sanity baseline.
+
+pub mod env;
+pub mod exhaustive;
+pub mod policy;
+pub mod random_search;
+pub mod reward;
+pub mod search;
+
+pub use env::{CorrectNetEnv, Environment, Outcome};
+pub use policy::PolicyRnn;
+pub use reward::RewardSpec;
+pub use search::{reinforce_search, SearchConfig, SearchResult};

@@ -1,0 +1,64 @@
+//! Property-based tests for the RL policy and reward function.
+
+use cn_rl::policy::PolicyRnn;
+use cn_rl::reward::RewardSpec;
+use cn_tensor::SeededRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sampled actions are always within the action set and log-probs are
+    /// valid log-probabilities.
+    #[test]
+    fn rollouts_are_well_formed(
+        hidden in 1usize..24,
+        actions in 2usize..6,
+        steps in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let policy = PolicyRnn::new(hidden, actions, seed);
+        let r = policy.sample(steps, &mut SeededRng::new(seed ^ 1));
+        prop_assert_eq!(r.actions.len(), steps);
+        prop_assert_eq!(r.log_probs.len(), steps);
+        prop_assert!(r.actions.iter().all(|&a| a < actions));
+        prop_assert!(r.log_probs.iter().all(|&lp| lp <= 0.0 && lp.is_finite()));
+        prop_assert!(r.total_log_prob() <= 0.0);
+    }
+
+    /// Greedy decoding is deterministic.
+    #[test]
+    fn greedy_is_deterministic(hidden in 1usize..16, actions in 2usize..5, seed in 0u64..500) {
+        let policy = PolicyRnn::new(hidden, actions, seed);
+        prop_assert_eq!(policy.greedy(8), policy.greedy(8));
+    }
+
+    /// Reward follows eq. (12) exactly for any inputs.
+    #[test]
+    fn reward_contract(
+        acc in 0.0f32..1.0,
+        std in 0.0f32..0.3,
+        overhead in 0.0f32..0.5,
+        limit in 0.0f32..0.5,
+    ) {
+        let spec = RewardSpec::new(limit);
+        let r = spec.reward(acc, std, overhead);
+        if overhead <= limit {
+            prop_assert!((r - (acc - std - overhead)).abs() < 1e-6);
+        } else {
+            prop_assert!((r + overhead).abs() < 1e-6);
+        }
+    }
+
+    /// Zero-advantage REINFORCE updates leave gradients at zero.
+    #[test]
+    fn zero_advantage_zero_gradient(seed in 0u64..200) {
+        let mut policy = PolicyRnn::new(8, 3, seed);
+        let rollout = policy.sample(5, &mut SeededRng::new(seed ^ 2));
+        policy.zero_grad();
+        policy.accumulate_reinforce(&rollout, 0.0);
+        for p in policy.params_mut() {
+            prop_assert!(p.grad.abs_max() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Convenience alias for results with [`TensorError`].
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction, reshaping and I/O.
+///
+/// Shape mismatches inside hot arithmetic kernels are reported by panicking
+/// (they are programming errors, like slice index bounds), while fallible
+/// boundaries — construction from user data, deserialization — return
+/// `TensorError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements does not match the requested shape.
+    ShapeMismatch {
+        /// Elements provided.
+        elements: usize,
+        /// Shape requested, flattened to its element count.
+        expected: usize,
+        /// Human readable shape.
+        shape: String,
+    },
+    /// A serialized tensor stream was malformed.
+    Malformed(String),
+    /// An I/O error occurred while reading or writing tensors.
+    Io(String),
+    /// A numeric routine failed to converge or met invalid input.
+    Numeric(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch {
+                elements,
+                expected,
+                shape,
+            } => write!(
+                f,
+                "shape mismatch: {elements} elements cannot fill shape {shape} ({expected} elements)"
+            ),
+            TensorError::Malformed(msg) => write!(f, "malformed tensor stream: {msg}"),
+            TensorError::Io(msg) => write!(f, "tensor i/o error: {msg}"),
+            TensorError::Numeric(msg) => write!(f, "numeric error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl From<std::io::Error> for TensorError {
+    fn from(err: std::io::Error) -> Self {
+        TensorError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            elements: 3,
+            expected: 4,
+            shape: "[2, 2]".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("3 elements"));
+        assert!(s.contains("[2, 2]"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: TensorError = io.into();
+        assert!(matches!(e, TensorError::Io(_)));
+        assert!(e.to_string().contains("eof"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

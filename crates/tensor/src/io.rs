@@ -1,0 +1,248 @@
+//! Compact binary serialization for tensors and named state dicts.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! tensor     := "CNT1" u32(rank) u64(dim)* f32(data)*
+//! state dict := "CNSD" u32(count) entry*
+//! entry      := u32(name_len) name_bytes tensor
+//! ```
+//!
+//! Used to persist trained models between pipeline stages (e.g. the
+//! Lipschitz-trained base model reused by compensator training and the RL
+//! search).
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const TENSOR_MAGIC: &[u8; 4] = b"CNT1";
+const DICT_MAGIC: &[u8; 4] = b"CNSD";
+
+/// Sanity cap on deserialized tensor sizes (1 GiB of f32s) to fail fast on
+/// corrupted streams instead of attempting absurd allocations.
+const MAX_ELEMENTS: u64 = 1 << 28;
+
+/// Serializes a tensor into a byte buffer.
+pub fn tensor_to_bytes(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + t.rank() * 8 + t.numel() * 4);
+    buf.put_slice(TENSOR_MAGIC);
+    buf.put_u32_le(t.rank() as u32);
+    for &d in t.dims() {
+        buf.put_u64_le(d as u64);
+    }
+    for &x in t.data() {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a tensor from a byte buffer, advancing it.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Malformed`] on bad magic, truncated data or
+/// implausible sizes.
+pub fn tensor_from_bytes(buf: &mut Bytes) -> Result<Tensor> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Malformed("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != TENSOR_MAGIC {
+        return Err(TensorError::Malformed(format!(
+            "bad tensor magic {magic:?}"
+        )));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(TensorError::Malformed(format!("implausible rank {rank}")));
+    }
+    if buf.remaining() < rank * 8 {
+        return Err(TensorError::Malformed("truncated dims".into()));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut numel: u64 = 1;
+    for _ in 0..rank {
+        let d = buf.get_u64_le();
+        numel = numel.saturating_mul(d.max(1));
+        dims.push(d as usize);
+    }
+    if numel > MAX_ELEMENTS {
+        return Err(TensorError::Malformed(format!(
+            "implausible element count {numel}"
+        )));
+    }
+    let count: usize = dims.iter().product();
+    if buf.remaining() < count * 4 {
+        return Err(TensorError::Malformed("truncated data".into()));
+    }
+    let mut data = Vec::with_capacity(count);
+    for _ in 0..count {
+        data.push(buf.get_f32_le());
+    }
+    Tensor::try_from_vec(data, &dims)
+}
+
+/// Serializes a named state dict (ordered) into a byte buffer.
+pub fn state_dict_to_bytes(entries: &[(String, Tensor)]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(DICT_MAGIC);
+    buf.put_u32_le(entries.len() as u32);
+    for (name, t) in entries {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_slice(&tensor_to_bytes(t));
+    }
+    buf.freeze()
+}
+
+/// Deserializes a named state dict.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Malformed`] on structural corruption.
+pub fn state_dict_from_bytes(mut buf: Bytes) -> Result<Vec<(String, Tensor)>> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Malformed("truncated dict header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != DICT_MAGIC {
+        return Err(TensorError::Malformed(format!("bad dict magic {magic:?}")));
+    }
+    let count = buf.get_u32_le() as usize;
+    if count > 100_000 {
+        return Err(TensorError::Malformed(format!(
+            "implausible entry count {count}"
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(TensorError::Malformed("truncated entry".into()));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(TensorError::Malformed("truncated name".into()));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| TensorError::Malformed(format!("invalid name utf8: {e}")))?;
+        let tensor = tensor_from_bytes(&mut buf)?;
+        out.push((name, tensor));
+    }
+    Ok(out)
+}
+
+/// Writes a state dict to a file.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] on filesystem errors.
+pub fn save_state_dict(path: impl AsRef<Path>, entries: &[(String, Tensor)]) -> Result<()> {
+    let bytes = state_dict_to_bytes(entries);
+    let mut f = File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads a state dict from a file.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] on filesystem errors and
+/// [`TensorError::Malformed`] on corrupt content.
+pub fn load_state_dict(path: impl AsRef<Path>) -> Result<Vec<(String, Tensor)>> {
+    let mut f = File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    state_dict_from_bytes(Bytes::from(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn tensor_roundtrip() {
+        let mut rng = SeededRng::new(1);
+        let t = rng.normal_tensor(&[3, 4, 5], 0.0, 1.0);
+        let mut buf = tensor_to_bytes(&t);
+        let back = tensor_from_bytes(&mut buf).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let t = Tensor::scalar(-2.5);
+        let mut buf = tensor_to_bytes(&t);
+        assert_eq!(tensor_from_bytes(&mut buf).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Bytes::from_static(b"XXXX\x01\x00\x00\x00");
+        assert!(matches!(
+            tensor_from_bytes(&mut buf),
+            Err(TensorError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_data_rejected() {
+        let t = Tensor::ones(&[10]);
+        let full = tensor_to_bytes(&t);
+        let mut cut = full.slice(0..full.len() - 4);
+        assert!(matches!(
+            tensor_from_bytes(&mut cut),
+            Err(TensorError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn state_dict_roundtrip_preserves_order() {
+        let mut rng = SeededRng::new(2);
+        let entries = vec![
+            ("conv1.weight".to_string(), rng.normal_tensor(&[6, 1, 5, 5], 0.0, 1.0)),
+            ("conv1.bias".to_string(), rng.normal_tensor(&[6], 0.0, 1.0)),
+            ("fc.weight".to_string(), rng.normal_tensor(&[10, 84], 0.0, 1.0)),
+        ];
+        let back = state_dict_from_bytes(state_dict_to_bytes(&entries)).unwrap();
+        assert_eq!(back.len(), 3);
+        for ((n1, t1), (n2, t2)) in entries.iter().zip(back.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cn_tensor_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cnsd");
+        let entries = vec![("w".to_string(), Tensor::arange(16).into_reshaped(&[4, 4]))];
+        save_state_dict(&path, &entries).unwrap();
+        let back = load_state_dict(&path).unwrap();
+        assert_eq!(back[0].1, entries[0].1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_state_dict("/definitely/not/a/path.cnsd").unwrap_err();
+        assert!(matches!(err, TensorError::Io(_)));
+    }
+
+    #[test]
+    fn empty_dict_roundtrip() {
+        let back = state_dict_from_bytes(state_dict_to_bytes(&[])).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Linear algebra for Lipschitz-constant regularization.
+//!
+//! The CorrectNet loss (paper eq. 11) adds `β·Σ‖WᵀW − λ²I‖²` to keep every
+//! layer's spectral norm at `λ`. This module provides:
+//!
+//! - [`spectral_norm`] — largest singular value via power iteration (used
+//!   for *reporting* per-layer Lipschitz bounds),
+//! - [`OrthPenalty`] — value and analytic gradient of the orthogonality
+//!   penalty (used in the training loop; no SVD required),
+//! - [`sym_eigenvalues`] — Jacobi eigenvalue iteration on small symmetric
+//!   matrices, used by tests to validate the power iteration.
+//!
+//! For a wide matrix (`rows < cols`, the common case for unfolded
+//! convolution kernels) `WᵀW = λ²I` is unsatisfiable because `WᵀW` is
+//! rank-deficient; following the Parseval-networks convention the penalty
+//! is computed on the smaller Gram matrix (`WWᵀ` when `rows ≤ cols`,
+//! `WᵀW` otherwise), which has the same nonzero spectrum.
+
+use crate::rng::SeededRng;
+use crate::tensor::Tensor;
+
+/// Number of power iterations that gives < 1% relative error on the
+/// matrices appearing in the workspace.
+pub const DEFAULT_POWER_ITERS: usize = 50;
+
+/// Largest singular value of a rank-2 tensor via power iteration.
+///
+/// Deterministic: the start vector is drawn from a fixed-seed RNG.
+///
+/// # Panics
+///
+/// Panics if `w` is not rank-2 or empty.
+pub fn spectral_norm(w: &Tensor, iters: usize) -> f32 {
+    assert_eq!(w.rank(), 2, "spectral_norm requires a rank-2 tensor");
+    assert!(!w.shape().is_empty(), "spectral_norm of empty matrix");
+    let (_m, n) = (w.dims()[0], w.dims()[1]);
+    let mut rng = SeededRng::new(0x5eed);
+    let mut v = rng.normal_tensor(&[n], 0.0, 1.0);
+    let nv = v.norm();
+    if nv == 0.0 {
+        return 0.0;
+    }
+    v.scale(1.0 / nv);
+    let mut sigma = 0.0f32;
+    for _ in 0..iters.max(1) {
+        // u = W v ; v = Wᵀ u, both normalized.
+        let u = w.matvec(&v);
+        let un = u.norm();
+        if un == 0.0 {
+            return 0.0;
+        }
+        let mut u = u;
+        u.scale(1.0 / un);
+        let wt_u = w.transpose().matvec(&u);
+        sigma = wt_u.norm();
+        if sigma == 0.0 {
+            return 0.0;
+        }
+        v = wt_u;
+        v.scale(1.0 / sigma);
+    }
+    sigma
+}
+
+/// Gram matrix on the smaller side: `W·Wᵀ` if `rows ≤ cols`, else `Wᵀ·W`.
+pub fn small_gram(w: &Tensor) -> Tensor {
+    assert_eq!(w.rank(), 2, "gram requires a rank-2 tensor");
+    let (m, n) = (w.dims()[0], w.dims()[1]);
+    if m <= n {
+        w.matmul_t(w)
+    } else {
+        w.t_matmul(w)
+    }
+}
+
+/// Value and gradient of the orthogonality penalty `‖G − λ²I‖_F²`, where
+/// `G` is the small-side Gram matrix of `W`.
+#[derive(Debug, Clone)]
+pub struct OrthPenalty {
+    /// Penalty value `‖G − λ²I‖_F²`.
+    pub value: f32,
+    /// Gradient with respect to `W` (same shape as `W`).
+    pub grad: Tensor,
+}
+
+/// Computes the orthogonality penalty and its analytic gradient.
+///
+/// With `D = G − λ²I`:
+/// - `rows ≤ cols` (`G = WWᵀ`): `∇ = 4·D·W`,
+/// - `rows > cols` (`G = WᵀW`): `∇ = 4·W·D`.
+///
+/// # Panics
+///
+/// Panics if `w` is not rank-2.
+pub fn orth_penalty(w: &Tensor, lambda: f32) -> OrthPenalty {
+    assert_eq!(w.rank(), 2, "orth_penalty requires a rank-2 tensor");
+    let (m, n) = (w.dims()[0], w.dims()[1]);
+    let target = lambda * lambda;
+    if m <= n {
+        let mut d = w.matmul_t(w);
+        for i in 0..m {
+            d.data_mut()[i * m + i] -= target;
+        }
+        let value = d.sq_norm();
+        let mut grad = d.matmul(w);
+        grad.scale(4.0);
+        OrthPenalty { value, grad }
+    } else {
+        let mut d = w.t_matmul(w);
+        for i in 0..n {
+            d.data_mut()[i * n + i] -= target;
+        }
+        let value = d.sq_norm();
+        let mut grad = w.matmul(&d);
+        grad.scale(4.0);
+        OrthPenalty { value, grad }
+    }
+}
+
+/// Eigenvalues of a small symmetric matrix via cyclic Jacobi rotations,
+/// sorted descending. Intended for validation and tests (O(n³) per sweep).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn sym_eigenvalues(a: &Tensor, sweeps: usize) -> Vec<f32> {
+    assert_eq!(a.rank(), 2, "sym_eigenvalues requires a rank-2 tensor");
+    let n = a.dims()[0];
+    assert_eq!(n, a.dims()[1], "matrix must be square");
+    let mut m = a.clone();
+    for _ in 0..sweeps {
+        let mut off = 0.0f32;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m.at(&[p, q]).powi(2);
+            }
+        }
+        if off < 1e-18 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.at(&[p, q]);
+                if apq.abs() < 1e-12 {
+                    continue;
+                }
+                let app = m.at(&[p, p]);
+                let aqq = m.at(&[q, q]);
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q.
+                for k in 0..n {
+                    let akp = m.at(&[k, p]);
+                    let akq = m.at(&[k, q]);
+                    m.set(&[k, p], c * akp - s * akq);
+                    m.set(&[k, q], s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = m.at(&[p, k]);
+                    let aqk = m.at(&[q, k]);
+                    m.set(&[p, k], c * apk - s * aqk);
+                    m.set(&[q, k], s * apk + c * aqk);
+                }
+            }
+        }
+    }
+    let mut eigs: Vec<f32> = (0..n).map(|i| m.at(&[i, i])).collect();
+    eigs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    eigs
+}
+
+/// Singular values of a rank-2 tensor (descending), via Jacobi on the
+/// small-side Gram matrix. Test/validation helper.
+pub fn singular_values(w: &Tensor, sweeps: usize) -> Vec<f32> {
+    sym_eigenvalues(&small_gram(w), sweeps)
+        .into_iter()
+        .map(|e| e.max(0.0).sqrt())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectral_norm_of_diagonal() {
+        let mut w = Tensor::zeros(&[3, 3]);
+        w.set(&[0, 0], 2.0);
+        w.set(&[1, 1], -5.0);
+        w.set(&[2, 2], 1.0);
+        let s = spectral_norm(&w, 100);
+        assert!((s - 5.0).abs() < 1e-3, "{s}");
+    }
+
+    #[test]
+    fn spectral_norm_of_scaled_identity() {
+        let w = Tensor::eye(4).map(|x| 3.0 * x);
+        assert!((spectral_norm(&w, 50) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spectral_norm_matches_jacobi_random() {
+        let mut rng = SeededRng::new(11);
+        let w = rng.normal_tensor(&[6, 10], 0.0, 1.0);
+        let pi = spectral_norm(&w, 200);
+        let sv = singular_values(&w, 30);
+        assert!((pi - sv[0]).abs() / sv[0] < 1e-3, "{pi} vs {}", sv[0]);
+    }
+
+    #[test]
+    fn spectral_norm_of_zero_matrix() {
+        assert_eq!(spectral_norm(&Tensor::zeros(&[4, 4]), 20), 0.0);
+    }
+
+    #[test]
+    fn small_gram_shape_follows_smaller_side() {
+        let wide = Tensor::zeros(&[3, 8]);
+        assert_eq!(small_gram(&wide).dims(), &[3, 3]);
+        let tall = Tensor::zeros(&[8, 3]);
+        assert_eq!(small_gram(&tall).dims(), &[3, 3]);
+    }
+
+    #[test]
+    fn orth_penalty_zero_for_scaled_orthogonal() {
+        // λ·I is exactly λ-orthogonal: penalty and gradient vanish.
+        let lambda = 0.7;
+        let w = Tensor::eye(4).map(|x| lambda * x);
+        let p = orth_penalty(&w, lambda);
+        assert!(p.value < 1e-10);
+        assert!(p.grad.abs_max() < 1e-5);
+    }
+
+    #[test]
+    fn orth_penalty_positive_otherwise() {
+        let mut rng = SeededRng::new(13);
+        let w = rng.normal_tensor(&[4, 4], 0.0, 1.0);
+        assert!(orth_penalty(&w, 1.0).value > 0.0);
+    }
+
+    fn numeric_grad(w: &Tensor, lambda: f32) -> Tensor {
+        let mut g = Tensor::zeros(w.dims());
+        let eps = 1e-3;
+        for i in 0..w.numel() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            g.data_mut()[i] =
+                (orth_penalty(&wp, lambda).value - orth_penalty(&wm, lambda).value) / (2.0 * eps);
+        }
+        g
+    }
+
+    #[test]
+    fn orth_penalty_gradient_matches_numeric_wide() {
+        let mut rng = SeededRng::new(17);
+        let w = rng.normal_tensor(&[3, 6], 0.0, 0.5);
+        let analytic = orth_penalty(&w, 0.8).grad;
+        let numeric = numeric_grad(&w, 0.8);
+        for (a, n) in analytic.data().iter().zip(numeric.data().iter()) {
+            assert!((a - n).abs() < 2e-2 * (1.0 + n.abs()), "{a} vs {n}");
+        }
+    }
+
+    #[test]
+    fn orth_penalty_gradient_matches_numeric_tall() {
+        let mut rng = SeededRng::new(19);
+        let w = rng.normal_tensor(&[6, 3], 0.0, 0.5);
+        let analytic = orth_penalty(&w, 1.2).grad;
+        let numeric = numeric_grad(&w, 1.2);
+        for (a, n) in analytic.data().iter().zip(numeric.data().iter()) {
+            assert!((a - n).abs() < 2e-2 * (1.0 + n.abs()), "{a} vs {n}");
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_known_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Tensor::from_vec(vec![2.0, 1.0, 1.0, 2.0], &[2, 2]);
+        let e = sym_eigenvalues(&a, 20);
+        assert!((e[0] - 3.0).abs() < 1e-4);
+        assert!((e[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_descent_on_penalty_reaches_orthogonality() {
+        // Minimizing the penalty alone should drive σ_max(W) → λ.
+        let mut rng = SeededRng::new(23);
+        let mut w = rng.normal_tensor(&[4, 8], 0.0, 1.0);
+        let lambda = 1.0;
+        for _ in 0..500 {
+            let p = orth_penalty(&w, lambda);
+            w.axpy(-0.01, &p.grad);
+        }
+        let s = spectral_norm(&w, 100);
+        assert!((s - lambda).abs() < 0.05, "σ={s}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Axis-wise reductions and elementwise math.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sums over one axis, removing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        self.reduce_axis(axis, 0.0, |acc, x| acc + x)
+    }
+
+    /// Mean over one axis, removing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range or has zero extent.
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let n = self.dims()[axis];
+        assert!(n > 0, "mean over empty axis");
+        let mut out = self.sum_axis(axis);
+        out.scale(1.0 / n as f32);
+        out
+    }
+
+    /// Maximum over one axis, removing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range or has zero extent.
+    pub fn max_axis(&self, axis: usize) -> Tensor {
+        assert!(self.dims()[axis] > 0, "max over empty axis");
+        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max)
+    }
+
+    fn reduce_axis(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert!(axis < self.rank(), "axis {axis} out of range");
+        let dims = self.dims();
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let out_shape = Shape::new(dims).without_axis(axis);
+        let mut out = Tensor::full(out_shape.dims(), init);
+        let src = self.data();
+        let dst = out.data_mut();
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                for i in 0..inner {
+                    let d = &mut dst[o * inner + i];
+                    *d = f(*d, src[base + i]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise logistic sigmoid `1/(1+e^{−x})`.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Stacks equal-shaped tensors along a new leading axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or shapes differ.
+    pub fn stack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack requires at least one tensor");
+        let first = parts[0].shape().clone();
+        let mut dims = vec![parts.len()];
+        dims.extend_from_slice(first.dims());
+        let mut data = Vec::with_capacity(parts.len() * first.numel());
+        for p in parts {
+            assert_eq!(p.shape(), &first, "stack requires equal shapes");
+            data.extend_from_slice(p.data());
+        }
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Outer product of two rank-1 tensors: `[m] ⊗ [n] → [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank-1.
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 1, "outer requires rank-1 lhs");
+        assert_eq!(other.rank(), 1, "outer requires rank-1 rhs");
+        let (m, n) = (self.numel(), other.numel());
+        let mut out = Tensor::zeros(&[m, n]);
+        for (i, &a) in self.data().iter().enumerate() {
+            for (j, &b) in other.data().iter().enumerate() {
+                out.data_mut()[i * n + j] = a * b;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t234() -> Tensor {
+        Tensor::arange(24).into_reshaped(&[2, 3, 4])
+    }
+
+    #[test]
+    fn sum_axis_all_positions() {
+        let t = t234();
+        let s0 = t.sum_axis(0);
+        assert_eq!(s0.dims(), &[3, 4]);
+        assert_eq!(s0.at(&[0, 0]), 0.0 + 12.0);
+        let s1 = t.sum_axis(1);
+        assert_eq!(s1.dims(), &[2, 4]);
+        assert_eq!(s1.at(&[0, 0]), 0.0 + 4.0 + 8.0);
+        let s2 = t.sum_axis(2);
+        assert_eq!(s2.dims(), &[2, 3]);
+        assert_eq!(s2.at(&[0, 0]), 0.0 + 1.0 + 2.0 + 3.0);
+    }
+
+    #[test]
+    fn axis_reductions_consistent_with_global() {
+        let t = t234();
+        assert!((t.sum_axis(0).sum() - t.sum()).abs() < 1e-4);
+        assert!((t.mean_axis(1).mean() - t.mean()).abs() < 1e-4);
+        assert_eq!(t.max_axis(2).max(), t.max());
+    }
+
+    #[test]
+    fn mean_axis_values() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[2, 2]);
+        assert_eq!(t.mean_axis(0).data(), &[3.0, 5.0]);
+        assert_eq!(t.mean_axis(1).data(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn max_axis_values() {
+        let t = Tensor::from_vec(vec![1.0, 9.0, -5.0, 7.0], &[2, 2]);
+        assert_eq!(t.max_axis(0).data(), &[1.0, 9.0]);
+        assert_eq!(t.max_axis(1).data(), &[9.0, 7.0]);
+    }
+
+    #[test]
+    fn elementwise_math() {
+        let t = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        assert_eq!(t.exp().data()[0], 1.0);
+        assert!((t.exp().data()[1] - std::f32::consts::E).abs() < 1e-6);
+        assert_eq!(Tensor::from_vec(vec![4.0], &[1]).sqrt().data(), &[2.0]);
+        assert_eq!(Tensor::from_vec(vec![-2.0], &[1]).abs().data(), &[2.0]);
+        assert!((Tensor::from_vec(vec![0.0], &[1]).sigmoid().data()[0] - 0.5).abs() < 1e-6);
+        assert_eq!(Tensor::from_vec(vec![0.0], &[1]).tanh().data(), &[0.0]);
+    }
+
+    #[test]
+    fn stack_makes_leading_axis() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]);
+        let o = a.outer(&b);
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_axis_panics() {
+        t234().sum_axis(3);
+    }
+}

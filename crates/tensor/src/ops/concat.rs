@@ -1,0 +1,148 @@
+//! Channel-axis concatenation and splitting.
+//!
+//! The CorrectNet generator concatenates the (pooled) input feature maps of
+//! a layer with its output feature maps (paper Fig. 5); the compensator
+//! concatenates output feature maps with the generated compensation data.
+//! Both need concat/split along axis 1 of NCHW tensors (and the rank-2
+//! analogue for dense layers).
+
+use crate::tensor::Tensor;
+
+/// Concatenates tensors along axis 1 (channels for NCHW, features for
+/// `[N, F]`). Leading (batch) and trailing (spatial) dimensions must agree.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, ranks differ, or non-channel dims disagree.
+pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_channels requires at least one part");
+    let rank = parts[0].rank();
+    assert!(rank >= 2, "concat_channels requires rank >= 2");
+    let batch = parts[0].dims()[0];
+    let spatial: usize = parts[0].dims()[2..].iter().product();
+    let mut total_c = 0;
+    for p in parts {
+        assert_eq!(p.rank(), rank, "rank mismatch in concat_channels");
+        assert_eq!(p.dims()[0], batch, "batch mismatch in concat_channels");
+        assert_eq!(
+            &p.dims()[2..],
+            &parts[0].dims()[2..],
+            "spatial dims mismatch in concat_channels"
+        );
+        total_c += p.dims()[1];
+    }
+    let mut dims = parts[0].dims().to_vec();
+    dims[1] = total_c;
+    let mut out = Tensor::zeros(&dims);
+    let o = out.data_mut();
+    for n in 0..batch {
+        let mut c_off = 0;
+        for p in parts {
+            let pc = p.dims()[1];
+            let src = &p.data()[n * pc * spatial..(n + 1) * pc * spatial];
+            let dst_start = (n * total_c + c_off) * spatial;
+            o[dst_start..dst_start + pc * spatial].copy_from_slice(src);
+            c_off += pc;
+        }
+    }
+    out
+}
+
+/// Splits a tensor along axis 1 into parts of the given channel sizes —
+/// the inverse of [`concat_channels`].
+///
+/// # Panics
+///
+/// Panics if the sizes do not sum to the channel count.
+pub fn split_channels(x: &Tensor, sizes: &[usize]) -> Vec<Tensor> {
+    assert!(x.rank() >= 2, "split_channels requires rank >= 2");
+    let batch = x.dims()[0];
+    let channels = x.dims()[1];
+    let spatial: usize = x.dims()[2..].iter().product();
+    assert_eq!(
+        sizes.iter().sum::<usize>(),
+        channels,
+        "split sizes must sum to channel count {channels}"
+    );
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut c_off = 0;
+    for &sz in sizes {
+        let mut dims = x.dims().to_vec();
+        dims[1] = sz;
+        let mut part = Tensor::zeros(&dims);
+        let o = part.data_mut();
+        for n in 0..batch {
+            let src_start = (n * channels + c_off) * spatial;
+            let dst_start = n * sz * spatial;
+            o[dst_start..dst_start + sz * spatial]
+                .copy_from_slice(&x.data()[src_start..src_start + sz * spatial]);
+        }
+        out.push(part);
+        c_off += sz;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn concat_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 1, 1, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 1, 1, 2]);
+        let c = concat_channels(&[&a, &b]);
+        assert_eq!(c.dims(), &[2, 2, 1, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn split_inverts_concat_rank4() {
+        let mut rng = SeededRng::new(1);
+        let a = rng.normal_tensor(&[2, 3, 4, 4], 0.0, 1.0);
+        let b = rng.normal_tensor(&[2, 5, 4, 4], 0.0, 1.0);
+        let joined = concat_channels(&[&a, &b]);
+        let parts = split_channels(&joined, &[3, 5]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn rank2_feature_concat() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![9.0, 8.0], &[2, 1]);
+        let c = concat_channels(&[&a, &b]);
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 2.0, 9.0, 3.0, 4.0, 8.0]);
+        let back = split_channels(&c, &[2, 1]);
+        assert_eq!(back[0], a);
+        assert_eq!(back[1], b);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch mismatch")]
+    fn batch_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 1, 2, 2]);
+        let b = Tensor::zeros(&[3, 1, 2, 2]);
+        concat_channels(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to channel count")]
+    fn bad_split_sizes_panic() {
+        split_channels(&Tensor::zeros(&[1, 4, 2, 2]), &[1, 2]);
+    }
+
+    #[test]
+    fn triple_concat() {
+        let a = Tensor::ones(&[1, 1, 2, 2]);
+        let b = Tensor::full(&[1, 2, 2, 2], 2.0);
+        let c = Tensor::full(&[1, 1, 2, 2], 3.0);
+        let j = concat_channels(&[&a, &b, &c]);
+        assert_eq!(j.dims(), &[1, 4, 2, 2]);
+        assert_eq!(j.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(j.at(&[0, 1, 0, 0]), 2.0);
+        assert_eq!(j.at(&[0, 3, 0, 0]), 3.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Elementwise arithmetic with limited broadcasting.
+//!
+//! Two broadcast forms cover every use in the workspace:
+//!
+//! 1. equal shapes — plain elementwise combination,
+//! 2. the right operand's shape is a *suffix* of the left's (e.g. adding a
+//!    `[C]` bias to a `[N, C]` activation, or a `[C, H, W]` mask to
+//!    `[N, C, H, W]` activations).
+
+use crate::tensor::Tensor;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Applies `f` with suffix broadcasting (see module docs).
+///
+/// # Panics
+///
+/// Panics if `rhs`'s shape is neither equal to nor a suffix of `lhs`'s.
+pub fn broadcast_zip(lhs: &Tensor, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    if lhs.shape() == rhs.shape() {
+        return lhs.zip_map(rhs, f);
+    }
+    let ld = lhs.dims();
+    let rd = rhs.dims();
+    assert!(
+        rd.len() <= ld.len() && ld[ld.len() - rd.len()..] == *rd,
+        "broadcast requires rhs shape {} to be a suffix of lhs shape {}",
+        rhs.shape(),
+        lhs.shape()
+    );
+    let period = rhs.numel().max(1);
+    let mut out = lhs.clone();
+    let rdata = rhs.data();
+    for (i, x) in out.data_mut().iter_mut().enumerate() {
+        *x = f(*x, rdata[i % period]);
+    }
+    out
+}
+
+/// Accumulates `grad` (shaped like the broadcast output) back onto the
+/// suffix-broadcast operand's shape by summing over the leading axes.
+///
+/// This is the adjoint of [`broadcast_zip`] with respect to its right
+/// operand when `f` is addition.
+pub fn reduce_to_suffix(grad: &Tensor, suffix_dims: &[usize]) -> Tensor {
+    let period: usize = suffix_dims.iter().product::<usize>().max(1);
+    assert_eq!(
+        grad.numel() % period,
+        0,
+        "gradient numel {} not divisible by suffix numel {period}",
+        grad.numel()
+    );
+    let mut out = Tensor::zeros(suffix_dims);
+    let odata = out.data_mut();
+    for (i, &g) in grad.data().iter().enumerate() {
+        odata[i % period] += g;
+    }
+    out
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                broadcast_zip(self, rhs, |a, b| a $op b)
+            }
+        }
+        impl $trait<f32> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: f32) -> Tensor {
+                self.map(|a| a $op rhs)
+            }
+        }
+        impl $trait<Tensor> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: Tensor) -> Tensor {
+                broadcast_zip(&self, &rhs, |a, b| a $op b)
+            }
+        }
+        impl $trait<&Tensor> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                broadcast_zip(&self, rhs, |a, b| a $op b)
+            }
+        }
+        impl $trait<Tensor> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: Tensor) -> Tensor {
+                broadcast_zip(self, &rhs, |a, b| a $op b)
+            }
+        }
+        impl $trait<f32> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: f32) -> Tensor {
+                self.map(|a| a $op rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+impl_binop!(Mul, mul, *);
+impl_binop!(Div, div, /);
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl Neg for Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl Tensor {
+    /// In-place `self += alpha * other` (equal shapes), the AXPY kernel used
+    /// by every optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "axpy requires equal shapes ({} vs {})",
+            self.shape(),
+            other.shape()
+        );
+        for (x, &y) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *x += alpha * y;
+        }
+    }
+
+    /// In-place scaling `self *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for x in self.data_mut() {
+            *x *= alpha;
+        }
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.numel(),
+            other.numel(),
+            "dot requires equal element counts"
+        );
+        self.data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Elementwise clamp into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shape_arith() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!((&a + &b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!((&a * &b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!((&b / &a).data(), &[4.0, 2.5, 2.0]);
+        assert_eq!((-&a).data(), &[-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn scalar_arith() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!((&a + 1.0).data(), &[2.0, 3.0]);
+        assert_eq!((&a * 3.0).data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn suffix_broadcast_bias() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let bias = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let y = &x + &bias;
+        assert_eq!(y.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn suffix_broadcast_rank4_mask() {
+        let x = Tensor::ones(&[2, 2, 2, 2]);
+        let mask = Tensor::from_vec(vec![1.0; 8], &[2, 2, 2]).map(|_| 2.0);
+        let y = &x * &mask;
+        assert!(y.data().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "suffix")]
+    fn invalid_broadcast_panics() {
+        let x = Tensor::ones(&[2, 3]);
+        let bad = Tensor::ones(&[2]);
+        let _ = &x + &bad;
+    }
+
+    #[test]
+    fn reduce_to_suffix_is_adjoint_of_broadcast() {
+        // d/d(bias) sum(x + bias) = count of broadcast repetitions per slot.
+        let grad = Tensor::ones(&[4, 3]);
+        let g = reduce_to_suffix(&grad, &[3]);
+        assert_eq!(g.data(), &[4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn reduce_to_suffix_values() {
+        let grad = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let g = reduce_to_suffix(&grad, &[2]);
+        assert_eq!(g.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let a = Tensor::from_vec(vec![-2.0, 0.5, 3.0], &[3]);
+        assert_eq!(a.clamp(-1.0, 1.0).data(), &[-1.0, 0.5, 1.0]);
+    }
+}

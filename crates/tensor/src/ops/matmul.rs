@@ -1,0 +1,241 @@
+//! Blocked, multi-threaded matrix multiplication.
+//!
+//! Three fused variants avoid materializing transposes in backprop:
+//! `A·B`, `Aᵀ·B` and `A·Bᵀ`. Rows of the output are distributed over
+//! threads with [`crate::parallel::parallel_chunks_mut`]; the inner loops
+//! are ordered `i-k-j` so the innermost loop streams both `B` and `C`
+//! contiguously, which auto-vectorizes well.
+
+use crate::parallel::parallel_chunks_mut;
+use crate::tensor::Tensor;
+
+/// Minimum number of output rows per spawned chunk; below this the spawn
+/// overhead dominates the arithmetic.
+const MIN_ROWS_PER_CHUNK: usize = 8;
+
+fn rows_per_chunk(m: usize) -> usize {
+    let workers = crate::parallel::num_threads();
+    (m.div_ceil(workers)).max(MIN_ROWS_PER_CHUNK)
+}
+
+impl Tensor {
+    /// Matrix product `self · rhs` for rank-2 tensors `[m, k] · [k, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank-2 or inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(rhs.rank(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
+
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = rhs.data();
+        parallel_chunks_mut(out.data_mut(), rows_per_chunk(m) * n, |chunk_idx, c| {
+            let row0 = chunk_idx * rows_per_chunk(m);
+            let rows = c.len() / n;
+            for i in 0..rows {
+                let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (kk, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                        *cj += aik * bj;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Fused `selfᵀ · rhs` for `[k, m]ᵀ · [k, n] = [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank-2 or leading dimensions disagree.
+    pub fn t_matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "t_matmul lhs must be rank-2");
+        assert_eq!(rhs.rank(), 2, "t_matmul rhs must be rank-2");
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "t_matmul leading dims disagree: {k} vs {k2}");
+
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = rhs.data();
+        parallel_chunks_mut(out.data_mut(), rows_per_chunk(m) * n, |chunk_idx, c| {
+            let row0 = chunk_idx * rows_per_chunk(m);
+            let rows = c.len() / n;
+            for kk in 0..k {
+                let brow = &b[kk * n..(kk + 1) * n];
+                let arow = &a[kk * m..(kk + 1) * m];
+                for i in 0..rows {
+                    let aik = arow[row0 + i];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut c[i * n..(i + 1) * n];
+                    for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                        *cj += aik * bj;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Fused `self · rhsᵀ` for `[m, k] · [n, k]ᵀ = [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank-2 or trailing dimensions disagree.
+    pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_t lhs must be rank-2");
+        assert_eq!(rhs.rank(), 2, "matmul_t rhs must be rank-2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul_t trailing dims disagree: {k} vs {k2}");
+
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = rhs.data();
+        parallel_chunks_mut(out.data_mut(), rows_per_chunk(m) * n, |chunk_idx, c| {
+            let row0 = chunk_idx * rows_per_chunk(m);
+            let rows = c.len() / n;
+            for i in 0..rows {
+                let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (j, cj) in crow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (av, bv) in arow.iter().zip(brow.iter()) {
+                        acc += av * bv;
+                    }
+                    *cj += acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// Matrix–vector product `self · v` for `[m, k] · [k] = [m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank-2 or the vector length disagrees.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec lhs must be rank-2");
+        assert_eq!(v.rank(), 1, "matvec rhs must be rank-1");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        assert_eq!(k, v.numel(), "matvec dims disagree");
+        let mut out = Tensor::zeros(&[m]);
+        let a = self.data();
+        let x = v.data();
+        for (i, o) in out.data_mut().iter_mut().enumerate() {
+            let row = &a[i * k..(i + 1) * k];
+            *o = row.iter().zip(x.iter()).map(|(&r, &xv)| r * xv).sum();
+        }
+        out
+    }
+}
+
+/// Reference (naive triple-loop) matmul used by tests and property checks.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    assert_eq!(k, b.dims()[0]);
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+            }
+            out.data_mut()[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = SeededRng::new(1);
+        let a = rng.normal_tensor(&[7, 7], 0.0, 1.0);
+        assert_close(&a.matmul(&Tensor::eye(7)), &a, 1e-6);
+        assert_close(&Tensor::eye(7).matmul(&a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matches_naive_rectangular() {
+        let mut rng = SeededRng::new(2);
+        let a = rng.normal_tensor(&[13, 31], 0.0, 1.0);
+        let b = rng.normal_tensor(&[31, 9], 0.0, 1.0);
+        assert_close(&a.matmul(&b), &matmul_naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(3);
+        let a = rng.normal_tensor(&[17, 5], 0.0, 1.0);
+        let b = rng.normal_tensor(&[17, 11], 0.0, 1.0);
+        assert_close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(4);
+        let a = rng.normal_tensor(&[6, 19], 0.0, 1.0);
+        let b = rng.normal_tensor(&[8, 19], 0.0, 1.0);
+        assert_close(&a.matmul_t(&b), &a.matmul(&b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = SeededRng::new(5);
+        let a = rng.normal_tensor(&[9, 14], 0.0, 1.0);
+        let v = rng.normal_tensor(&[14], 0.0, 1.0);
+        let mv = a.matvec(&v);
+        let mm = a.matmul(&v.reshape(&[14, 1]));
+        assert_close(&mv, &mm.into_reshaped(&[9]), 1e-4);
+    }
+
+    #[test]
+    fn large_parallel_product_consistent() {
+        let mut rng = SeededRng::new(6);
+        let a = rng.normal_tensor(&[64, 48], 0.0, 1.0);
+        let b = rng.normal_tensor(&[48, 50], 0.0, 1.0);
+        assert_close(&a.matmul(&b), &matmul_naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims disagree")]
+    fn mismatched_inner_dims_panic() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,19 @@
+//! Tensor operations: elementwise arithmetic, matrix multiplication,
+//! reductions, convolution lowering (`im2col`), pooling and padding.
+
+pub mod axis;
+pub mod concat;
+pub mod elementwise;
+pub mod im2col;
+pub mod matmul;
+pub mod pad;
+pub mod pool;
+pub mod reduce;
+
+pub use concat::{concat_channels, split_channels};
+pub use elementwise::{broadcast_zip, reduce_to_suffix};
+pub use im2col::{col2im, conv_out_dim, im2col, nchw_to_rows, rows_to_nchw, Conv2dGeometry};
+pub use pad::{pad_nchw, unpad_nchw};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, avg_pool_to, avg_pool_to_backward, max_pool2d, max_pool2d_backward, PoolGeometry,
+};

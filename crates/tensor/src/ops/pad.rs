@@ -1,0 +1,96 @@
+//! Zero padding / cropping of NCHW tensors.
+
+use crate::tensor::Tensor;
+
+/// Zero-pads the two spatial dimensions of an `[N, C, H, W]` tensor by
+/// `pad` on every side.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-4.
+pub fn pad_nchw(input: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(input.rank(), 4, "pad_nchw expects NCHW input");
+    if pad == 0 {
+        return input.clone();
+    }
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (ph, pw) = (h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, ph, pw]);
+    let x = input.data();
+    let o = out.data_mut();
+    for nc in 0..n * c {
+        for y in 0..h {
+            let src = nc * h * w + y * w;
+            let dst = nc * ph * pw + (y + pad) * pw + pad;
+            o[dst..dst + w].copy_from_slice(&x[src..src + w]);
+        }
+    }
+    out
+}
+
+/// Crops `pad` from every side of the spatial dimensions — the inverse of
+/// [`pad_nchw`].
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-4 or too small to crop.
+pub fn unpad_nchw(input: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(input.rank(), 4, "unpad_nchw expects NCHW input");
+    if pad == 0 {
+        return input.clone();
+    }
+    let (n, c, ph, pw) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    assert!(ph > 2 * pad && pw > 2 * pad, "tensor too small to unpad");
+    let (h, w) = (ph - 2 * pad, pw - 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let x = input.data();
+    let o = out.data_mut();
+    for nc in 0..n * c {
+        for y in 0..h {
+            let src = nc * ph * pw + (y + pad) * pw + pad;
+            let dst = nc * h * w + y * w;
+            o[dst..dst + w].copy_from_slice(&x[src..src + w]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn pad_places_values_centrally() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let p = pad_nchw(&x, 1);
+        assert_eq!(p.dims(), &[1, 1, 4, 4]);
+        assert_eq!(p.sum(), 4.0);
+        assert_eq!(p.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn unpad_inverts_pad() {
+        let mut rng = SeededRng::new(8);
+        let x = rng.normal_tensor(&[2, 3, 5, 4], 0.0, 1.0);
+        assert_eq!(unpad_nchw(&pad_nchw(&x, 2), 2), x);
+    }
+
+    #[test]
+    fn zero_pad_is_identity() {
+        let x = Tensor::ones(&[1, 2, 3, 3]);
+        assert_eq!(pad_nchw(&x, 0), x);
+        assert_eq!(unpad_nchw(&x, 0), x);
+    }
+}

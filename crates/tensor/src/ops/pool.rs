@@ -1,0 +1,370 @@
+//! 2-D pooling kernels (max and average) with exact backward passes.
+
+use crate::ops::im2col::conv_out_dim;
+use crate::tensor::Tensor;
+
+/// Geometry of a square pooling window (no padding, as used by LeNet-5 and
+/// VGG16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolGeometry {
+    /// Window edge length.
+    pub kernel: usize,
+    /// Stride (usually equal to `kernel`).
+    pub stride: usize,
+}
+
+impl PoolGeometry {
+    /// Square window with stride equal to its size (non-overlapping).
+    pub fn square(kernel: usize) -> Self {
+        PoolGeometry {
+            kernel,
+            stride: kernel,
+        }
+    }
+}
+
+/// Max pooling over `[N, C, H, W]`. Returns the pooled tensor and the flat
+/// input index chosen per output element (for the backward pass).
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-4 or the window does not fit.
+pub fn max_pool2d(input: &Tensor, geo: PoolGeometry) -> (Tensor, Vec<u32>) {
+    assert_eq!(input.rank(), 4, "max_pool2d expects NCHW input");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = conv_out_dim(h, geo.kernel, geo.stride, 0);
+    let ow = conv_out_dim(w, geo.kernel, geo.stride, 0);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut arg = vec![0u32; n * c * oh * ow];
+    let x = input.data();
+    let o = out.data_mut();
+    for nc in 0..n * c {
+        let base = nc * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ky in 0..geo.kernel {
+                    for kx in 0..geo.kernel {
+                        let iy = oy * geo.stride + ky;
+                        let ix = ox * geo.stride + kx;
+                        let idx = base + iy * w + ix;
+                        if x[idx] > best {
+                            best = x[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let oidx = nc * oh * ow + oy * ow + ox;
+                o[oidx] = best;
+                arg[oidx] = best_idx as u32;
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the input
+/// position that won the max.
+pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[u32], input_dims: &[usize]) -> Tensor {
+    assert_eq!(grad_out.numel(), argmax.len(), "argmax length mismatch");
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.data_mut();
+    for (g, &idx) in grad_out.data().iter().zip(argmax.iter()) {
+        gi[idx as usize] += g;
+    }
+    grad_in
+}
+
+/// Average pooling over `[N, C, H, W]`.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-4 or the window does not fit.
+pub fn avg_pool2d(input: &Tensor, geo: PoolGeometry) -> Tensor {
+    assert_eq!(input.rank(), 4, "avg_pool2d expects NCHW input");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = conv_out_dim(h, geo.kernel, geo.stride, 0);
+    let ow = conv_out_dim(w, geo.kernel, geo.stride, 0);
+    let inv = 1.0 / (geo.kernel * geo.kernel) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let x = input.data();
+    let o = out.data_mut();
+    for nc in 0..n * c {
+        let base = nc * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for ky in 0..geo.kernel {
+                    for kx in 0..geo.kernel {
+                        acc += x[base + (oy * geo.stride + ky) * w + (ox * geo.stride + kx)];
+                    }
+                }
+                o[nc * oh * ow + oy * ow + ox] = acc * inv;
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
+/// over its window.
+pub fn avg_pool2d_backward(grad_out: &Tensor, geo: PoolGeometry, input_dims: &[usize]) -> Tensor {
+    assert_eq!(grad_out.rank(), 4, "grad_out must be NCHW");
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = (grad_out.dims()[2], grad_out.dims()[3]);
+    assert_eq!(grad_out.dims()[0], n);
+    assert_eq!(grad_out.dims()[1], c);
+    let inv = 1.0 / (geo.kernel * geo.kernel) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.data_mut();
+    let go = grad_out.data();
+    for nc in 0..n * c {
+        let base = nc * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = go[nc * oh * ow + oy * ow + ox] * inv;
+                for ky in 0..geo.kernel {
+                    for kx in 0..geo.kernel {
+                        gi[base + (oy * geo.stride + ky) * w + (ox * geo.stride + kx)] += g;
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+/// Window covered by adaptive-pooling output index `i` along an axis of
+/// `input` cells mapped to `output` cells: `[⌊i·in/out⌋, ⌈(i+1)·in/out⌉)`.
+fn adaptive_window(i: usize, input: usize, output: usize) -> (usize, usize) {
+    let start = i * input / output;
+    let end = ((i + 1) * input).div_ceil(output);
+    (start, end.max(start + 1))
+}
+
+/// Adaptive average pooling of `[N, C, H, W]` down to exactly
+/// `(out_h, out_w)`, for arbitrary (including non-integer) ratios.
+///
+/// This is the dimension-matching pooling of the CorrectNet generator
+/// (paper Fig. 5): the input feature maps of the original layer are pooled
+/// to the output feature maps' spatial size before concatenation. For
+/// integer ratios it coincides with uniform average pooling; identity when
+/// dimensions already match.
+///
+/// # Panics
+///
+/// Panics if the input is not rank-4, targets are zero, or the target is
+/// larger than the input.
+pub fn avg_pool_to(input: &Tensor, target_h: usize, target_w: usize) -> Tensor {
+    assert_eq!(input.rank(), 4, "avg_pool_to expects NCHW input");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    if (h, w) == (target_h, target_w) {
+        return input.clone();
+    }
+    assert!(target_h > 0 && target_w > 0, "targets must be positive");
+    assert!(
+        target_h <= h && target_w <= w,
+        "cannot pool {h}×{w} up to {target_h}×{target_w}"
+    );
+    let mut out = Tensor::zeros(&[n, c, target_h, target_w]);
+    let x = input.data();
+    let o = out.data_mut();
+    for nc in 0..n * c {
+        let base = nc * h * w;
+        for oy in 0..target_h {
+            let (y0, y1) = adaptive_window(oy, h, target_h);
+            for ox in 0..target_w {
+                let (x0, x1) = adaptive_window(ox, w, target_w);
+                let mut acc = 0.0;
+                for iy in y0..y1 {
+                    for ix in x0..x1 {
+                        acc += x[base + iy * w + ix];
+                    }
+                }
+                o[nc * target_h * target_w + oy * target_w + ox] =
+                    acc / ((y1 - y0) * (x1 - x0)) as f32;
+            }
+        }
+    }
+    out
+}
+
+/// Exact adjoint of [`avg_pool_to`]: spreads each output gradient
+/// uniformly over its adaptive window.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn avg_pool_to_backward(grad_out: &Tensor, input_dims: &[usize]) -> Tensor {
+    assert_eq!(grad_out.rank(), 4, "grad_out must be NCHW");
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = (grad_out.dims()[2], grad_out.dims()[3]);
+    assert_eq!(grad_out.dims()[0], n, "batch mismatch");
+    assert_eq!(grad_out.dims()[1], c, "channel mismatch");
+    if (h, w) == (oh, ow) {
+        return grad_out.clone();
+    }
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.data_mut();
+    let go = grad_out.data();
+    for nc in 0..n * c {
+        let base = nc * h * w;
+        for oy in 0..oh {
+            let (y0, y1) = adaptive_window(oy, h, oh);
+            for ox in 0..ow {
+                let (x0, x1) = adaptive_window(ox, w, ow);
+                let g = go[nc * oh * ow + oy * ow + ox] / ((y1 - y0) * (x1 - x0)) as f32;
+                for iy in y0..y1 {
+                    for ix in x0..x1 {
+                        gi[base + iy * w + ix] += g;
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn max_pool_known_values() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, 0.0, 9.0, 1.0, //
+                2.0, 1.0, 3.0, 2.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (y, arg) = max_pool2d(&x, PoolGeometry::square(2));
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, 2.0, 9.0]);
+        assert_eq!(arg[1], 7); // 8.0 lives at flat index 7
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let (_, arg) = max_pool2d(&x, PoolGeometry::square(2));
+        let g = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]);
+        let gi = max_pool2d_backward(&g, &arg, &[1, 1, 2, 2]);
+        assert_eq!(gi.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::arange(16).into_reshaped(&[1, 1, 4, 4]);
+        let y = avg_pool2d(&x, PoolGeometry::square(2));
+        assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_is_adjoint() {
+        let mut rng = SeededRng::new(5);
+        let x = rng.normal_tensor(&[2, 3, 4, 4], 0.0, 1.0);
+        let geo = PoolGeometry::square(2);
+        let y = avg_pool2d(&x, geo);
+        let g = rng.normal_tensor(y.dims(), 0.0, 1.0);
+        let gi = avg_pool2d_backward(&g, geo, x.dims());
+        // <avg(x), g> == <x, avgᵀ(g)>
+        let lhs = y.dot(&g);
+        let rhs = x.dot(&gi);
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn max_pool_backward_is_adjoint_at_fixed_argmax() {
+        let mut rng = SeededRng::new(6);
+        let x = rng.normal_tensor(&[1, 2, 6, 6], 0.0, 1.0);
+        let geo = PoolGeometry::square(3);
+        let (y, arg) = max_pool2d(&x, geo);
+        let g = rng.normal_tensor(y.dims(), 0.0, 1.0);
+        let gi = max_pool2d_backward(&g, &arg, x.dims());
+        assert!((y.dot(&g) - x.dot(&gi)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn avg_pool_to_identity() {
+        let x = Tensor::ones(&[1, 2, 3, 3]);
+        let y = avg_pool_to(&x, 3, 3);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn avg_pool_to_halving() {
+        let x = Tensor::arange(16).into_reshaped(&[1, 1, 4, 4]);
+        let y = avg_pool_to(&x, 2, 2);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_to_non_integer_ratio() {
+        // 14 → 10 (the LeNet conv2 geometry): windows are 1 or 2 wide.
+        let x = Tensor::ones(&[1, 1, 14, 14]);
+        let y = avg_pool_to(&x, 10, 10);
+        assert_eq!(y.dims(), &[1, 1, 10, 10]);
+        // Averaging ones gives ones regardless of window size.
+        assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn avg_pool_to_preserves_mean() {
+        let mut rng = SeededRng::new(41);
+        let x = rng.normal_tensor(&[1, 2, 7, 7], 0.0, 1.0);
+        let y = avg_pool_to(&x, 3, 3);
+        // Not exactly mean-preserving for uneven windows, but close.
+        assert!((x.mean() - y.mean()).abs() < 0.3);
+    }
+
+    #[test]
+    fn avg_pool_to_backward_is_adjoint() {
+        let mut rng = SeededRng::new(42);
+        let x = rng.normal_tensor(&[2, 3, 14, 14], 0.0, 1.0);
+        let y = avg_pool_to(&x, 10, 10);
+        let g = rng.normal_tensor(y.dims(), 0.0, 1.0);
+        let gi = avg_pool_to_backward(&g, x.dims());
+        assert!((y.dot(&g) - x.dot(&gi)).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pool")]
+    fn avg_pool_to_upsampling_panics() {
+        avg_pool_to(&Tensor::ones(&[1, 1, 4, 4]), 8, 8);
+    }
+
+    #[test]
+    fn overlapping_stride_pool() {
+        let x = Tensor::arange(16).into_reshaped(&[1, 1, 4, 4]);
+        let y = avg_pool2d(
+            &x,
+            PoolGeometry {
+                kernel: 2,
+                stride: 1,
+            },
+        );
+        assert_eq!(y.dims(), &[1, 1, 3, 3]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 2.5);
+    }
+}

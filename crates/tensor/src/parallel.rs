@@ -1,0 +1,147 @@
+//! Minimal scoped-thread parallel helpers.
+//!
+//! The workspace runs on small CPU boxes; a full work-stealing pool is not
+//! warranted. [`parallel_chunks_mut`] splits a mutable slice into per-thread
+//! chunks processed with `std::thread::scope`, which is enough to keep
+//! matmul, im2col and Monte-Carlo evaluation busy on all cores.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the number of worker threads to use.
+///
+/// Defaults to `std::thread::available_parallelism()`, overridable with the
+/// `CN_THREADS` environment variable (useful to force determinism-friendly
+/// single-threaded runs in tests).
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("CN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Processes disjoint chunks of `data` in parallel.
+///
+/// `data` is split into contiguous chunks of at most `chunk_len` elements;
+/// `f(chunk_index, chunk)` is invoked for each. When only one thread is
+/// available (or there is a single chunk) everything runs inline.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero.
+pub fn parallel_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if num_threads() == 1 || n_chunks <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(i, chunk));
+        }
+    });
+}
+
+/// Runs `f(start, end)` over `[0, n)` split into roughly equal ranges, one
+/// per worker thread. Use when the work does not borrow a single mutable
+/// slice (e.g. producing independent results gathered via channels).
+pub fn parallel_ranges(n: usize, f: impl Fn(usize, usize) + Sync) {
+    let workers = num_threads().min(n.max(1));
+    if workers <= 1 || n == 0 {
+        f(0, n);
+        return;
+    }
+    let per = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let start = w * per;
+            let end = ((w + 1) * per).min(n);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move || f(start, end));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn chunks_cover_all_elements() {
+        let mut v = vec![0u32; 103];
+        parallel_chunks_mut(&mut v, 10, |_, chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn chunk_indices_are_distinct() {
+        let mut v = vec![0usize; 40];
+        parallel_chunks_mut(&mut v, 7, |i, chunk| {
+            for x in chunk {
+                *x = i;
+            }
+        });
+        // chunk 0 covers [0,7), chunk 5 covers [35,40)
+        assert_eq!(v[0], 0);
+        assert_eq!(v[6], 0);
+        assert_eq!(v[7], 1);
+        assert_eq!(v[39], 5);
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        let counter = AtomicU32::new(0);
+        parallel_ranges(1000, |s, e| {
+            counter.fetch_add((e - s) as u32, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn ranges_zero_items() {
+        let counter = AtomicU32::new(0);
+        parallel_ranges(0, |s, e| {
+            counter.fetch_add((e - s) as u32, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_panics() {
+        let mut v = [0u8; 4];
+        parallel_chunks_mut(&mut v, 0, |_, _| {});
+    }
+}

@@ -1,0 +1,100 @@
+//! Baseline comparison in miniature (paper Fig. 8): CorrectNet against
+//! SRAM weight replication, random sparse adaptation and noise-aware
+//! training on LeNet-5/MNIST.
+//!
+//! ```bash
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use cn_analog::montecarlo::mc_accuracy;
+use cn_baselines::protection::RetrainConfig;
+use cn_baselines::statistical::{train_noise_aware, NoiseAwareConfig};
+use cn_baselines::{magnitude_replication, random_sparse_adaptation};
+use cn_data::synthetic_mnist;
+use cn_nn::zoo::{lenet5, LeNetConfig};
+use correctnet::compensation::{weight_overhead, CompensationPlan};
+use correctnet::pipeline::{CorrectNetConfig, CorrectNetStages};
+
+fn main() {
+    let sigma = 0.5;
+    println!("== Baselines vs CorrectNet (LeNet-5 / synth-MNIST, σ = {sigma}) ==\n");
+    let data = synthetic_mnist(800, 250, 61);
+    let cfg = CorrectNetConfig::quick(sigma, 62);
+    let stages = CorrectNetStages::new(cfg);
+
+    // Common plain model for the baselines.
+    let mut plain = lenet5(&LeNetConfig::mnist(63));
+    stages.train_plain(&mut plain, &data.train);
+    let uncorrected = mc_accuracy(&plain, &data.test, &stages.config.mc());
+    println!(
+        "uncorrected:                   {:>5.1}%  (overhead 0.0%)",
+        100.0 * uncorrected.mean
+    );
+
+    // Noise-aware fine-tuning (≈ [11]): zero overhead.
+    let mut aware = plain.clone();
+    train_noise_aware(
+        &mut aware,
+        &data.train,
+        &NoiseAwareConfig {
+            lr: 1e-3,
+            ..NoiseAwareConfig::new(sigma, 4, 64)
+        },
+    );
+    let stat = mc_accuracy(&aware, &data.test, &stages.config.mc());
+    println!(
+        "[11] noise-aware fine-tuning:  {:>5.1}%  (overhead 0.0%)",
+        100.0 * stat.mean
+    );
+
+    // Magnitude replication (≈ [8]) at 5% digital weights.
+    let rep = magnitude_replication(
+        &plain, &data.test, &data.train, &[0.05], sigma, 8, 65, None,
+    );
+    println!(
+        "[8]  top-5% SRAM replication:  {:>5.1}%  (overhead 5.0%)",
+        100.0 * rep[0].result.mean
+    );
+    let rep_rt = magnitude_replication(
+        &plain,
+        &data.test,
+        &data.train,
+        &[0.05],
+        sigma,
+        4,
+        65,
+        Some(RetrainConfig::quick()),
+    );
+    println!(
+        "[8]  + per-chip retraining:    {:>5.1}%  (overhead 5.0%)",
+        100.0 * rep_rt[0].result.mean
+    );
+
+    // Random sparse adaptation (≈ [9]) at 5%.
+    let rsa = random_sparse_adaptation(
+        &plain,
+        &data.test,
+        &data.train,
+        &[0.05],
+        sigma,
+        4,
+        66,
+        Some(RetrainConfig::quick()),
+    );
+    println!(
+        "[9]  random sparse adaptation: {:>5.1}%  (overhead 5.0%)",
+        100.0 * rsa[0].result.mean
+    );
+
+    // CorrectNet: Lipschitz base + conv-layer compensation.
+    let mut base = lenet5(&LeNetConfig::mnist(63));
+    stages.train_base(&mut base, &data.train);
+    let plan = CompensationPlan::uniform(&[0, 1], 1.0);
+    let corrected = stages.build_and_train(&base, &data.train, &plan);
+    let cn = stages.evaluate(&corrected, &data.test);
+    println!(
+        "CorrectNet:                    {:>5.1}%  (overhead {:.1}%, no per-chip retraining)",
+        100.0 * cn.mean,
+        100.0 * weight_overhead(&corrected)
+    );
+}

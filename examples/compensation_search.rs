@@ -1,0 +1,80 @@
+//! RL placement search (paper Fig. 6 / Fig. 10): an RNN policy trained
+//! with REINFORCE decides which layers get error compensation and how many
+//! generator filters to use, against the reward of eq. (12).
+//!
+//! ```bash
+//! cargo run --release --example compensation_search
+//! ```
+
+use cn_data::synthetic_mnist;
+use cn_nn::zoo::{lenet5, LeNetConfig};
+use cn_rl::env::{CorrectNetEnv, Environment};
+use cn_rl::exhaustive::{all_layers, best_of, subsets_at_ratio};
+use cn_rl::search::{reinforce_search, SearchConfig};
+use correctnet::pipeline::{CorrectNetConfig, CorrectNetStages};
+
+fn main() {
+    let sigma = 0.5;
+    println!("== RL search for compensation placement (σ = {sigma}) ==\n");
+
+    let data = synthetic_mnist(500, 150, 51);
+    let cfg = CorrectNetConfig {
+        base_epochs: 5,
+        comp_epochs: 2,
+        mc_samples: 6,
+        ..CorrectNetConfig::quick(sigma, 52)
+    };
+    let stages = CorrectNetStages::new(cfg);
+    let mut base = lenet5(&LeNetConfig::mnist(53));
+    stages.train_base(&mut base, &data.train);
+
+    let report = stages.candidates(&base, &data.test);
+    println!(
+        "candidates: first {} weight layers (clean accuracy {:.1}%)",
+        report.candidate_count,
+        100.0 * report.clean_accuracy
+    );
+    let candidates = if report.candidate_count == 0 {
+        vec![0, 1] // always search something in this demo
+    } else {
+        report.candidates()
+    };
+
+    let search_cfg = SearchConfig {
+        episodes: 12,
+        rollouts_per_episode: 3,
+        ..SearchConfig::new(0.06, 54)
+    };
+
+    // RL search.
+    let mut env = CorrectNetEnv::new(stages, &base, &data.train, &data.test, candidates.clone());
+    let result = reinforce_search(&mut env, &search_cfg);
+    println!(
+        "\nRL best: ratios {:?} → {:.1}% ± {:.1} at {:.2}% overhead (reward {:.3}, {} env evals)",
+        result.best_ratios,
+        100.0 * result.best_outcome.acc_mean,
+        100.0 * result.best_outcome.acc_std,
+        100.0 * result.best_outcome.overhead,
+        result.best_reward,
+        env.evaluations()
+    );
+
+    // Exhaustive reference at a fixed ratio.
+    let mut env2 = CorrectNetEnv::new(stages, &base, &data.train, &data.test, candidates.clone());
+    let exhaustive = all_layers(&mut env2, 0.5, &search_cfg.reward);
+    println!(
+        "exhaustive (all candidates @0.5): {:.1}% at {:.2}% overhead",
+        100.0 * exhaustive.outcome.acc_mean,
+        100.0 * exhaustive.outcome.overhead
+    );
+    if candidates.len() <= 3 {
+        let subsets = subsets_at_ratio(&mut env2, 0.5, &search_cfg.reward);
+        let best = best_of(&subsets);
+        println!(
+            "subset ground truth: {:?} → reward {:.3}",
+            best.ratios, best.reward
+        );
+    }
+
+    println!("\nreward curve: {:?}", result.reward_curve);
+}

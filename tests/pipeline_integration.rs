@@ -1,0 +1,88 @@
+//! Cross-crate integration: the full CorrectNet pipeline end to end.
+//!
+//! This is the paper's core claim in miniature: a Lipschitz-regularized,
+//! compensation-equipped model must recover a large share of the accuracy
+//! a plain model loses under analog variations.
+
+use cn_analog::montecarlo::{mc_accuracy, McConfig};
+use cn_data::synthetic_mnist;
+use cn_nn::metrics::evaluate;
+use cn_nn::zoo::{lenet5, LeNetConfig};
+use correctnet::compensation::{weight_overhead, CompensationPlan};
+use correctnet::pipeline::{CorrectNetConfig, CorrectNetStages};
+
+#[test]
+fn correctnet_recovers_accuracy_under_variations() {
+    let sigma = 0.6;
+    let data = synthetic_mnist(400, 120, 201);
+    let cfg = CorrectNetConfig {
+        base_epochs: 5,
+        reg_epochs: 3,
+        comp_epochs: 8,
+        comp_lr: 1e-3,
+        mc_samples: 8,
+        beta: 1e-3,
+        ..CorrectNetConfig::quick(sigma, 202)
+    };
+    let stages = CorrectNetStages::new(cfg);
+
+    // Plain model: collapses under variations.
+    let mut plain = lenet5(&LeNetConfig::mnist(203));
+    stages.train_plain(&mut plain, &data.train);
+    let clean_plain = evaluate(&mut plain.clone(), &data.test, 64);
+    let noisy_plain = mc_accuracy(&plain, &data.test, &stages.config.mc());
+
+    // CorrectNet: Lipschitz training + compensation on the early layers.
+    let mut base = lenet5(&LeNetConfig::mnist(203));
+    stages.train_base(&mut base, &data.train);
+    let report = stages.candidates(&base, &data.test);
+    // Compensate the convolutional candidates (weight layers 0 and 1).
+    // Dense compensators cost at least n² weights (the compensator's
+    // n×(n+m) kernel), so under the paper's few-percent overhead budget
+    // the search never selects them for LeNet — its Table I rows also
+    // compensate only 1–2 early layers.
+    let mut candidates: Vec<usize> = report
+        .candidates()
+        .into_iter()
+        .filter(|&w| w < 2)
+        .collect();
+    if candidates.is_empty() {
+        candidates = vec![0, 1];
+    }
+    let plan = CompensationPlan::uniform(&candidates, 1.0);
+    let corrected = stages.build_and_train(&base, &data.train, &plan);
+    let result = stages.evaluate(&corrected, &data.test);
+
+    assert!(clean_plain > 0.75, "plain model failed to train: {clean_plain}");
+    assert!(
+        result.mean > noisy_plain.mean + 0.03,
+        "CorrectNet ({:.3}) must clearly beat the uncorrected noisy model ({:.3})",
+        result.mean,
+        noisy_plain.mean
+    );
+    let overhead = weight_overhead(&corrected);
+    assert!(
+        overhead < 0.10,
+        "compensation overhead {overhead} out of the expected sub-10% regime"
+    );
+}
+
+#[test]
+fn pipeline_is_reproducible_end_to_end() {
+    let data = synthetic_mnist(150, 50, 211);
+    let cfg = CorrectNetConfig {
+        base_epochs: 2,
+        comp_epochs: 1,
+        mc_samples: 3,
+        ..CorrectNetConfig::quick(0.5, 212)
+    };
+    let stages = CorrectNetStages::new(cfg);
+    let run = || {
+        let mut base = lenet5(&LeNetConfig::mnist(213));
+        stages.train_base(&mut base, &data.train);
+        let plan = CompensationPlan::uniform(&[0, 1], 0.5);
+        let comp = stages.build_and_train(&base, &data.train, &plan);
+        stages.evaluate(&comp, &data.test).accuracies
+    };
+    assert_eq!(run(), run(), "same seeds must give identical pipelines");
+}

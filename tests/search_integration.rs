@@ -1,0 +1,69 @@
+//! Integration: RL search over the real CorrectNet environment.
+
+use cn_data::synthetic_mnist;
+use cn_nn::zoo::{lenet5, LeNetConfig};
+use cn_rl::env::{CorrectNetEnv, Environment};
+use cn_rl::reward::RewardSpec;
+use cn_rl::search::{reinforce_search, SearchConfig};
+use correctnet::pipeline::{CorrectNetConfig, CorrectNetStages};
+
+#[test]
+fn rl_search_on_real_environment_returns_valid_plan() {
+    let data = synthetic_mnist(200, 60, 251);
+    let cfg = CorrectNetConfig {
+        base_epochs: 3,
+        comp_epochs: 1,
+        mc_samples: 3,
+        ..CorrectNetConfig::quick(0.5, 252)
+    };
+    let stages = CorrectNetStages::new(cfg);
+    let mut base = lenet5(&LeNetConfig::mnist(253));
+    stages.train_base(&mut base, &data.train);
+
+    let candidates = vec![0, 1]; // the two conv layers
+    let mut env = CorrectNetEnv::new(stages, &base, &data.train, &data.test, candidates);
+    let search_cfg = SearchConfig {
+        episodes: 4,
+        rollouts_per_episode: 2,
+        ..SearchConfig::new(0.08, 254)
+    };
+    let result = reinforce_search(&mut env, &search_cfg);
+
+    assert_eq!(result.best_ratios.len(), 2);
+    assert_eq!(result.reward_curve.len(), 4);
+    // The best placement respects the reward contract.
+    let spec = RewardSpec::new(0.08);
+    let expect = spec.reward(
+        result.best_outcome.acc_mean,
+        result.best_outcome.acc_std,
+        result.best_outcome.overhead,
+    );
+    assert!((result.best_reward - expect).abs() < 1e-6);
+    // Caching: identical plans must not re-run the expensive evaluation.
+    assert!(env.evaluations() <= 8);
+}
+
+#[test]
+fn closed_form_overhead_matches_built_model() {
+    use correctnet::compensation::{apply_compensation, weight_overhead};
+    let data = synthetic_mnist(60, 20, 261);
+    let cfg = CorrectNetConfig {
+        base_epochs: 1,
+        ..CorrectNetConfig::quick(0.5, 262)
+    };
+    let stages = CorrectNetStages::new(cfg);
+    let mut base = lenet5(&LeNetConfig::mnist(263));
+    stages.train_plain(&mut base, &data.train);
+
+    let candidates = vec![0, 1, 2];
+    let env = CorrectNetEnv::new(stages, &base, &data.train, &data.test, candidates);
+    let ratios = [0.5, 0.0, 1.0];
+    let predicted = env.overhead_of(&ratios);
+    let plan = env.plan_of(&ratios);
+    let built = apply_compensation(&base, &plan, 264);
+    let actual = weight_overhead(&built);
+    assert!(
+        (predicted - actual).abs() < 1e-6,
+        "closed-form {predicted} vs built {actual}"
+    );
+}
