@@ -19,7 +19,7 @@ impl Dac {
     ///
     /// Panics on zero bits or non-positive range.
     pub fn new(bits: u32, v_max: f32) -> Self {
-        assert!(bits >= 1 && bits <= 16, "bits must be in 1..=16");
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
         assert!(v_max > 0.0, "v_max must be positive");
         Dac { bits, v_max }
     }
@@ -56,7 +56,7 @@ impl Adc {
     ///
     /// Panics on zero bits or non-positive range.
     pub fn new(bits: u32, range: f32) -> Self {
-        assert!(bits >= 1 && bits <= 16, "bits must be in 1..=16");
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
         assert!(range > 0.0, "range must be positive");
         Adc { bits, range }
     }

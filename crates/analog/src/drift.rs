@@ -31,7 +31,10 @@ impl ConductanceDrift {
     ///
     /// Panics on negative parameters or non-positive `t0`.
     pub fn new(nu: f32, nu_sigma: f32, t0: f32) -> Self {
-        assert!(nu >= 0.0 && nu_sigma >= 0.0, "exponents must be non-negative");
+        assert!(
+            nu >= 0.0 && nu_sigma >= 0.0,
+            "exponents must be non-negative"
+        );
         assert!(t0 > 0.0, "reference time must be positive");
         ConductanceDrift { nu, nu_sigma, t0 }
     }

@@ -77,8 +77,8 @@ pub fn analyze(model: &mut Sequential, sample_dims: &[usize], cost: &CostModel) 
     let mut analog_total = 0u64;
     let mut digital_total = 0u64;
     let mut prev_dims = in_dims.clone();
-    for i in 0..model.len() {
-        let out_dims = acts[i].dims().to_vec();
+    for (i, act) in acts.iter().enumerate().take(model.len()) {
+        let out_dims = act.dims().to_vec();
         let (a, d) = model.layer(i).macs(&prev_dims, &out_dims);
         analog_total += a;
         digital_total += d;

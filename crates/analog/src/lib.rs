@@ -37,9 +37,9 @@
 
 pub mod cell;
 pub mod converters;
-pub mod drift;
 pub mod crossbar;
 pub mod deployment;
+pub mod drift;
 pub mod energy;
 pub mod faults;
 pub mod irdrop;

@@ -249,8 +249,14 @@ mod tests {
     #[test]
     fn edge_fractions() {
         let m = model();
-        assert_eq!(ProtectionMasks::top_magnitude(&m, 0.0).protected_fraction(), 0.0);
-        assert_eq!(ProtectionMasks::top_magnitude(&m, 1.0).protected_fraction(), 1.0);
+        assert_eq!(
+            ProtectionMasks::top_magnitude(&m, 0.0).protected_fraction(),
+            0.0
+        );
+        assert_eq!(
+            ProtectionMasks::top_magnitude(&m, 1.0).protected_fraction(),
+            1.0
+        );
     }
 
     #[test]

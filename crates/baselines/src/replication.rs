@@ -33,7 +33,14 @@ pub fn magnitude_replication(
         .map(|&fraction| {
             let protection = ProtectionMasks::top_magnitude(model, fraction);
             let result = eval_protected(
-                model, test, train, &protection, sigma, samples, seed, retrain,
+                model,
+                test,
+                train,
+                &protection,
+                sigma,
+                samples,
+                seed,
+                retrain,
             );
             ReplicationPoint { fraction, result }
         })
@@ -86,9 +93,8 @@ mod tests {
             &mut Adam::new(2e-3),
         );
         let frac = [0.2f32];
-        let without = magnitude_replication(
-            &model, &data.test, &data.train, &frac, 0.6, 3, 88, None,
-        );
+        let without =
+            magnitude_replication(&model, &data.test, &data.train, &frac, 0.6, 3, 88, None);
         let with = magnitude_replication(
             &model,
             &data.test,

@@ -27,10 +27,16 @@ pub fn random_sparse_adaptation(
         .iter()
         .enumerate()
         .map(|(i, &fraction)| {
-            let protection =
-                ProtectionMasks::random(model, fraction, seed.wrapping_add(i as u64));
+            let protection = ProtectionMasks::random(model, fraction, seed.wrapping_add(i as u64));
             let result: McResult = eval_protected(
-                model, test, train, &protection, sigma, samples, seed, retrain,
+                model,
+                test,
+                train,
+                &protection,
+                sigma,
+                samples,
+                seed,
+                retrain,
             );
             ReplicationPoint { fraction, result }
         })
@@ -80,11 +86,17 @@ mod tests {
             &mut Adam::new(2e-3),
         );
         let frac = [0.3f32];
-        let random = random_sparse_adaptation(
-            &model, &data.test, &data.train, &frac, 0.6, 4, 98, None,
-        );
+        let random =
+            random_sparse_adaptation(&model, &data.test, &data.train, &frac, 0.6, 4, 98, None);
         let magnitude = crate::replication::magnitude_replication(
-            &model, &data.test, &data.train, &frac, 0.6, 4, 98, None,
+            &model,
+            &data.test,
+            &data.train,
+            &frac,
+            0.6,
+            4,
+            98,
+            None,
         );
         assert!(
             magnitude[0].result.mean >= random[0].result.mean - 0.03,

@@ -108,11 +108,7 @@ mod tests {
     fn masks_are_cleared_after_training() {
         let data = synthetic_mnist(40, 10, 105);
         let mut model = lenet5(&LeNetConfig::mnist(106));
-        train_noise_aware(
-            &mut model,
-            &data.train,
-            &NoiseAwareConfig::new(0.5, 1, 107),
-        );
+        train_noise_aware(&mut model, &data.train, &NoiseAwareConfig::new(0.5, 1, 107));
         // Two consecutive clean evaluations must agree exactly.
         use cn_nn::metrics::evaluate;
         let a = evaluate(&mut model, &data.test, 10);

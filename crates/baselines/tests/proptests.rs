@@ -1,7 +1,7 @@
 //! Property-based tests for baseline protection masks.
 
 use cn_baselines::protection::ProtectionMasks;
-use cn_nn::zoo::{mlp, lenet5, LeNetConfig};
+use cn_nn::zoo::{lenet5, mlp, LeNetConfig};
 use proptest::prelude::*;
 
 proptest! {

@@ -32,13 +32,7 @@ fn bench_mc_sample(c: &mut Criterion) {
     let data = synthetic_mnist(64, 64, 4);
     let model = lenet5(&LeNetConfig::mnist(5));
     c.bench_function("mc_one_lenet_sample_64imgs", |b| {
-        b.iter(|| {
-            black_box(mc_accuracy(
-                &model,
-                &data.test,
-                &McConfig::new(1, 0.5, 6),
-            ))
-        });
+        b.iter(|| black_box(mc_accuracy(&model, &data.test, &McConfig::new(1, 0.5, 6))));
     });
 }
 

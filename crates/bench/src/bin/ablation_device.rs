@@ -85,7 +85,11 @@ fn main() {
         ];
         for (label, mode) in modes {
             let r = mc_accuracy_mode(&model, &data.test, &mc, &mode);
-            rows.push(vec![format!("{sigma:.1}"), label.to_string(), pct_pm(r.mean, r.std)]);
+            rows.push(vec![
+                format!("{sigma:.1}"),
+                label.to_string(),
+                pct_pm(r.mean, r.std),
+            ]);
         }
     }
     println!(

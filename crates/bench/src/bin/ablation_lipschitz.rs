@@ -19,8 +19,11 @@ fn main() {
     let sigma = 0.5;
     let pair = Pair::LeNet5Mnist;
     println!("== Ablation: Lipschitz regularization hyperparameters (σ = {sigma}) ==");
-    println!("pair: {}, scale {scale:?}; eq. 10 gives λ = {:.3}\n",
-        pair.name(), lambda_for(1.0, sigma));
+    println!(
+        "pair: {}, scale {scale:?}; eq. 10 gives λ = {:.3}\n",
+        pair.name(),
+        lambda_for(1.0, sigma)
+    );
 
     let data = pair.dataset(scale);
     let cfg = pipeline_config(scale, sigma, 0xab11);

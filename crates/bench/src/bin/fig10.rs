@@ -54,8 +54,7 @@ fn main() {
     let proxy_stages = CorrectNetStages::new(proxy_cfg);
     let search_train = data.train.take(data.train.len().min(600));
     let search_test = data.test.take(data.test.len().min(200));
-    let mut env =
-        CorrectNetEnv::new(proxy_stages, &base, &search_train, &search_test, candidates);
+    let mut env = CorrectNetEnv::new(proxy_stages, &base, &search_train, &search_test, candidates);
     let result = reinforce_search(&mut env, &search_cfg);
 
     let mut rows: Vec<Vec<String>> = result
@@ -84,7 +83,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["placement (ratios)", "overhead", "accuracy", "std", "reward"],
+            &[
+                "placement (ratios)",
+                "overhead",
+                "accuracy",
+                "std",
+                "reward"
+            ],
             &rows
         )
     );

@@ -15,7 +15,10 @@ fn main() {
     let scale = Scale::from_env();
     let sigmas = [0.0f32, 0.1, 0.2, 0.3, 0.4, 0.5];
     println!("== Fig. 2: accuracy degradation of uncorrected networks ==");
-    println!("scale: {scale:?} ({} MC samples per point)\n", scale.mc_samples());
+    println!(
+        "scale: {scale:?} ({} MC samples per point)\n",
+        scale.mc_samples()
+    );
 
     for pair in Pair::ALL {
         let (model, data) = plain_base(pair, scale);
@@ -31,7 +34,10 @@ fn main() {
             rows.push(vec![format!("{sigma:.1}"), pct_pm(r.mean, r.std)]);
         }
         println!("--- {} ---", pair.name());
-        println!("{}", render_table(&["sigma", "accuracy (mean ± std)"], &rows));
+        println!(
+            "{}",
+            render_table(&["sigma", "accuracy (mean ± std)"], &rows)
+        );
         let paper = pair.paper_row();
         println!(
             "paper shape: {} at σ=0 degrading to {} at σ=0.5; deeper nets degrade harder.\n",

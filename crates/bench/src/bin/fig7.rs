@@ -45,7 +45,11 @@ fn main() {
         let mut rows = Vec::new();
         for (i, &sigma) in sigmas.iter().enumerate() {
             let mc = McConfig {
-                samples: if sigma == 0.0 { 1 } else { scale.mc_samples().min(10) },
+                samples: if sigma == 0.0 {
+                    1
+                } else {
+                    scale.mc_samples().min(10)
+                },
                 sigma,
                 batch_size: 64,
                 seed: 0x0f70 + i as u64,

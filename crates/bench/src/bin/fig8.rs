@@ -62,22 +62,32 @@ fn main() {
             },
         );
         let stat = mc_accuracy(&aware, &data.test, &stages.config.mc());
-        rows.push(vec!["[11] statistical training".into(), pct(0.0), pct(stat.mean)]);
+        rows.push(vec![
+            "[11] statistical training".into(),
+            pct(0.0),
+            pct(stat.mean),
+        ]);
 
         // [8]-style magnitude replication, without and with retraining.
         for (label, retrain) in [
             ("[8] replication (no retrain)", None),
-            ("[8] replication (online retrain)", Some(RetrainConfig::quick())),
+            (
+                "[8] replication (online retrain)",
+                Some(RetrainConfig::quick()),
+            ),
         ] {
             let points = magnitude_replication(
-                &plain, &data.test, &data.train, &fractions, sigma, samples, 0x88, retrain,
+                &plain,
+                &data.test,
+                &data.train,
+                &fractions,
+                sigma,
+                samples,
+                0x88,
+                retrain,
             );
             for p in points {
-                rows.push(vec![
-                    label.to_string(),
-                    pct(p.fraction),
-                    pct(p.result.mean),
-                ]);
+                rows.push(vec![label.to_string(), pct(p.fraction), pct(p.result.mean)]);
             }
         }
 

@@ -34,7 +34,11 @@ fn main() {
                 },
             ]);
         }
-        println!("--- {} (clean {}) ---", pair.name(), pct(report.clean_accuracy));
+        println!(
+            "--- {} (clean {}) ---",
+            pair.name(),
+            pct(report.clean_accuracy)
+        );
         println!(
             "{}",
             render_table(&["start layer", "accuracy", "std", "vs 95% bar"], &rows)

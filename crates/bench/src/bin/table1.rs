@@ -67,8 +67,13 @@ fn main() {
         let search_train = data.train.take(data.train.len().min(600));
         let search_test = data.test.take(data.test.len().min(200));
         let env_candidates = candidates.clone();
-        let mut env =
-            CorrectNetEnv::new(proxy_stages, &base, &search_train, &search_test, env_candidates);
+        let mut env = CorrectNetEnv::new(
+            proxy_stages,
+            &base,
+            &search_train,
+            &search_test,
+            env_candidates,
+        );
         // The LeNet pairs have a two-conv candidate structure where the
         // budget-capped uniform plan coincides with what the RL converges
         // to; running the full search there spends minutes to rediscover

@@ -304,6 +304,82 @@ pub fn plain_base(pair: Pair, scale: Scale) -> (Sequential, TrainTest) {
     (model, data)
 }
 
+/// Loads or computes the candidate report for a pair's Lipschitz base.
+///
+/// The suffix-variation sweep is the single most expensive *shared* step
+/// across the experiment binaries (table1/fig7/fig8/fig10 all need it for
+/// the same base model), so it is cached as a small text file next to the
+/// model cache. The canonical seed makes the sweep identical regardless
+/// of which binary computes it first.
+pub fn cached_candidates(
+    pair: Pair,
+    scale: Scale,
+    sigma: f32,
+    base: &Sequential,
+    data: &TrainTest,
+) -> correctnet::candidates::CandidateReport {
+    use correctnet::candidates::{CandidateReport, SuffixPoint};
+    let path = cache_dir().join(format!(
+        "{}_cands_s{:02}.txt",
+        pair.tag(),
+        (sigma * 10.0) as u32
+    ));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        let mut lines = text.lines();
+        if let Some(header) = lines.next() {
+            let head: Vec<f32> = header
+                .split_whitespace()
+                .filter_map(|s| s.parse().ok())
+                .collect();
+            if head.len() == 3 {
+                let sweep: Vec<SuffixPoint> = lines
+                    .filter_map(|l| {
+                        let v: Vec<f32> = l
+                            .split_whitespace()
+                            .filter_map(|s| s.parse().ok())
+                            .collect();
+                        (v.len() == 3).then(|| SuffixPoint {
+                            start: v[0] as usize,
+                            mean: v[1],
+                            std: v[2],
+                        })
+                    })
+                    .collect();
+                if !sweep.is_empty() {
+                    eprintln!("[cache] loaded candidate sweep for {}", pair.tag());
+                    return CandidateReport {
+                        clean_accuracy: head[0],
+                        threshold: head[1],
+                        candidate_count: head[2] as usize,
+                        sweep,
+                    };
+                }
+            }
+        }
+        eprintln!(
+            "[cache] stale candidate sweep for {}; recomputing",
+            pair.tag()
+        );
+    }
+    // The sweep is a *selection* heuristic: a 160-image evaluation subset
+    // and 8 MC samples locate the 95% knee at a fraction of the cost of
+    // full-test evaluation (headline numbers always use the full test set).
+    let mut cfg = pipeline_config(scale, sigma, 0xca4d);
+    cfg.mc_samples = 8;
+    let stages = CorrectNetStages::new(cfg);
+    let sweep_test = data.test.take(data.test.len().min(160));
+    let report = stages.candidates(base, &sweep_test);
+    let mut text = format!(
+        "{} {} {}\n",
+        report.clean_accuracy, report.threshold, report.candidate_count
+    );
+    for p in &report.sweep {
+        text.push_str(&format!("{} {} {}\n", p.start, p.mean, p.std));
+    }
+    std::fs::write(&path, text).ok();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,75 +417,4 @@ mod tests {
             assert_eq!(y.dims()[1], data.train.num_classes, "{}", pair.name());
         }
     }
-}
-
-/// Loads or computes the candidate report for a pair's Lipschitz base.
-///
-/// The suffix-variation sweep is the single most expensive *shared* step
-/// across the experiment binaries (table1/fig7/fig8/fig10 all need it for
-/// the same base model), so it is cached as a small text file next to the
-/// model cache. The canonical seed makes the sweep identical regardless
-/// of which binary computes it first.
-pub fn cached_candidates(
-    pair: Pair,
-    scale: Scale,
-    sigma: f32,
-    base: &Sequential,
-    data: &TrainTest,
-) -> correctnet::candidates::CandidateReport {
-    use correctnet::candidates::{CandidateReport, SuffixPoint};
-    let path = cache_dir().join(format!(
-        "{}_cands_s{:02}.txt",
-        pair.tag(),
-        (sigma * 10.0) as u32
-    ));
-    if let Ok(text) = std::fs::read_to_string(&path) {
-        let mut lines = text.lines();
-        if let Some(header) = lines.next() {
-            let head: Vec<f32> = header
-                .split_whitespace()
-                .filter_map(|s| s.parse().ok())
-                .collect();
-            if head.len() == 3 {
-                let sweep: Vec<SuffixPoint> = lines
-                    .filter_map(|l| {
-                        let v: Vec<f32> =
-                            l.split_whitespace().filter_map(|s| s.parse().ok()).collect();
-                        (v.len() == 3).then(|| SuffixPoint {
-                            start: v[0] as usize,
-                            mean: v[1],
-                            std: v[2],
-                        })
-                    })
-                    .collect();
-                if !sweep.is_empty() {
-                    eprintln!("[cache] loaded candidate sweep for {}", pair.tag());
-                    return CandidateReport {
-                        clean_accuracy: head[0],
-                        threshold: head[1],
-                        candidate_count: head[2] as usize,
-                        sweep,
-                    };
-                }
-            }
-        }
-        eprintln!("[cache] stale candidate sweep for {}; recomputing", pair.tag());
-    }
-    // The sweep is a *selection* heuristic: a 160-image evaluation subset
-    // and 8 MC samples locate the 95% knee at a fraction of the cost of
-    // full-test evaluation (headline numbers always use the full test set).
-    let mut cfg = pipeline_config(scale, sigma, 0xca4d);
-    cfg.mc_samples = 8;
-    let stages = CorrectNetStages::new(cfg);
-    let sweep_test = data.test.take(data.test.len().min(160));
-    let report = stages.candidates(base, &sweep_test);
-    let mut text = format!(
-        "{} {} {}\n",
-        report.clean_accuracy, report.threshold, report.candidate_count
-    );
-    for p in &report.sweep {
-        text.push_str(&format!("{} {} {}\n", p.start, p.mean, p.std));
-    }
-    std::fs::write(&path, text).ok();
-    report
 }

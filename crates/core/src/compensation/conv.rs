@@ -76,7 +76,10 @@ impl CompensatedConv2d {
             cache: None,
         };
         // Zero the compensator bias so the identity is exact.
-        wrapper.compensator.params_mut()[1].value.data_mut().fill(0.0);
+        wrapper.compensator.params_mut()[1]
+            .value
+            .data_mut()
+            .fill(0.0);
         wrapper
     }
 

@@ -223,10 +223,7 @@ mod tests {
         // gen: 2×18+2, comp: 8×10+8.
         assert_eq!(w.compensation_weight_count(), 2 * 18 + 2 + 8 * 10 + 8);
         // Total includes the base.
-        assert_eq!(
-            w.weight_count(),
-            10 * 8 + 8 + w.compensation_weight_count()
-        );
+        assert_eq!(w.weight_count(), 10 * 8 + 8 + w.compensation_weight_count());
     }
 
     #[test]

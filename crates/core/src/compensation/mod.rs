@@ -17,7 +17,9 @@ pub mod train;
 
 pub use conv::CompensatedConv2d;
 pub use dense::CompensatedDense;
-pub use train::{train_compensators, CompensationTrainConfig};
+pub use train::{
+    train_compensators, train_compensators_mode, train_compensators_with, CompensationTrainConfig,
+};
 
 use cn_nn::layers::{Conv2d, Dense};
 use cn_nn::Sequential;
@@ -292,7 +294,10 @@ mod tests {
         let overhead = weight_overhead(&comp);
         // conv1: l=1, n=6, m=3 → gen 3·(1+6)+3 = 24, comp 6·(6+3)+6 = 60.
         let expected = (24 + 60) as f32 / base_weights as f32;
-        assert!((overhead - expected).abs() < 1e-6, "{overhead} vs {expected}");
+        assert!(
+            (overhead - expected).abs() < 1e-6,
+            "{overhead} vs {expected}"
+        );
         assert_eq!(weight_overhead(&model), 0.0);
     }
 
@@ -302,16 +307,8 @@ mod tests {
         let plan = CompensationPlan::uniform(&[1], 0.5);
         let mut comp = apply_compensation(&model, &plan, 9);
         freeze_all_but_compensation(&mut comp);
-        let frozen: usize = comp
-            .params_mut()
-            .iter()
-            .filter(|p| p.is_frozen())
-            .count();
-        let free: usize = comp
-            .params_mut()
-            .iter()
-            .filter(|p| !p.is_frozen())
-            .count();
+        let frozen: usize = comp.params_mut().iter().filter(|p| p.is_frozen()).count();
+        let free: usize = comp.params_mut().iter().filter(|p| !p.is_frozen()).count();
         assert_eq!(free, 4, "gen w/b + comp w/b must be trainable");
         assert!(frozen > free);
     }

@@ -8,6 +8,7 @@
 //! batch."
 
 use super::freeze_all_but_compensation;
+use cn_analog::deployment::DeploymentMode;
 use cn_data::Dataset;
 use cn_nn::noise::apply_lognormal;
 use cn_nn::optim::Adam;
@@ -53,14 +54,45 @@ pub fn train_compensators(
     data: &Dataset,
     cfg: &CompensationTrainConfig,
 ) -> Vec<EpochStats> {
-    freeze_all_but_compensation(model);
     let sigma = cfg.sigma;
+    train_compensators_with(model, data, cfg, move |m, rng| {
+        apply_lognormal(m, sigma, rng)
+    })
+}
+
+/// Trains compensators against an arbitrary [`DeploymentMode`] instead of
+/// the paper's log-normal model: before every batch one deployment
+/// instance of `mode` is sampled onto the analog base layers.
+///
+/// Use this when the target hardware exhibits non-idealities beyond
+/// programming-time variation (conductance drift, IR drop, …) — the
+/// compensation machinery is noise-model agnostic, but the compensators
+/// must be trained against the distribution they will face.
+pub fn train_compensators_mode(
+    model: &mut Sequential,
+    data: &Dataset,
+    cfg: &CompensationTrainConfig,
+    mode: &DeploymentMode,
+) -> Vec<EpochStats> {
+    let mode = mode.clone();
+    train_compensators_with(model, data, cfg, move |m, rng| mode.deploy(m, rng))
+}
+
+/// Shared compensator-training driver: `sample` installs one variation
+/// instance on the model's analog layers before each batch.
+pub fn train_compensators_with(
+    model: &mut Sequential,
+    data: &Dataset,
+    cfg: &CompensationTrainConfig,
+    mut sample: impl FnMut(&mut Sequential, &mut SeededRng) + 'static,
+) -> Vec<EpochStats> {
+    freeze_all_but_compensation(model);
     let mut noise_rng = SeededRng::new(cfg.seed ^ 0x5a5a);
     let mut train_cfg = TrainConfig::new(cfg.epochs, cfg.batch_size, cfg.seed);
     // Keep the frozen base bit-identical (no dropout, no BN-stat updates).
     train_cfg.train_mode = false;
-    let mut trainer = Trainer::new(train_cfg)
-        .with_before_batch(move |m, _| apply_lognormal(m, sigma, &mut noise_rng));
+    let mut trainer =
+        Trainer::new(train_cfg).with_before_batch(move |m, _| sample(m, &mut noise_rng));
     let mut opt = Adam::new(cfg.lr);
     let stats = trainer.fit(model, data, &mut opt);
     model.clear_noise();
@@ -130,9 +162,9 @@ mod tests {
             } else {
                 name
             };
-            let after = comp_dict.get(&key).unwrap_or_else(|| {
-                panic!("missing {key} in compensated state dict")
-            });
+            let after = comp_dict
+                .get(&key)
+                .unwrap_or_else(|| panic!("missing {key} in compensated state dict"));
             assert_eq!(after, &value, "{key} changed during compensator training");
         }
     }

@@ -28,9 +28,7 @@ pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push('\n');
     for row in rows {
         assert_eq!(row.len(), headers.len(), "row arity mismatch");
-        out.push_str(
-            &row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
-        );
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
     out
@@ -104,10 +102,7 @@ mod tests {
 
     #[test]
     fn csv_escaping() {
-        let s = to_csv(
-            &["a", "b"],
-            &[vec!["plain".into(), "has,comma".into()]],
-        );
+        let s = to_csv(&["a", "b"], &[vec!["plain".into(), "has,comma".into()]]);
         assert_eq!(s, "a,b\nplain,\"has,comma\"\n");
         let q = to_csv(&["x"], &[vec!["say \"hi\"".into()]]);
         assert!(q.contains("\"say \"\"hi\"\"\""));

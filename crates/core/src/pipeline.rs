@@ -252,7 +252,8 @@ mod tests {
         let mut base = lenet5(&LeNetConfig::mnist(76));
         stages.train_base(&mut base, &data.train);
 
-        let empty = stages.evaluate_plan(&base, &data.train, &data.test, &CompensationPlan::default());
+        let empty =
+            stages.evaluate_plan(&base, &data.train, &data.test, &CompensationPlan::default());
         assert_eq!(empty.overhead, 0.0);
         assert_eq!(empty.compensated_layers, 0);
 

@@ -67,7 +67,7 @@ mod tests {
     #[test]
     fn covers_all_samples_once() {
         let d = data(10);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for (x, _) in BatchIter::new(&d, 3, Some(1)) {
             for &v in x.data() {
                 let i = v as usize;
@@ -97,16 +97,8 @@ mod tests {
     #[test]
     fn shuffle_is_deterministic_per_seed() {
         let d = data(16);
-        let a: Vec<f32> = BatchIter::new(&d, 16, Some(9))
-            .next()
-            .unwrap()
-            .0
-            .into_vec();
-        let b: Vec<f32> = BatchIter::new(&d, 16, Some(9))
-            .next()
-            .unwrap()
-            .0
-            .into_vec();
+        let a: Vec<f32> = BatchIter::new(&d, 16, Some(9)).next().unwrap().0.into_vec();
+        let b: Vec<f32> = BatchIter::new(&d, 16, Some(9)).next().unwrap().0.into_vec();
         let c: Vec<f32> = BatchIter::new(&d, 16, Some(10))
             .next()
             .unwrap()

@@ -85,15 +85,15 @@ fn shape_mask(shape: usize, u: f32, v: f32) -> f32 {
     let r = (u * u + v * v).sqrt();
     let inside = |b: bool| if b { 1.0 } else { 0.0 };
     match shape {
-        0 => inside(r < 0.8),                                   // disc
-        1 => inside(u.abs() < 0.7 && v.abs() < 0.7),            // square
+        0 => inside(r < 0.8),                                           // disc
+        1 => inside(u.abs() < 0.7 && v.abs() < 0.7),                    // square
         2 => inside(v > -0.7 && v < 0.8 && u.abs() < (0.8 - v) * 0.66), // triangle
-        3 => inside(r > 0.45 && r < 0.85),                      // ring
-        4 => inside(u.abs() < 0.25 || v.abs() < 0.25),          // cross
-        5 => inside(u.abs() + v.abs() < 0.9),                   // diamond
-        6 => inside(((v + 1.0) * 2.5).fract() < 0.5),           // horizontal bars
-        7 => inside(((u + 1.0) * 2.5).fract() < 0.5),           // vertical bars
-        8 => inside(((u + v + 2.0) * 1.8).fract() < 0.5),       // diagonal stripes
+        3 => inside(r > 0.45 && r < 0.85),                              // ring
+        4 => inside(u.abs() < 0.25 || v.abs() < 0.25),                  // cross
+        5 => inside(u.abs() + v.abs() < 0.9),                           // diamond
+        6 => inside(((v + 1.0) * 2.5).fract() < 0.5),                   // horizontal bars
+        7 => inside(((u + 1.0) * 2.5).fract() < 0.5),                   // vertical bars
+        8 => inside(((u + v + 2.0) * 1.8).fract() < 0.5),               // diagonal stripes
         9 => {
             let cu = ((u + 1.0) * 2.0) as i32;
             let cv = ((v + 1.0) * 2.0) as i32;
@@ -186,10 +186,7 @@ mod tests {
         let styles: Vec<ClassStyle> = (0..100).map(|c| class_style(c, 100)).collect();
         for i in 0..100 {
             for j in (i + 1)..100 {
-                assert!(
-                    styles[i] != styles[j],
-                    "classes {i} and {j} share a style"
-                );
+                assert!(styles[i] != styles[j], "classes {i} and {j} share a style");
             }
         }
     }

@@ -68,6 +68,9 @@ pub fn check_layer(
     // Numeric parameter gradients.
     let mut max_param_err = 0.0f32;
     let n_params = layer.params().len();
+    // Indexed access: `layer.params()` must be re-borrowed between the
+    // mutable perturbations below, so an iterator cannot be held here.
+    #[allow(clippy::needless_range_loop)]
     for pi in 0..n_params {
         let numel = layer.params()[pi].numel();
         for i in 0..numel {
@@ -78,8 +81,7 @@ pub fn check_layer(
             let lm = layer.forward(&x, train).dot(&r);
             layer.params_mut()[pi].value.data_mut()[i] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
-            max_param_err =
-                max_param_err.max((numeric - analytic_params[pi].data()[i]).abs());
+            max_param_err = max_param_err.max((numeric - analytic_params[pi].data()[i]).abs());
         }
     }
 
@@ -169,9 +171,7 @@ mod tests {
     #[test]
     fn batchnorm_gradients_train_mode() {
         let mut layer = BatchNorm2d::new(3);
-        let r = check_layer(&mut layer, &[4, 3, 3, 3], 19, EPS,
-
-            true);
+        let r = check_layer(&mut layer, &[4, 3, 3, 3], 19, EPS, true);
         assert!(r.passes(5e-2), "{r:?}");
     }
 

@@ -179,15 +179,14 @@ impl Layer for BatchNorm2d {
                     for k in 0..plane {
                         let dxhat = grad_out.data()[base + k] * gamma[ci];
                         gx.data_mut()[base + k] = cache.inv_std[ci] / m
-                            * (m * dxhat
-                                - sum_dxhat
-                                - xhat.data()[base + k] * sum_dxhat_xhat);
+                            * (m * dxhat - sum_dxhat - xhat.data()[base + k] * sum_dxhat_xhat);
                     }
                 }
             }
         } else {
             // Eval mode: statistics are constants.
             for ni in 0..n {
+                #[allow(clippy::needless_range_loop)]
                 for ci in 0..c {
                     let base = (ni * c + ci) * plane;
                     for v in &mut gx.data_mut()[base..base + plane] {

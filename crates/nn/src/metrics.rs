@@ -34,7 +34,11 @@ pub fn evaluate(model: &mut Sequential, data: &Dataset, batch_size: usize) -> f3
 }
 
 /// Confusion matrix `[true][pred]` counts.
-pub fn confusion_matrix(model: &mut Sequential, data: &Dataset, batch_size: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    model: &mut Sequential,
+    data: &Dataset,
+    batch_size: usize,
+) -> Vec<Vec<usize>> {
     let mut m = vec![vec![0usize; data.num_classes]; data.num_classes];
     for (x, y) in BatchIter::new(data, batch_size, None) {
         let preds = model.forward(&x, false).argmax_rows();

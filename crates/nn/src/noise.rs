@@ -20,12 +20,7 @@ pub fn apply_lognormal(model: &mut Sequential, sigma: f32, rng: &mut SeededRng) 
 ///
 /// This implements the paper's Fig. 9 protocol: "inject variations into
 /// the layers from the last one backwards to the i-th layer".
-pub fn apply_lognormal_from(
-    model: &mut Sequential,
-    start: usize,
-    sigma: f32,
-    rng: &mut SeededRng,
-) {
+pub fn apply_lognormal_from(model: &mut Sequential, start: usize, sigma: f32, rng: &mut SeededRng) {
     let noisy = model.noisy_layers();
     for (weight_idx, (layer_idx, dims)) in noisy.into_iter().enumerate() {
         if weight_idx >= start {

@@ -77,20 +77,14 @@ impl Trainer {
     }
 
     /// Installs a per-batch hook (e.g. variation-mask resampling).
-    pub fn with_before_batch(
-        mut self,
-        hook: impl FnMut(&mut Sequential, usize) + 'static,
-    ) -> Self {
+    pub fn with_before_batch(mut self, hook: impl FnMut(&mut Sequential, usize) + 'static) -> Self {
         self.before_batch = Some(Box::new(hook));
         self
     }
 
     /// Installs a regularizer hook that accumulates extra gradients and
     /// returns its loss contribution.
-    pub fn with_regularizer(
-        mut self,
-        hook: impl FnMut(&mut Sequential) -> f32 + 'static,
-    ) -> Self {
+    pub fn with_regularizer(mut self, hook: impl FnMut(&mut Sequential) -> f32 + 'static) -> Self {
         self.regularizer = Some(Box::new(hook));
         self
     }
@@ -172,8 +166,8 @@ mod tests {
             let class = i % 2;
             let base = i * 4;
             for k in 0..4 {
-                images.data_mut()[base + k] = rng.normal(0.0, 0.3)
-                    + if (k < 2) == (class == 0) { 1.0 } else { 0.0 };
+                images.data_mut()[base + k] =
+                    rng.normal(0.0, 0.3) + if (k < 2) == (class == 0) { 1.0 } else { 0.0 };
             }
             labels.push(class);
         }
@@ -219,8 +213,7 @@ mod tests {
         let data = toy_data(16, 7);
         let mut model = small_model(8);
         let mut opt = Sgd::new(0.05);
-        let mut trainer =
-            Trainer::new(TrainConfig::new(1, 8, 9)).with_regularizer(|_| 1.25);
+        let mut trainer = Trainer::new(TrainConfig::new(1, 8, 9)).with_regularizer(|_| 1.25);
         let stats = trainer.fit(&mut model, &data, &mut opt);
         assert!((stats[0].reg_loss - 1.25).abs() < 1e-6);
     }

@@ -170,7 +170,7 @@ fn scaled(c: usize, width_mult: f32) -> usize {
 /// Panics unless `input_hw` is divisible by 32.
 pub fn vgg16(cfg: &VggConfig) -> Sequential {
     assert!(
-        cfg.input_hw % 32 == 0 && cfg.input_hw > 0,
+        cfg.input_hw.is_multiple_of(32) && cfg.input_hw > 0,
         "VGG16 needs input divisible by 32 (five 2× pools)"
     );
     let mut rng = SeededRng::new(cfg.seed);
@@ -229,7 +229,10 @@ pub fn vgg16(cfg: &VggConfig) -> Sequential {
 ///
 /// Panics if fewer than two sizes are given.
 pub fn mlp(sizes: &[usize], seed: u64) -> Sequential {
-    assert!(sizes.len() >= 2, "mlp needs at least input and output sizes");
+    assert!(
+        sizes.len() >= 2,
+        "mlp needs at least input and output sizes"
+    );
     let mut rng = SeededRng::new(seed);
     let mut layers: Vec<Box<dyn crate::Layer>> = Vec::new();
     for (i, pair) in sizes.windows(2).enumerate() {
@@ -310,6 +313,7 @@ mod tests {
         let lips = m.lipschitz_matrices();
         assert_eq!(lips[0].1.dims()[0], 8); // 64/8
         assert_eq!(lips[12].1.dims()[0], 64); // 512/8
+
         // Classifier head keeps its 256-unit floor at small widths.
         assert_eq!(lips[13].1.dims()[0], 256);
         assert_eq!(lips[14].1.dims()[1], 256);

@@ -54,9 +54,8 @@ fn training_under_persistent_noise_masks_still_learns() {
     let mut model = lenet5(&LeNetConfig::mnist(5));
     let mut opt = Adam::new(2e-3);
     let mut noise_rng = SeededRng::new(99);
-    let mut trainer = Trainer::new(TrainConfig::new(3, 32, 3)).with_before_batch(
-        move |m, _| apply_lognormal(m, 0.1, &mut noise_rng),
-    );
+    let mut trainer = Trainer::new(TrainConfig::new(3, 32, 3))
+        .with_before_batch(move |m, _| apply_lognormal(m, 0.1, &mut noise_rng));
     trainer.fit(&mut model, &data.train, &mut opt);
     model.clear_noise();
     let acc = evaluate(&mut model, &data.test, 40);

@@ -93,7 +93,10 @@ impl<'a> CorrectNetEnv<'a> {
     }
 
     fn key(ratios: &[f32]) -> Vec<u32> {
-        ratios.iter().map(|r| (r.max(0.0) * 1000.0) as u32).collect()
+        ratios
+            .iter()
+            .map(|r| (r.max(0.0) * 1000.0) as u32)
+            .collect()
     }
 }
 

@@ -32,7 +32,10 @@ pub fn subsets_at_ratio(
     reward: &RewardSpec,
 ) -> Vec<ExploredPoint> {
     let slots = env.num_slots();
-    assert!(slots <= 20, "subset enumeration infeasible for {slots} slots");
+    assert!(
+        slots <= 20,
+        "subset enumeration infeasible for {slots} slots"
+    );
     let mut out = Vec::with_capacity(1 << slots);
     for mask in 0u32..(1 << slots) {
         let ratios: Vec<f32> = (0..slots)

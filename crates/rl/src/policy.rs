@@ -196,7 +196,10 @@ impl PolicyRnn {
             self.b_out.accumulate(&g_logits);
 
             // Hidden gradient: from the head plus from the next step.
-            let g_h = self.w_out.value.t_matmul(&g_logits.reshape(&[self.num_actions, 1]));
+            let g_h = self
+                .w_out
+                .value
+                .t_matmul(&g_logits.reshape(&[self.num_actions, 1]));
             let mut g_h = g_h.into_reshaped(&[self.hidden_size]);
             g_h.axpy(1.0, &g_h_next);
 
@@ -286,11 +289,7 @@ mod tests {
 
         policy.zero_grad();
         policy.accumulate_reinforce(&rollout, 1.0);
-        let analytic: Vec<Tensor> = policy
-            .params_mut()
-            .iter()
-            .map(|p| p.grad.clone())
-            .collect();
+        let analytic: Vec<Tensor> = policy.params_mut().iter().map(|p| p.grad.clone()).collect();
 
         // Numeric: re-run the (deterministic given actions) forward pass.
         let log_prob_of = |policy: &PolicyRnn, actions: &[usize]| -> f32 {

@@ -73,13 +73,7 @@ mod tests {
         let mut env_rl = MockEnv::new(target.clone(), 0.002);
         let rl = reinforce_search(&mut env_rl, &cfg);
         let mut env_rand = MockEnv::new(target, 0.002);
-        let rand_points = random_search(
-            &mut env_rand,
-            &cfg.actions,
-            200,
-            &cfg.reward,
-            7,
-        );
+        let rand_points = random_search(&mut env_rand, &cfg.actions, 200, &cfg.reward, 7);
         let rand_best = best_of(&rand_points);
         assert!(
             rl.best_reward >= rand_best.reward - 0.05,

@@ -94,11 +94,7 @@ pub fn reinforce_search(env: &mut dyn Environment, cfg: &SearchConfig) -> Search
         let mut rollouts = Vec::with_capacity(cfg.rollouts_per_episode);
         for _ in 0..cfg.rollouts_per_episode {
             let rollout = policy.sample(slots, &mut rng);
-            let ratios: Vec<f32> = rollout
-                .actions
-                .iter()
-                .map(|&a| cfg.actions[a])
-                .collect();
+            let ratios: Vec<f32> = rollout.actions.iter().map(|&a| cfg.actions[a]).collect();
             let overhead = env.overhead_of(&ratios);
             let (outcome, reward) = if cfg.reward.over_budget(overhead) {
                 // Skip the expensive evaluation (paper Sec. III-B).
@@ -127,15 +123,14 @@ pub fn reinforce_search(env: &mut dyn Environment, cfg: &SearchConfig) -> Search
                     explored.push(point.clone());
                 }
             }
-            if best.as_ref().map_or(true, |b| reward > b.reward) {
+            if best.as_ref().is_none_or(|b| reward > b.reward) {
                 best = Some(point);
             }
             episode_rewards.push(reward);
             rollouts.push(rollout);
         }
 
-        let mean_reward =
-            episode_rewards.iter().sum::<f32>() / episode_rewards.len() as f32;
+        let mean_reward = episode_rewards.iter().sum::<f32>() / episode_rewards.len() as f32;
         if !baseline_init {
             baseline = mean_reward;
             baseline_init = true;
@@ -182,7 +177,11 @@ mod tests {
             .zip(env.target.iter())
             .map(|(r, t)| (r - t).abs())
             .sum();
-        assert!(dist <= 1.0, "best {:?} too far from target", result.best_ratios);
+        assert!(
+            dist <= 1.0,
+            "best {:?} too far from target",
+            result.best_ratios
+        );
         assert!(result.best_outcome.acc_mean > 0.7);
     }
 
@@ -196,8 +195,10 @@ mod tests {
         };
         let result = reinforce_search(&mut env, &cfg);
         let early: f32 = result.reward_curve[..10].iter().sum::<f32>() / 10.0;
-        let late: f32 =
-            result.reward_curve[result.reward_curve.len() - 10..].iter().sum::<f32>() / 10.0;
+        let late: f32 = result.reward_curve[result.reward_curve.len() - 10..]
+            .iter()
+            .sum::<f32>()
+            / 10.0;
         assert!(late > early, "no learning: {early} → {late}");
     }
 

@@ -210,9 +210,15 @@ mod tests {
     fn state_dict_roundtrip_preserves_order() {
         let mut rng = SeededRng::new(2);
         let entries = vec![
-            ("conv1.weight".to_string(), rng.normal_tensor(&[6, 1, 5, 5], 0.0, 1.0)),
+            (
+                "conv1.weight".to_string(),
+                rng.normal_tensor(&[6, 1, 5, 5], 0.0, 1.0),
+            ),
             ("conv1.bias".to_string(), rng.normal_tensor(&[6], 0.0, 1.0)),
-            ("fc.weight".to_string(), rng.normal_tensor(&[10, 84], 0.0, 1.0)),
+            (
+                "fc.weight".to_string(),
+                rng.normal_tensor(&[10, 84], 0.0, 1.0),
+            ),
         ];
         let back = state_dict_from_bytes(state_dict_to_bytes(&entries)).unwrap();
         assert_eq!(back.len(), 3);

@@ -15,7 +15,10 @@ use crate::tensor::Tensor;
 ///
 /// Panics if `parts` is empty, ranks differ, or non-channel dims disagree.
 pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
-    assert!(!parts.is_empty(), "concat_channels requires at least one part");
+    assert!(
+        !parts.is_empty(),
+        "concat_channels requires at least one part"
+    );
     let rank = parts[0].rank();
     assert!(rank >= 2, "concat_channels requires rank >= 2");
     let batch = parts[0].dims()[0];

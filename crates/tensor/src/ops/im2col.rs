@@ -81,7 +81,11 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Tensor {
         input.dims()[2],
         input.dims()[3],
     );
-    assert_eq!((c, h, w), (geo.in_c, geo.in_h, geo.in_w), "geometry mismatch");
+    assert_eq!(
+        (c, h, w),
+        (geo.in_c, geo.in_h, geo.in_w),
+        "geometry mismatch"
+    );
 
     let (oh, ow) = (geo.out_h(), geo.out_w());
     let patch_len = geo.patch_len();
@@ -168,7 +172,11 @@ pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, batch: usize) -> Tensor {
 /// Rearranges a `[N·oh·ow, out_c]` product-row matrix into NCHW
 /// `[N, out_c, oh, ow]`.
 pub fn rows_to_nchw(rows: &Tensor, batch: usize, out_c: usize, oh: usize, ow: usize) -> Tensor {
-    assert_eq!(rows.dims(), &[batch * oh * ow, out_c], "row matrix mismatch");
+    assert_eq!(
+        rows.dims(),
+        &[batch * oh * ow, out_c],
+        "row matrix mismatch"
+    );
     let mut out = Tensor::zeros(&[batch, out_c, oh, ow]);
     let o = out.data_mut();
     let r = rows.data();
@@ -194,8 +202,7 @@ pub fn nchw_to_rows(x: &Tensor) -> Tensor {
     for nn in 0..n {
         for cc in 0..c {
             let base = (nn * c + cc) * oh * ow;
-            for s in 0..oh * ow
-            {
+            for s in 0..oh * ow {
                 o[(nn * oh * ow + s) * c + cc] = xd[base + s];
             }
         }
@@ -314,7 +321,7 @@ mod tests {
                             for kx in 0..3 {
                                 let iy = oy as isize + ky as isize - 1;
                                 let ix = ox as isize + kx as isize - 1;
-                                if iy >= 0 && iy < 4 && ix >= 0 && ix < 4 {
+                                if (0..4).contains(&iy) && (0..4).contains(&ix) {
                                     acc += x.at(&[0, ic, iy as usize, ix as usize])
                                         * wt.at(&[oc, ic, ky, kx]);
                                 }

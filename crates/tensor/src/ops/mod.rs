@@ -15,5 +15,6 @@ pub use elementwise::{broadcast_zip, reduce_to_suffix};
 pub use im2col::{col2im, conv_out_dim, im2col, nchw_to_rows, rows_to_nchw, Conv2dGeometry};
 pub use pad::{pad_nchw, unpad_nchw};
 pub use pool::{
-    avg_pool2d, avg_pool2d_backward, avg_pool_to, avg_pool_to_backward, max_pool2d, max_pool2d_backward, PoolGeometry,
+    avg_pool2d, avg_pool2d_backward, avg_pool_to, avg_pool_to_backward, max_pool2d,
+    max_pool2d_backward, PoolGeometry,
 };

@@ -24,7 +24,10 @@ impl Tensor {
     /// Panics on empty tensors.
     pub fn max(&self) -> f32 {
         assert!(self.numel() > 0, "max of empty tensor");
-        self.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -141,12 +144,7 @@ impl Tensor {
         for r in 0..n {
             let row = &mut out.data_mut()[r * c..(r + 1) * c];
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let lse = max
-                + row
-                    .iter()
-                    .map(|&x| (x - max).exp())
-                    .sum::<f32>()
-                    .ln();
+            let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
             for x in row.iter_mut() {
                 *x -= lse;
             }

@@ -58,7 +58,10 @@ impl Shape {
         let strides = self.strides();
         let mut off = 0;
         for (i, (&ix, &dim)) in idx.iter().zip(self.0.iter()).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for dim {i} (size {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for dim {i} (size {dim})"
+            );
             off += ix * strides[i];
         }
         off
@@ -77,7 +80,7 @@ impl Shape {
 
     /// True when the shape has zero elements along any dimension.
     pub fn is_empty(&self) -> bool {
-        self.0.iter().any(|&d| d == 0)
+        self.0.contains(&0)
     }
 
     /// Returns a new shape with dimension `axis` removed.

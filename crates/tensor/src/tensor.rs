@@ -410,7 +410,7 @@ mod tests {
         let mut t = Tensor::zeros(&[2, 3, 4]);
         t.set(&[1, 2, 3], 9.0);
         assert_eq!(t.at(&[1, 2, 3]), 9.0);
-        assert_eq!(t.data()[1 * 12 + 2 * 4 + 3], 9.0);
+        assert_eq!(t.data()[12 + 2 * 4 + 3], 9.0);
     }
 
     #[test]

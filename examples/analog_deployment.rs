@@ -27,7 +27,10 @@ fn main() {
     let xbar = Crossbar::program(&w, CellSpec::ideal(1.0, 100.0), &mut rng);
     let y_analog = xbar.mac(&x, &mut rng);
     let y_exact = w.matvec(&x);
-    println!("ideal crossbar MAC error: {:.2e}", (&y_analog - &y_exact).abs_max());
+    println!(
+        "ideal crossbar MAC error: {:.2e}",
+        (&y_analog - &y_exact).abs_max()
+    );
 
     // Tiling a large matrix over 128×128 arrays.
     let big = rng.normal_tensor(&[300, 200], 0.0, 1.0);

@@ -48,9 +48,7 @@ fn main() {
     );
 
     // Magnitude replication (≈ [8]) at 5% digital weights.
-    let rep = magnitude_replication(
-        &plain, &data.test, &data.train, &[0.05], sigma, 8, 65, None,
-    );
+    let rep = magnitude_replication(&plain, &data.test, &data.train, &[0.05], sigma, 8, 65, None);
     println!(
         "[8]  top-5% SRAM replication:  {:>5.1}%  (overhead 5.0%)",
         100.0 * rep[0].result.mean

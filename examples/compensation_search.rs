@@ -8,7 +8,7 @@
 
 use cn_data::synthetic_mnist;
 use cn_nn::zoo::{lenet5, LeNetConfig};
-use cn_rl::env::{CorrectNetEnv, Environment};
+use cn_rl::env::CorrectNetEnv;
 use cn_rl::exhaustive::{all_layers, best_of, subsets_at_ratio};
 use cn_rl::search::{reinforce_search, SearchConfig};
 use correctnet::pipeline::{CorrectNetConfig, CorrectNetStages};

@@ -43,7 +43,11 @@ fn main() {
 
     let acc_plain = evaluate(&mut plain.clone(), &data.test, 64);
     let acc_reg = evaluate(&mut regularized.clone(), &data.test, 64);
-    println!("clean accuracy: plain {:.1}%, regularized {:.1}%", 100.0 * acc_plain, 100.0 * acc_reg);
+    println!(
+        "clean accuracy: plain {:.1}%, regularized {:.1}%",
+        100.0 * acc_plain,
+        100.0 * acc_reg
+    );
 
     for s in [0.2f32, 0.4, 0.5] {
         let mc = McConfig::new(8, s, 24);

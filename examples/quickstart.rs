@@ -33,7 +33,10 @@ fn main() {
     let mut model = lenet5(&LeNetConfig::mnist(1));
     stages.train_base(&mut model, &data.train);
     let clean = evaluate(&mut model.clone(), &data.test, 64);
-    println!("clean accuracy after Lipschitz training: {:.1}%", 100.0 * clean);
+    println!(
+        "clean accuracy after Lipschitz training: {:.1}%",
+        100.0 * clean
+    );
 
     // 3. Deploy without compensation: Monte-Carlo accuracy under
     //    log-normal weight variations (paper eq. 1–2).

@@ -1,0 +1,282 @@
+//! Offline mini-`criterion`.
+//!
+//! Provides the builder/group/bencher surface the workspace's benches
+//! use, with a simple wall-clock measurement loop: warm up for
+//! `warm_up_time`, then run batches until `measurement_time` elapses or
+//! `sample_size` samples are collected, and report mean / min / max
+//! nanoseconds per iteration on stdout. No statistics, plots or
+//! comparisons — the point is cheap, reproducible timing in an offline
+//! environment.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name with an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(self, &id.into().label, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion, &label, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Drives the measured closure inside a benchmark body.
+pub struct Bencher {
+    mode: BencherMode,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+enum BencherMode {
+    WarmUp { deadline: Instant },
+    Measure { iters: u64 },
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        match self.mode {
+            BencherMode::WarmUp { deadline } => {
+                while Instant::now() < deadline {
+                    std::hint::black_box(f());
+                    self.iters_done += 1;
+                }
+            }
+            BencherMode::Measure { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                self.elapsed = start.elapsed();
+                self.iters_done = iters;
+            }
+        }
+    }
+}
+
+fn run_one(config: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up doubles as calibration: how many iterations fit the window?
+    let mut warm = Bencher {
+        mode: BencherMode::WarmUp {
+            deadline: Instant::now() + config.warm_up_time,
+        },
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warm);
+    if warm.iters_done == 0 {
+        // The closure never called iter(); nothing to measure.
+        println!("bench {label:<48} (no measurement)");
+        return;
+    }
+    let per_sample = (warm.iters_done * config.measurement_time.as_nanos().max(1) as u64
+        / config.warm_up_time.as_nanos().max(1) as u64)
+        .div_ceil(config.sample_size as u64)
+        .max(1);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    let deadline = Instant::now() + config.measurement_time.mul_f64(1.5);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            mode: BencherMode::Measure { iters: per_sample },
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / per_sample as f64);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples_ns.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "bench {label:<48} mean {:>12} min {:>12} max {:>12} ({} samples x {} iters)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max),
+        samples_ns.len(),
+        per_sample
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Mirrors criterion's `black_box` re-export.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_inputs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(4));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(32), &32usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline shim for `parking_lot`: a [`Mutex`] with the non-poisoning
+//! `lock()` signature, backed by `std::sync::Mutex`.
+
+use std::sync::MutexGuard;
+
+/// A mutex whose `lock` never returns a poison error; a poisoned inner
+/// lock is recovered, matching parking_lot's semantics.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(vec![0u32; 4]);
+        m.lock()[2] = 9;
+        assert_eq!(m.into_inner(), vec![0, 0, 9, 0]);
+    }
+}

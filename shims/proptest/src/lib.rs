@@ -1,0 +1,459 @@
+//! Offline mini-`proptest`.
+//!
+//! A dependency-free reimplementation of the proptest surface this
+//! workspace uses: the [`proptest!`] macro over `arg in strategy`
+//! bindings, numeric range strategies, `collection::vec`, a small
+//! character-class string strategy, `prop_assert*` / `prop_assume!`, and
+//! [`ProptestConfig::with_cases`] with `PROPTEST_CASES` as a ceiling.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its generated inputs so it
+//!   can be reproduced by hand.
+//! - **Deterministic seeding.** The RNG seed derives from the test name
+//!   (xor `PROPTEST_RNG_SEED` when set), so runs are reproducible.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Effective case count: the configured count, capped by the
+/// `PROPTEST_CASES` environment variable when it is set and smaller.
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        Some(env_cases) => config.cases.min(env_cases.max(1)),
+        None => config.cases,
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// `prop_assert*` failed; the test fails.
+    Fail(String),
+}
+
+/// Deterministic splitmix64 generator for input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test name so every test gets a distinct, stable
+    /// stream. `PROPTEST_RNG_SEED` perturbs all streams at once.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let env_seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng {
+            state: h ^ env_seed,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A generator of test-case inputs. No shrinking: `sample` is the whole
+/// contract.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $ty
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// String strategy from a regex-like pattern.
+///
+/// Supports the single form the workspace uses — `[class]{lo,hi}` with
+/// literal characters and `a-z` ranges inside the class. Any other
+/// pattern is generated as the literal string itself.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        match parse_class_repeat(self) {
+            Some((alphabet, lo, hi)) => {
+                let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                (0..len)
+                    .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parses `[chars]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let reps = rest[close + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?
+        .to_string();
+    let (lo, hi) = match reps.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = reps.parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` range (a dash at either end is a literal dash).
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (start, end) = (class[i] as u32, class[i + 2] as u32);
+            if start <= end {
+                alphabet.extend((start..=end).filter_map(char::from_u32));
+                i += 3;
+                continue;
+            }
+        }
+        alphabet.push(class[i]);
+        i += 1;
+    }
+    if alphabet.is_empty() {
+        None
+    } else {
+        Some((alphabet, lo, hi))
+    }
+}
+
+/// Size specification for [`collection::vec`]: an exact length or a
+/// half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l == r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l != r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The proptest entry macro: wraps `fn name(arg in strategy, ...)` items
+/// into `#[test]` functions running `cases` sampled executions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let cases = $crate::effective_cases(&config);
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > cases * 16 + 256 {
+                            panic!(
+                                "proptest {}: too many rejected cases ({} rejects for {} passes)",
+                                stringify!($name), rejected, passed
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        let mut inputs = ::std::string::String::new();
+                        $(
+                            inputs.push_str("\n  ");
+                            inputs.push_str(stringify!($arg));
+                            inputs.push_str(" = ");
+                            inputs.push_str(&format!("{:?}", $arg));
+                        )+
+                        panic!(
+                            "proptest {} failed after {} passing case(s): {}\ninputs:{}",
+                            stringify!($name), passed, msg, inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{effective_cases, parse_class_repeat, TestRng};
+
+    #[test]
+    fn class_repeat_parses() {
+        let (alphabet, lo, hi) = parse_class_repeat("[a-c9 %]{0,12}").unwrap();
+        assert_eq!(alphabet, vec!['a', 'b', 'c', '9', ' ', '%']);
+        assert_eq!((lo, hi), (0, 12));
+    }
+
+    #[test]
+    fn env_caps_cases() {
+        // No env var set by default in this test binary: config wins.
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(effective_cases(&ProptestConfig::with_cases(48)), 48);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..17, x in -2.0f32..2.0, s in 0u64..1000) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(s < 1000);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(1usize..6, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| (1..6).contains(&x)));
+        }
+
+        #[test]
+        fn string_strategy_respects_class(s in crate::collection::vec("[a-z]{0,5}", 4)) {
+            prop_assert_eq!(s.len(), 4);
+            for w in &s {
+                prop_assert!(w.len() <= 5);
+                prop_assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+
+        #[test]
+        fn assume_redraws(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde`.
+//!
+//! [`Serialize`] and [`Deserialize`] are marker traits blanket-implemented
+//! for every type, and the re-exported derive macros expand to nothing.
+//! This keeps `#[derive(Serialize, Deserialize)]` and `T: Serialize`
+//! bounds source-compatible with the real crate without pulling in a
+//! serialization framework the workspace does not use.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

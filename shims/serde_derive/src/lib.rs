@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace never serializes through serde (persistence uses the
+//! compact binary format in `cn-tensor::io` and CSV in
+//! `correctnet::export`); the derives exist so type definitions can keep
+//! their `#[derive(Serialize, Deserialize)]` attributes source-compatible
+//! with the real crate. The shim traits in `serde` are blanket-implemented,
+//! so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -39,12 +39,14 @@ fn compensation_mac_share_is_minor() {
     let mut comp = apply_compensation(&base, &plan, 304);
     let cost = CostModel::default();
     let report = analyze(&mut comp, &[1, 28, 28], &cost);
-    let mac_share =
-        report.digital_macs as f64 / (report.digital_macs + report.analog_macs) as f64;
+    let mac_share = report.digital_macs as f64 / (report.digital_macs + report.analog_macs) as f64;
     assert!(mac_share > 0.0);
     assert!(mac_share < 0.5, "digital MAC share {mac_share} too large");
     let energy_fraction = report.digital_energy_fraction(&cost);
-    assert!(energy_fraction > mac_share, "10× pricing must amplify the share");
+    assert!(
+        energy_fraction > mac_share,
+        "10× pricing must amplify the share"
+    );
 }
 
 #[test]
@@ -54,8 +56,7 @@ fn vgg_compensation_is_relatively_cheaper() {
     let cost = CostModel::default();
 
     let lenet = lenet5(&LeNetConfig::cifar10(305));
-    let mut lenet_comp =
-        apply_compensation(&lenet, &CompensationPlan::uniform(&[0, 1], 0.5), 306);
+    let mut lenet_comp = apply_compensation(&lenet, &CompensationPlan::uniform(&[0, 1], 0.5), 306);
     let lenet_report = analyze(&mut lenet_comp, &[3, 32, 32], &cost);
     let lenet_frac = lenet_report.digital_energy_fraction(&cost);
 
@@ -64,8 +65,7 @@ fn vgg_compensation_is_relatively_cheaper() {
         dropout: 0.0,
         ..VggConfig::quick(10, 307)
     });
-    let mut vgg_comp =
-        apply_compensation(&vgg, &CompensationPlan::uniform(&[0, 1], 0.5), 308);
+    let mut vgg_comp = apply_compensation(&vgg, &CompensationPlan::uniform(&[0, 1], 0.5), 308);
     let vgg_report = analyze(&mut vgg_comp, &[3, 32, 32], &cost);
     let vgg_frac = vgg_report.digital_energy_fraction(&cost);
 

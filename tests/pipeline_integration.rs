@@ -4,7 +4,7 @@
 //! compensation-equipped model must recover a large share of the accuracy
 //! a plain model loses under analog variations.
 
-use cn_analog::montecarlo::{mc_accuracy, McConfig};
+use cn_analog::montecarlo::mc_accuracy;
 use cn_data::synthetic_mnist;
 use cn_nn::metrics::evaluate;
 use cn_nn::zoo::{lenet5, LeNetConfig};
@@ -41,11 +41,7 @@ fn correctnet_recovers_accuracy_under_variations() {
     // n×(n+m) kernel), so under the paper's few-percent overhead budget
     // the search never selects them for LeNet — its Table I rows also
     // compensate only 1–2 early layers.
-    let mut candidates: Vec<usize> = report
-        .candidates()
-        .into_iter()
-        .filter(|&w| w < 2)
-        .collect();
+    let mut candidates: Vec<usize> = report.candidates().into_iter().filter(|&w| w < 2).collect();
     if candidates.is_empty() {
         candidates = vec![0, 1];
     }
@@ -53,7 +49,10 @@ fn correctnet_recovers_accuracy_under_variations() {
     let corrected = stages.build_and_train(&base, &data.train, &plan);
     let result = stages.evaluate(&corrected, &data.test);
 
-    assert!(clean_plain > 0.75, "plain model failed to train: {clean_plain}");
+    assert!(
+        clean_plain > 0.75,
+        "plain model failed to train: {clean_plain}"
+    );
     assert!(
         result.mean > noisy_plain.mean + 0.03,
         "CorrectNet ({:.3}) must clearly beat the uncorrected noisy model ({:.3})",
