@@ -35,6 +35,8 @@
 //! assert_eq!(result.accuracies.len(), 4);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cell;
 pub mod converters;
 pub mod crossbar;

@@ -30,6 +30,13 @@ pub struct McConfig {
 
 impl McConfig {
     /// Config with batch size 64.
+    ///
+    /// ```
+    /// use cn_analog::montecarlo::McConfig;
+    ///
+    /// let cfg = McConfig::new(250, 0.5, 42);
+    /// assert_eq!((cfg.samples, cfg.sigma, cfg.batch_size), (250, 0.5, 64));
+    /// ```
     pub fn new(samples: usize, sigma: f32, seed: u64) -> Self {
         McConfig {
             samples,
@@ -111,6 +118,23 @@ pub fn mc_with(
 
 /// Monte-Carlo accuracy under the paper's weight-level log-normal model on
 /// **all** analog layers.
+///
+/// Results are deterministic in `cfg.seed` and independent of the worker
+/// thread count:
+///
+/// ```
+/// use cn_analog::montecarlo::{mc_accuracy, McConfig};
+/// use cn_data::synthetic_mnist;
+/// use cn_nn::zoo::{lenet5, LeNetConfig};
+///
+/// let data = synthetic_mnist(16, 16, 0);
+/// let model = lenet5(&LeNetConfig::mnist(1));
+/// let cfg = McConfig::new(3, 0.4, 7);
+/// let a = mc_accuracy(&model, &data.test, &cfg);
+/// let b = mc_accuracy(&model, &data.test, &cfg);
+/// assert_eq!(a.accuracies, b.accuracies);
+/// assert_eq!(a.accuracies.len(), 3);
+/// ```
 pub fn mc_accuracy(model: &Sequential, data: &Dataset, cfg: &McConfig) -> McResult {
     let sigma = cfg.sigma;
     mc_with(

@@ -4,15 +4,15 @@
 //! against in the paper's Fig. 8:
 //!
 //! - [`protection`] / [`replication`] — critical-weight replication into
-//!   SRAM (≈ Charan et al., DAC'20, the paper's ref. [8]): the largest-
+//!   SRAM (≈ Charan et al., DAC'20, the paper's ref. \[8\]): the largest-
 //!   magnitude fraction of weights is stored digitally and is immune to
 //!   variations; optional per-chip *online retraining* fine-tunes the
 //!   digital copies against each sampled variation instance.
 //! - [`sparse_adaptation`] — random sparse adaptation (≈ Mohanty et al.,
-//!   IEDM'17, ref. [9]): a random fraction of weights is mapped to on-chip
+//!   IEDM'17, ref. \[9\]): a random fraction of weights is mapped to on-chip
 //!   digital memory and retrained per chip.
 //! - [`statistical`] — statistical / noise-aware training (≈ Long et al.,
-//!   DATE'19, ref. [11] and Vortex, DAC'15, ref. [7]): the base network is
+//!   DATE'19, ref. \[11\] and Vortex, DAC'15, ref. \[7\]): the base network is
 //!   trained with variations resampled every batch; no extra weights.
 //!
 //! All baselines share the paper's evaluation protocol: weight overhead on

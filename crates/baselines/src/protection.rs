@@ -38,7 +38,7 @@ impl ProtectionMasks {
     }
 
     /// Protects the `fraction` largest-magnitude weights **globally**
-    /// across all analog layers of `model` (≈ ref. [8]).
+    /// across all analog layers of `model` (≈ ref. \[8\]).
     ///
     /// # Panics
     ///
@@ -76,7 +76,7 @@ impl ProtectionMasks {
         ProtectionMasks { masks }
     }
 
-    /// Protects a uniformly random `fraction` of weights (≈ ref. [9]).
+    /// Protects a uniformly random `fraction` of weights (≈ ref. \[9\]).
     ///
     /// # Panics
     ///

@@ -1,4 +1,4 @@
-//! Critical-weight replication into SRAM (≈ paper ref. [8]).
+//! Critical-weight replication into SRAM (≈ paper ref. \[8\]).
 
 use crate::protection::{eval_protected, ProtectionMasks, RetrainConfig};
 use cn_analog::montecarlo::McResult;

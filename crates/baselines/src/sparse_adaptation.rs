@@ -1,4 +1,4 @@
-//! Random sparse adaptation (≈ paper ref. [9]).
+//! Random sparse adaptation (≈ paper ref. \[9\]).
 //!
 //! A random subset of weights is mapped to on-chip digital memory; since
 //! they carry no variations *and* can be written per chip, the method is
@@ -75,7 +75,7 @@ mod tests {
 
     #[test]
     fn magnitude_beats_random_at_equal_fraction() {
-        // The whole point of ref. [8] vs ref. [9]: protecting the largest
+        // The whole point of ref. [8] vs ref. \[9\]: protecting the largest
         // weights is better than protecting random ones (without
         // retraining).
         let data = synthetic_mnist(200, 60, 95);

@@ -1,4 +1,4 @@
-//! Statistical / noise-aware training (≈ paper refs. [7], [10], [11]).
+//! Statistical / noise-aware training (≈ paper refs. \[7\], \[10\], \[11\]).
 //!
 //! The network is trained with variations sampled fresh for every batch,
 //! so the weights settle in configurations robust to the variation

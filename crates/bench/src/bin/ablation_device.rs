@@ -1,102 +1,8 @@
-//! **Extension ablation** (not a paper figure): does the paper's
-//! weight-level log-normal model (eq. 1–2) agree with a device-level
-//! crossbar simulation? Compares accuracy under
-//!
-//! 1. weight-level log-normal variation,
-//! 2. conductance-level programming variation on differential pairs,
-//! 3. conductance-level + 32-level quantization,
-//! 4. weight-level + stuck-at faults,
-//! 5. weight-level + retention drift (1000× the programming age),
-//! 6. weight-level + static IR-drop attenuation,
-//!
-//! validating the substitution argument of DESIGN.md §4 and probing the
-//! non-idealities the paper leaves to future work.
-//!
-//! ```bash
-//! cargo run -p cn-bench --release --bin ablation_device
-//! ```
-
-use cn_analog::cell::CellSpec;
-use cn_analog::deployment::DeploymentMode;
-use cn_analog::drift::ConductanceDrift;
-use cn_analog::faults::StuckFaults;
-use cn_analog::irdrop::IrDrop;
-use cn_analog::montecarlo::{mc_accuracy_mode, McConfig};
-use cn_bench::{plain_base, Pair, Scale};
-use correctnet::report::{pct_pm, render_table};
+//! Deprecated compatibility shim: forwards to the unified experiment
+//! runner. Prefer `cargo run -p cn-bench --bin cn-experiments -- run ablation_device`
+//! (honors `--scale`/`--out`; this shim reads `CN_SCALE` and writes
+//! `results/`).
 
 fn main() {
-    let scale = Scale::from_env();
-    println!("== Ablation: weight-level vs device-level variation models ==");
-    println!("scale: {scale:?}\n");
-
-    let (model, data) = plain_base(Pair::LeNet5Mnist, scale);
-    let mut rows = Vec::new();
-    for sigma in [0.1f32, 0.3, 0.5] {
-        let mc = McConfig::new(scale.mc_samples(), sigma, 0xab1a);
-        let modes: [(&str, DeploymentMode); 6] = [
-            (
-                "weight log-normal (paper)",
-                DeploymentMode::WeightLognormal { sigma },
-            ),
-            (
-                "conductance pairs",
-                DeploymentMode::Conductance {
-                    spec: CellSpec {
-                        prog_sigma: sigma,
-                        ..CellSpec::ideal(1.0, 100.0)
-                    },
-                    tile_size: 128,
-                },
-            ),
-            (
-                "conductance + 32 levels",
-                DeploymentMode::Conductance {
-                    spec: CellSpec {
-                        prog_sigma: sigma,
-                        levels: Some(32),
-                        ..CellSpec::ideal(1.0, 100.0)
-                    },
-                    tile_size: 128,
-                },
-            ),
-            (
-                "log-normal + 2% stuck-at-0",
-                DeploymentMode::LognormalWithFaults {
-                    sigma,
-                    faults: StuckFaults::new(0.02, 0.0, 0.0),
-                },
-            ),
-            (
-                "log-normal + drift (t=1000·t0)",
-                DeploymentMode::LognormalWithDrift {
-                    sigma,
-                    drift: ConductanceDrift::new(0.02, 0.005, 1.0),
-                    t: 1000.0,
-                },
-            ),
-            (
-                "log-normal + IR drop (α=0.15)",
-                DeploymentMode::LognormalWithIrDrop {
-                    sigma,
-                    irdrop: IrDrop::new(0.15),
-                },
-            ),
-        ];
-        for (label, mode) in modes {
-            let r = mc_accuracy_mode(&model, &data.test, &mc, &mode);
-            rows.push(vec![
-                format!("{sigma:.1}"),
-                label.to_string(),
-                pct_pm(r.mean, r.std),
-            ]);
-        }
-    }
-    println!(
-        "{}",
-        render_table(&["sigma", "variation model", "accuracy"], &rows)
-    );
-    println!("\nCheck: the four models agree to a few accuracy points at each σ,");
-    println!("so conclusions drawn with the paper's weight-level model carry");
-    println!("over to the device-level substrate.");
+    cn_bench::runner::shim_main("ablation_device");
 }

@@ -1,76 +1,8 @@
-//! **Extension ablation** (not a paper figure): sensitivity of error
-//! suppression to its two hyperparameters — the penalty strength β and
-//! the spectral target λ (paper uses λ(k=1, σ) from eq. 10).
-//!
-//! ```bash
-//! cargo run -p cn-bench --release --bin ablation_lipschitz
-//! ```
-
-use cn_analog::montecarlo::{mc_accuracy, McConfig};
-use cn_bench::{pipeline_config, Pair, Scale};
-use cn_nn::metrics::evaluate;
-use cn_nn::optim::Adam;
-use cn_nn::trainer::{TrainConfig, Trainer};
-use correctnet::lipschitz::{lambda_for, spectral_norms, LipschitzRegularizer};
-use correctnet::report::{pct, render_table};
+//! Deprecated compatibility shim: forwards to the unified experiment
+//! runner. Prefer `cargo run -p cn-bench --bin cn-experiments -- run ablation_lipschitz`
+//! (honors `--scale`/`--out`; this shim reads `CN_SCALE` and writes
+//! `results/`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let sigma = 0.5;
-    let pair = Pair::LeNet5Mnist;
-    println!("== Ablation: Lipschitz regularization hyperparameters (σ = {sigma}) ==");
-    println!(
-        "pair: {}, scale {scale:?}; eq. 10 gives λ = {:.3}\n",
-        pair.name(),
-        lambda_for(1.0, sigma)
-    );
-
-    let data = pair.dataset(scale);
-    let cfg = pipeline_config(scale, sigma, 0xab11);
-    let mc = McConfig::new(scale.mc_samples(), sigma, 0xab12);
-
-    let mut rows = Vec::new();
-    for (label, beta, lambda) in [
-        ("no regularization", 0.0f32, 1.0f32),
-        ("β=1e-4, λ=λ(σ)", 1e-4, lambda_for(1.0, sigma)),
-        ("β=1e-3, λ=λ(σ) (default)", 1e-3, lambda_for(1.0, sigma)),
-        ("β=1e-2, λ=λ(σ)", 1e-2, lambda_for(1.0, sigma)),
-        ("β=1e-3, λ=1 (Parseval)", 1e-3, 1.0),
-    ] {
-        // Two-phase protocol: plain pretraining, then regularized
-        // fine-tuning (see pipeline docs).
-        let mut model = pair.network(scale, 0xab13);
-        Trainer::new(TrainConfig::new(cfg.base_epochs, 32, 1)).fit(
-            &mut model,
-            &data.train,
-            &mut Adam::new(cfg.base_lr),
-        );
-        if beta > 0.0 {
-            let reg = LipschitzRegularizer { beta, lambda };
-            Trainer::new(TrainConfig::new(cfg.base_epochs / 2, 32, 2))
-                .with_regularizer(move |m| reg.apply(m))
-                .fit(&mut model, &data.train, &mut Adam::new(cfg.base_lr / 2.0));
-        }
-        let clean = evaluate(&mut model.clone(), &data.test, 64);
-        let noisy = mc_accuracy(&model, &data.test, &mc);
-        let max_norm = spectral_norms(&model)
-            .iter()
-            .map(|(_, s)| *s)
-            .fold(0.0f32, f32::max);
-        rows.push(vec![
-            label.to_string(),
-            pct(clean),
-            pct(noisy.mean),
-            format!("{max_norm:.2}"),
-        ]);
-    }
-    println!(
-        "{}",
-        render_table(
-            &["configuration", "clean acc", "acc @ σ=0.5", "max σ(W)"],
-            &rows
-        )
-    );
-    println!("\nCheck: moderate β preserves clean accuracy while shrinking the");
-    println!("spectral norms; overly aggressive β trades clean accuracy away.");
+    cn_bench::runner::shim_main("ablation_lipschitz");
 }

@@ -1,0 +1,186 @@
+//! `cn-experiments` — the unified experiment runner CLI.
+//!
+//! ```text
+//! cn-experiments list
+//! cn-experiments run <name>... | all [--scale quick|default|full]
+//!                                    [--out DIR | --no-out]
+//!                                    [--cache DIR] [--seed N]
+//! cn-experiments validate <file.json>...
+//! ```
+//!
+//! `run` resolves names against the experiment registry, shares one
+//! trained-model cache across the sweep, prints the human-readable tables
+//! and writes one JSON report per experiment
+//! (`<out>/<name>_<scale>.json`, schema in `cn_bench::report`).
+//! `validate` parses report files back through the schema and fails on
+//! any mismatch — CI uses it to keep the schema stable.
+
+use cn_bench::report::ExperimentReport;
+use cn_bench::runner::{run_many, RunOptions};
+use cn_bench::Scale;
+use correctnet::export::json::Json;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage:
+  cn-experiments list
+  cn-experiments run <name>... | all [--scale quick|default|full]
+                                     [--out DIR | --no-out]
+                                     [--cache DIR] [--seed N]
+  cn-experiments validate <file.json>...
+
+`--scale` overrides the CN_SCALE environment variable (default: quick).
+Reports land in `results/` unless --out/--no-out say otherwise; trained
+models are cached under `target/cn_models/` (override with --cache).";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            println!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_list() -> i32 {
+    println!("registered experiments:\n");
+    for exp in cn_bench::experiments::registry() {
+        println!("  {:<20} {}", exp.name(), exp.description());
+    }
+    println!("\nrun one with: cn-experiments run <name> [--scale quick|default|full]");
+    0
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let mut names: Vec<String> = Vec::new();
+    let mut opts = RunOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--scale needs a value\n\n{USAGE}");
+                    return 2;
+                };
+                match Scale::parse(value) {
+                    Some(scale) => opts.scale = scale,
+                    None => {
+                        eprintln!("unknown scale `{value}` (quick|default|full)");
+                        return 2;
+                    }
+                }
+                i += 2;
+            }
+            "--out" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--out needs a directory\n\n{USAGE}");
+                    return 2;
+                };
+                opts.out_dir = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--no-out" => {
+                opts.out_dir = None;
+                i += 1;
+            }
+            "--cache" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--cache needs a directory\n\n{USAGE}");
+                    return 2;
+                };
+                opts.cache_dir = PathBuf::from(value);
+                i += 2;
+            }
+            "--seed" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--seed needs a value\n\n{USAGE}");
+                    return 2;
+                };
+                match parse_seed(value) {
+                    Some(seed) => opts.seed = seed,
+                    None => {
+                        eprintln!("bad seed `{value}`");
+                        return 2;
+                    }
+                }
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`\n\n{USAGE}");
+                return 2;
+            }
+            name => {
+                names.push(name.to_string());
+                i += 1;
+            }
+        }
+    }
+    if names.iter().any(|n| n == "all") {
+        names = cn_bench::experiments::names()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+    }
+    if names.is_empty() {
+        eprintln!("no experiment named\n\n{USAGE}");
+        return 2;
+    }
+    match run_many(&names, &opts) {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn parse_seed(value: &str) -> Option<u64> {
+    if let Some(hex) = value.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        value.parse().ok()
+    }
+}
+
+fn cmd_validate(files: &[String]) -> i32 {
+    if files.is_empty() {
+        eprintln!("validate needs at least one report file\n\n{USAGE}");
+        return 2;
+    }
+    let mut failures = 0;
+    for file in files {
+        match validate_file(file) {
+            Ok(report) => println!(
+                "{file}: ok (experiment {}, scale {}, {} series, {} table(s))",
+                report.experiment,
+                report.scale,
+                report.series.len(),
+                report.tables.len()
+            ),
+            Err(e) => {
+                eprintln!("{file}: INVALID — {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+fn validate_file(path: &str) -> Result<ExperimentReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| e.to_string())?;
+    ExperimentReport::from_json(&json)
+}

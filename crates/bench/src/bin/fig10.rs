@@ -1,111 +1,8 @@
-//! Regenerates **paper Fig. 10**: the RL search's explored placements for
-//! VGG16-CIFAR100 (overhead vs accuracy cloud), the RL-selected solution,
-//! and the exhaustive all-candidates reference.
-//!
-//! ```bash
-//! cargo run -p cn-bench --release --bin fig10
-//! ```
-
-use cn_bench::{lipschitz_base, pipeline_config, Pair, Scale};
-use cn_rl::env::CorrectNetEnv;
-use cn_rl::exhaustive::all_layers;
-use cn_rl::search::{reinforce_search, SearchConfig};
-use correctnet::pipeline::CorrectNetStages;
-use correctnet::report::{pct, render_table};
+//! Deprecated compatibility shim: forwards to the unified experiment
+//! runner. Prefer `cargo run -p cn-bench --bin cn-experiments -- run fig10`
+//! (honors `--scale`/`--out`; this shim reads `CN_SCALE` and writes
+//! `results/`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let sigma = 0.5;
-    println!("== Fig. 10: RL search exploration for VGG16-Cifar100 (σ = {sigma}) ==");
-    println!("scale: {scale:?}\n");
-
-    let pair = Pair::Vgg16Cifar100;
-    let cfg = pipeline_config(scale, sigma, 0x0f10);
-    let _stages = CorrectNetStages::new(cfg);
-    let (base, data) = lipschitz_base(pair, scale, sigma);
-    let report = cn_bench::cached_candidates(pair, scale, sigma, &base, &data);
-    // Cap the search space at the first six layers (the paper's RL also
-    // searched the first six for VGG16-C100).
-    let candidates: Vec<usize> = if report.candidate_count == 0 {
-        vec![0, 1]
-    } else {
-        report.candidates().into_iter().take(6).collect()
-    };
-    println!(
-        "candidate layers: first {} of 15 (paper: first 6)\n",
-        candidates.len()
-    );
-
-    let search_cfg = SearchConfig {
-        episodes: match scale {
-            Scale::Quick => 8,
-            Scale::Full => 30,
-        },
-        rollouts_per_episode: 2,
-        ..SearchConfig::new(0.06, 0xf10a)
-    };
-    // Proxy budget during the search (the paper's skip trick bounds the
-    // expensive evaluations; we additionally shorten compensator training
-    // while exploring — every reported point is a real evaluation at this
-    // proxy budget, directly comparable across placements).
-    let mut proxy_cfg = cfg;
-    proxy_cfg.comp_epochs = 2;
-    proxy_cfg.mc_samples = 8;
-    let proxy_stages = CorrectNetStages::new(proxy_cfg);
-    let search_train = data.train.take(data.train.len().min(600));
-    let search_test = data.test.take(data.test.len().min(200));
-    let mut env = CorrectNetEnv::new(proxy_stages, &base, &search_train, &search_test, candidates);
-    let result = reinforce_search(&mut env, &search_cfg);
-
-    let mut rows: Vec<Vec<String>> = result
-        .explored
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{:?}", p.ratios),
-                pct(p.outcome.overhead),
-                pct(p.outcome.acc_mean),
-                format!("{:.1}", 100.0 * p.outcome.acc_std),
-                format!("{:.3}", p.reward),
-            ]
-        })
-        .collect();
-    // Exhaustive reference: compensate every candidate.
-    let exhaustive = all_layers(&mut env, 0.5, &search_cfg.reward);
-    rows.push(vec![
-        "EXHAUSTIVE (all @0.5)".into(),
-        pct(exhaustive.outcome.overhead),
-        pct(exhaustive.outcome.acc_mean),
-        format!("{:.1}", 100.0 * exhaustive.outcome.acc_std),
-        format!("{:.3}", exhaustive.reward),
-    ]);
-
-    println!(
-        "{}",
-        render_table(
-            &[
-                "placement (ratios)",
-                "overhead",
-                "accuracy",
-                "std",
-                "reward"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "\nRL selected: {:?} → {} at {} overhead ({} env evaluations)",
-        result.best_ratios,
-        pct(result.best_outcome.acc_mean),
-        pct(result.best_outcome.overhead),
-        env.evaluations()
-    );
-    println!(
-        "exhaustive reference: {} at {} overhead",
-        pct(exhaustive.outcome.acc_mean),
-        pct(exhaustive.outcome.overhead)
-    );
-    println!("\nReproduction checks: RL finds a placement within noise of the");
-    println!("exhaustive accuracy at lower overhead (paper: 67.01% vs 67.14%");
-    println!("at 2.41% vs 4.29% overhead).");
+    cn_bench::runner::shim_main("fig10");
 }

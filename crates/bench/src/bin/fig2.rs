@@ -1,50 +1,8 @@
-//! Regenerates **paper Fig. 2**: inference-accuracy degradation of the
-//! *uncorrected* networks as weight variation σ grows from 0 to 0.5
-//! (mean ± std over Monte-Carlo deployment samples, four network–dataset
-//! pairs).
-//!
-//! ```bash
-//! cargo run -p cn-bench --release --bin fig2
-//! ```
-
-use cn_analog::montecarlo::{mc_accuracy, McConfig};
-use cn_bench::{plain_base, Pair, Scale};
-use correctnet::report::{pct_pm, render_table};
+//! Deprecated compatibility shim: forwards to the unified experiment
+//! runner. Prefer `cargo run -p cn-bench --bin cn-experiments -- run fig2`
+//! (honors `--scale`/`--out`; this shim reads `CN_SCALE` and writes
+//! `results/`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let sigmas = [0.0f32, 0.1, 0.2, 0.3, 0.4, 0.5];
-    println!("== Fig. 2: accuracy degradation of uncorrected networks ==");
-    println!(
-        "scale: {scale:?} ({} MC samples per point)\n",
-        scale.mc_samples()
-    );
-
-    for pair in Pair::ALL {
-        let (model, data) = plain_base(pair, scale);
-        let mut rows = Vec::new();
-        for (i, &sigma) in sigmas.iter().enumerate() {
-            let mc = McConfig {
-                samples: if sigma == 0.0 { 1 } else { scale.mc_samples() },
-                sigma,
-                batch_size: 64,
-                seed: 0xf162 + i as u64,
-            };
-            let r = mc_accuracy(&model, &data.test, &mc);
-            rows.push(vec![format!("{sigma:.1}"), pct_pm(r.mean, r.std)]);
-        }
-        println!("--- {} ---", pair.name());
-        println!(
-            "{}",
-            render_table(&["sigma", "accuracy (mean ± std)"], &rows)
-        );
-        let paper = pair.paper_row();
-        println!(
-            "paper shape: {} at σ=0 degrading to {} at σ=0.5; deeper nets degrade harder.\n",
-            correctnet::report::pct(paper.clean),
-            correctnet::report::pct(paper.noisy)
-        );
-    }
-    println!("Reproduction checks: (1) monotone degradation with σ;");
-    println!("(2) VGG16 (deeper) collapses harder than LeNet-5 at σ=0.5.");
+    cn_bench::runner::shim_main("fig2");
 }

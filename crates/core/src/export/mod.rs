@@ -1,8 +1,17 @@
-//! CSV export of experiment report structures.
+//! Machine-readable export of experiment artifacts.
 //!
-//! The regenerator binaries print human-readable tables; these helpers
-//! produce machine-readable CSV for plotting the figures externally
-//! (e.g. with matplotlib or gnuplot).
+//! Three layers, from smallest to largest:
+//!
+//! - CSV helpers (this module): flat tables for plotting the figures
+//!   externally (e.g. with matplotlib or gnuplot).
+//! - [`json`]: a dependency-free JSON value type with a renderer and a
+//!   strict parser — the substrate of the `cn-experiments` report files.
+//! - [`model`]: a self-describing container for trained models (JSON
+//!   metadata + binary state dict) with a save/load round-trip, backing
+//!   the experiment runner's trained-model cache.
+
+pub mod json;
+pub mod model;
 
 use crate::report::{SigmaPoint, Table1Row, TradeoffPoint};
 

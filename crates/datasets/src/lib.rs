@@ -6,7 +6,7 @@
 //! No dataset files are available in the offline build environment, so the
 //! paper's datasets are replaced by *procedural, class-structured* image
 //! generators with identical tensor shapes and class counts (see
-//! `DESIGN.md` §4 for the substitution rationale):
+//! `docs/ARCHITECTURE.md` (fidelity deviations) for the substitution rationale):
 //!
 //! - [`synthetic_mnist`] — `1×28×28` renderings of ten digit glyphs under
 //!   random affine jitter and pixel noise,

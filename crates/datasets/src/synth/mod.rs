@@ -1,7 +1,7 @@
 //! Procedural, class-structured image generators.
 //!
 //! These are the offline stand-ins for MNIST / CIFAR-10 / CIFAR-100 (see
-//! `DESIGN.md` §4). Each generator maps a class index to a deterministic
+//! `docs/ARCHITECTURE.md` (fidelity deviations)). Each generator maps a class index to a deterministic
 //! *prototype* (digit glyph / shape + palette + grating) and renders
 //! instances with per-sample geometric jitter and pixel noise, so the
 //! classification task requires genuine generalization rather than

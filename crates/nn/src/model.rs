@@ -166,6 +166,32 @@ impl Sequential {
             .collect()
     }
 
+    /// Stable fingerprint of the model *architecture*: a digest over the
+    /// layer names plus every parameter/buffer name and shape (weight
+    /// values are excluded). Two models agree iff a state dict saved from
+    /// one loads into the other, which makes the fingerprint the natural
+    /// cache key component for serialized trained models.
+    pub fn arch_fingerprint(&self) -> String {
+        let mut desc: Vec<u8> = Vec::new();
+        for (layer, name) in self.layers.iter().zip(self.names.iter()) {
+            desc.extend_from_slice(name.as_bytes());
+            desc.push(0xff);
+            for p in layer.params() {
+                desc.extend_from_slice(p.name.as_bytes());
+                for &d in p.value.dims() {
+                    desc.extend_from_slice(&(d as u64).to_le_bytes());
+                }
+            }
+            for (bname, b) in layer.buffers() {
+                desc.extend_from_slice(bname.as_bytes());
+                for &d in b.dims() {
+                    desc.extend_from_slice(&(d as u64).to_le_bytes());
+                }
+            }
+        }
+        format!("{:016x}", cn_tensor::hash::fnv1a64(&desc))
+    }
+
     /// Serializes parameters and buffers into a named state dict.
     pub fn state_dict(&self) -> Vec<(String, Tensor)> {
         let mut out = Vec::new();
@@ -342,6 +368,20 @@ mod tests {
         m2.params_mut()[0].value.data_mut()[0] += 1.0;
         assert_eq!(m1.params_mut()[0].value, before, "original was mutated");
         assert_ne!(m1.params_mut()[0].value, m2.params_mut()[0].value);
+    }
+
+    #[test]
+    fn arch_fingerprint_tracks_structure_not_weights() {
+        let mut rng = SeededRng::new(11);
+        let a = mlp(&mut rng);
+        let b = mlp(&mut rng); // same structure, different weights
+        assert_eq!(a.arch_fingerprint(), b.arch_fingerprint());
+        let other = Sequential::new(vec![
+            Box::new(Dense::new(4, 7, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(7, 3, &mut rng)),
+        ]);
+        assert_ne!(a.arch_fingerprint(), other.arch_fingerprint());
     }
 
     #[test]

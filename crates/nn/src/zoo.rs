@@ -5,7 +5,7 @@
 //! Zisserman's configuration D adapted to 32×32 inputs (thirteen 3×3
 //! convolutions in five max-pooled blocks, then the classifier head) —
 //! with a **width multiplier** scaling every channel count, the
-//! laptop-scale substitution documented in `DESIGN.md` §4. At
+//! laptop-scale substitution documented in `docs/ARCHITECTURE.md` (fidelity deviations). At
 //! `width_mult = 1.0` the topology is the paper's VGG16 verbatim.
 
 use crate::layers::{AvgPool2d, BatchNorm2d, Conv2d, Dense, Dropout, Flatten, MaxPool2d, Relu};

@@ -13,7 +13,7 @@
 //!     −overhead                       otherwise
 //! ```
 //!
-//! The environment ([`env`]) evaluates a placement by building the
+//! The environment ([`mod@env`]) evaluates a placement by building the
 //! compensated model, training its generators/compensators against
 //! per-batch variation samples, and Monte-Carlo-evaluating the result —
 //! exactly the [`correctnet::CorrectNetStages`] pipeline. Evaluations are

@@ -1,0 +1,35 @@
+//! Small stable hashing utilities.
+
+/// 64-bit FNV-1a over a byte slice.
+///
+/// Tiny, dependency-free and stable across runs/platforms — used for
+/// architecture fingerprints and cache file stems, not for security.
+///
+/// ```
+/// use cn_tensor::hash::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+/// assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

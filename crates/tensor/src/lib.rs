@@ -28,6 +28,7 @@
 //! ```
 
 pub mod error;
+pub mod hash;
 pub mod io;
 pub mod linalg;
 pub mod ops;
