@@ -56,80 +56,103 @@ pub enum DeploymentMode {
 }
 
 impl DeploymentMode {
-    /// Samples one full set of per-layer masks for `model`.
-    pub fn sample_masks(&self, model: &Sequential, rng: &mut SeededRng) -> Vec<Tensor> {
+    /// The shared mask-plan routine every deployment path goes through:
+    /// one entry per analog weight layer (aligned with
+    /// [`Sequential::noisy_layers`]), where `None` leaves the layer exact.
+    ///
+    /// Layers with weight-layer index `< start` are skipped **without
+    /// consuming RNG draws** (the paper's Fig. 9 suffix-variation
+    /// protocol) — matching the historic `apply_lognormal_from` stream,
+    /// which means a suffix plan draws *different* masks than the
+    /// corresponding layers of a full plan under the same RNG.
+    /// [`sample_masks`](Self::sample_masks) and
+    /// [`deploy`](Self::deploy) are thin wrappers over this routine; the
+    /// engine's `AnalogBackend` calls it directly.
+    pub fn mask_plan(
+        &self,
+        model: &Sequential,
+        start: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<Option<Tensor>> {
+        // The conductance path programs the whole model onto (tiled)
+        // crossbars in one pass; prefix layers are programmed but excluded
+        // from the plan.
+        if let DeploymentMode::Conductance { spec, tile_size } = self {
+            let cfg = MappingConfig {
+                tile_size: *tile_size,
+                spec: *spec,
+            };
+            return conductance_masks(model, &cfg, rng)
+                .into_iter()
+                .enumerate()
+                .map(|(i, mask)| (i >= start).then_some(mask))
+                .collect();
+        }
+        model
+            .noisy_layers()
+            .into_iter()
+            .enumerate()
+            .map(|(weight_idx, (layer_index, dims))| {
+                (weight_idx >= start).then(|| self.layer_mask(model, layer_index, &dims, rng))
+            })
+            .collect()
+    }
+
+    /// Samples the mask for a single analog layer (all modes except the
+    /// whole-model conductance path, which is handled in
+    /// [`mask_plan`](Self::mask_plan)).
+    fn layer_mask(
+        &self,
+        model: &Sequential,
+        layer_index: usize,
+        dims: &[usize],
+        rng: &mut SeededRng,
+    ) -> Tensor {
         match self {
             DeploymentMode::WeightLognormal { sigma } => {
-                let vm = LognormalWeight::new(*sigma);
-                model
-                    .noisy_layers()
-                    .into_iter()
-                    .map(|(_, dims)| vm.sample_mask(&dims, rng))
-                    .collect()
+                LognormalWeight::new(*sigma).sample_mask(dims, rng)
             }
             DeploymentMode::GaussianRelative { sigma_rel } => {
-                let vm = GaussianRelative::new(*sigma_rel);
-                model
-                    .noisy_layers()
-                    .into_iter()
-                    .map(|(_, dims)| vm.sample_mask(&dims, rng))
-                    .collect()
+                GaussianRelative::new(*sigma_rel).sample_mask(dims, rng)
             }
-            DeploymentMode::Conductance { spec, tile_size } => {
-                let cfg = MappingConfig {
-                    tile_size: *tile_size,
-                    spec: *spec,
-                };
-                conductance_masks(model, &cfg, rng)
+            DeploymentMode::Conductance { .. } => {
+                unreachable!("conductance masks are sampled whole-model in mask_plan")
             }
             DeploymentMode::LognormalWithFaults { sigma, faults } => {
-                let vm = LognormalWeight::new(*sigma);
-                model
-                    .noisy_layers()
-                    .into_iter()
-                    .map(|(layer_index, dims)| {
-                        let lognormal = vm.sample_mask(&dims, rng);
-                        let nominal = model
-                            .layer(layer_index)
-                            .lipschitz_matrix()
-                            .expect("analog layer")
-                            .into_reshaped(&dims);
-                        let fault_mask = faults.as_mask(&nominal, rng);
-                        lognormal.zip_map(&fault_mask, |a, b| a * b)
-                    })
-                    .collect()
+                let lognormal = LognormalWeight::new(*sigma).sample_mask(dims, rng);
+                let nominal = model
+                    .layer(layer_index)
+                    .lipschitz_matrix()
+                    .expect("analog layer")
+                    .into_reshaped(dims);
+                let fault_mask = faults.as_mask(&nominal, rng);
+                lognormal.zip_map(&fault_mask, |a, b| a * b)
             }
             DeploymentMode::LognormalWithDrift { sigma, drift, t } => {
-                let vm = LognormalWeight::new(*sigma);
-                model
-                    .noisy_layers()
-                    .into_iter()
-                    .map(|(_, dims)| {
-                        let lognormal = vm.sample_mask(&dims, rng);
-                        let drift_mask = drift.mask_at(&dims, *t, rng);
-                        lognormal.zip_map(&drift_mask, |a, b| a * b)
-                    })
-                    .collect()
+                let lognormal = LognormalWeight::new(*sigma).sample_mask(dims, rng);
+                let drift_mask = drift.mask_at(dims, *t, rng);
+                lognormal.zip_map(&drift_mask, |a, b| a * b)
             }
             DeploymentMode::LognormalWithIrDrop { sigma, irdrop } => {
-                let vm = LognormalWeight::new(*sigma);
-                model
-                    .noisy_layers()
-                    .into_iter()
-                    .map(|(layer_index, dims)| {
-                        let lognormal = vm.sample_mask(&dims, rng);
-                        let matrix = model
-                            .layer(layer_index)
-                            .lipschitz_matrix()
-                            .expect("analog layer");
-                        let att = irdrop
-                            .mask(matrix.dims()[0], matrix.dims()[1])
-                            .into_reshaped(&dims);
-                        lognormal.zip_map(&att, |a, b| a * b)
-                    })
-                    .collect()
+                let lognormal = LognormalWeight::new(*sigma).sample_mask(dims, rng);
+                let matrix = model
+                    .layer(layer_index)
+                    .lipschitz_matrix()
+                    .expect("analog layer");
+                let att = irdrop
+                    .mask(matrix.dims()[0], matrix.dims()[1])
+                    .into_reshaped(dims);
+                lognormal.zip_map(&att, |a, b| a * b)
             }
         }
+    }
+
+    /// Samples one full set of per-layer masks for `model`.
+    pub fn sample_masks(&self, model: &Sequential, rng: &mut SeededRng) -> Vec<Tensor> {
+        self.mask_plan(model, 0, rng)
+            .into_iter()
+            .map(|m| m.expect("start = 0 plans every layer"))
+            .collect()
     }
 
     /// Samples masks and installs them on the model in place.

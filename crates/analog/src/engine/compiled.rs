@@ -1,0 +1,198 @@
+//! Compile step: freezing one deployment instance of a model.
+
+use super::backend::Backend;
+use cn_nn::Sequential;
+use cn_tensor::{SeededRng, Tensor};
+use std::sync::Arc;
+
+/// An immutable deployment snapshot: the model with one sampled set of
+/// variations programmed into it.
+///
+/// A `CompiledModel` is `Send + Sync` and never mutated after compilation,
+/// so one instance (behind an [`Arc`]) can serve any number of concurrent
+/// [`Session`](super::Session)s. Inference goes through the cache-free
+/// [`Sequential::infer`] path; for baking backends the masks are folded
+/// into the weights at compile time, so the hot path performs no mask
+/// multiplication and no weight re-deployment.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    model: Sequential,
+    backend_name: String,
+}
+
+impl CompiledModel {
+    /// Compiles one deployment instance: clones `model`, clears any
+    /// previously installed variation state, applies the backend's mask
+    /// plan, optionally bakes it into the weights, and runs the backend's
+    /// finalize hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend's mask plan has the wrong length or a mask
+    /// shape disagrees with its layer.
+    pub fn compile(model: &Sequential, backend: &dyn Backend, rng: &mut SeededRng) -> Self {
+        let plan = backend.mask_plan(model, rng);
+        let noisy = model.noisy_layers();
+        assert_eq!(
+            plan.len(),
+            noisy.len(),
+            "backend {} planned {} masks for {} analog layers",
+            backend.name(),
+            plan.len(),
+            noisy.len()
+        );
+        let mut instance = model.clone();
+        instance.clear_noise();
+        for ((layer_index, dims), mask) in noisy.into_iter().zip(plan) {
+            if let Some(mask) = mask {
+                assert_eq!(mask.dims(), &dims[..], "mask shape mismatch");
+                instance.layer_mut(layer_index).set_noise(Some(mask));
+            }
+        }
+        if backend.bake() {
+            instance.bake_noise();
+        }
+        backend.finalize(&mut instance, rng);
+        CompiledModel {
+            model: instance,
+            backend_name: backend.name(),
+        }
+    }
+
+    /// Logits for a batch through the immutable inference path.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.model.infer(x)
+    }
+
+    /// The deployed model snapshot.
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// Name of the backend this instance was compiled with.
+    pub fn backend_name(&self) -> &str {
+        &self.backend_name
+    }
+
+    /// Wraps the snapshot for sharing across sessions and threads.
+    pub fn shared(self) -> Arc<CompiledModel> {
+        Arc::new(self)
+    }
+}
+
+/// Builder for the compile step: model + backend + seed → one or many
+/// [`CompiledModel`] instances.
+///
+/// Instance `i` draws from the deterministic RNG stream
+/// `SeededRng::new(seed).fork(i)` — the same per-sample stream contract
+/// the Monte-Carlo protocol has always used, so compiled instances are
+/// reproducible and independent of how work is scheduled.
+pub struct EngineBuilder<'m> {
+    model: &'m Sequential,
+    backend: Box<dyn Backend>,
+    seed: u64,
+}
+
+impl<'m> EngineBuilder<'m> {
+    /// Starts a builder over `model` with the exact
+    /// [`DigitalBackend`](super::DigitalBackend) and seed 0.
+    pub fn new(model: &'m Sequential) -> Self {
+        EngineBuilder {
+            model,
+            backend: Box::new(super::DigitalBackend),
+            seed: 0,
+        }
+    }
+
+    /// Selects the deployment backend.
+    pub fn backend(mut self, backend: impl Backend + 'static) -> Self {
+        self.backend = Box::new(backend);
+        self
+    }
+
+    /// Sets the master seed for instance RNG streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Compiles deployment instance `i` (stream `fork(i)` of the seed).
+    pub fn compile_instance(&self, i: u64) -> CompiledModel {
+        let mut rng = SeededRng::new(self.seed).fork(i);
+        CompiledModel::compile(self.model, self.backend.as_ref(), &mut rng)
+    }
+
+    /// Compiles instance 0 — the common single-deployment case.
+    pub fn compile(&self) -> CompiledModel {
+        self.compile_instance(0)
+    }
+
+    /// The configured backend (e.g. for naming reports).
+    pub fn backend_ref(&self) -> &dyn Backend {
+        self.backend.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AnalogBackend, DigitalBackend};
+    use super::*;
+    use cn_nn::zoo::mlp;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn compiled_model_is_send_sync() {
+        assert_send_sync::<CompiledModel>();
+        assert_send_sync::<Arc<CompiledModel>>();
+    }
+
+    #[test]
+    fn digital_compile_matches_eval_forward_bitwise() {
+        let model = mlp(&[4, 8, 3], 1);
+        let compiled = EngineBuilder::new(&model).compile();
+        let x = SeededRng::new(2).normal_tensor(&[5, 4], 0.0, 1.0);
+        assert_eq!(compiled.infer(&x), model.clone().forward(&x, false));
+    }
+
+    #[test]
+    fn digital_compile_clears_preexisting_masks() {
+        let mut noisy = mlp(&[4, 8, 3], 3);
+        let clean_logits = noisy.infer(&SeededRng::new(4).normal_tensor(&[2, 4], 0.0, 1.0));
+        cn_nn::noise::apply_lognormal(&mut noisy, 0.6, &mut SeededRng::new(5));
+        let compiled = EngineBuilder::new(&noisy).backend(DigitalBackend).compile();
+        let x = SeededRng::new(4).normal_tensor(&[2, 4], 0.0, 1.0);
+        assert_eq!(compiled.infer(&x), clean_logits);
+    }
+
+    #[test]
+    fn analog_instances_are_deterministic_per_index() {
+        let model = mlp(&[4, 8, 3], 6);
+        let builder = EngineBuilder::new(&model)
+            .backend(AnalogBackend::lognormal(0.5))
+            .seed(7);
+        let x = SeededRng::new(8).normal_tensor(&[3, 4], 0.0, 1.0);
+        let a = builder.compile_instance(2).infer(&x);
+        let b = builder.compile_instance(2).infer(&x);
+        let c = builder.compile_instance(3).infer(&x);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn baking_leaves_no_live_masks() {
+        let model = mlp(&[4, 8, 3], 9);
+        let compiled = EngineBuilder::new(&model)
+            .backend(AnalogBackend::lognormal(0.5))
+            .seed(10)
+            .compile();
+        // All variation state is folded into the weights: clearing noise
+        // on a copy must not change the outputs.
+        let mut cleared = compiled.model().clone();
+        cleared.clear_noise();
+        let x = SeededRng::new(11).normal_tensor(&[2, 4], 0.0, 1.0);
+        assert_eq!(compiled.infer(&x), cleared.infer(&x));
+        // …and the deployment really did perturb the weights.
+        assert_ne!(compiled.infer(&x), model.clone().forward(&x, false));
+    }
+}

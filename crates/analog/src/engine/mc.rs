@@ -1,0 +1,79 @@
+//! Monte-Carlo evaluation re-expressed as compiled instances + sessions.
+
+use super::backend::Backend;
+use super::compiled::CompiledModel;
+use super::session::Session;
+use crate::montecarlo::{McConfig, McResult};
+use cn_data::Dataset;
+use cn_tensor::parallel::num_threads;
+use cn_tensor::SeededRng;
+use parking_lot::Mutex;
+
+/// The single Monte-Carlo entry point: compiles `cfg.samples` deployment
+/// instances of `model` on `backend` and measures each one's test
+/// accuracy through a session.
+///
+/// Sample `i` draws from the independent RNG stream
+/// `SeededRng::new(cfg.seed).fork(i)`, so results are deterministic in
+/// `cfg.seed` and independent of the worker thread count. Each worker
+/// keeps one [`Session`] and rebinds it per instance, reusing the batch
+/// scratch across the whole run. This reproduces the legacy
+/// `mc_accuracy` / `mc_accuracy_mode` / `mc_accuracy_from_layer` /
+/// `mc_with` results bit for bit (those names are now thin deprecated
+/// shims over this function).
+///
+/// ```
+/// use cn_analog::engine::{monte_carlo, AnalogBackend};
+/// use cn_analog::montecarlo::McConfig;
+/// use cn_data::synthetic_mnist;
+/// use cn_nn::zoo::{lenet5, LeNetConfig};
+///
+/// let data = synthetic_mnist(16, 16, 0);
+/// let model = lenet5(&LeNetConfig::mnist(1));
+/// let cfg = McConfig::new(3, 0.4, 7);
+/// let a = monte_carlo(&model, &data.test, &cfg, &AnalogBackend::lognormal(cfg.sigma));
+/// let b = monte_carlo(&model, &data.test, &cfg, &AnalogBackend::lognormal(cfg.sigma));
+/// assert_eq!(a.accuracies, b.accuracies);
+/// assert_eq!(a.accuracies.len(), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `cfg.samples` is zero.
+pub fn monte_carlo(
+    model: &cn_nn::Sequential,
+    data: &Dataset,
+    cfg: &McConfig,
+    backend: &dyn Backend,
+) -> McResult {
+    assert!(cfg.samples > 0, "need at least one Monte-Carlo sample");
+    let results = Mutex::new(vec![0.0f32; cfg.samples]);
+    let workers = num_threads().min(cfg.samples);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let results = &results;
+            scope.spawn(move || {
+                let mut session: Option<Session> = None;
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= cfg.samples {
+                        break;
+                    }
+                    let mut rng = SeededRng::new(cfg.seed).fork(i as u64);
+                    let compiled = CompiledModel::compile(model, backend, &mut rng).shared();
+                    let session = match &mut session {
+                        Some(s) => {
+                            s.rebind(compiled);
+                            s
+                        }
+                        none => none.insert(Session::new(compiled)),
+                    };
+                    results.lock()[i] = session.evaluate(data, cfg.batch_size);
+                }
+            });
+        }
+    });
+    McResult::from_accuracies(results.into_inner())
+}

@@ -1,0 +1,54 @@
+//! Compile/execute inference engine.
+//!
+//! Analog accelerators do not mutate a model per query — they *program*
+//! weights onto a fixed crossbar substrate once and then execute many
+//! inferences against that deployment (the accuracy-simulator architecture
+//! of Xiao et al. and Wan et al.). This module gives the repo the same
+//! shape, replacing the historic mutate-in-place evaluation:
+//!
+//! 1. **Compile** — [`EngineBuilder`] samples a deployment from a
+//!    [`Backend`] (exact [`DigitalBackend`], weight-level [`AnalogBackend`],
+//!    conductance-level [`TiledBackend`], or a custom implementation) and
+//!    freezes it as an immutable [`CompiledModel`] (`Send + Sync`,
+//!    shareable via `Arc`; variation masks are baked into the weights).
+//! 2. **Execute** — each [`Session`] owns reusable scratch buffers and
+//!    runs batched inference (`infer_batch` / `logits_batch` /
+//!    `evaluate`) against a compiled snapshot with no per-call model
+//!    cloning or weight re-deployment.
+//!
+//! [`monte_carlo`] re-expresses the paper's 250-sample evaluation protocol
+//! as N compiled instances executed through per-worker sessions; the old
+//! `montecarlo::mc_*` free functions are deprecated one-line shims over
+//! it.
+//!
+//! ```
+//! use cn_analog::engine::{AnalogBackend, EngineBuilder, Session};
+//! use cn_data::synthetic_mnist;
+//! use cn_nn::zoo::{lenet5, LeNetConfig};
+//!
+//! let data = synthetic_mnist(16, 16, 0);
+//! let model = lenet5(&LeNetConfig::mnist(1));
+//!
+//! // Compile once: weights + sampled variations frozen into a snapshot.
+//! let compiled = EngineBuilder::new(&model)
+//!     .backend(AnalogBackend::lognormal(0.3))
+//!     .seed(42)
+//!     .compile()
+//!     .shared();
+//!
+//! // Execute many times: sessions share the snapshot, own their scratch.
+//! let mut session = Session::new(compiled);
+//! let preds = session.infer_batch(&data.test.images).to_vec();
+//! assert_eq!(preds.len(), 16);
+//! assert!(session.evaluate(&data.test, 8) >= 0.0);
+//! ```
+
+mod backend;
+mod compiled;
+mod mc;
+mod session;
+
+pub use backend::{AnalogBackend, Backend, DigitalBackend, MaskPlan, PerturbBackend, TiledBackend};
+pub use compiled::{CompiledModel, EngineBuilder};
+pub use mc::monte_carlo;
+pub use session::Session;

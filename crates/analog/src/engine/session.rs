@@ -1,0 +1,126 @@
+//! Execute step: sessions running batched inference on compiled models.
+
+use super::compiled::CompiledModel;
+use cn_data::Dataset;
+use cn_nn::inference::{evaluate_infer, BatchScratch};
+use cn_tensor::Tensor;
+use std::sync::Arc;
+
+/// An inference session bound to a [`CompiledModel`].
+///
+/// The compiled snapshot is shared (many sessions, e.g. one per serving
+/// thread, can hold the same `Arc`); the session owns the mutable
+/// per-caller state — reusable scratch buffers for batch assembly and
+/// predictions. Repeated [`infer_batch`](Session::infer_batch) /
+/// [`logits_batch`](Session::logits_batch) calls perform no model cloning
+/// and no weight re-deployment; the weights were programmed once at
+/// compile time.
+pub struct Session {
+    compiled: Arc<CompiledModel>,
+    scratch: BatchScratch,
+    batches: u64,
+}
+
+impl Session {
+    /// Opens a session on a compiled deployment.
+    pub fn new(compiled: Arc<CompiledModel>) -> Self {
+        Session {
+            compiled,
+            scratch: BatchScratch::new(),
+            batches: 0,
+        }
+    }
+
+    /// The compiled model this session executes.
+    pub fn compiled(&self) -> &Arc<CompiledModel> {
+        &self.compiled
+    }
+
+    /// Rebinds the session to another compiled instance, keeping the
+    /// scratch buffers (used by the Monte-Carlo driver to run N instances
+    /// through one session per worker).
+    pub fn rebind(&mut self, compiled: Arc<CompiledModel>) {
+        self.compiled = compiled;
+    }
+
+    /// Logits for one input batch.
+    pub fn logits_batch(&mut self, x: &Tensor) -> Tensor {
+        self.batches += 1;
+        self.compiled.infer(x)
+    }
+
+    /// Predicted class indices for one input batch, written into the
+    /// session's reusable prediction buffer.
+    pub fn infer_batch(&mut self, x: &Tensor) -> &[usize] {
+        let logits = self.logits_batch(x);
+        self.scratch.argmax_into(&logits)
+    }
+
+    /// Batched test accuracy of the compiled deployment over `data`
+    /// (bitwise-identical protocol to `cn_nn::metrics::evaluate`).
+    pub fn evaluate(&mut self, data: &Dataset, batch_size: usize) -> f32 {
+        self.batches += data.len().div_ceil(batch_size) as u64;
+        evaluate_infer(self.compiled.model(), data, batch_size, &mut self.scratch)
+    }
+
+    /// Number of batches this session has executed (across rebinds).
+    pub fn batches_run(&self) -> u64 {
+        self.batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AnalogBackend, EngineBuilder};
+    use super::*;
+    use cn_data::synthetic_mnist;
+    use cn_nn::zoo::{lenet5, LeNetConfig};
+    use cn_tensor::SeededRng;
+
+    #[test]
+    fn repeated_infer_batch_is_stable_and_counted() {
+        let model = lenet5(&LeNetConfig::mnist(1));
+        let compiled = EngineBuilder::new(&model)
+            .backend(AnalogBackend::lognormal(0.3))
+            .seed(2)
+            .compile()
+            .shared();
+        let mut session = Session::new(compiled);
+        let x = SeededRng::new(3).normal_tensor(&[4, 1, 28, 28], 0.0, 1.0);
+        let first: Vec<usize> = session.infer_batch(&x).to_vec();
+        for _ in 0..3 {
+            assert_eq!(session.infer_batch(&x), first.as_slice());
+        }
+        assert_eq!(session.batches_run(), 4);
+    }
+
+    #[test]
+    fn one_compiled_model_serves_concurrent_sessions() {
+        let model = lenet5(&LeNetConfig::mnist(4));
+        let compiled = EngineBuilder::new(&model).compile().shared();
+        let x = SeededRng::new(5).normal_tensor(&[2, 1, 28, 28], 0.0, 1.0);
+        let expect = compiled.infer(&x);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let compiled = Arc::clone(&compiled);
+                let (x, expect) = (x.clone(), expect.clone());
+                scope.spawn(move || {
+                    let mut session = Session::new(compiled);
+                    for _ in 0..2 {
+                        assert_eq!(session.logits_batch(&x), expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn session_evaluate_matches_mutating_evaluate() {
+        let data = synthetic_mnist(24, 16, 6);
+        let model = lenet5(&LeNetConfig::mnist(7));
+        let mut session = Session::new(EngineBuilder::new(&model).compile().shared());
+        let acc = session.evaluate(&data.test, 8);
+        let reference = cn_nn::metrics::evaluate(&mut model.clone(), &data.test, 8);
+        assert_eq!(acc, reference);
+    }
+}

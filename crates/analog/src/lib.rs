@@ -16,22 +16,29 @@
 //!   DAC/ADC quantization ([`converters`]). The ideal limit reproduces the
 //!   weight-level model.
 //!
-//! [`montecarlo`] samples many deployment instances of a trained
-//! [`cn_nn::Sequential`] and reports the accuracy mean/std the paper plots
-//! (solid lines and ranges in its Figs. 2 and 7); [`energy`] provides a
+//! The [`engine`] layer turns all of this into a compile/execute split:
+//! a [`Backend`] samples one deployment of a trained
+//! [`cn_nn::Sequential`], frozen as an immutable [`CompiledModel`] that
+//! [`Session`]s execute batched inference against.
+//! [`engine::monte_carlo`] runs the paper's N-sample accuracy protocol
+//! (mean/std the paper plots as solid lines and ranges in its Figs. 2
+//! and 7) on that API; the legacy mutate-in-place entry points in
+//! [`montecarlo`] are deprecated shims over it. [`energy`] provides a
 //! coarse energy/latency model backing the "negligible hardware cost"
 //! claim of Table I.
 //!
 //! # Example
 //!
 //! ```
-//! use cn_analog::montecarlo::{mc_accuracy, McConfig};
+//! use cn_analog::engine::{monte_carlo, AnalogBackend};
+//! use cn_analog::montecarlo::McConfig;
 //! use cn_data::synthetic_mnist;
 //! use cn_nn::zoo::{lenet5, LeNetConfig};
 //!
 //! let data = synthetic_mnist(32, 32, 0);
 //! let model = lenet5(&LeNetConfig::mnist(1));
-//! let result = mc_accuracy(&model, &data.test, &McConfig::new(4, 0.3, 7));
+//! let cfg = McConfig::new(4, 0.3, 7);
+//! let result = monte_carlo(&model, &data.test, &cfg, &AnalogBackend::lognormal(0.3));
 //! assert_eq!(result.accuracies.len(), 4);
 //! ```
 
@@ -43,6 +50,7 @@ pub mod crossbar;
 pub mod deployment;
 pub mod drift;
 pub mod energy;
+pub mod engine;
 pub mod faults;
 pub mod irdrop;
 pub mod mapping;
@@ -53,6 +61,10 @@ pub mod variation;
 pub use cell::CellSpec;
 pub use crossbar::Crossbar;
 pub use deployment::DeploymentMode;
-pub use montecarlo::{mc_accuracy, McConfig, McResult};
+pub use engine::{
+    monte_carlo, AnalogBackend, Backend, CompiledModel, DigitalBackend, EngineBuilder, Session,
+    TiledBackend,
+};
+pub use montecarlo::{McConfig, McResult};
 pub use tiled::TiledCrossbar;
 pub use variation::VariationModel;

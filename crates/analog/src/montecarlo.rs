@@ -1,19 +1,18 @@
 //! Monte-Carlo accuracy evaluation under deployment variations.
 //!
 //! The paper samples network weights 250 times from the variation model
-//! and reports mean/std inference accuracy (Sec. IV). [`mc_accuracy`] and
-//! friends reproduce this protocol, fanning samples out over worker
-//! threads (each with a cloned model and a deterministic per-sample RNG
-//! stream, so results are independent of thread count).
+//! and reports mean/std inference accuracy (Sec. IV). The protocol is
+//! implemented by the engine layer ([`crate::engine::monte_carlo`]): each
+//! sample compiles one deployment instance and executes it through a
+//! session. The historic `mc_*` free-function family survives here as
+//! deprecated one-line shims with bit-identical results.
 
 use crate::deployment::DeploymentMode;
+use crate::engine::{monte_carlo, AnalogBackend, PerturbBackend};
 use cn_data::Dataset;
-use cn_nn::metrics::{evaluate, mean_std};
-use cn_nn::noise::apply_lognormal_from;
+use cn_nn::metrics::mean_std;
 use cn_nn::Sequential;
-use cn_tensor::parallel::num_threads;
 use cn_tensor::SeededRng;
-use parking_lot::Mutex;
 
 /// Monte-Carlo evaluation configuration.
 #[derive(Debug, Clone, Copy)]
@@ -59,7 +58,8 @@ pub struct McResult {
 }
 
 impl McResult {
-    fn from_accuracies(accuracies: Vec<f32>) -> Self {
+    /// Wraps per-sample accuracies, computing their mean/std.
+    pub fn from_accuracies(accuracies: Vec<f32>) -> Self {
         let (mean, std) = mean_std(&accuracies);
         McResult {
             accuracies,
@@ -69,124 +69,84 @@ impl McResult {
     }
 }
 
-/// Deterministic per-sample RNG stream.
-fn sample_rng(seed: u64, sample: usize) -> SeededRng {
-    SeededRng::new(seed).fork(sample as u64)
-}
-
-/// Generic Monte-Carlo driver: `perturb(model, rng)` prepares sample-
-/// specific state (typically installing noise masks), then test accuracy
-/// is measured.
+/// Generic Monte-Carlo driver over an arbitrary perturbation closure.
 ///
 /// # Panics
 ///
 /// Panics if `samples` is zero.
+#[deprecated(
+    since = "0.2.0",
+    note = "use cn_analog::engine::monte_carlo with a custom Backend (PerturbBackend for closures)"
+)]
 pub fn mc_with(
     model: &Sequential,
     data: &Dataset,
     samples: usize,
     seed: u64,
     batch_size: usize,
-    perturb: impl Fn(&mut Sequential, &mut SeededRng) + Sync,
+    perturb: impl Fn(&mut Sequential, &mut SeededRng) + Sync + Send,
 ) -> McResult {
-    assert!(samples > 0, "need at least one Monte-Carlo sample");
-    let results = Mutex::new(vec![0.0f32; samples]);
-    let workers = num_threads().min(samples);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let next = &next;
-            let results = &results;
-            let perturb = &perturb;
-            scope.spawn(move || {
-                let mut local = model.clone();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= samples {
-                        break;
-                    }
-                    let mut rng = sample_rng(seed, i);
-                    perturb(&mut local, &mut rng);
-                    let acc = evaluate(&mut local, data, batch_size);
-                    results.lock()[i] = acc;
-                }
-            });
-        }
-    });
-    McResult::from_accuracies(results.into_inner())
+    let cfg = McConfig {
+        samples,
+        sigma: 0.0,
+        batch_size,
+        seed,
+    };
+    monte_carlo(model, data, &cfg, &PerturbBackend::new(perturb))
 }
 
 /// Monte-Carlo accuracy under the paper's weight-level log-normal model on
 /// **all** analog layers.
-///
-/// Results are deterministic in `cfg.seed` and independent of the worker
-/// thread count:
-///
-/// ```
-/// use cn_analog::montecarlo::{mc_accuracy, McConfig};
-/// use cn_data::synthetic_mnist;
-/// use cn_nn::zoo::{lenet5, LeNetConfig};
-///
-/// let data = synthetic_mnist(16, 16, 0);
-/// let model = lenet5(&LeNetConfig::mnist(1));
-/// let cfg = McConfig::new(3, 0.4, 7);
-/// let a = mc_accuracy(&model, &data.test, &cfg);
-/// let b = mc_accuracy(&model, &data.test, &cfg);
-/// assert_eq!(a.accuracies, b.accuracies);
-/// assert_eq!(a.accuracies.len(), 3);
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use cn_analog::engine::monte_carlo with AnalogBackend::lognormal(cfg.sigma)"
+)]
 pub fn mc_accuracy(model: &Sequential, data: &Dataset, cfg: &McConfig) -> McResult {
-    let sigma = cfg.sigma;
-    mc_with(
-        model,
-        data,
-        cfg.samples,
-        cfg.seed,
-        cfg.batch_size,
-        move |m, rng| apply_lognormal_from(m, 0, sigma, rng),
-    )
+    monte_carlo(model, data, cfg, &AnalogBackend::lognormal(cfg.sigma))
 }
 
 /// Monte-Carlo accuracy with variations only on weight layers `≥ start`
 /// (0-based; the paper's Fig. 9 protocol).
+#[deprecated(
+    since = "0.2.0",
+    note = "use cn_analog::engine::monte_carlo with AnalogBackend::lognormal_from(cfg.sigma, start)"
+)]
 pub fn mc_accuracy_from_layer(
     model: &Sequential,
     data: &Dataset,
     cfg: &McConfig,
     start: usize,
 ) -> McResult {
-    let sigma = cfg.sigma;
-    mc_with(
+    monte_carlo(
         model,
         data,
-        cfg.samples,
-        cfg.seed,
-        cfg.batch_size,
-        move |m, rng| apply_lognormal_from(m, start, sigma, rng),
+        cfg,
+        &AnalogBackend::lognormal_from(cfg.sigma, start),
     )
 }
 
 /// Monte-Carlo accuracy under an arbitrary [`DeploymentMode`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use cn_analog::engine::monte_carlo with AnalogBackend::new(mode)"
+)]
 pub fn mc_accuracy_mode(
     model: &Sequential,
     data: &Dataset,
     cfg: &McConfig,
     mode: &DeploymentMode,
 ) -> McResult {
-    mc_with(
-        model,
-        data,
-        cfg.samples,
-        cfg.seed,
-        cfg.batch_size,
-        move |m, rng| mode.deploy(m, rng),
-    )
+    monte_carlo(model, data, cfg, &AnalogBackend::new(mode.clone()))
 }
 
+// The legacy entry points stay under test: they must keep producing the
+// exact historical numbers now that they route through the engine.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
     use cn_data::synthetic_mnist;
+    use cn_nn::metrics::evaluate;
     use cn_nn::optim::Adam;
     use cn_nn::trainer::{TrainConfig, Trainer};
     use cn_nn::zoo::{lenet5, LeNetConfig};
@@ -216,6 +176,29 @@ mod tests {
         let a = mc_accuracy(&model, &data.test, &cfg);
         let b = mc_accuracy(&model, &data.test, &cfg);
         assert_eq!(a.accuracies, b.accuracies);
+    }
+
+    #[test]
+    fn shims_agree_with_engine_entry_point() {
+        use crate::engine::{monte_carlo, AnalogBackend};
+        let (model, data) = trained_lenet();
+        let cfg = McConfig::new(4, 0.5, 9);
+        let shim = mc_accuracy(&model, &data.test, &cfg);
+        let engine = monte_carlo(
+            &model,
+            &data.test,
+            &cfg,
+            &AnalogBackend::lognormal(cfg.sigma),
+        );
+        assert_eq!(shim.accuracies, engine.accuracies);
+        let shim = mc_accuracy_from_layer(&model, &data.test, &cfg, 3);
+        let engine = monte_carlo(
+            &model,
+            &data.test,
+            &cfg,
+            &AnalogBackend::lognormal_from(cfg.sigma, 3),
+        );
+        assert_eq!(shim.accuracies, engine.accuracies);
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! retraining — are the only weights a per-chip fine-tuning step may
 //! adjust (realized by element-wise gradient masking).
 
-use cn_analog::montecarlo::{mc_with, McResult};
+use cn_analog::engine::{monte_carlo, Backend, MaskPlan};
+use cn_analog::montecarlo::{McConfig, McResult};
 use cn_data::{BatchIter, Dataset};
 use cn_nn::loss::softmax_cross_entropy;
-use cn_nn::noise::apply_masks;
 use cn_nn::Sequential;
 use cn_tensor::{SeededRng, Tensor};
 
@@ -163,11 +163,60 @@ fn retrain_protected(
     }
 }
 
+/// Engine backend for a protected deployment: log-normal variation
+/// factors on unprotected weights (protected ones stay exact), plus an
+/// optional per-chip online-retraining finalize step.
+///
+/// Masks are deliberately *not* baked ([`Backend::bake`] is `false`):
+/// retraining gradients must chain through the variation factors exactly
+/// as deployed, and only the nominal (protected) weights are updated.
+struct ProtectedBackend<'a> {
+    protection: &'a ProtectionMasks,
+    sigma: f32,
+    train: &'a Dataset,
+    retrain: Option<RetrainConfig>,
+    seed: u64,
+}
+
+impl Backend for ProtectedBackend<'_> {
+    fn name(&self) -> String {
+        format!("protected-lognormal(σ={})", self.sigma)
+    }
+
+    fn mask_plan(&self, _model: &Sequential, rng: &mut SeededRng) -> MaskPlan {
+        self.protection
+            .masks
+            .iter()
+            .map(|prot| {
+                let raw = rng.lognormal_mask(prot.dims(), self.sigma);
+                Some(raw.zip_map(prot, |factor, p| if p > 0.5 { 1.0 } else { factor }))
+            })
+            .collect()
+    }
+
+    fn finalize(&self, instance: &mut Sequential, _rng: &mut SeededRng) {
+        if let Some(cfg) = self.retrain {
+            retrain_protected(
+                instance,
+                self.train,
+                self.protection,
+                &cfg,
+                self.seed ^ 0xf17e,
+            );
+        }
+    }
+
+    fn bake(&self) -> bool {
+        false
+    }
+}
+
 /// Monte-Carlo evaluation of a protected deployment.
 ///
-/// Per sample: draw log-normal factors for unprotected weights (protected
-/// ones stay exact), optionally run per-chip online retraining of the
-/// protected weights, then measure test accuracy.
+/// Per sample (one compiled chip instance): draw log-normal factors for
+/// unprotected weights (protected ones stay exact), optionally run
+/// per-chip online retraining of the protected weights, then measure test
+/// accuracy through a session.
 #[allow(clippy::too_many_arguments)]
 pub fn eval_protected(
     model: &Sequential,
@@ -179,25 +228,20 @@ pub fn eval_protected(
     seed: u64,
     retrain: Option<RetrainConfig>,
 ) -> McResult {
-    let base_state = model.state_dict();
-    mc_with(model, test, samples, seed, 64, move |m, rng| {
-        // Restore nominal weights (previous sample's retraining must not
-        // leak into this chip).
-        m.load_state_dict(&base_state)
-            .expect("state dict matches model");
-        let noise: Vec<Tensor> = protection
-            .masks
-            .iter()
-            .map(|prot| {
-                let raw = rng.lognormal_mask(prot.dims(), sigma);
-                raw.zip_map(prot, |factor, p| if p > 0.5 { 1.0 } else { factor })
-            })
-            .collect();
-        apply_masks(m, &noise);
-        if let Some(cfg) = retrain {
-            retrain_protected(m, train, protection, &cfg, seed ^ 0xf17e);
-        }
-    })
+    let cfg = McConfig {
+        samples,
+        sigma,
+        batch_size: 64,
+        seed,
+    };
+    let backend = ProtectedBackend {
+        protection,
+        sigma,
+        train,
+        retrain,
+        seed,
+    };
+    monte_carlo(model, test, &cfg, &backend)
 }
 
 #[cfg(test)]

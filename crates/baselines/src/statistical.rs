@@ -64,7 +64,8 @@ pub fn train_noise_aware(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cn_analog::montecarlo::{mc_accuracy, McConfig};
+    use cn_analog::engine::{monte_carlo, AnalogBackend};
+    use cn_analog::montecarlo::McConfig;
     use cn_data::synthetic_mnist;
     use cn_nn::optim::Adam;
     use cn_nn::trainer::Trainer;
@@ -94,8 +95,9 @@ mod tests {
         );
 
         let mc = McConfig::new(8, sigma, 104);
-        let r_plain = mc_accuracy(&plain, &data.test, &mc);
-        let r_aware = mc_accuracy(&aware, &data.test, &mc);
+        let backend = AnalogBackend::lognormal(mc.sigma);
+        let r_plain = monte_carlo(&plain, &data.test, &mc, &backend);
+        let r_aware = monte_carlo(&aware, &data.test, &mc, &backend);
         assert!(
             r_aware.mean > r_plain.mean - 0.02,
             "noise-aware ({}) should not be clearly worse than plain ({}) under noise",

@@ -1,0 +1,66 @@
+//! Batched session-inference benchmarks for the compile/execute engine:
+//! one compiled LeNet deployment, steady-state `logits_batch` latency
+//! across serving batch sizes, against the legacy mutate-in-place forward.
+
+use cn_analog::engine::{AnalogBackend, EngineBuilder, Session};
+use cn_nn::zoo::{lenet5, LeNetConfig};
+use cn_tensor::{SeededRng, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const BATCH_SIZES: [usize; 3] = [1, 32, 256];
+
+fn batch(rng: &mut SeededRng, n: usize) -> Tensor {
+    rng.normal_tensor(&[n, 1, 28, 28], 0.0, 1.0)
+}
+
+fn bench_session_forward(c: &mut Criterion) {
+    let model = lenet5(&LeNetConfig::mnist(1));
+    let compiled = EngineBuilder::new(&model)
+        .backend(AnalogBackend::lognormal(0.5))
+        .seed(2)
+        .compile()
+        .shared();
+    let mut rng = SeededRng::new(3);
+    let mut group = c.benchmark_group("engine_session_logits");
+    for n in BATCH_SIZES {
+        let x = batch(&mut rng, n);
+        let mut session = Session::new(compiled.clone());
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(session.logits_batch(&x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_legacy_forward(c: &mut Criterion) {
+    // Reference point: the historic mutate-in-place eval forward (per-call
+    // effective-weight materialization on every analog layer).
+    let model = lenet5(&LeNetConfig::mnist(4));
+    let mut noisy = model.clone();
+    cn_nn::noise::apply_lognormal(&mut noisy, 0.5, &mut SeededRng::new(5));
+    let mut rng = SeededRng::new(6);
+    let mut group = c.benchmark_group("legacy_masked_forward");
+    for n in BATCH_SIZES {
+        let x = batch(&mut rng, n);
+        let mut m = noisy.clone();
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(m.forward(&x, false)));
+        });
+    }
+    group.finish();
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_session_forward, bench_legacy_forward
+}
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //! and the cost of one deployment sample (the unit the paper repeats 250×).
 
 use cn_analog::deployment::DeploymentMode;
-use cn_analog::montecarlo::{mc_accuracy, McConfig};
+use cn_analog::engine::{monte_carlo, AnalogBackend};
+use cn_analog::montecarlo::McConfig;
 use cn_data::synthetic_mnist;
 use cn_nn::noise::sample_masks;
 use cn_nn::zoo::{lenet5, LeNetConfig};
@@ -32,7 +33,15 @@ fn bench_mc_sample(c: &mut Criterion) {
     let data = synthetic_mnist(64, 64, 4);
     let model = lenet5(&LeNetConfig::mnist(5));
     c.bench_function("mc_one_lenet_sample_64imgs", |b| {
-        b.iter(|| black_box(mc_accuracy(&model, &data.test, &McConfig::new(1, 0.5, 6))));
+        let backend = AnalogBackend::lognormal(0.5);
+        b.iter(|| {
+            black_box(monte_carlo(
+                &model,
+                &data.test,
+                &McConfig::new(1, 0.5, 6),
+                &backend,
+            ))
+        });
     });
 }
 

@@ -15,7 +15,8 @@ use cn_analog::deployment::DeploymentMode;
 use cn_analog::drift::ConductanceDrift;
 use cn_analog::faults::StuckFaults;
 use cn_analog::irdrop::IrDrop;
-use cn_analog::montecarlo::{mc_accuracy_mode, McConfig};
+use cn_analog::montecarlo::McConfig;
+use correctnet::engine::{monte_carlo, AnalogBackend};
 use correctnet::report::pct_pm;
 
 /// Device-model ablation regenerator.
@@ -96,7 +97,7 @@ impl Experiment for AblationDevice {
                 ),
             ];
             for (label, mode) in modes {
-                let r = mc_accuracy_mode(&model, &data.test, &mc, &mode);
+                let r = monte_carlo(&model, &data.test, &mc, &AnalogBackend::new(mode));
                 rows.push(vec![
                     format!("{sigma:.1}"),
                     label.to_string(),

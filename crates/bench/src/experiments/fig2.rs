@@ -5,7 +5,8 @@
 use super::{Ctx, Experiment};
 use crate::profile::Pair;
 use crate::report::{ExperimentReport, Series, SeriesPoint};
-use cn_analog::montecarlo::{mc_accuracy, McConfig};
+use cn_analog::montecarlo::McConfig;
+use correctnet::engine::{monte_carlo, AnalogBackend};
 use correctnet::report::{pct, pct_pm};
 
 /// Fig. 2 regenerator.
@@ -55,7 +56,7 @@ impl Experiment for Fig2 {
                     batch_size: 64,
                     seed: MC_SEED + i as u64,
                 };
-                let r = mc_accuracy(&model, &data.test, &mc);
+                let r = monte_carlo(&model, &data.test, &mc, &AnalogBackend::lognormal(sigma));
                 rows.push(vec![format!("{sigma:.1}"), pct_pm(r.mean, r.std)]);
                 points.push(SeriesPoint {
                     x: sigma as f64,

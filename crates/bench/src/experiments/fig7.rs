@@ -5,8 +5,9 @@
 use super::{candidate_prefix, Ctx, Experiment};
 use crate::profile::{pipeline_config, Pair};
 use crate::report::{ExperimentReport, Series, SeriesPoint};
-use cn_analog::montecarlo::{mc_accuracy, McConfig};
+use cn_analog::montecarlo::McConfig;
 use correctnet::compensation::weight_overhead;
+use correctnet::engine::{monte_carlo, AnalogBackend};
 use correctnet::pipeline::CorrectNetStages;
 use correctnet::report::pct_pm;
 
@@ -79,8 +80,9 @@ impl Experiment for Fig7 {
                     batch_size: 64,
                     seed: MC_SEED + i as u64,
                 };
-                let orig = mc_accuracy(&plain, &sweep_test, &mc);
-                let corr = mc_accuracy(&corrected, &sweep_test, &mc);
+                let backend = AnalogBackend::lognormal(sigma);
+                let orig = monte_carlo(&plain, &sweep_test, &mc, &backend);
+                let corr = monte_carlo(&corrected, &sweep_test, &mc, &backend);
                 rows.push(vec![
                     format!("{sigma:.1}"),
                     pct_pm(orig.mean, orig.std),

@@ -7,7 +7,6 @@
 use super::{candidate_prefix, Ctx, Experiment};
 use crate::profile::{pipeline_config, Pair};
 use crate::report::{ExperimentReport, Series, SeriesPoint};
-use cn_analog::montecarlo::mc_accuracy;
 use cn_baselines::protection::RetrainConfig;
 use cn_baselines::statistical::{train_noise_aware, NoiseAwareConfig};
 use cn_baselines::{magnitude_replication, random_sparse_adaptation};
@@ -106,7 +105,7 @@ impl Experiment for Fig8 {
                     ..NoiseAwareConfig::new(SIGMA, stages.config.comp_epochs, 0x11)
                 },
             );
-            let stat = mc_accuracy(&aware, &data.test, &stages.config.mc());
+            let stat = stages.evaluate(&aware, &data.test);
             let mut stat_points = Vec::new();
             push_point(
                 &mut rows,

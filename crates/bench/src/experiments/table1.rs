@@ -8,7 +8,6 @@
 use super::{candidate_prefix, Ctx, Experiment};
 use crate::profile::{pipeline_config, Pair};
 use crate::report::ExperimentReport;
-use cn_analog::montecarlo::mc_accuracy;
 use cn_nn::metrics::evaluate;
 use cn_rl::env::CorrectNetEnv;
 use cn_rl::search::{reinforce_search, SearchConfig};
@@ -51,7 +50,7 @@ impl Experiment for Table1 {
             // Original (plain) network: σ=0 and σ=0.5 columns.
             let (plain, data) = ctx.plain_base(pair);
             let clean = evaluate(&mut plain.clone(), &data.test, 64);
-            let noisy = mc_accuracy(&plain, &data.test, &stages.config.mc());
+            let noisy = stages.evaluate(&plain, &data.test);
 
             // CorrectNet: Lipschitz base + RL-placed compensation.
             let (base, _) = ctx.lipschitz_base(pair, SIGMA);

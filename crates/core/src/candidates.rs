@@ -8,9 +8,9 @@
 //!
 //! The same sweep produces the data behind the paper's Fig. 9.
 
-use cn_analog::montecarlo::{mc_accuracy_from_layer, McConfig};
+use crate::engine::{monte_carlo, AnalogBackend, DigitalBackend, EngineBuilder, Session};
+use cn_analog::montecarlo::McConfig;
 use cn_data::Dataset;
-use cn_nn::metrics::evaluate;
 use cn_nn::noise::num_weight_layers;
 use cn_nn::Sequential;
 use serde::{Deserialize, Serialize};
@@ -67,9 +67,14 @@ pub fn select_candidates(
         "threshold must be in (0, 1]"
     );
     let num_layers = num_weight_layers(model);
-    let mut clean_model = model.clone();
-    clean_model.clear_noise();
-    let clean_accuracy = evaluate(&mut clean_model, data, mc.batch_size);
+    // Exact digital deployment for the variation-free reference accuracy.
+    let clean_accuracy = Session::new(
+        EngineBuilder::new(model)
+            .backend(DigitalBackend)
+            .compile()
+            .shared(),
+    )
+    .evaluate(data, mc.batch_size);
     let bar = threshold * clean_accuracy;
 
     let mut sweep = Vec::with_capacity(num_layers + 1);
@@ -81,7 +86,8 @@ pub fn select_candidates(
         let (mean, std) = if start == num_layers {
             (clean_accuracy, 0.0)
         } else {
-            let r = mc_accuracy_from_layer(model, data, mc, start);
+            let backend = AnalogBackend::lognormal_from(mc.sigma, start);
+            let r = monte_carlo(model, data, mc, &backend);
             (r.mean, r.std)
         };
         sweep.push(SuffixPoint { start, mean, std });

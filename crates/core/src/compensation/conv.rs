@@ -135,6 +135,16 @@ impl Layer for CompensatedConv2d {
         self.compensator.forward(&comp_in, train)
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let y = self.base.infer(x);
+        let (oh, ow) = (y.dims()[2], y.dims()[3]);
+        let pooled = avg_pool_to(x, oh, ow);
+        let gen_in = concat_channels(&[&pooled, &y]);
+        let comp_data = self.generator.infer(&gen_in);
+        let comp_in = concat_channels(&[&y, &comp_data]);
+        self.compensator.infer(&comp_in)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self
             .cache
@@ -184,6 +194,10 @@ impl Layer for CompensatedConv2d {
     fn set_noise(&mut self, mask: Option<Tensor>) {
         // Only the base layer is analog; compensation runs digitally.
         self.base.set_noise(mask);
+    }
+
+    fn bake_noise(&mut self) {
+        self.base.bake_noise();
     }
 
     fn lipschitz_matrix(&self) -> Option<Tensor> {

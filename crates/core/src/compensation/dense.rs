@@ -108,6 +108,14 @@ impl Layer for CompensatedDense {
         self.compensator.forward(&comp_in, train)
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let y = self.base.infer(x);
+        let gen_in = concat_channels(&[x, &y]);
+        let comp_data = self.generator.infer(&gen_in);
+        let comp_in = concat_channels(&[&y, &comp_data]);
+        self.compensator.infer(&comp_in)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert!(
             std::mem::take(&mut self.forwarded),
@@ -150,6 +158,10 @@ impl Layer for CompensatedDense {
 
     fn set_noise(&mut self, mask: Option<Tensor>) {
         self.base.set_noise(mask);
+    }
+
+    fn bake_noise(&mut self) {
+        self.base.bake_noise();
     }
 
     fn lipschitz_matrix(&self) -> Option<Tensor> {

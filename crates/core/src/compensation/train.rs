@@ -105,7 +105,8 @@ pub fn train_compensators_with(
 mod tests {
     use super::*;
     use crate::compensation::{apply_compensation, CompensationPlan};
-    use cn_analog::montecarlo::{mc_accuracy, McConfig};
+    use crate::engine::{monte_carlo, AnalogBackend};
+    use cn_analog::montecarlo::McConfig;
     use cn_data::synthetic_mnist;
     use cn_nn::optim::Adam;
     use cn_nn::zoo::{lenet5, LeNetConfig};
@@ -122,7 +123,8 @@ mod tests {
 
         let sigma = 0.6;
         let mc = McConfig::new(8, sigma, 34);
-        let before = mc_accuracy(&base, &data.test, &mc);
+        let backend = AnalogBackend::lognormal(sigma);
+        let before = monte_carlo(&base, &data.test, &mc, &backend);
 
         let plan = CompensationPlan::uniform(&[0, 1], 1.0);
         let mut comp = apply_compensation(&base, &plan, 35);
@@ -130,7 +132,7 @@ mod tests {
         let stats = train_compensators(&mut comp, &data.test, &cfg);
         assert!(!stats.is_empty());
 
-        let after = mc_accuracy(&comp, &data.test, &mc);
+        let after = monte_carlo(&comp, &data.test, &mc, &backend);
         assert!(
             after.mean > before.mean + 0.01,
             "compensation did not help: {} → {}",

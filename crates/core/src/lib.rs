@@ -18,6 +18,9 @@
 //!   selection, compensated-model construction/training and Monte-Carlo
 //!   evaluation. (The RL placement search lives in `cn-rl`, which builds on
 //!   these stages.)
+//! - [`engine`] — the compile/execute inference engine the evaluation
+//!   stages run on: backends sample a deployment, compiled snapshots are
+//!   shared across sessions, sessions own the batched-inference scratch.
 //!
 //! # Example
 //!
@@ -29,8 +32,11 @@
 //! assert!((lambda - 0.34).abs() < 0.01);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod candidates;
 pub mod compensation;
+pub mod engine;
 pub mod export;
 pub mod lipschitz;
 pub mod pipeline;
@@ -38,5 +44,6 @@ pub mod report;
 
 pub use candidates::{select_candidates, CandidateReport};
 pub use compensation::{apply_compensation, CompensationPlan};
+pub use engine::{CompiledModel, EngineBuilder, Session};
 pub use lipschitz::{lambda_for, LipschitzRegularizer};
 pub use pipeline::{CorrectNetConfig, CorrectNetStages};

@@ -17,8 +17,9 @@ use crate::compensation::{
     apply_compensation, train_compensators, weight_overhead, CompensationPlan,
     CompensationTrainConfig,
 };
+use crate::engine::{deployment_backend, monte_carlo, Backend};
 use crate::lipschitz::LipschitzRegularizer;
-use cn_analog::montecarlo::{mc_accuracy, McConfig, McResult};
+use cn_analog::montecarlo::{McConfig, McResult};
 use cn_data::Dataset;
 use cn_nn::optim::Adam;
 use cn_nn::trainer::{EpochStats, TrainConfig, Trainer};
@@ -170,9 +171,21 @@ impl CorrectNetStages {
         comp
     }
 
-    /// Stage 5: Monte-Carlo accuracy of a model under the configured σ.
+    /// Stage 5: Monte-Carlo accuracy of a model under the configured σ,
+    /// through the engine (compiled deployment instances + sessions).
     pub fn evaluate(&self, model: &Sequential, test: &Dataset) -> McResult {
-        mc_accuracy(model, test, &self.mc())
+        self.evaluate_backend(model, test, &deployment_backend(&self.config))
+    }
+
+    /// Stage 5 on an arbitrary deployment [`Backend`] (device-level
+    /// ablations swap in conductance or fault models here).
+    pub fn evaluate_backend(
+        &self,
+        model: &Sequential,
+        test: &Dataset,
+        backend: &dyn Backend,
+    ) -> McResult {
+        monte_carlo(model, test, &self.mc(), backend)
     }
 
     /// Full plan evaluation (stages 3–5), the objective the placement

@@ -1,0 +1,222 @@
+//! Scratch-buffer batched inference.
+//!
+//! The training path ([`Sequential::forward`]) mutates the model (activation
+//! caches) and allocates a fresh batch tensor per step. Inference serving
+//! wants the opposite: an immutable model shared across sessions and
+//! reusable per-session scratch, so the steady-state loop performs no
+//! per-call model mutation and no batch-assembly allocation.
+//!
+//! [`BatchScratch`] owns that per-session state: a batch tensor whose
+//! storage is reused while the batch shape is stable, plus label and
+//! prediction buffers. [`evaluate_infer`] is the batched accuracy loop the
+//! engine layer's `Session::evaluate` runs on; it is bitwise-equivalent to
+//! [`crate::metrics::evaluate`] (same batch order, same arithmetic) but
+//! goes through [`Sequential::infer`] and never touches the model.
+
+use crate::model::Sequential;
+use cn_data::Dataset;
+use cn_tensor::Tensor;
+
+/// Reusable buffers for batched inference: the assembled input batch, its
+/// labels, and the per-row argmax predictions.
+///
+/// The batch tensor is allocated lazily and reused as long as consecutive
+/// batches share a shape, so a steady-state inference loop allocates
+/// nothing per call (the one exception: a trailing short batch reallocates
+/// once).
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    batch: Option<Tensor>,
+    labels: Vec<usize>,
+    preds: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// Creates empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// Assembles samples `start..end` of `data` into the internal batch
+    /// tensor (one contiguous copy, reusing storage when the shape
+    /// matches) and records their labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn fill(&mut self, data: &Dataset, start: usize, end: usize) {
+        assert!(
+            start < end && end <= data.len(),
+            "batch range {start}..{end} out of bounds for {} samples",
+            data.len()
+        );
+        let sample_len: usize = data.sample_dims().iter().product();
+        let mut dims = vec![end - start];
+        dims.extend_from_slice(data.sample_dims());
+        if self.batch.as_ref().map(|t| t.dims()) != Some(&dims[..]) {
+            self.batch = Some(Tensor::zeros(&dims));
+        }
+        let batch = self.batch.as_mut().expect("batch allocated above");
+        batch
+            .data_mut()
+            .copy_from_slice(&data.images.data()[start * sample_len..end * sample_len]);
+        self.labels.clear();
+        self.labels.extend_from_slice(&data.labels[start..end]);
+    }
+
+    /// The batch assembled by the last [`fill`](Self::fill).
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first `fill`.
+    pub fn batch(&self) -> &Tensor {
+        self.batch.as_ref().expect("fill() before batch()")
+    }
+
+    /// Labels of the last filled batch.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Writes the row-wise argmax of `logits` into the reusable prediction
+    /// buffer and returns it (same tie-breaking as
+    /// [`Tensor::argmax_rows`]: first maximum wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not rank-2 or has zero columns.
+    pub fn argmax_into(&mut self, logits: &Tensor) -> &[usize] {
+        assert_eq!(logits.rank(), 2, "logits must be [N, classes]");
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        assert!(c > 0, "logits need at least one column");
+        self.preds.clear();
+        for r in 0..n {
+            let row = &logits.data()[r * c..(r + 1) * c];
+            let mut best = 0;
+            for i in 1..c {
+                if row[i] > row[best] {
+                    best = i;
+                }
+            }
+            self.preds.push(best);
+        }
+        &self.preds
+    }
+
+    /// Scores `logits` against the labels of the last filled batch,
+    /// returning the number of correct predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logit row count disagrees with the batch size.
+    pub fn score(&mut self, logits: &Tensor) -> usize {
+        assert_eq!(
+            logits.dims()[0],
+            self.labels.len(),
+            "logit rows != batch labels"
+        );
+        self.argmax_into(logits);
+        self.preds
+            .iter()
+            .zip(self.labels.iter())
+            .filter(|(p, l)| p == l)
+            .count()
+    }
+}
+
+/// Batched test accuracy through the immutable inference path.
+///
+/// Iterates `data` in order (same batching as
+/// [`cn_data::BatchIter`] without shuffling) and reuses `scratch` across
+/// batches, so repeated calls allocate only layer activations. The result
+/// is bitwise-identical to [`crate::metrics::evaluate`].
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero.
+pub fn evaluate_infer(
+    model: &Sequential,
+    data: &Dataset,
+    batch_size: usize,
+    scratch: &mut BatchScratch,
+) -> f32 {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut hits = 0usize;
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + batch_size).min(data.len());
+        scratch.fill(data, start, end);
+        let logits = model.infer(scratch.batch());
+        hits += scratch.score(&logits);
+        start = end;
+    }
+    hits as f32 / data.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use crate::metrics::evaluate;
+    use cn_tensor::SeededRng;
+
+    fn model() -> Sequential {
+        let mut rng = SeededRng::new(1);
+        Sequential::new(vec![
+            Box::new(crate::layers::Flatten::new()),
+            Box::new(Dense::new(6, 10, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(10, 4, &mut rng)),
+        ])
+    }
+
+    fn data(n: usize) -> Dataset {
+        let mut rng = SeededRng::new(2);
+        let images = rng.normal_tensor(&[n, 6, 1, 1], 0.0, 1.0);
+        let labels = (0..n).map(|i| i % 4).collect();
+        Dataset::new(images, labels, 4, "rand")
+    }
+
+    #[test]
+    fn matches_mutating_evaluate_bitwise() {
+        let m = model();
+        let d = data(25);
+        let mut scratch = BatchScratch::new();
+        for bs in [1, 4, 7, 25, 64] {
+            let a = evaluate_infer(&m, &d, bs, &mut scratch);
+            let b = evaluate(&mut m.clone(), &d, bs);
+            assert_eq!(a, b, "batch size {bs}");
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let m = model();
+        let x = SeededRng::new(3).normal_tensor(&[5, 6, 1, 1], 0.0, 1.0);
+        assert_eq!(m.infer(&x), m.clone().forward(&x, false));
+    }
+
+    #[test]
+    fn scratch_reuses_storage_for_stable_shapes() {
+        let d = data(8);
+        let mut s = BatchScratch::new();
+        s.fill(&d, 0, 4);
+        let ptr_a = s.batch().data().as_ptr();
+        s.fill(&d, 4, 8);
+        assert_eq!(ptr_a, s.batch().data().as_ptr(), "storage was reallocated");
+        assert_eq!(s.labels().len(), 4);
+    }
+
+    #[test]
+    fn argmax_matches_tensor_argmax_rows() {
+        let logits = SeededRng::new(4).normal_tensor(&[9, 5], 0.0, 1.0);
+        let mut s = BatchScratch::new();
+        assert_eq!(s.argmax_into(&logits), logits.argmax_rows().as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn empty_range_panics() {
+        BatchScratch::new().fill(&data(3), 2, 2);
+    }
+}

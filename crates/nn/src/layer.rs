@@ -33,6 +33,17 @@ pub trait Layer: Send + Sync {
     /// batch-norm statistics updates).
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
 
+    /// Evaluation-mode forward pass through `&self`: no activation caching,
+    /// no statistics updates, no stochastic behaviour.
+    ///
+    /// This is the inference path compiled deployments execute (see the
+    /// engine layer): because it never mutates the layer, a single model
+    /// snapshot can serve concurrent inference sessions. Implementations
+    /// must produce **bitwise identical** outputs to
+    /// `forward(x, /*train=*/false)` — the engine's backend-equivalence
+    /// tests rely on it.
+    fn infer(&self, x: &Tensor) -> Tensor;
+
     /// Backpropagates `grad_out`, accumulating parameter gradients and
     /// returning the input gradient.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
@@ -65,6 +76,18 @@ pub trait Layer: Send + Sync {
             self.name()
         );
     }
+
+    /// Folds an installed noise mask into the nominal weights and clears
+    /// the mask: the effective weight `w ⊙ mask` becomes the stored weight.
+    ///
+    /// This is the "programming" step of a compiled deployment — after
+    /// baking, the hot inference path multiplies no masks and allocates no
+    /// effective-weight temporaries. Layers without analog weights (and
+    /// layers without an installed mask) are untouched.
+    ///
+    /// Baking is destructive to the nominal weights by design; it is meant
+    /// for deployment snapshots, not for models that keep training.
+    fn bake_noise(&mut self) {}
 
     /// The matrix whose spectral norm bounds this layer's Lipschitz
     /// constant (dense weight, or unfolded conv kernel), if the layer is

@@ -31,6 +31,10 @@ impl Layer for Sigmoid {
         y
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        x.sigmoid()
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let y = self
             .cache_y
@@ -74,6 +78,10 @@ impl Layer for Tanh {
         let y = x.tanh();
         self.cache_y = Some(y.clone());
         y
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        x.tanh()
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

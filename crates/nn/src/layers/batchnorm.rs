@@ -55,6 +55,38 @@ impl BatchNorm2d {
     pub fn channels(&self) -> usize {
         self.gamma.value.numel()
     }
+
+    /// Standardizes `x` with the given per-channel statistics and applies
+    /// the affine scale/shift, returning `(x̂, 1/σ, y)` for the backward
+    /// cache. The fused loop in [`Layer::infer`] replays the identical
+    /// per-element operation sequence (pinned by a bitwise test) without
+    /// materializing x̂.
+    fn normalize(&self, x: &Tensor, mean: &[f32], var: &[f32]) -> (Tensor, Vec<f32>, Tensor) {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let plane = h * w;
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = x.clone();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                for v in &mut xhat.data_mut()[base..base + plane] {
+                    *v = (*v - mean[ci]) * inv_std[ci];
+                }
+            }
+        }
+        let mut y = xhat.clone();
+        let g = self.gamma.value.data();
+        let b = self.beta.value.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                for v in &mut y.data_mut()[base..base + plane] {
+                    *v = *v * g[ci] + b[ci];
+                }
+            }
+        }
+        (xhat, inv_std, y)
+    }
 }
 
 impl Layer for BatchNorm2d {
@@ -106,32 +138,38 @@ impl Layer for BatchNorm2d {
             )
         };
 
-        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-        let mut xhat = x.clone();
-        for ni in 0..n {
-            for ci in 0..c {
-                let base = (ni * c + ci) * plane;
-                for v in &mut xhat.data_mut()[base..base + plane] {
-                    *v = (*v - mean[ci]) * inv_std[ci];
-                }
-            }
-        }
-        let mut y = xhat.clone();
-        let g = self.gamma.value.data();
-        let b = self.beta.value.data();
-        for ni in 0..n {
-            for ci in 0..c {
-                let base = (ni * c + ci) * plane;
-                for v in &mut y.data_mut()[base..base + plane] {
-                    *v = *v * g[ci] + b[ci];
-                }
-            }
-        }
+        let (xhat, inv_std, y) = self.normalize(x, &mean, &var);
         self.cache = Some(BnCache {
             xhat,
             inv_std,
             train,
         });
+        y
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 4, "BatchNorm2d expects NCHW input");
+        assert_eq!(x.dims()[1], self.channels(), "channel mismatch");
+        // Fused single-pass eval normalization: the per-element operation
+        // sequence matches `normalize` exactly (standardize, then scale/
+        // shift), so outputs stay bitwise-equal to `forward(x, false)`
+        // without materializing the x̂ intermediate the backward needs.
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let plane = h * w;
+        let mean = self.running_mean.data();
+        let var = self.running_var.data();
+        let g = self.gamma.value.data();
+        let b = self.beta.value.data();
+        let mut y = x.clone();
+        for ni in 0..n {
+            for ci in 0..c {
+                let inv_std = 1.0 / (var[ci] + self.eps).sqrt();
+                let base = (ni * c + ci) * plane;
+                for v in &mut y.data_mut()[base..base + plane] {
+                    *v = (*v - mean[ci]) * inv_std * g[ci] + b[ci];
+                }
+            }
+        }
         y
     }
 
@@ -295,6 +333,21 @@ mod tests {
         let y = bn.forward(&x, true);
         let mean = y.mean();
         assert!((mean - -1.0).abs() < 1e-4, "mean {mean}");
+    }
+
+    #[test]
+    fn infer_bitwise_matches_eval_forward() {
+        let mut bn = BatchNorm2d::new(3);
+        let mut rng = SeededRng::new(4);
+        // Non-trivial running stats, scale and shift.
+        for _ in 0..5 {
+            let x = rng.normal_tensor(&[4, 3, 3, 3], 2.0, 1.5);
+            bn.forward(&x, true);
+        }
+        bn.gamma.value = rng.normal_tensor(&[3], 1.0, 0.2);
+        bn.beta.value = rng.normal_tensor(&[3], 0.0, 0.3);
+        let x = rng.normal_tensor(&[2, 3, 4, 4], 0.0, 2.0);
+        assert_eq!(bn.infer(&x), bn.forward(&x, false));
     }
 
     #[test]

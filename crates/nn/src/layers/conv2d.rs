@@ -118,14 +118,22 @@ impl Conv2d {
         };
         w.into_reshaped(&[oc, cols])
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> &str {
-        &self.name
+    /// The shared forward computation (used by both `forward` and `infer`).
+    fn apply(&self, x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
+        let cols = im2col(x, geo);
+        let wmat = self.effective_weight_matrix();
+        let y_rows = &cols.matmul_t(&wmat) + &self.b.value;
+        rows_to_nchw(
+            &y_rows,
+            x.dims()[0],
+            self.out_channels(),
+            geo.out_h(),
+            geo.out_w(),
+        )
     }
 
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn check_input(&self, x: &Tensor) {
         assert_eq!(x.rank(), 4, "Conv2d expects NCHW input");
         assert_eq!(
             x.dims()[1],
@@ -135,19 +143,26 @@ impl Layer for Conv2d {
             x.dims()[1],
             self.in_channels()
         );
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.check_input(x);
         let geo = self.geometry(x);
-        let cols = im2col(x, &geo);
-        let wmat = self.effective_weight_matrix();
-        let y_rows = &cols.matmul_t(&wmat) + &self.b.value;
+        let y = self.apply(x, &geo);
         self.cache_x = Some(x.clone());
         self.cache_geo = Some(geo);
-        rows_to_nchw(
-            &y_rows,
-            x.dims()[0],
-            self.out_channels(),
-            geo.out_h(),
-            geo.out_w(),
-        )
+        y
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        self.check_input(x);
+        self.apply(x, &self.geometry(x))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -195,6 +210,12 @@ impl Layer for Conv2d {
             );
         }
         self.noise = mask;
+    }
+
+    fn bake_noise(&mut self) {
+        if let Some(mask) = self.noise.take() {
+            self.w.value = self.w.value.zip_map(&mask, |w, m| w * m);
+        }
     }
 
     fn lipschitz_matrix(&self) -> Option<Tensor> {

@@ -66,14 +66,9 @@ impl Dense {
             None => self.w.value.clone(),
         }
     }
-}
 
-impl Layer for Dense {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    /// The shared forward computation (used by both `forward` and `infer`).
+    fn apply(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.rank(), 2, "Dense expects [N, in] input");
         assert_eq!(
             x.dims()[1],
@@ -83,9 +78,23 @@ impl Layer for Dense {
             x.dims()[1],
             self.in_features()
         );
-        self.cache_x = Some(x.clone());
         let w_eff = self.effective_weight();
         &x.matmul_t(&w_eff) + &self.b.value
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.cache_x = Some(x.clone());
+        self.apply(x)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        self.apply(x)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -125,6 +134,12 @@ impl Layer for Dense {
             );
         }
         self.noise = mask;
+    }
+
+    fn bake_noise(&mut self) {
+        if let Some(mask) = self.noise.take() {
+            self.w.value = self.w.value.zip_map(&mask, |w, m| w * m);
+        }
     }
 
     fn lipschitz_matrix(&self) -> Option<Tensor> {

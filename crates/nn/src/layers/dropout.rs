@@ -62,6 +62,10 @@ impl Layer for Dropout {
         y
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        x.clone()
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         match self.mask.take() {
             Some(mask) => grad_out.zip_map(&mask, |g, m| g * m),

@@ -24,6 +24,11 @@ impl Layer for Flatten {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         assert!(x.rank() >= 2, "Flatten expects rank >= 2");
         self.cache_dims = Some(x.dims().to_vec());
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        assert!(x.rank() >= 2, "Flatten expects rank >= 2");
         let n = x.dims()[0];
         let rest: usize = x.dims()[1..].iter().product();
         x.reshape(&[n, rest])

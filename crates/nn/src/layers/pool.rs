@@ -34,6 +34,10 @@ impl Layer for MaxPool2d {
         y
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        max_pool2d(x, self.geo).0
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let (arg, in_dims) = self
             .cache
@@ -79,6 +83,10 @@ impl Layer for AvgPool2d {
 
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         self.cache_in_dims = Some(x.dims().to_vec());
+        avg_pool2d(x, self.geo)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
         avg_pool2d(x, self.geo)
     }
 

@@ -30,6 +30,10 @@ impl Layer for Relu {
         x.map(|v| v.max(0.0))
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        x.map(|v| v.max(0.0))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self
             .mask

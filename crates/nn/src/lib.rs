@@ -13,7 +13,10 @@
 //!   and backward passes ([`noise`]), plus per-parameter freeze flags used
 //!   when training compensators against a fixed base network,
 //! - a model zoo with faithful LeNet-5 and VGG16 topologies ([`zoo`]),
-//! - a training loop with regularizer and per-batch hooks ([`trainer`]).
+//! - a training loop with regularizer and per-batch hooks ([`trainer`]),
+//! - an immutable inference path ([`Sequential::infer`]) with
+//!   scratch-buffer batched evaluation ([`inference`]) — the substrate the
+//!   engine layer's compiled deployments execute on.
 //!
 //! Every layer's gradients are validated against numeric differentiation in
 //! the test suite (see [`gradcheck`]).
@@ -38,7 +41,10 @@
 //! assert!(loss > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod gradcheck;
+pub mod inference;
 pub mod init;
 pub mod layer;
 pub mod layers;

@@ -77,6 +77,18 @@ impl Sequential {
         cur
     }
 
+    /// Evaluation-mode forward pass through `&self` (no activation caching,
+    /// no statistics updates). Bitwise-identical to
+    /// `forward(x, /*train=*/false)`; because it never mutates the model,
+    /// one instance can serve concurrent inference sessions.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.infer(&cur);
+        }
+        cur
+    }
+
     /// Runs the forward pass, returning every intermediate activation
     /// (index `i` holds the output of layer `i`).
     pub fn forward_collect(&mut self, x: &Tensor, train: bool) -> Vec<Tensor> {
@@ -138,6 +150,16 @@ impl Sequential {
             .enumerate()
             .filter_map(|(i, l)| l.noise_dims().map(|d| (i, d)))
             .collect()
+    }
+
+    /// Folds every installed noise mask into the nominal weights and clears
+    /// the masks (see [`Layer::bake_noise`]). Deployment snapshots call
+    /// this once at compile time so the inference hot path multiplies no
+    /// masks.
+    pub fn bake_noise(&mut self) {
+        for layer in &mut self.layers {
+            layer.bake_noise();
+        }
     }
 
     /// Clears all noise masks.

@@ -9,7 +9,8 @@
 
 use cn_analog::cell::CellSpec;
 use cn_analog::deployment::DeploymentMode;
-use cn_analog::montecarlo::{mc_accuracy_mode, McConfig};
+use cn_analog::engine::monte_carlo;
+use cn_analog::montecarlo::McConfig;
 use cn_analog::{Crossbar, TiledCrossbar};
 use cn_data::synthetic_mnist;
 use cn_nn::optim::Adam;
@@ -46,13 +47,13 @@ fn main() {
     Trainer::new(TrainConfig::new(6, 32, 3)).fit(&mut model, &data.train, &mut Adam::new(2e-3));
 
     let mc = McConfig::new(8, 0.3, 5);
-    let weight_level = mc_accuracy_mode(
+    let weight_level = monte_carlo(
         &model,
         &data.test,
         &mc,
         &DeploymentMode::WeightLognormal { sigma: 0.3 },
     );
-    let device_level = mc_accuracy_mode(
+    let device_level = monte_carlo(
         &model,
         &data.test,
         &mc,
@@ -66,7 +67,7 @@ fn main() {
             tile_size: 128,
         },
     );
-    let quantized = mc_accuracy_mode(
+    let quantized = monte_carlo(
         &model,
         &data.test,
         &mc,

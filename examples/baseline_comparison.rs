@@ -6,7 +6,6 @@
 //! cargo run --release --example baseline_comparison
 //! ```
 
-use cn_analog::montecarlo::mc_accuracy;
 use cn_baselines::protection::RetrainConfig;
 use cn_baselines::statistical::{train_noise_aware, NoiseAwareConfig};
 use cn_baselines::{magnitude_replication, random_sparse_adaptation};
@@ -25,7 +24,7 @@ fn main() {
     // Common plain model for the baselines.
     let mut plain = lenet5(&LeNetConfig::mnist(63));
     stages.train_plain(&mut plain, &data.train);
-    let uncorrected = mc_accuracy(&plain, &data.test, &stages.config.mc());
+    let uncorrected = stages.evaluate(&plain, &data.test);
     println!(
         "uncorrected:                   {:>5.1}%  (overhead 0.0%)",
         100.0 * uncorrected.mean
@@ -41,7 +40,7 @@ fn main() {
             ..NoiseAwareConfig::new(sigma, 4, 64)
         },
     );
-    let stat = mc_accuracy(&aware, &data.test, &stages.config.mc());
+    let stat = stages.evaluate(&aware, &data.test);
     println!(
         "[11] noise-aware fine-tuning:  {:>5.1}%  (overhead 0.0%)",
         100.0 * stat.mean

@@ -5,7 +5,8 @@
 //! cargo run --release --example lipschitz_training
 //! ```
 
-use cn_analog::montecarlo::{mc_accuracy, McConfig};
+use cn_analog::engine::{monte_carlo, AnalogBackend};
+use cn_analog::montecarlo::McConfig;
 use cn_data::synthetic_mnist;
 use cn_nn::metrics::evaluate;
 use cn_nn::zoo::{lenet5, LeNetConfig};
@@ -51,8 +52,9 @@ fn main() {
 
     for s in [0.2f32, 0.4, 0.5] {
         let mc = McConfig::new(8, s, 24);
-        let rp = mc_accuracy(&plain, &data.test, &mc);
-        let rr = mc_accuracy(&regularized, &data.test, &mc);
+        let backend = AnalogBackend::lognormal(mc.sigma);
+        let rp = monte_carlo(&plain, &data.test, &mc, &backend);
+        let rr = monte_carlo(&regularized, &data.test, &mc, &backend);
         println!(
             "σ={s}: plain {:>5.1}% ± {:>4.1} | regularized {:>5.1}% ± {:>4.1}",
             100.0 * rp.mean,

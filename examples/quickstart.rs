@@ -6,7 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cn_analog::montecarlo::{mc_accuracy, McConfig};
+use cn_analog::engine::{monte_carlo, AnalogBackend};
+use cn_analog::montecarlo::McConfig;
 use cn_data::synthetic_mnist;
 use cn_nn::metrics::evaluate;
 use cn_nn::zoo::{lenet5, LeNetConfig};
@@ -41,7 +42,7 @@ fn main() {
     // 3. Deploy without compensation: Monte-Carlo accuracy under
     //    log-normal weight variations (paper eq. 1–2).
     let mc = McConfig::new(10, sigma, 3);
-    let noisy = mc_accuracy(&model, &data.test, &mc);
+    let noisy = monte_carlo(&model, &data.test, &mc, &AnalogBackend::lognormal(mc.sigma));
     println!(
         "accuracy under σ={sigma} variations (no compensation): {:.1}% ± {:.1}",
         100.0 * noisy.mean,

@@ -22,7 +22,11 @@ pub use correctnet as core;
 
 /// The most commonly used types and functions, re-exported flat.
 pub mod prelude {
-    pub use cn_analog::montecarlo::{mc_accuracy, McConfig, McResult};
+    pub use cn_analog::engine::{
+        monte_carlo, AnalogBackend, Backend, CompiledModel, DigitalBackend, EngineBuilder, Session,
+        TiledBackend,
+    };
+    pub use cn_analog::montecarlo::{McConfig, McResult};
     pub use cn_analog::DeploymentMode;
     pub use cn_data::{synthetic_cifar10, synthetic_cifar100, synthetic_mnist, BatchIter, Dataset};
     pub use cn_nn::loss::softmax_cross_entropy;

@@ -3,7 +3,8 @@
 
 use cn_analog::cell::CellSpec;
 use cn_analog::deployment::DeploymentMode;
-use cn_analog::montecarlo::{mc_accuracy_mode, McConfig};
+use cn_analog::engine::monte_carlo;
+use cn_analog::montecarlo::McConfig;
 use cn_data::synthetic_mnist;
 use cn_nn::optim::Adam;
 use cn_nn::trainer::{TrainConfig, Trainer};
@@ -20,13 +21,13 @@ fn trained() -> (cn_nn::Sequential, cn_data::TrainTest) {
 fn ideal_conductance_deployment_matches_clean_accuracy() {
     let (model, data) = trained();
     let mc = McConfig::new(2, 0.0, 244);
-    let clean = mc_accuracy_mode(
+    let clean = monte_carlo(
         &model,
         &data.test,
         &mc,
         &DeploymentMode::WeightLognormal { sigma: 0.0 },
     );
-    let ideal = mc_accuracy_mode(
+    let ideal = monte_carlo(
         &model,
         &data.test,
         &mc,
@@ -50,13 +51,13 @@ fn both_models_degrade_with_variation_strength() {
     let mut previous_device = 1.0f32;
     for (i, sigma) in [0.1f32, 0.6].into_iter().enumerate() {
         let mc = McConfig::new(5, sigma, 245 + i as u64);
-        let weight = mc_accuracy_mode(
+        let weight = monte_carlo(
             &model,
             &data.test,
             &mc,
             &DeploymentMode::WeightLognormal { sigma },
         );
-        let device = mc_accuracy_mode(
+        let device = monte_carlo(
             &model,
             &data.test,
             &mc,
@@ -80,13 +81,13 @@ fn stuck_faults_compound_with_lognormal() {
     use cn_analog::faults::StuckFaults;
     let (model, data) = trained();
     let mc = McConfig::new(4, 0.3, 248);
-    let plain = mc_accuracy_mode(
+    let plain = monte_carlo(
         &model,
         &data.test,
         &mc,
         &DeploymentMode::WeightLognormal { sigma: 0.3 },
     );
-    let faulty = mc_accuracy_mode(
+    let faulty = monte_carlo(
         &model,
         &data.test,
         &mc,

@@ -3,8 +3,9 @@
 
 use cn_analog::deployment::DeploymentMode;
 use cn_analog::drift::ConductanceDrift;
+use cn_analog::engine::monte_carlo;
 use cn_analog::irdrop::IrDrop;
-use cn_analog::montecarlo::{mc_accuracy_mode, McConfig};
+use cn_analog::montecarlo::McConfig;
 use cn_data::synthetic_mnist;
 use cn_nn::optim::Adam;
 use cn_nn::trainer::{TrainConfig, Trainer};
@@ -22,7 +23,7 @@ fn drift_degrades_accuracy_over_time() {
     let (model, data) = trained();
     let drift = ConductanceDrift::new(0.06, 0.01, 1.0);
     let mc = McConfig::new(4, 0.2, 404);
-    let fresh = mc_accuracy_mode(
+    let fresh = monte_carlo(
         &model,
         &data.test,
         &mc,
@@ -32,7 +33,7 @@ fn drift_degrades_accuracy_over_time() {
             t: 1.0,
         },
     );
-    let aged = mc_accuracy_mode(
+    let aged = monte_carlo(
         &model,
         &data.test,
         &mc,
@@ -54,13 +55,13 @@ fn drift_degrades_accuracy_over_time() {
 fn mild_irdrop_is_survivable_severe_is_not_free() {
     let (model, data) = trained();
     let mc = McConfig::new(4, 0.0, 405);
-    let clean = mc_accuracy_mode(
+    let clean = monte_carlo(
         &model,
         &data.test,
         &mc,
         &DeploymentMode::WeightLognormal { sigma: 0.0 },
     );
-    let mild = mc_accuracy_mode(
+    let mild = monte_carlo(
         &model,
         &data.test,
         &mc,
@@ -69,7 +70,7 @@ fn mild_irdrop_is_survivable_severe_is_not_free() {
             irdrop: IrDrop::new(0.05),
         },
     );
-    let severe = mc_accuracy_mode(
+    let severe = monte_carlo(
         &model,
         &data.test,
         &mc,
@@ -94,7 +95,7 @@ fn mild_irdrop_is_survivable_severe_is_not_free() {
 fn compensation_also_recovers_drift_losses() {
     // CorrectNet's machinery is noise-model agnostic: train compensators
     // against the drift+variation deployment and accuracy improves.
-    use cn_analog::montecarlo::mc_with;
+    use cn_analog::montecarlo::McConfig;
     use correctnet::compensation::{
         apply_compensation, train_compensators, train_compensators_mode, CompensationPlan,
         CompensationTrainConfig,
@@ -107,9 +108,8 @@ fn compensation_also_recovers_drift_losses() {
         drift,
         t: 1e5,
     };
-    let eval = |m: &cn_nn::Sequential| {
-        mc_with(m, &data.test, 6, 406, 64, |mm, rng| mode.deploy(mm, rng)).mean
-    };
+    let eval =
+        |m: &cn_nn::Sequential| monte_carlo(m, &data.test, &McConfig::new(6, 0.4, 406), &mode).mean;
     let before = eval(&model);
     let plan = CompensationPlan::uniform(&[0, 1], 1.0);
     let cfg = CompensationTrainConfig::new(0.4, 5, 408);

@@ -4,7 +4,6 @@
 //! compensation-equipped model must recover a large share of the accuracy
 //! a plain model loses under analog variations.
 
-use cn_analog::montecarlo::mc_accuracy;
 use cn_data::synthetic_mnist;
 use cn_nn::metrics::evaluate;
 use cn_nn::zoo::{lenet5, LeNetConfig};
@@ -30,7 +29,7 @@ fn correctnet_recovers_accuracy_under_variations() {
     let mut plain = lenet5(&LeNetConfig::mnist(203));
     stages.train_plain(&mut plain, &data.train);
     let clean_plain = evaluate(&mut plain.clone(), &data.test, 64);
-    let noisy_plain = mc_accuracy(&plain, &data.test, &stages.config.mc());
+    let noisy_plain = stages.evaluate(&plain, &data.test);
 
     // CorrectNet: Lipschitz training + compensation on the early layers.
     let mut base = lenet5(&LeNetConfig::mnist(203));
