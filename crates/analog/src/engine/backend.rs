@@ -1,6 +1,7 @@
 //! Deployment backends: how nominal weights land on (simulated) hardware.
 
 use crate::deployment::DeploymentMode;
+use crate::drift::ConductanceDrift;
 use crate::mapping::{conductance_masks, MappingConfig};
 use cn_nn::Sequential;
 use cn_tensor::{SeededRng, Tensor};
@@ -154,6 +155,62 @@ impl Backend for TiledBackend {
     }
 }
 
+/// A backend aged by conductance retention drift: the wrapped backend's
+/// mask plan composed with a per-weight [`ConductanceDrift`] mask sampled
+/// at time `t`.
+///
+/// This is the deployment model a serving fleet recompiles against to
+/// represent a chip that has been in the field for `t` time units since
+/// programming; recompiling on the base backend afterwards models
+/// re-programming the crossbar (which resets drift).
+pub struct DriftBackend<'a> {
+    inner: &'a dyn Backend,
+    drift: ConductanceDrift,
+    t: f32,
+}
+
+impl<'a> DriftBackend<'a> {
+    /// Ages `inner` by `drift` evaluated at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the drift model's reference time.
+    pub fn new(inner: &'a dyn Backend, drift: ConductanceDrift, t: f32) -> Self {
+        assert!(
+            t >= drift.t0,
+            "drift evaluated before reference time t0 = {}",
+            drift.t0
+        );
+        DriftBackend { inner, drift, t }
+    }
+}
+
+impl Backend for DriftBackend<'_> {
+    fn name(&self) -> String {
+        format!("{} + drift(t = {})", self.inner.name(), self.t)
+    }
+
+    fn mask_plan(&self, model: &Sequential, rng: &mut SeededRng) -> MaskPlan {
+        let mut plan = self.inner.mask_plan(model, rng);
+        for (slot, (_, dims)) in plan.iter_mut().zip(model.noisy_layers()) {
+            let aged = self.drift.mask_at(&dims, self.t, rng);
+            *slot = Some(match slot.take() {
+                Some(mask) => mask.zip_map(&aged, |m, d| m * d),
+                None => aged,
+            });
+        }
+        plan
+    }
+
+    fn finalize(&self, instance: &mut Sequential, rng: &mut SeededRng) {
+        self.inner.finalize(instance, rng);
+    }
+
+    fn bake(&self) -> bool {
+        self.inner.bake()
+    }
+}
+
 /// Escape hatch wrapping an arbitrary perturbation closure (the legacy
 /// `mc_with` contract): the closure receives a fresh model instance and
 /// the instance RNG and may mutate it freely (install masks, retrain…).
@@ -229,6 +286,35 @@ mod tests {
             let mask = mask.expect("tiled backend programs every layer");
             assert!(mask.data().iter().all(|&m| (m - 1.0).abs() < 1e-3));
         }
+    }
+
+    #[test]
+    fn drift_backend_composes_masks_multiplicatively() {
+        let model = mlp(&[4, 8, 3], 7);
+        let drift = ConductanceDrift::new(0.05, 0.0, 1.0);
+        // Zero device variability: every drift factor is exactly the mean
+        // decay, so the composed plan is the base plan scaled by it.
+        let base = AnalogBackend::lognormal(0.4);
+        let plain = base.mask_plan(&model, &mut SeededRng::new(8));
+        let aged =
+            DriftBackend::new(&base, drift, 1000.0).mask_plan(&model, &mut SeededRng::new(8));
+        let factor = drift.mean_factor(1000.0);
+        for (p, a) in plain.iter().zip(aged.iter()) {
+            let (p, a) = (p.as_ref().unwrap(), a.as_ref().unwrap());
+            for (pv, av) in p.data().iter().zip(a.data().iter()) {
+                assert!((pv * factor - av).abs() < 1e-5, "{pv} vs {av}");
+            }
+        }
+        // Over an exact backend, drift alone programs every layer.
+        let digital = DriftBackend::new(&DigitalBackend, drift, 1000.0)
+            .mask_plan(&model, &mut SeededRng::new(9));
+        assert!(digital.iter().all(Option::is_some));
+    }
+
+    #[test]
+    #[should_panic(expected = "before reference time")]
+    fn drift_backend_rejects_backward_time() {
+        DriftBackend::new(&DigitalBackend, ConductanceDrift::new(0.05, 0.0, 1.0), 0.5);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct CompiledModel {
     model: Sequential,
+    nominal: Arc<Sequential>,
     backend_name: String,
 }
 
@@ -26,13 +27,37 @@ impl CompiledModel {
     /// plan, optionally bakes it into the weights, and runs the backend's
     /// finalize hook.
     ///
+    /// The pristine `model` is retained (shared) as the nominal source so
+    /// the instance can later be [`recompile`](CompiledModel::recompile)d
+    /// — e.g. re-programmed after conductance drift. Callers compiling
+    /// many instances of one model should prefer
+    /// [`compile_shared`](CompiledModel::compile_shared), which shares a
+    /// single nominal snapshot instead of cloning it per instance.
+    ///
     /// # Panics
     ///
     /// Panics if the backend's mask plan has the wrong length or a mask
     /// shape disagrees with its layer.
     pub fn compile(model: &Sequential, backend: &dyn Backend, rng: &mut SeededRng) -> Self {
-        let plan = backend.mask_plan(model, rng);
-        let noisy = model.noisy_layers();
+        Self::compile_shared(&Arc::new(model.clone()), backend, rng)
+    }
+
+    /// [`compile`](CompiledModel::compile) from an already-shared nominal
+    /// model; all instances compiled from the same `Arc` share one nominal
+    /// snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend's mask plan has the wrong length or a mask
+    /// shape disagrees with its layer.
+    pub fn compile_shared(
+        model: &Arc<Sequential>,
+        backend: &dyn Backend,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let nominal: &Sequential = model;
+        let plan = backend.mask_plan(nominal, rng);
+        let noisy = nominal.noisy_layers();
         assert_eq!(
             plan.len(),
             noisy.len(),
@@ -41,7 +66,7 @@ impl CompiledModel {
             plan.len(),
             noisy.len()
         );
-        let mut instance = model.clone();
+        let mut instance = nominal.clone();
         instance.clear_noise();
         for ((layer_index, dims), mask) in noisy.into_iter().zip(plan) {
             if let Some(mask) = mask {
@@ -55,8 +80,26 @@ impl CompiledModel {
         backend.finalize(&mut instance, rng);
         CompiledModel {
             model: instance,
+            nominal: Arc::clone(model),
             backend_name: backend.name(),
         }
+    }
+
+    /// Re-programs this deployment: compiles a fresh instance of the same
+    /// nominal model on `backend`, drawing new variations from `rng`.
+    ///
+    /// This is the maintenance hook a serving fleet uses for periodic
+    /// drift-aware re-deployment: wrap the base backend in a
+    /// [`DriftBackend`](super::DriftBackend) to model an aged chip, or
+    /// recompile on the base backend to model re-programming the crossbar
+    /// (which resets drift).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend's mask plan disagrees with the model (see
+    /// [`compile`](CompiledModel::compile)).
+    pub fn recompile(&self, backend: &dyn Backend, rng: &mut SeededRng) -> CompiledModel {
+        CompiledModel::compile_shared(&self.nominal, backend, rng)
     }
 
     /// Logits for a batch through the immutable inference path.
@@ -67,6 +110,11 @@ impl CompiledModel {
     /// The deployed model snapshot.
     pub fn model(&self) -> &Sequential {
         &self.model
+    }
+
+    /// The pristine nominal model this instance was compiled from.
+    pub fn nominal(&self) -> &Arc<Sequential> {
+        &self.nominal
     }
 
     /// Name of the backend this instance was compiled with.
@@ -177,6 +225,29 @@ mod tests {
         let c = builder.compile_instance(3).infer(&x);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn recompile_redraws_from_the_shared_nominal() {
+        let model = Arc::new(mlp(&[4, 8, 3], 12));
+        let backend = AnalogBackend::lognormal(0.5);
+        let first =
+            CompiledModel::compile_shared(&model, &backend, &mut SeededRng::new(13).fork(0));
+        let x = SeededRng::new(14).normal_tensor(&[2, 4], 0.0, 1.0);
+        // Recompiling with a fresh stream redraws the variations…
+        let second = first.recompile(&backend, &mut SeededRng::new(13).fork(1));
+        assert_ne!(first.infer(&x), second.infer(&x));
+        // …deterministically…
+        let again = first.recompile(&backend, &mut SeededRng::new(13).fork(1));
+        assert_eq!(second.infer(&x), again.infer(&x));
+        // …and both instances share the one nominal snapshot.
+        assert!(Arc::ptr_eq(first.nominal(), second.nominal()));
+        assert_eq!(
+            second
+                .recompile(&DigitalBackend, &mut SeededRng::new(0))
+                .infer(&x),
+            model.infer(&x)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::montecarlo::{McConfig, McResult};
 use cn_data::Dataset;
 use cn_tensor::parallel::num_threads;
 use cn_tensor::SeededRng;
-use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// The single Monte-Carlo entry point: compiles `cfg.samples` deployment
 /// instances of `model` on `backend` and measures each one's test
@@ -47,33 +47,83 @@ pub fn monte_carlo(
     backend: &dyn Backend,
 ) -> McResult {
     assert!(cfg.samples > 0, "need at least one Monte-Carlo sample");
-    let results = Mutex::new(vec![0.0f32; cfg.samples]);
+    let nominal = Arc::new(model.clone());
     let workers = num_threads().min(cfg.samples);
     let next = std::sync::atomic::AtomicUsize::new(0);
+    // Workers write disjoint sample indices, so results are gathered
+    // lock-free: each worker accumulates (index, accuracy) pairs locally
+    // and the driver scatters them after the joins.
+    let mut results = vec![0.0f32; cfg.samples];
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let next = &next;
-            let results = &results;
-            scope.spawn(move || {
-                let mut session: Option<Session> = None;
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= cfg.samples {
-                        break;
-                    }
-                    let mut rng = SeededRng::new(cfg.seed).fork(i as u64);
-                    let compiled = CompiledModel::compile(model, backend, &mut rng).shared();
-                    let session = match &mut session {
-                        Some(s) => {
-                            s.rebind(compiled);
-                            s
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let nominal = &nominal;
+                scope.spawn(move || {
+                    let mut session: Option<Session> = None;
+                    let mut local: Vec<(usize, f32)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cfg.samples {
+                            break;
                         }
-                        none => none.insert(Session::new(compiled)),
-                    };
-                    results.lock()[i] = session.evaluate(data, cfg.batch_size);
-                }
-            });
+                        let mut rng = SeededRng::new(cfg.seed).fork(i as u64);
+                        let compiled =
+                            CompiledModel::compile_shared(nominal, backend, &mut rng).shared();
+                        let session = match &mut session {
+                            Some(s) => {
+                                s.rebind(compiled);
+                                s
+                            }
+                            none => none.insert(Session::new(compiled)),
+                        };
+                        local.push((i, session.evaluate(data, cfg.batch_size)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, accuracy) in handle.join().expect("Monte-Carlo worker panicked") {
+                results[i] = accuracy;
+            }
         }
     });
-    McResult::from_accuracies(results.into_inner())
+    McResult::from_accuracies(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AnalogBackend, DigitalBackend, EngineBuilder};
+    use super::*;
+    use cn_data::synthetic_mnist;
+    use cn_nn::zoo::{lenet5, LeNetConfig};
+
+    /// Regression for the lock-free result gather: every sample slot must
+    /// be written exactly by its own instance. Under the exact digital
+    /// backend all instances are identical, so any dropped slot would show
+    /// up as a default 0.0 among otherwise-equal accuracies.
+    #[test]
+    fn every_sample_slot_is_written() {
+        let data = synthetic_mnist(16, 24, 3);
+        let model = lenet5(&LeNetConfig::mnist(5));
+        let expected =
+            Session::new(EngineBuilder::new(&model).compile().shared()).evaluate(&data.test, 8);
+        assert!(expected > 0.0, "pick a seed with non-zero clean accuracy");
+        let cfg = McConfig::new(num_threads() * 2 + 1, 0.0, 11);
+        let mc = monte_carlo(&model, &data.test, &cfg, &DigitalBackend);
+        assert_eq!(mc.accuracies.len(), cfg.samples);
+        assert!(mc.accuracies.iter().all(|&a| a == expected));
+    }
+
+    #[test]
+    fn results_are_deterministic_across_runs() {
+        let data = synthetic_mnist(8, 16, 1);
+        let model = lenet5(&LeNetConfig::mnist(2));
+        let cfg = McConfig::new(5, 0.5, 9);
+        let backend = AnalogBackend::lognormal(0.5);
+        let a = monte_carlo(&model, &data.test, &cfg, &backend);
+        let b = monte_carlo(&model, &data.test, &cfg, &backend);
+        assert_eq!(a.accuracies, b.accuracies);
+    }
 }

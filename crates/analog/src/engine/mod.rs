@@ -48,7 +48,9 @@ mod compiled;
 mod mc;
 mod session;
 
-pub use backend::{AnalogBackend, Backend, DigitalBackend, MaskPlan, PerturbBackend, TiledBackend};
+pub use backend::{
+    AnalogBackend, Backend, DigitalBackend, DriftBackend, MaskPlan, PerturbBackend, TiledBackend,
+};
 pub use compiled::{CompiledModel, EngineBuilder};
 pub use mc::monte_carlo;
 pub use session::Session;

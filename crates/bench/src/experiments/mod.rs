@@ -21,6 +21,7 @@ pub mod fig2;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod serving;
 pub mod table1;
 
 use crate::cache::{cached_candidates, lipschitz_base, plain_base, ModelCache};
@@ -108,6 +109,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(fig10::Fig10),
         Box::new(ablation_device::AblationDevice),
         Box::new(ablation_lipschitz::AblationLipschitz),
+        Box::new(serving::Serving),
     ]
 }
 

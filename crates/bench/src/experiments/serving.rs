@@ -1,0 +1,369 @@
+//! **Serving**: the traffic-shaped workload — a [`cn_serve::Fleet`] of
+//! independent analog deployments behind a dynamic-batching front,
+//! measured under a multi-client load generator.
+//!
+//! This experiment goes beyond the paper's offline accuracy protocol: it
+//! demonstrates that (1) dynamic micro-batching buys real throughput over
+//! per-request inference on the same fleet, (2) redundant majority-vote
+//! routing masks per-chip variation at a measurable disagreement rate,
+//! and (3) conductance drift degrades instance agreement until the fleet
+//! is re-programmed — the distributed error-corrected deployment story of
+//! the related RRAM scale-out work.
+
+use super::{Ctx, Experiment};
+use crate::profile::Pair;
+use crate::report::{ExperimentReport, Series, SeriesPoint};
+use cn_analog::drift::ConductanceDrift;
+use cn_analog::engine::AnalogBackend;
+use cn_data::TrainTest;
+use cn_nn::layers::{Dense, Flatten, Relu};
+use cn_nn::optim::Adam;
+use cn_nn::trainer::{TrainConfig, Trainer};
+use cn_nn::Sequential;
+use cn_serve::{Fleet, RoutePolicy, ServeConfig, ServeError, ServerStats, Ticket};
+use cn_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Serving-throughput regenerator.
+pub struct Serving;
+
+const SIGMA: f32 = 0.3;
+const REPLICAS: usize = 3;
+const CLIENTS: usize = 16;
+/// In-flight tickets per pipelined client (the request window the
+/// batchers coalesce from).
+const WINDOW: usize = 64;
+const MAX_WAIT: Duration = Duration::from_millis(2);
+/// Field age (in drift-reference units) of the aged majority fleet.
+const DRIFT_T: f32 = 1.0e5;
+
+/// Outcome of one load-generator run.
+struct LoadResult {
+    throughput_rps: f64,
+    hits: usize,
+    total: usize,
+    stats: Vec<ServerStats>,
+}
+
+/// Pipelined round-robin load generator: [`CLIENTS`] threads each keep up
+/// to [`WINDOW`] tickets in flight via [`Fleet::submit_next`], so the
+/// instance batchers always have requests to coalesce. `QueueFull` is
+/// backpressure: the client drains one in-flight reply and retries.
+fn drive_pipelined(fleet: &Fleet, samples: &[(Tensor, usize)], total: usize) -> LoadResult {
+    let next = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| {
+                let mut inflight: VecDeque<(usize, Ticket)> = VecDeque::new();
+                let drain = |inflight: &mut VecDeque<(usize, Ticket)>| {
+                    if let Some((label, ticket)) = inflight.pop_front() {
+                        let reply = ticket.wait().expect("worker dropped a request");
+                        if reply.class == label {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                };
+                let mut exhausted = false;
+                while !exhausted || !inflight.is_empty() {
+                    while !exhausted && inflight.len() < WINDOW {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            exhausted = true;
+                            break;
+                        }
+                        let (sample, label) = &samples[i % samples.len()];
+                        let ticket = loop {
+                            match fleet.submit_next(sample) {
+                                Ok(ticket) => break ticket,
+                                Err(ServeError::QueueFull) => {
+                                    drain(&mut inflight);
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("load generator hit a serving error: {e}"),
+                            }
+                        };
+                        inflight.push_back((*label, ticket));
+                    }
+                    drain(&mut inflight);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    LoadResult {
+        throughput_rps: total as f64 / elapsed,
+        hits: hits.load(Ordering::Relaxed),
+        total,
+        stats: fleet.stats(),
+    }
+}
+
+/// Synchronous (closed-loop) load generator: [`CLIENTS`] threads issue
+/// one [`Fleet::classify`] at a time — the latency-shaped workload the
+/// majority-vote runs use.
+fn drive(fleet: &Fleet, samples: &[(Tensor, usize)], total: usize) -> LoadResult {
+    let next = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let (sample, label) = &samples[i % samples.len()];
+                let reply = loop {
+                    match fleet.classify(sample) {
+                        Ok(reply) => break reply,
+                        Err(ServeError::QueueFull) => std::thread::yield_now(),
+                        Err(e) => panic!("load generator hit a serving error: {e}"),
+                    }
+                };
+                if reply.class == *label {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    LoadResult {
+        throughput_rps: total as f64 / elapsed,
+        hits: hits.load(Ordering::Relaxed),
+        total,
+        stats: fleet.stats(),
+    }
+}
+
+/// The throughput workload: an edge-sized MLP head over flattened MNIST
+/// pixels, trained in a couple hundred milliseconds. Its per-sample
+/// compute is small enough that per-request serving overhead (queue
+/// wakeups, locks, reply scatter) is a visible cost — exactly the regime
+/// dynamic micro-batching amortizes. (The conv LeNet's multi-millisecond
+/// per-sample compute swamps that overhead, so it demonstrates the
+/// health/redundancy story instead.)
+fn throughput_model(data: &TrainTest, seed: u64) -> Sequential {
+    let mut rng = cn_tensor::SeededRng::new(seed);
+    let mut model = Sequential::new(vec![
+        Box::new(Flatten::new()),
+        Box::new(Dense::new(784, 48, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(Dense::new(48, 10, &mut rng)),
+    ]);
+    Trainer::new(TrainConfig::new(4, 32, seed ^ 0x77a1)).fit(
+        &mut model,
+        &data.train,
+        &mut Adam::new(2e-3),
+    );
+    model
+}
+
+/// Requests-weighted aggregate of per-instance stats:
+/// (p50 ms, p95 ms, p99 ms, batch fill).
+fn aggregate(stats: &[ServerStats]) -> (f64, f64, f64, f64) {
+    let total: f64 = stats.iter().map(|s| s.requests as f64).sum();
+    if total == 0.0 {
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+    let weighted = |f: &dyn Fn(&ServerStats) -> f64| -> f64 {
+        stats.iter().map(|s| s.requests as f64 * f(s)).sum::<f64>() / total
+    };
+    (
+        weighted(&|s| s.p50_us) / 1000.0,
+        weighted(&|s| s.p95_us) / 1000.0,
+        weighted(&|s| s.p99_us) / 1000.0,
+        weighted(&|s| s.batch_fill),
+    )
+}
+
+impl Experiment for Serving {
+    fn name(&self) -> &'static str {
+        "serving"
+    }
+
+    fn title(&self) -> &'static str {
+        "Serving: dynamic-batching fleet under a multi-client load generator"
+    }
+
+    fn description(&self) -> &'static str {
+        "micro-batching throughput, latency percentiles and majority-vote health of an analog fleet"
+    }
+
+    fn run(&self, ctx: &Ctx) -> ExperimentReport {
+        let mut report = ctx.report(self);
+        let requests = ctx.scale.mc_samples() * 1024; // quick: 12288 requests
+        report.config_num("sigma", SIGMA as f64);
+        report.config_num("replicas", REPLICAS as f64);
+        report.config_num("clients", CLIENTS as f64);
+        report.config_num("requests", requests as f64);
+        report.config_num("max_wait_ms", MAX_WAIT.as_secs_f64() * 1000.0);
+
+        let (model, data) = ctx.plain_base(Pair::LeNet5Mnist);
+        let sample_dims = data.test.sample_dims().to_vec();
+        let pool = data.test.len().min(256);
+        let samples: Vec<(Tensor, usize)> = (0..pool)
+            .map(|i| {
+                let sample = data.test.images.batch_slice(i, i + 1).reshape(&sample_dims);
+                (sample, data.test.labels[i])
+            })
+            .collect();
+        let backend = AnalogBackend::lognormal(SIGMA);
+
+        // Throughput: round-robin fleet serving the edge-sized MLP head,
+        // per-request vs micro-batched.
+        eprintln!("[serving] training the throughput workload head …");
+        let mlp_head = throughput_model(&data, ctx.seed);
+        let mut table_rows = Vec::new();
+        let mut curve = Vec::new();
+        let mut throughputs = Vec::new();
+        for max_batch in [1usize, 32] {
+            eprintln!("[serving] round-robin load run, max_batch = {max_batch} …");
+            let config = ServeConfig::new(max_batch)
+                .max_wait(MAX_WAIT)
+                .workers(2)
+                .queue_capacity(64 * max_batch);
+            let rr_fleet = || {
+                Fleet::new(
+                    &mlp_head,
+                    backend.clone(),
+                    REPLICAS,
+                    ctx.seed ^ 0x5e17e,
+                    RoutePolicy::RoundRobin,
+                    &sample_dims,
+                    &config,
+                )
+            };
+            // Warm up on a throwaway fleet, then measure on a fresh one so
+            // the reported stats exclude cold-start latencies.
+            let warmup = rr_fleet();
+            drive_pipelined(&warmup, &samples, requests / 8);
+            warmup.shutdown();
+            let fleet = rr_fleet();
+            let result = drive_pipelined(&fleet, &samples, requests);
+            fleet.shutdown();
+            let (p50, p95, p99, fill) = aggregate(&result.stats);
+            report.metric(
+                &format!("throughput_rps_b{max_batch}"),
+                result.throughput_rps,
+            );
+            report.metric(&format!("p50_ms_b{max_batch}"), p50);
+            report.metric(&format!("p95_ms_b{max_batch}"), p95);
+            report.metric(&format!("p99_ms_b{max_batch}"), p99);
+            report.metric(&format!("batch_fill_b{max_batch}"), fill);
+            table_rows.push(vec![
+                max_batch.to_string(),
+                format!("{:.0}", result.throughput_rps),
+                format!("{p50:.2}"),
+                format!("{p95:.2}"),
+                format!("{p99:.2}"),
+                format!("{fill:.2}"),
+                format!("{:.3}", result.hits as f64 / result.total as f64),
+            ]);
+            curve.push(SeriesPoint {
+                x: max_batch as f64,
+                mean: result.throughput_rps,
+                std: 0.0,
+            });
+            throughputs.push(result.throughput_rps);
+        }
+        report.series.push(Series {
+            label: "throughput vs max_batch".to_string(),
+            points: curve,
+        });
+        report.metric(
+            "batching_speedup",
+            throughputs[1] / throughputs[0].max(1e-9),
+        );
+        report.table(
+            "round-robin fleet under load",
+            &[
+                "max_batch",
+                "req/s",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "batch fill",
+                "accuracy",
+            ],
+            table_rows,
+        );
+
+        // Redundancy: majority-vote fleets with *matched* variation draws.
+        // Both fleets re-deploy to generation 1 with identical RNG
+        // streams — the control via `reprogram` (log-normal masks only),
+        // the aged one via `recompile_drifted` (the same log-normal masks
+        // composed with per-device drift at t = 1e5) — so the drift
+        // contribution to vote disagreement is isolated, not confounded
+        // with a fresh variation draw.
+        let majority_requests = requests / 8;
+        let config = ServeConfig::new(32).max_wait(MAX_WAIT).workers(2);
+        let majority_fleet = || {
+            Fleet::new(
+                &model,
+                backend.clone(),
+                REPLICAS,
+                ctx.seed ^ 0xf1ee7,
+                RoutePolicy::Majority,
+                &sample_dims,
+                &config,
+            )
+        };
+        eprintln!("[serving] majority-vote run ({majority_requests} requests) …");
+        let fleet = majority_fleet();
+        fleet.reprogram();
+        let fresh = drive(&fleet, &samples, majority_requests);
+        let fresh_rate = fleet.vote_disagreement_rate();
+        fleet.shutdown();
+
+        eprintln!("[serving] drifted majority-vote run …");
+        let drifted_fleet = majority_fleet();
+        drifted_fleet.recompile_drifted(&ConductanceDrift::new(0.05, 0.05, 1.0), DRIFT_T);
+        let drifted = drive(&drifted_fleet, &samples, majority_requests);
+        let drifted_rate = drifted_fleet.vote_disagreement_rate();
+        drifted_fleet.shutdown();
+
+        report.metric("vote_disagreement", fresh_rate);
+        report.metric("vote_disagreement_drifted", drifted_rate);
+        report.metric("majority_accuracy", fresh.hits as f64 / fresh.total as f64);
+        report.metric(
+            "majority_accuracy_drifted",
+            drifted.hits as f64 / drifted.total as f64,
+        );
+        report.table(
+            "majority-vote fleet health",
+            &["deployments", "disagreement", "accuracy"],
+            vec![
+                vec![
+                    "fresh".to_string(),
+                    format!("{fresh_rate:.3}"),
+                    format!("{:.3}", fresh.hits as f64 / fresh.total as f64),
+                ],
+                vec![
+                    format!("drifted (t = {DRIFT_T:.0e})"),
+                    format!("{drifted_rate:.3}"),
+                    format!("{:.3}", drifted.hits as f64 / drifted.total as f64),
+                ],
+            ],
+        );
+
+        report.note("Reproduction checks: (1) micro-batching (max_batch = 32) outperforms");
+        report.note("per-request serving (max_batch = 1) on the same fleet by amortizing");
+        report.note("per-request overhead (queue wakeups, locks, reply scatter) across the");
+        report.note("batch; (2) redundant majority routing reports a per-chip");
+        report.note("vote-disagreement rate that grows once conductance drift ages the");
+        report.note("deployments (matched variation draws, drift isolated).");
+        report.note("Throughput rows serve the small MLP head; the majority/drift health");
+        report.note("rows serve the trained LeNet fleet.");
+        if throughputs[1] <= throughputs[0] {
+            report.note(format!(
+                "WARNING: batching speedup not observed ({:.0} vs {:.0} req/s)",
+                throughputs[1], throughputs[0]
+            ));
+        }
+        report
+    }
+}

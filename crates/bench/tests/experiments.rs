@@ -13,7 +13,7 @@ use cn_nn::zoo::{lenet5, LeNetConfig};
 use cn_nn::Sequential;
 use correctnet::export::json::Json;
 
-const EXPECTED: [&str; 8] = [
+const EXPECTED: [&str; 9] = [
     "table1",
     "fig2",
     "fig7",
@@ -22,6 +22,7 @@ const EXPECTED: [&str; 8] = [
     "fig10",
     "ablation_device",
     "ablation_lipschitz",
+    "serving",
 ];
 
 fn temp_cache(tag: &str) -> ModelCache {
@@ -33,7 +34,10 @@ fn temp_cache(tag: &str) -> ModelCache {
 #[test]
 fn every_registered_name_resolves() {
     let names = experiments::names();
-    assert_eq!(names, EXPECTED, "catalog must list all eight artifacts");
+    assert_eq!(
+        names, EXPECTED,
+        "catalog must list the eight paper artifacts plus the serving workload"
+    );
     for name in names {
         let exp = experiments::find(name).unwrap_or_else(|| panic!("`{name}` must resolve"));
         assert_eq!(exp.name(), name);

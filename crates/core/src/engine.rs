@@ -38,8 +38,8 @@ use crate::pipeline::CorrectNetConfig;
 use cn_nn::Sequential;
 
 pub use cn_analog::engine::{
-    monte_carlo, AnalogBackend, Backend, CompiledModel, DigitalBackend, EngineBuilder, MaskPlan,
-    PerturbBackend, Session, TiledBackend,
+    monte_carlo, AnalogBackend, Backend, CompiledModel, DigitalBackend, DriftBackend,
+    EngineBuilder, MaskPlan, PerturbBackend, Session, TiledBackend,
 };
 pub use cn_analog::montecarlo::{McConfig, McResult};
 

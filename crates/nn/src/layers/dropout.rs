@@ -50,7 +50,10 @@ impl Layer for Dropout {
             self.mask = None;
             return x.clone();
         }
-        let mut rng = SeededRng::new(self.seed ^ self.calls.wrapping_mul(0x9E37_79B9));
+        // Stream-split the construction seed per call. The previous
+        // XOR-mix (`seed ^ calls * K`) produced colliding streams across
+        // layers whose seeds differ by a multiple of the mixing constant.
+        let mut rng = SeededRng::new(self.seed).fork(self.calls);
         self.calls += 1;
         let keep = 1.0 - self.p;
         let mut mask = Tensor::zeros(x.dims());
@@ -133,5 +136,29 @@ mod tests {
         let mut d = Dropout::new(0.0, 5);
         let x = Tensor::ones(&[3, 3]);
         assert_eq!(d.forward(&x, true), x);
+    }
+
+    /// Regression: the old `seed ^ calls * 0x9E37_79B9` derivation made
+    /// layer seed 0 at call 1 replay the exact stream of layer seed
+    /// `0x9E37_79B9` at call 0 (and every analogous collision). Fork-based
+    /// stream splitting must keep such layers decorrelated.
+    #[test]
+    fn xor_colliding_seeds_produce_distinct_masks() {
+        let x = Tensor::ones(&[16, 16]);
+        let mut a = Dropout::new(0.5, 0);
+        a.forward(&x, true); // advance to call index 1
+        let second_call = a.forward(&x, true);
+        let mut b = Dropout::new(0.5, 0x9E37_79B9);
+        let first_call = b.forward(&x, true);
+        assert_ne!(second_call, first_call);
+    }
+
+    #[test]
+    fn cloned_layers_replay_identical_streams() {
+        let x = Tensor::ones(&[8, 8]);
+        let mut a = Dropout::new(0.4, 7);
+        a.forward(&x, true);
+        let mut b = a.clone();
+        assert_eq!(a.forward(&x, true), b.forward(&x, true));
     }
 }

@@ -1,0 +1,314 @@
+//! A fleet of analog serving instances: independent deployments of one
+//! model behind a single routing front.
+//!
+//! Analog chips are individually noisy — every programmed crossbar is a
+//! different draw from the variation model. A [`Fleet`] embraces that:
+//! it compiles `replicas` independent deployments, serves each through
+//! its own dynamic-batching [`Server`], and routes requests either
+//! round-robin (capacity) or redundantly with majority voting
+//! (error compensation across instances). Periodic maintenance recompiles
+//! instances against a [`DriftBackend`] to model field aging, or against
+//! the base backend to model re-programming.
+
+use crate::config::ServeConfig;
+use crate::server::{Reply, ServeError, Server, Ticket};
+use crate::stats::ServerStats;
+use cn_analog::drift::ConductanceDrift;
+use cn_analog::engine::{Backend, CompiledModel, DriftBackend};
+use cn_nn::Sequential;
+use cn_tensor::{SeededRng, Tensor};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How the fleet maps requests onto instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Each request goes to exactly one instance, rotating — maximum
+    /// aggregate throughput.
+    RoundRobin,
+    /// Each request goes to every instance; the replies are combined by
+    /// majority vote over the predicted classes — redundancy against
+    /// per-instance variation at `replicas×` the compute.
+    Majority,
+}
+
+/// A reply assembled by the fleet's routing layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReply {
+    /// The routed (round-robin) or majority-voted class.
+    pub class: usize,
+    /// Per-instance votes that produced the decision (one entry under
+    /// round-robin routing).
+    pub votes: Vec<usize>,
+    /// Whether every participating instance agreed.
+    pub unanimous: bool,
+}
+
+/// K independent deployments of one model behind one routing front.
+pub struct Fleet {
+    instances: Vec<Server>,
+    policy: RoutePolicy,
+    backend: Box<dyn Backend>,
+    seed: u64,
+    rr: AtomicUsize,
+    generation: AtomicU64,
+    voted: AtomicU64,
+    disagreed: AtomicU64,
+}
+
+impl Fleet {
+    /// Compiles `replicas` independent deployments of `model` on
+    /// `backend` (instance `i` draws from stream `fork(i)` of `seed`) and
+    /// starts a [`Server`] per instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(
+        model: &Sequential,
+        backend: impl Backend + 'static,
+        replicas: usize,
+        seed: u64,
+        policy: RoutePolicy,
+        sample_dims: &[usize],
+        config: &ServeConfig,
+    ) -> Fleet {
+        assert!(replicas > 0, "a fleet needs at least one instance");
+        let nominal = Arc::new(model.clone());
+        let instances = (0..replicas)
+            .map(|i| {
+                let mut rng = SeededRng::new(seed).fork(i as u64);
+                let compiled = CompiledModel::compile_shared(&nominal, &backend, &mut rng);
+                Server::new(compiled.shared(), sample_dims, config)
+            })
+            .collect();
+        Fleet {
+            instances,
+            policy,
+            backend: Box::new(backend),
+            seed,
+            rr: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            voted: AtomicU64::new(0),
+            disagreed: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds a fleet over pre-compiled instances (e.g. rigged deployments
+    /// in tests). `backend` is the substrate used for later
+    /// recompilations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty.
+    pub fn from_compiled(
+        instances: Vec<Arc<CompiledModel>>,
+        backend: Box<dyn Backend>,
+        seed: u64,
+        policy: RoutePolicy,
+        sample_dims: &[usize],
+        config: &ServeConfig,
+    ) -> Fleet {
+        assert!(!instances.is_empty(), "a fleet needs at least one instance");
+        let instances = instances
+            .into_iter()
+            .map(|compiled| Server::new(compiled, sample_dims, config))
+            .collect();
+        Fleet {
+            instances,
+            policy,
+            backend,
+            seed,
+            rr: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            voted: AtomicU64::new(0),
+            disagreed: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of instances.
+    pub fn replicas(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// The routing policy.
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// Classifies one sample according to the routing policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ServeError`] of any participating instance.
+    pub fn classify(&self, input: &Tensor) -> Result<FleetReply, ServeError> {
+        match self.policy {
+            RoutePolicy::RoundRobin => {
+                let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.instances.len();
+                let reply = self.instances[i].classify(input)?;
+                Ok(FleetReply {
+                    class: reply.class,
+                    votes: vec![reply.class],
+                    unanimous: true,
+                })
+            }
+            RoutePolicy::Majority => {
+                // Submit to every instance first so their batchers coalesce
+                // concurrently, then gather.
+                let tickets: Vec<Ticket> = self
+                    .instances
+                    .iter()
+                    .map(|s| s.submit(input))
+                    .collect::<Result<_, _>>()?;
+                let votes: Vec<usize> = tickets
+                    .into_iter()
+                    .map(|t| t.wait().map(|r| r.class))
+                    .collect::<Result<_, _>>()?;
+                let class = majority(&votes);
+                let unanimous = votes.iter().all(|&v| v == votes[0]);
+                self.voted.fetch_add(1, Ordering::Relaxed);
+                if !unanimous {
+                    self.disagreed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(FleetReply {
+                    class,
+                    votes,
+                    unanimous,
+                })
+            }
+        }
+    }
+
+    /// Submits to one specific instance (bypassing routing); used by load
+    /// generators and tests.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::classify`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range.
+    pub fn classify_on(&self, instance: usize, input: &Tensor) -> Result<Reply, ServeError> {
+        self.instances[instance].classify(input)
+    }
+
+    /// Non-blocking round-robin submission: hands the request to the next
+    /// instance in rotation and returns its [`Ticket`]. This is the
+    /// pipelined load-generation primitive — clients keep a window of
+    /// tickets in flight so the batchers actually have requests to
+    /// coalesce. Routing ignores the fleet policy (no voting).
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::submit`].
+    pub fn submit_next(&self, input: &Tensor) -> Result<Ticket, ServeError> {
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.instances.len();
+        self.instances[i].submit(input)
+    }
+
+    /// Direct access to one instance's server (health inspection, manual
+    /// routing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range.
+    pub fn instance(&self, instance: usize) -> &Server {
+        &self.instances[instance]
+    }
+
+    /// Recompiles every instance against its base backend aged by `drift`
+    /// at time `t`, modeling a fleet that has been in the field since
+    /// programming. Traffic keeps flowing; workers pick up the drifted
+    /// deployment at their next batch boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the drift model's reference time.
+    pub fn recompile_drifted(&self, drift: &ConductanceDrift, t: f32) {
+        let aged = DriftBackend::new(self.backend.as_ref(), *drift, t);
+        self.recompile_on(&aged);
+    }
+
+    /// Re-programs every instance on the base backend with fresh variation
+    /// draws — the maintenance action that resets drift.
+    pub fn reprogram(&self) {
+        // Borrow the backend for the duration of the swap.
+        let backend: &dyn Backend = self.backend.as_ref();
+        self.recompile_on(backend);
+    }
+
+    fn recompile_on(&self, backend: &dyn Backend) {
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let replicas = self.instances.len() as u64;
+        for (i, server) in self.instances.iter().enumerate() {
+            // Fresh deterministic streams per (generation, instance).
+            let mut rng = SeededRng::new(self.seed).fork(generation * replicas + i as u64);
+            let compiled = server.current().recompile(backend, &mut rng);
+            server.install(compiled.shared());
+        }
+    }
+
+    /// How many deployment generations have been installed (0 = the
+    /// initial programming).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Health snapshots of every instance.
+    pub fn stats(&self) -> Vec<ServerStats> {
+        self.instances.iter().map(Server::stats).collect()
+    }
+
+    /// Fraction of majority-voted requests whose instances did not all
+    /// agree (0.0 when no majority routing has happened).
+    pub fn vote_disagreement_rate(&self) -> f64 {
+        let voted = self.voted.load(Ordering::Relaxed);
+        if voted == 0 {
+            return 0.0;
+        }
+        self.disagreed.load(Ordering::Relaxed) as f64 / voted as f64
+    }
+
+    /// Stops all instances, draining their queues.
+    pub fn shutdown(self) {
+        for server in self.instances {
+            server.shutdown();
+        }
+    }
+}
+
+/// Majority vote with deterministic tie-breaking (smallest class wins a
+/// tie, matching argmax's first-maximum convention).
+fn majority(votes: &[usize]) -> usize {
+    let mut counts: Vec<(usize, usize)> = Vec::new();
+    for &v in votes {
+        match counts.iter_mut().find(|(class, _)| *class == v) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((v, 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(class, _)| class)
+        .expect("majority of at least one vote")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_picks_the_mode() {
+        assert_eq!(majority(&[2, 2, 0]), 2);
+        assert_eq!(majority(&[1, 1, 1]), 1);
+        assert_eq!(majority(&[3]), 3);
+    }
+
+    #[test]
+    fn majority_breaks_ties_toward_the_smaller_class() {
+        assert_eq!(majority(&[4, 1]), 1);
+        assert_eq!(majority(&[0, 2, 2, 0]), 0);
+    }
+}

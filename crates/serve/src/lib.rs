@@ -1,0 +1,70 @@
+//! # cn-serve
+//!
+//! A dynamic-batching inference service over the engine layer's compiled
+//! deployments — the repo's first genuinely traffic-shaped workload.
+//!
+//! The serving path is a pipeline of four pieces:
+//!
+//! 1. [`AdmissionQueue`] — a bounded queue turning overload into
+//!    backpressure ([`ServeError::QueueFull`]) instead of unbounded
+//!    memory.
+//! 2. The **dynamic batcher** — each worker pops a coalesced micro-batch
+//!    (up to `max_batch` requests or `max_wait` of waiting, whichever
+//!    comes first), trading a bounded latency hit for much higher
+//!    throughput than per-request inference.
+//! 3. [`Server`] workers — one [`Session`](cn_analog::engine::Session)
+//!    per worker thread, bound to a hot-swappable
+//!    [`CompiledModel`](cn_analog::engine::CompiledModel); per-row
+//!    replies are scattered back through per-request channels.
+//! 4. [`Fleet`] — `replicas` independent analog deployments of the same
+//!    model behind round-robin (capacity) or majority-vote (redundancy)
+//!    routing, with drift-aware recompilation
+//!    ([`Fleet::recompile_drifted`] / [`Fleet::reprogram`]) and
+//!    per-instance health stats ([`ServerStats`]: latency percentiles,
+//!    throughput, batch fill; plus the fleet's vote-disagreement rate).
+//!
+//! ```
+//! use cn_analog::engine::{AnalogBackend, EngineBuilder};
+//! use cn_nn::zoo::mlp;
+//! use cn_serve::{Fleet, RoutePolicy, ServeConfig, Server};
+//! use cn_tensor::SeededRng;
+//!
+//! let model = mlp(&[4, 16, 3], 1);
+//!
+//! // One instance: compile once, serve concurrently with micro-batching.
+//! let server = Server::over(
+//!     EngineBuilder::new(&model).compile(),
+//!     &[4],
+//!     &ServeConfig::new(8),
+//! );
+//! let x = SeededRng::new(2).normal_tensor(&[4], 0.0, 1.0);
+//! let reply = server.classify(&x).unwrap();
+//! assert!(reply.class < 3);
+//!
+//! // A fleet: three independent σ=0.4 chips, majority-vote routing.
+//! let fleet = Fleet::new(
+//!     &model,
+//!     AnalogBackend::lognormal(0.4),
+//!     3,
+//!     42,
+//!     RoutePolicy::Majority,
+//!     &[4],
+//!     &ServeConfig::new(8),
+//! );
+//! let voted = fleet.classify(&x).unwrap();
+//! assert_eq!(voted.votes.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod fleet;
+mod queue;
+mod server;
+mod stats;
+
+pub use config::ServeConfig;
+pub use fleet::{Fleet, FleetReply, RoutePolicy};
+pub use queue::{AdmissionQueue, PushError};
+pub use server::{Reply, ServeError, Server, Ticket};
+pub use stats::{HistogramSnapshot, LatencyHistogram, ServerStats};

@@ -1,0 +1,235 @@
+//! The bounded admission queue feeding the dynamic batcher.
+//!
+//! A [`AdmissionQueue`] is a capacity-bounded MPMC queue with one extra
+//! primitive the batcher needs: [`pop_batch`](AdmissionQueue::pop_batch)
+//! blocks for the first item, then keeps coalescing until `max_batch`
+//! items are on hand or `max_wait` has elapsed. Closing the queue rejects
+//! new pushes but lets consumers drain everything already admitted, so a
+//! shutdown never drops an accepted request.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back for retry.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue with batch-coalescing pops.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates a queue admitting at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> AdmissionQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Admits `item`, or rejects it when the queue is full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity (backpressure — the caller may
+    /// retry), [`PushError::Closed`] after [`close`](AdmissionQueue::close).
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pops a coalesced batch: blocks until at least one item is
+    /// available, then keeps draining until `max_batch` items are
+    /// collected or `max_wait` has elapsed since the batch started
+    /// forming. Returns an empty vector only when the queue is closed and
+    /// fully drained — the consumer's shutdown signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Vec<T> {
+        assert!(max_batch > 0, "max_batch must be positive");
+        let mut inner = self.lock();
+        loop {
+            if !inner.items.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return Vec::new();
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        let mut batch = Vec::with_capacity(max_batch.min(inner.items.len()));
+        let deadline = Instant::now() + max_wait;
+        loop {
+            while batch.len() < max_batch {
+                match inner.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= max_batch || inner.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            inner = guard;
+            if timeout.timed_out() && inner.items.is_empty() {
+                break;
+            }
+        }
+        drop(inner);
+        // Items may remain (e.g. a burst larger than max_batch); make sure
+        // another consumer wakes up for them.
+        self.not_empty.notify_one();
+        batch
+    }
+
+    /// Closes the queue: future pushes fail, blocked consumers wake, and
+    /// already-admitted items remain poppable until drained.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Number of currently queued items.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_round_trip() {
+        let q = AdmissionQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let batch = q.pop_batch(8, Duration::from_millis(1));
+        assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let q = AdmissionQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full(3)));
+        q.pop_batch(1, Duration::ZERO);
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains() {
+        let q = AdmissionQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(PushError::Closed(8)));
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![7]);
+        assert!(q.pop_batch(4, Duration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn pop_batch_never_exceeds_max_batch() {
+        let q = AdmissionQueue::new(64);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let batch = q.pop_batch(4, Duration::ZERO);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn pop_batch_waits_for_late_arrivals() {
+        let q = Arc::new(AdmissionQueue::new(8));
+        q.push(0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                q.push(1).unwrap();
+            })
+        };
+        let batch = q.pop_batch(2, Duration::from_secs(5));
+        producer.join().unwrap();
+        assert_eq!(batch, vec![0, 1]);
+    }
+
+    #[test]
+    fn pop_batch_flushes_partial_batch_on_timeout() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(8);
+        q.push(9).unwrap();
+        let start = Instant::now();
+        let batch = q.pop_batch(4, Duration::from_millis(20));
+        assert_eq!(batch, vec![9]);
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, Duration::from_secs(60)))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        q.close();
+        assert!(consumer.join().unwrap().is_empty());
+    }
+}

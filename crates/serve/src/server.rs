@@ -1,0 +1,392 @@
+//! One serving instance: admission queue → dynamic batcher → worker
+//! sessions → per-request reply channels.
+
+use crate::config::ServeConfig;
+use crate::queue::{AdmissionQueue, PushError};
+use crate::stats::{ServerStats, StatsCollector};
+use cn_analog::engine::{CompiledModel, Session};
+use cn_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue is at capacity — back off and retry.
+    QueueFull,
+    /// The server is shutting down and admits no new requests.
+    ShuttingDown,
+    /// The worker executing the request disappeared before replying
+    /// (it panicked); the request is lost.
+    WorkerGone,
+    /// The submitted sample's shape disagrees with the instance's input
+    /// shape.
+    ShapeMismatch {
+        /// Shape the instance expects.
+        expected: Vec<usize>,
+        /// Shape that was submitted.
+        got: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "admission queue is full"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WorkerGone => write!(f, "serving worker dropped the request"),
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(f, "sample shape {got:?} != expected {expected:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The answer to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Raw logits of the request's sample.
+    pub logits: Vec<f32>,
+    /// Argmax class (first maximum wins, matching the evaluation path).
+    pub class: usize,
+    /// Size of the micro-batch this request rode in.
+    pub batch_size: usize,
+}
+
+/// A pending reply handle returned by [`Server::submit`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Blocks until the reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerGone`] if the executing worker panicked.
+    pub fn wait(self) -> Result<Reply, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::WorkerGone)
+    }
+}
+
+/// One queued request: the sample, its reply channel and the admission
+/// timestamp the latency histogram is fed from.
+struct Request {
+    input: Tensor,
+    tx: mpsc::Sender<Reply>,
+    enqueued_at: Instant,
+}
+
+/// State shared between the server handle and its workers: the hot-swap
+/// deployment slot and the health counters.
+struct Shared {
+    slot: Mutex<Arc<CompiledModel>>,
+    epoch: AtomicU64,
+    stats: StatsCollector,
+}
+
+/// A multi-threaded dynamic-batching inference server over one compiled
+/// deployment.
+///
+/// Requests are admitted through a bounded queue; `workers` threads each
+/// own a [`Session`] bound to the instance's current [`CompiledModel`],
+/// coalesce queued requests into micro-batches (up to
+/// `max_batch`/`max_wait`), execute them, and scatter per-row replies back
+/// through per-request channels. [`install`](Server::install) hot-swaps
+/// the deployment (e.g. after a drift-aware recompilation) without
+/// stopping traffic: workers rebind their session at the next batch
+/// boundary.
+///
+/// Dropping the server closes the queue, drains already-admitted
+/// requests and joins the workers.
+pub struct Server {
+    queue: Arc<AdmissionQueue<Request>>,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    sample_dims: Vec<usize>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Starts a server over `compiled`, accepting samples of shape
+    /// `sample_dims` (without the batch dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_dims` is empty.
+    pub fn new(
+        compiled: Arc<CompiledModel>,
+        sample_dims: &[usize],
+        config: &ServeConfig,
+    ) -> Server {
+        assert!(!sample_dims.is_empty(), "sample_dims must be non-empty");
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Arc::clone(&compiled)),
+            epoch: AtomicU64::new(0),
+            stats: StatsCollector::new(),
+        });
+        let workers = (0..config.workers)
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
+                let cfg = config.clone();
+                let dims = sample_dims.to_vec();
+                std::thread::Builder::new()
+                    .name(format!("cn-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&queue, &shared, &cfg, &dims))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Server {
+            queue,
+            shared,
+            workers,
+            sample_dims: sample_dims.to_vec(),
+            config: config.clone(),
+        }
+    }
+
+    /// Compiles-and-starts in one call; the common case for examples and
+    /// benches. See [`Server::new`].
+    pub fn over(compiled: CompiledModel, sample_dims: &[usize], config: &ServeConfig) -> Server {
+        Server::new(compiled.shared(), sample_dims, config)
+    }
+
+    /// Submits one sample (shape = `sample_dims`) and returns a [`Ticket`]
+    /// for its reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShapeMismatch`] for wrong input shapes,
+    /// [`ServeError::QueueFull`] under overload,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, input: &Tensor) -> Result<Ticket, ServeError> {
+        if input.dims() != self.sample_dims {
+            return Err(ServeError::ShapeMismatch {
+                expected: self.sample_dims.clone(),
+                got: input.dims().to_vec(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let request = Request {
+            input: input.clone(),
+            tx,
+            enqueued_at: Instant::now(),
+        };
+        match self.queue.push(request) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(PushError::Full(_)) => Err(ServeError::QueueFull),
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits one sample and blocks for its reply.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::submit`] and [`Ticket::wait`].
+    pub fn classify(&self, input: &Tensor) -> Result<Reply, ServeError> {
+        self.submit(input)?.wait()
+    }
+
+    /// Hot-swaps the served deployment. In-flight batches finish on the
+    /// old instance; workers rebind at their next batch boundary.
+    pub fn install(&self, compiled: Arc<CompiledModel>) {
+        *lock_slot(&self.shared.slot) = compiled;
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The deployment currently being served.
+    pub fn current(&self) -> Arc<CompiledModel> {
+        Arc::clone(&lock_slot(&self.shared.slot))
+    }
+
+    /// Number of deployment swaps since the server started.
+    pub fn deployment_epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// A point-in-time health snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// The sample shape this instance accepts.
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.sample_dims
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Stops admitting requests, drains the queue and joins the workers.
+    /// Every already-admitted request still receives its reply.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn lock_slot(slot: &Mutex<Arc<CompiledModel>>) -> std::sync::MutexGuard<'_, Arc<CompiledModel>> {
+    slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The batcher/executor loop each worker thread runs: pop a coalesced
+/// batch, rebind to the latest deployment if it changed, assemble the
+/// batch tensor, infer, scatter per-row replies, record stats.
+fn worker_loop(
+    queue: &AdmissionQueue<Request>,
+    shared: &Shared,
+    config: &ServeConfig,
+    sample_dims: &[usize],
+) {
+    let mut session = Session::new(Arc::clone(&lock_slot(&shared.slot)));
+    let mut seen_epoch = shared.epoch.load(Ordering::Acquire);
+    let sample_len: usize = sample_dims.iter().product();
+    let mut batch_buf: Vec<f32> = Vec::new();
+    loop {
+        let batch = queue.pop_batch(config.max_batch, config.max_wait);
+        if batch.is_empty() {
+            return; // closed and drained
+        }
+        let epoch = shared.epoch.load(Ordering::Acquire);
+        if epoch != seen_epoch {
+            session.rebind(Arc::clone(&lock_slot(&shared.slot)));
+            seen_epoch = epoch;
+        }
+
+        let n = batch.len();
+        batch_buf.clear();
+        batch_buf.reserve(n * sample_len);
+        for request in &batch {
+            batch_buf.extend_from_slice(request.input.data());
+        }
+        let mut dims = vec![n];
+        dims.extend_from_slice(sample_dims);
+        let x = Tensor::from_vec(std::mem::take(&mut batch_buf), &dims);
+        let logits = session.logits_batch(&x);
+        batch_buf = x.into_vec();
+
+        let classes = logits.dims()[1];
+        let data = logits.data();
+        let preds = logits.argmax_rows();
+        for (row, request) in batch.into_iter().enumerate() {
+            let row_logits = &data[row * classes..(row + 1) * classes];
+            // A departed client (dropped Ticket) is not an error.
+            let _ = request.tx.send(Reply {
+                logits: row_logits.to_vec(),
+                class: preds[row],
+                batch_size: n,
+            });
+            let micros = request
+                .enqueued_at
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX));
+            shared.stats.latency.record(micros as u64);
+        }
+        shared.stats.requests.fetch_add(n as u64, Ordering::Relaxed);
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .batch_slots
+            .fetch_add(config.max_batch as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_analog::engine::EngineBuilder;
+    use cn_nn::zoo::mlp;
+    use cn_tensor::SeededRng;
+    use std::time::Duration;
+
+    fn server(config: &ServeConfig) -> Server {
+        let model = mlp(&[4, 8, 3], 1);
+        let compiled = EngineBuilder::new(&model).compile();
+        Server::over(compiled, &[4], config)
+    }
+
+    #[test]
+    fn replies_match_direct_inference() {
+        let model = mlp(&[4, 8, 3], 1);
+        let compiled = EngineBuilder::new(&model).compile().shared();
+        let srv = Server::new(Arc::clone(&compiled), &[4], &ServeConfig::new(4));
+        let mut rng = SeededRng::new(2);
+        for _ in 0..20 {
+            let x = rng.normal_tensor(&[4], 0.0, 1.0);
+            let reply = srv.classify(&x).unwrap();
+            let direct = compiled.infer(&x.reshape(&[1, 4]));
+            assert_eq!(reply.logits, direct.data());
+            assert_eq!(reply.class, direct.argmax_rows()[0]);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let srv = server(&ServeConfig::new(2));
+        let err = srv.classify(&Tensor::zeros(&[5])).unwrap_err();
+        assert!(matches!(err, ServeError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let srv = server(&ServeConfig::new(8).max_wait(Duration::from_millis(1)));
+        let x = Tensor::zeros(&[4]);
+        let tickets: Vec<Ticket> = (0..50).map(|_| srv.submit(&x).unwrap()).collect();
+        srv.shutdown();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let srv = server(&ServeConfig::new(2));
+        srv.queue.close();
+        assert_eq!(
+            srv.classify(&Tensor::zeros(&[4])).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn install_rebinds_workers_to_the_new_deployment() {
+        let model = mlp(&[4, 8, 3], 3);
+        let digital = EngineBuilder::new(&model).compile().shared();
+        let srv = Server::new(Arc::clone(&digital), &[4], &ServeConfig::new(1).workers(1));
+        let x = SeededRng::new(4).normal_tensor(&[4], 0.0, 1.0);
+        let clean = srv.classify(&x).unwrap();
+
+        let noisy = EngineBuilder::new(&model)
+            .backend(cn_analog::engine::AnalogBackend::lognormal(0.8))
+            .seed(9)
+            .compile()
+            .shared();
+        srv.install(Arc::clone(&noisy));
+        assert_eq!(srv.deployment_epoch(), 1);
+        let swapped = srv.classify(&x).unwrap();
+        assert_eq!(swapped.logits, noisy.infer(&x.reshape(&[1, 4])).data());
+        assert_ne!(clean.logits, swapped.logits);
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-instance serving health stats: latency histogram, throughput and
+//! batch-fill accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Histogram bucket layout: 8 linear sub-buckets per power of two of
+/// microseconds (≈12.5 % resolution). The 216 buckets cover
+/// `[0, 2^29)` µs ≈ 9 min; larger values saturate into the last bucket.
+const SUB_BUCKETS: usize = 8;
+const POWERS: usize = 27;
+const BUCKETS: usize = SUB_BUCKETS * POWERS;
+
+/// A lock-free log-linear latency histogram over microseconds.
+///
+/// Recording is a single relaxed atomic increment; percentiles are read
+/// from a [`snapshot`](LatencyHistogram::snapshot) as the lower bound of
+/// the bucket containing the requested rank (≈12.5 % resolution).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn index(micros: u64) -> usize {
+        if micros < SUB_BUCKETS as u64 {
+            return micros as usize;
+        }
+        let top = 63 - micros.leading_zeros() as usize; // ≥ 3
+        let sub = ((micros >> (top - 3)) & 0b111) as usize;
+        ((top - 3) * SUB_BUCKETS + sub + SUB_BUCKETS).min(BUCKETS - 1)
+    }
+
+    /// Lower bound (µs) of the values that land in `bucket`.
+    fn lower_bound(bucket: usize) -> u64 {
+        if bucket < SUB_BUCKETS {
+            return bucket as u64;
+        }
+        let top = (bucket - SUB_BUCKETS) / SUB_BUCKETS + 3;
+        let sub = ((bucket - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+        (1u64 << top) + (sub << (top - 3))
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, micros: u64) {
+        self.buckets[Self::index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the bucket counts for reading
+    /// percentiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Immutable bucket counts read from a [`LatencyHistogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `q`-quantile latency in microseconds (bucket lower bound), or
+    /// 0.0 when nothing was recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ q ≤ 1`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return LatencyHistogram::lower_bound(i) as f64;
+            }
+        }
+        LatencyHistogram::lower_bound(self.counts.len() - 1) as f64
+    }
+}
+
+/// Shared mutable counters one serving instance updates from its workers.
+#[derive(Debug)]
+pub(crate) struct StatsCollector {
+    pub(crate) requests: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    /// Sum of `max_batch` over executed batches — the fill denominator.
+    pub(crate) batch_slots: AtomicU64,
+    pub(crate) latency: LatencyHistogram,
+    pub(crate) started: Instant,
+}
+
+impl StatsCollector {
+    pub(crate) fn new() -> StatsCollector {
+        StatsCollector {
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_slots: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            started: Instant::now(),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let slots = self.batch_slots.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let hist = self.latency.snapshot();
+        ServerStats {
+            requests,
+            batches,
+            batch_fill: if slots == 0 {
+                0.0
+            } else {
+                requests as f64 / slots as f64
+            },
+            throughput_rps: requests as f64 / elapsed,
+            p50_us: hist.quantile(0.50),
+            p95_us: hist.quantile(0.95),
+            p99_us: hist.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time health snapshot of one serving instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests answered since the instance started.
+    pub requests: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean batch fill: requests served per offered batch slot
+    /// (`1.0` = every executed batch was full).
+    pub batch_fill: f64,
+    /// Requests per second since the instance started.
+    pub throughput_rps: f64,
+    /// Median queue→reply latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_brackets_the_value() {
+        for v in [0u64, 1, 7, 8, 9, 100, 1000, 4096, 123_456, 10_000_000] {
+            let idx = LatencyHistogram::index(v);
+            let lo = LatencyHistogram::lower_bound(idx);
+            let hi = LatencyHistogram::lower_bound(idx + 1);
+            assert!(lo <= v && v < hi, "{v} not in [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn bucket_lower_bounds_are_monotonic() {
+        let mut prev = 0;
+        for i in 1..BUCKETS {
+            let lb = LatencyHistogram::lower_bound(i);
+            assert!(lb > prev, "bucket {i}: {lb} <= {prev}");
+            prev = lb;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        let p50 = snap.quantile(0.5);
+        let p99 = snap.quantile(0.99);
+        // Log-linear resolution is 12.5 %; allow a generous envelope.
+        assert!((400.0..=560.0).contains(&p50), "p50 {p50}");
+        assert!((850.0..=1024.0).contains(&p99), "p99 {p99}");
+        assert!(snap.quantile(0.0) <= p50 && p50 <= p99);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0.0);
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn huge_latencies_saturate_the_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().count(), 1);
+    }
+}

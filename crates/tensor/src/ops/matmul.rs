@@ -40,10 +40,10 @@ impl Tensor {
             for i in 0..rows {
                 let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
                 let crow = &mut c[i * n..(i + 1) * n];
+                // No zero-skip: `0.0 × NaN/±inf = NaN` must reach the
+                // output so overflowed masks are detectable, not silently
+                // replaced by finite-looking results.
                 for (kk, &aik) in arow.iter().enumerate() {
-                    if aik == 0.0 {
-                        continue;
-                    }
                     let brow = &b[kk * n..(kk + 1) * n];
                     for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
                         *cj += aik * bj;
@@ -75,11 +75,10 @@ impl Tensor {
             for kk in 0..k {
                 let brow = &b[kk * n..(kk + 1) * n];
                 let arow = &a[kk * m..(kk + 1) * m];
+                // As in `matmul`, no zero-skip: NaN/±inf in `b` must
+                // propagate even where `a` is exactly zero.
                 for i in 0..rows {
                     let aik = arow[row0 + i];
-                    if aik == 0.0 {
-                        continue;
-                    }
                     let crow = &mut c[i * n..(i + 1) * n];
                     for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
                         *cj += aik * bj;
@@ -237,5 +236,29 @@ mod tests {
     #[should_panic(expected = "inner dims disagree")]
     fn mismatched_inner_dims_panic() {
         Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    /// Regression: a zero-skip on the lhs used to mask `0.0 × NaN`, so an
+    /// overflowed mask produced finite-looking logits. IEEE semantics
+    /// demand the NaN reach the output.
+    #[test]
+    fn nan_in_rhs_propagates_through_zero_lhs() {
+        let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![f32::NAN, 1.0], &[2, 1]);
+        assert!(a.matmul(&b).data()[0].is_nan());
+
+        let at = Tensor::from_vec(vec![0.0, 1.0], &[2, 1]);
+        assert!(at.t_matmul(&b).data()[0].is_nan());
+    }
+
+    #[test]
+    fn infinity_in_rhs_propagates_through_zero_lhs() {
+        // 0 × ∞ = NaN, and NaN survives the accumulation.
+        let a = Tensor::from_vec(vec![0.0, 2.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![f32::INFINITY, 3.0], &[2, 1]);
+        assert!(a.matmul(&b).data()[0].is_nan());
+
+        let at = Tensor::from_vec(vec![0.0, 2.0], &[2, 1]);
+        assert!(at.t_matmul(&b).data()[0].is_nan());
     }
 }

@@ -34,7 +34,10 @@ pub fn num_threads() -> usize {
 /// Processes disjoint chunks of `data` in parallel.
 ///
 /// `data` is split into contiguous chunks of at most `chunk_len` elements;
-/// `f(chunk_index, chunk)` is invoked for each. When only one thread is
+/// `f(chunk_index, chunk)` is invoked for each. At most
+/// [`num_threads()`] worker threads are spawned, each pulling the next
+/// unclaimed chunk from a shared iterator, so callers with many small
+/// chunks never fan out beyond the worker cap. When only one thread is
 /// available (or there is a single chunk) everything runs inline.
 ///
 /// # Panics
@@ -47,16 +50,30 @@ pub fn parallel_chunks_mut<T: Send>(
 ) {
     assert!(chunk_len > 0, "chunk_len must be positive");
     let n_chunks = data.len().div_ceil(chunk_len);
-    if num_threads() == 1 || n_chunks <= 1 {
+    let workers = num_threads().min(n_chunks);
+    if workers <= 1 {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(i, chunk);
         }
         return;
     }
+    let chunks = std::sync::Mutex::new(data.chunks_mut(chunk_len).enumerate());
     std::thread::scope(|scope| {
-        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        for _ in 0..workers {
+            let chunks = &chunks;
             let f = &f;
-            scope.spawn(move || f(i, chunk));
+            scope.spawn(move || loop {
+                // Claim the next chunk under the lock, release it before
+                // running `f` so workers overlap on the actual work.
+                let next = chunks
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .next();
+                match next {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => break,
+                }
+            });
         }
     });
 }
@@ -143,5 +160,29 @@ mod tests {
     fn zero_chunk_len_panics() {
         let mut v = [0u8; 4];
         parallel_chunks_mut(&mut v, 0, |_, _| {});
+    }
+
+    /// Regression: chunk processing used to spawn one OS thread *per
+    /// chunk*; with many small chunks that meant hundreds of threads. The
+    /// worker pool must stay capped at [`num_threads()`].
+    #[test]
+    fn many_small_chunks_stay_within_worker_cap() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let mut v = vec![0u32; 512];
+        let seen = Mutex::new(HashSet::new());
+        parallel_chunks_mut(&mut v, 2, |_, chunk| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+        let distinct = seen.lock().unwrap().len();
+        assert!(
+            distinct <= num_threads(),
+            "256 chunks ran on {distinct} threads, cap is {}",
+            num_threads()
+        );
     }
 }

@@ -17,14 +17,16 @@ pub use cn_baselines as baselines;
 pub use cn_data as data;
 pub use cn_nn as nn;
 pub use cn_rl as rl;
+pub use cn_serve as serve;
 pub use cn_tensor as tensor;
 pub use correctnet as core;
 
 /// The most commonly used types and functions, re-exported flat.
 pub mod prelude {
+    pub use cn_analog::drift::ConductanceDrift;
     pub use cn_analog::engine::{
-        monte_carlo, AnalogBackend, Backend, CompiledModel, DigitalBackend, EngineBuilder, Session,
-        TiledBackend,
+        monte_carlo, AnalogBackend, Backend, CompiledModel, DigitalBackend, DriftBackend,
+        EngineBuilder, Session, TiledBackend,
     };
     pub use cn_analog::montecarlo::{McConfig, McResult};
     pub use cn_analog::DeploymentMode;
@@ -35,6 +37,7 @@ pub mod prelude {
     pub use cn_nn::trainer::{TrainConfig, Trainer};
     pub use cn_nn::zoo::{lenet5, vgg16, LeNetConfig, VggConfig};
     pub use cn_nn::{Layer, Sequential};
+    pub use cn_serve::{Fleet, FleetReply, RoutePolicy, ServeConfig, ServeError, Server};
     pub use cn_tensor::{SeededRng, Tensor};
     pub use correctnet::compensation::{apply_compensation, weight_overhead, CompensationPlan};
     pub use correctnet::lipschitz::{lambda_for, LipschitzRegularizer};
