@@ -13,7 +13,11 @@ use std::sync::Arc;
 /// [`Session`](super::Session)s. Inference goes through the cache-free
 /// [`Sequential::infer`] path; for baking backends the masks are folded
 /// into the weights at compile time, so the hot path performs no mask
-/// multiplication and no weight re-deployment.
+/// multiplication and no weight re-deployment. Compilation also
+/// pre-packs every frozen weight matrix into GEMM panels
+/// ([`Sequential::pack_weights`]), so session batches run the packed
+/// register-tiled kernel directly — bitwise identical to the unpacked
+/// path, without the per-call repack of row-major weights.
 #[derive(Debug, Clone)]
 pub struct CompiledModel {
     model: Sequential,
@@ -78,6 +82,11 @@ impl CompiledModel {
             instance.bake_noise();
         }
         backend.finalize(&mut instance, rng);
+        // Deployment is now frozen: pre-pack the effective weights into
+        // GEMM panels so every session batch (and every Monte-Carlo
+        // evaluation pass) reuses the packed form instead of repacking
+        // row-major weights per call. Bitwise-neutral.
+        instance.pack_weights();
         CompiledModel {
             model: instance,
             nominal: Arc::clone(model),

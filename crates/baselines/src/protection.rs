@@ -137,7 +137,11 @@ fn retrain_protected(
     let subset = data.take(cfg.subset.min(data.len()));
     let noisy: Vec<usize> = model.noisy_layers().iter().map(|(i, _)| *i).collect();
     for epoch in 0..cfg.epochs {
-        for (x, y) in BatchIter::new(&subset, cfg.batch_size, Some(seed ^ epoch as u64)) {
+        // Fork-split the per-epoch shuffle stream (the previous
+        // `seed ^ epoch` mix collided across adjacent seeds — the same
+        // defect class fixed in `Trainer::fit`).
+        let mut shuffle = SeededRng::new(seed).fork(epoch as u64);
+        for (x, y) in BatchIter::with_rng(&subset, cfg.batch_size, &mut shuffle) {
             model.zero_grad();
             let logits = model.forward(&x, false);
             let (_, grad) = softmax_cross_entropy(&logits, &y);

@@ -92,6 +92,18 @@ impl CompensatedDense {
     pub fn base(&self) -> &Dense {
         &self.base
     }
+
+    /// The shared inference dataflow up to the compensator's input:
+    /// `concat(y, generator(concat(x, y)))`. Both `infer` and
+    /// `infer_fused_relu` run this, differing only in how the final
+    /// compensator product executes — keeping the two paths from
+    /// drifting apart (their outputs must stay bitwise consistent).
+    fn compensator_input(&self, x: &Tensor) -> Tensor {
+        let y = self.base.infer(x);
+        let gen_in = concat_channels(&[x, &y]);
+        let comp_data = self.generator.infer(&gen_in);
+        concat_channels(&[&y, &comp_data])
+    }
 }
 
 impl Layer for CompensatedDense {
@@ -109,11 +121,14 @@ impl Layer for CompensatedDense {
     }
 
     fn infer(&self, x: &Tensor) -> Tensor {
-        let y = self.base.infer(x);
-        let gen_in = concat_channels(&[x, &y]);
-        let comp_data = self.generator.infer(&gen_in);
-        let comp_in = concat_channels(&[&y, &comp_data]);
-        self.compensator.infer(&comp_in)
+        self.compensator.infer(&self.compensator_input(x))
+    }
+
+    fn infer_fused_relu(&self, x: &Tensor) -> Option<Tensor> {
+        // The wrapper's output stage is the compensator, so a trailing
+        // ReLU fuses into its GEMM writeback.
+        self.compensator
+            .infer_fused_relu(&self.compensator_input(x))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -162,6 +177,12 @@ impl Layer for CompensatedDense {
 
     fn bake_noise(&mut self) {
         self.base.bake_noise();
+    }
+
+    fn pack_weights(&mut self) {
+        self.base.pack_weights();
+        self.generator.pack_weights();
+        self.compensator.pack_weights();
     }
 
     fn lipschitz_matrix(&self) -> Option<Tensor> {

@@ -89,6 +89,36 @@ pub trait Layer: Send + Sync {
     /// for deployment snapshots, not for models that keep training.
     fn bake_noise(&mut self) {}
 
+    /// [`infer`](Layer::infer) with a trailing ReLU fused into the
+    /// layer's output stage, for layers that can fold it into their GEMM
+    /// writeback. Returns `None` when the layer has no fusion support
+    /// (the caller then runs the activation separately).
+    ///
+    /// Implementations must be **bitwise identical** to `infer` followed
+    /// by `Relu::infer` (`v.max(0.0)` applied after each output's
+    /// accumulation completes). [`crate::Sequential::infer`] uses this to
+    /// collapse `<layer> → Relu` pairs into one fused kernel; wrapper
+    /// layers can delegate to their innermost output operator.
+    fn infer_fused_relu(&self, _x: &Tensor) -> Option<Tensor> {
+        None
+    }
+
+    /// Packs the layer's frozen *effective* weights into the GEMM panel
+    /// layout ([`cn_tensor::ops::PackedB`]) consumed by the inference hot
+    /// path, so repeated [`infer`](Layer::infer) calls skip the per-call
+    /// repack of row-major weights.
+    ///
+    /// This is a deployment-time hook: compiled snapshots call it once
+    /// after programming (mask install / bake / finalize). Packed panels
+    /// are conservatively invalidated by anything that can change the
+    /// effective weight — [`set_noise`](Layer::set_noise),
+    /// [`bake_noise`](Layer::bake_noise) and mutable parameter access —
+    /// so a model that keeps training simply falls back to the unpacked
+    /// path. Packed and unpacked inference are **bitwise identical**
+    /// (packing only moves bits; see the GEMM kernel docs). Layers
+    /// without a packable matrix operator keep the default no-op.
+    fn pack_weights(&mut self) {}
+
     /// The matrix whose spectral norm bounds this layer's Lipschitz
     /// constant (dense weight, or unfolded conv kernel), if the layer is
     /// subject to Lipschitz regularization.

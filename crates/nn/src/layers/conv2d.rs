@@ -3,8 +3,11 @@
 use crate::init::{bias_uniform, kaiming_uniform};
 use crate::layer::Layer;
 use crate::param::Param;
-use cn_tensor::ops::{col2im, im2col, nchw_to_rows, rows_to_nchw, Conv2dGeometry};
+use cn_tensor::ops::{
+    col2im, im2col, nchw_to_rows, rows_to_nchw, Activation, Conv2dGeometry, Layout, PackedB,
+};
 use cn_tensor::{SeededRng, Tensor};
+use std::sync::Arc;
 
 /// 2-D convolution over `[N, C, H, W]` inputs with square kernels.
 ///
@@ -25,6 +28,7 @@ pub struct Conv2d {
     noise: Option<Tensor>,
     cache_x: Option<Tensor>,
     cache_geo: Option<Conv2dGeometry>,
+    packed: Option<Arc<PackedB>>,
 }
 
 impl Conv2d {
@@ -69,6 +73,7 @@ impl Conv2d {
             noise: None,
             cache_x: None,
             cache_geo: None,
+            packed: None,
         }
     }
 
@@ -119,11 +124,21 @@ impl Conv2d {
         w.into_reshaped(&[oc, cols])
     }
 
-    /// The shared forward computation (used by both `forward` and `infer`).
-    fn apply(&self, x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
+    /// The shared forward computation (used by `forward`, `infer` and the
+    /// fused ReLU inference path): im2col patches through the fused GEMM
+    /// epilogue (`cols·Wᵀ_eff + b`, optional ReLU), reusing pre-packed
+    /// weight panels when present. Fusing the activation at the patch-row
+    /// stage is bitwise identical to applying it after `rows_to_nchw` —
+    /// both are the same elementwise op, and the reshape only moves bits.
+    fn apply_act(&self, x: &Tensor, geo: &Conv2dGeometry, act: Activation) -> Tensor {
         let cols = im2col(x, geo);
-        let wmat = self.effective_weight_matrix();
-        let y_rows = &cols.matmul_t(&wmat) + &self.b.value;
+        let y_rows = super::matrix_infer_act(
+            &cols,
+            self.packed.as_deref(),
+            || self.effective_weight_matrix(),
+            &self.b.value,
+            act,
+        );
         rows_to_nchw(
             &y_rows,
             x.dims()[0],
@@ -154,7 +169,7 @@ impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         self.check_input(x);
         let geo = self.geometry(x);
-        let y = self.apply(x, &geo);
+        let y = self.apply_act(x, &geo, Activation::Identity);
         self.cache_x = Some(x.clone());
         self.cache_geo = Some(geo);
         y
@@ -162,7 +177,12 @@ impl Layer for Conv2d {
 
     fn infer(&self, x: &Tensor) -> Tensor {
         self.check_input(x);
-        self.apply(x, &self.geometry(x))
+        self.apply_act(x, &self.geometry(x), Activation::Identity)
+    }
+
+    fn infer_fused_relu(&self, x: &Tensor) -> Option<Tensor> {
+        self.check_input(x);
+        Some(self.apply_act(x, &self.geometry(x), Activation::Relu))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -189,6 +209,9 @@ impl Layer for Conv2d {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // Mutable parameter access may change the effective weight;
+        // conservatively drop any pre-packed panels.
+        self.packed = None;
         vec![&mut self.w, &mut self.b]
     }
 
@@ -210,12 +233,24 @@ impl Layer for Conv2d {
             );
         }
         self.noise = mask;
+        self.packed = None;
     }
 
     fn bake_noise(&mut self) {
         if let Some(mask) = self.noise.take() {
             self.w.value = self.w.value.zip_map(&mask, |w, m| w * m);
+            self.packed = None;
         }
+    }
+
+    fn pack_weights(&mut self) {
+        // The unfolded [out_c, in_c·k·k] kernel plays `Wᵀ` against the
+        // im2col patch rows, i.e. transposed storage of the logical
+        // [in_c·k·k, out_c] right operand.
+        self.packed = Some(Arc::new(PackedB::from_tensor(
+            &self.effective_weight_matrix(),
+            Layout::Transposed,
+        )));
     }
 
     fn lipschitz_matrix(&self) -> Option<Tensor> {
@@ -325,5 +360,36 @@ mod tests {
         let mut rng = SeededRng::new(7);
         let conv = Conv2d::new(3, 8, 5, 1, 2, &mut rng);
         assert_eq!(conv.weight_count(), 8 * 3 * 25 + 8);
+    }
+
+    #[test]
+    fn packed_infer_is_bitwise_identical_to_unpacked() {
+        let mut rng = SeededRng::new(8);
+        let mut conv = Conv2d::new(2, 5, 3, 1, 1, &mut rng);
+        let x = rng.normal_tensor(&[2, 2, 6, 6], 0.0, 1.0);
+        let unpacked = conv.infer(&x);
+        conv.pack_weights();
+        assert_eq!(conv.infer(&x), unpacked);
+
+        // A live (unbaked) noise mask is folded into the panels.
+        conv.set_noise(Some(rng.lognormal_mask(&[5, 2, 3, 3], 0.5)));
+        let noisy = conv.infer(&x);
+        conv.pack_weights();
+        assert_eq!(conv.infer(&x), noisy);
+
+        // …and mutable parameter access invalidates them.
+        conv.params_mut()[0].value.data_mut()[0] += 1.0;
+        assert_eq!(conv.infer(&x), conv.clone().forward(&x, false));
+    }
+
+    #[test]
+    fn fused_relu_matches_separate_relu_bitwise() {
+        let mut rng = SeededRng::new(9);
+        let mut conv = Conv2d::new(1, 3, 3, 1, 1, &mut rng);
+        let x = rng.normal_tensor(&[2, 1, 5, 5], 0.0, 1.0);
+        let separate = conv.infer(&x).map(|v| v.max(0.0));
+        assert_eq!(conv.infer_fused_relu(&x).unwrap(), separate);
+        conv.pack_weights();
+        assert_eq!(conv.infer_fused_relu(&x).unwrap(), separate);
     }
 }

@@ -3,7 +3,9 @@
 use crate::init::{bias_uniform, kaiming_uniform};
 use crate::layer::Layer;
 use crate::param::Param;
+use cn_tensor::ops::{Activation, Layout, PackedB};
 use cn_tensor::{SeededRng, Tensor};
+use std::sync::Arc;
 
 /// Fully connected layer `y = x·Wᵀ + b` over `[N, in]` inputs.
 ///
@@ -11,6 +13,13 @@ use cn_tensor::{SeededRng, Tensor};
 /// analog crossbars: a multiplicative noise mask installed with
 /// [`Layer::set_noise`] perturbs the effective weight in both the forward
 /// and backward pass, while nominal weights stay untouched.
+///
+/// Both forward and inference run through the fused GEMM epilogue
+/// (`x·Wᵀ` with the bias added in the C-tile writeback). Frozen
+/// deployments additionally call [`Layer::pack_weights`] so the hot path
+/// reuses pre-packed weight panels instead of repacking per call; the
+/// panels are shared by `Arc`, making clones cheap, and are invalidated
+/// by any mutable parameter or noise access.
 #[derive(Debug, Clone)]
 pub struct Dense {
     name: String,
@@ -18,6 +27,7 @@ pub struct Dense {
     b: Param,
     noise: Option<Tensor>,
     cache_x: Option<Tensor>,
+    packed: Option<Arc<PackedB>>,
 }
 
 impl Dense {
@@ -47,6 +57,7 @@ impl Dense {
             b: Param::new("bias", bias_uniform(&[out_features], in_features, rng)),
             noise: None,
             cache_x: None,
+            packed: None,
         }
     }
 
@@ -67,8 +78,10 @@ impl Dense {
         }
     }
 
-    /// The shared forward computation (used by both `forward` and `infer`).
-    fn apply(&self, x: &Tensor) -> Tensor {
+    /// The shared forward computation (used by `forward`, `infer` and the
+    /// fused ReLU inference path): `act(x·Wᵀ_eff + b)` through the GEMM
+    /// epilogue, reusing pre-packed panels when present.
+    fn apply_act(&self, x: &Tensor, act: Activation) -> Tensor {
         assert_eq!(x.rank(), 2, "Dense expects [N, in] input");
         assert_eq!(
             x.dims()[1],
@@ -78,8 +91,13 @@ impl Dense {
             x.dims()[1],
             self.in_features()
         );
-        let w_eff = self.effective_weight();
-        &x.matmul_t(&w_eff) + &self.b.value
+        super::matrix_infer_act(
+            x,
+            self.packed.as_deref(),
+            || self.effective_weight(),
+            &self.b.value,
+            act,
+        )
     }
 }
 
@@ -90,11 +108,15 @@ impl Layer for Dense {
 
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         self.cache_x = Some(x.clone());
-        self.apply(x)
+        self.apply_act(x, Activation::Identity)
     }
 
     fn infer(&self, x: &Tensor) -> Tensor {
-        self.apply(x)
+        self.apply_act(x, Activation::Identity)
+    }
+
+    fn infer_fused_relu(&self, x: &Tensor) -> Option<Tensor> {
+        Some(self.apply_act(x, Activation::Relu))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -113,6 +135,9 @@ impl Layer for Dense {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // Mutable parameter access may change the effective weight;
+        // conservatively drop any pre-packed panels.
+        self.packed = None;
         vec![&mut self.w, &mut self.b]
     }
 
@@ -134,12 +159,23 @@ impl Layer for Dense {
             );
         }
         self.noise = mask;
+        self.packed = None;
     }
 
     fn bake_noise(&mut self) {
         if let Some(mask) = self.noise.take() {
             self.w.value = self.w.value.zip_map(&mask, |w, m| w * m);
+            self.packed = None;
         }
+    }
+
+    fn pack_weights(&mut self) {
+        // The [out, in] weight plays `Wᵀ` in `x·Wᵀ`, i.e. it is the
+        // transposed storage of the logical [in, out] right operand.
+        self.packed = Some(Arc::new(PackedB::from_tensor(
+            &self.effective_weight(),
+            Layout::Transposed,
+        )));
     }
 
     fn lipschitz_matrix(&self) -> Option<Tensor> {
@@ -232,6 +268,52 @@ mod tests {
     #[test]
     fn weight_count() {
         assert_eq!(layer().weight_count(), 3 * 2 + 2);
+    }
+
+    #[test]
+    fn packed_infer_is_bitwise_identical_to_unpacked() {
+        let mut rng = SeededRng::new(9);
+        let mut l = Dense::new(17, 11, &mut rng);
+        let x = rng.normal_tensor(&[5, 17], 0.0, 1.0);
+        let unpacked = l.infer(&x);
+        l.pack_weights();
+        assert_eq!(l.infer(&x), unpacked);
+
+        // Packing folds a live noise mask into the panels.
+        l.set_noise(Some(rng.lognormal_mask(&[11, 17], 0.5)));
+        let noisy = l.infer(&x);
+        l.pack_weights();
+        assert_eq!(l.infer(&x), noisy);
+    }
+
+    #[test]
+    fn packed_panels_invalidate_on_mutation() {
+        let mut rng = SeededRng::new(10);
+        let mut l = Dense::new(4, 3, &mut rng);
+        let x = rng.normal_tensor(&[2, 4], 0.0, 1.0);
+        l.pack_weights();
+        let before = l.infer(&x);
+        // Optimizer-style mutation goes through params_mut and must not
+        // serve stale panels.
+        l.params_mut()[0].value.data_mut()[0] += 1.0;
+        let after = l.infer(&x);
+        assert_ne!(before, after);
+        assert_eq!(after, l.clone().forward(&x, false));
+        // set_noise after packing also invalidates.
+        l.pack_weights();
+        l.set_noise(Some(Tensor::full(&[3, 4], 2.0)));
+        assert_ne!(l.infer(&x), after);
+    }
+
+    #[test]
+    fn fused_relu_matches_separate_relu_bitwise() {
+        let mut rng = SeededRng::new(11);
+        let mut l = Dense::new(8, 6, &mut rng);
+        let x = rng.normal_tensor(&[4, 8], 0.0, 1.0);
+        let separate = l.infer(&x).map(|v| v.max(0.0));
+        assert_eq!(l.infer_fused_relu(&x).unwrap(), separate);
+        l.pack_weights();
+        assert_eq!(l.infer_fused_relu(&x).unwrap(), separate);
     }
 
     #[test]

@@ -17,3 +17,39 @@ pub use dropout::Dropout;
 pub use flatten::Flatten;
 pub use pool::{AvgPool2d, MaxPool2d};
 pub use relu::Relu;
+
+use cn_tensor::ops::gemm::MR;
+use cn_tensor::ops::{gemm_bias_act, Activation, Layout, PackedB};
+use cn_tensor::Tensor;
+
+/// Shared `act(x·Wᵀ_eff + bias)` dispatch for the matrix-backed layers
+/// (`Dense`, and `Conv2d` over its im2col patch rows):
+///
+/// 1. pre-packed panels when the layer was deployed via `pack_weights`,
+/// 2. a direct skinny product when `x` has fewer than `MR` rows (the
+///    `O(k·n)` pack would cost more than the product saves),
+/// 3. pack-per-call through the fused GEMM otherwise.
+///
+/// All three branches are bitwise identical (see the GEMM kernel docs);
+/// `w_eff` is only materialized when no pre-packed panels exist.
+pub(crate) fn matrix_infer_act(
+    x: &Tensor,
+    packed: Option<&PackedB>,
+    w_eff: impl FnOnce() -> Tensor,
+    bias: &Tensor,
+    act: Activation,
+) -> Tensor {
+    if let Some(packed) = packed {
+        return gemm_bias_act(x, Layout::RowMajor, packed, Some(bias), act);
+    }
+    let w_eff = w_eff();
+    if x.dims()[0] < MR {
+        let y = &x.matmul_t(&w_eff) + bias;
+        return match act {
+            Activation::Identity => y,
+            Activation::Relu => y.map(|v| v.max(0.0)),
+        };
+    }
+    let packed = PackedB::from_tensor(&w_eff, Layout::Transposed);
+    gemm_bias_act(x, Layout::RowMajor, &packed, Some(bias), act)
+}

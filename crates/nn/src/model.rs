@@ -1,6 +1,7 @@
 //! The [`Sequential`] model container.
 
 use crate::layer::Layer;
+use crate::layers::Relu;
 use crate::param::Param;
 use cn_tensor::error::{Result, TensorError};
 use cn_tensor::Tensor;
@@ -81,10 +82,31 @@ impl Sequential {
     /// no statistics updates). Bitwise-identical to
     /// `forward(x, /*train=*/false)`; because it never mutates the model,
     /// one instance can serve concurrent inference sessions.
+    ///
+    /// `<layer> → Relu` pairs execute as one fused GEMM whenever the
+    /// layer implements [`Layer::infer_fused_relu`] (`Dense`, `Conv2d`
+    /// and the compensation wrappers do; the ReLU runs in the C-tile
+    /// writeback). The fused epilogue applies the exact `v.max(0.0)` of
+    /// [`Relu`] after each element's accumulation completes, so the
+    /// bitwise guarantee above holds.
     pub fn infer(&self, x: &Tensor) -> Tensor {
         let mut cur = x.clone();
-        for layer in &self.layers {
+        let mut i = 0;
+        while i < self.layers.len() {
+            let layer = self.layers[i].as_ref();
+            let relu_next = self
+                .layers
+                .get(i + 1)
+                .is_some_and(|l| l.as_any().is::<Relu>());
+            if relu_next {
+                if let Some(fused) = layer.infer_fused_relu(&cur) {
+                    cur = fused;
+                    i += 2;
+                    continue;
+                }
+            }
             cur = layer.infer(&cur);
+            i += 1;
         }
         cur
     }
@@ -159,6 +181,17 @@ impl Sequential {
     pub fn bake_noise(&mut self) {
         for layer in &mut self.layers {
             layer.bake_noise();
+        }
+    }
+
+    /// Packs every layer's frozen effective weights into GEMM panels
+    /// (see [`Layer::pack_weights`]). Deployment snapshots call this once
+    /// after programming so the inference hot path reuses packed panels
+    /// instead of repacking row-major weights per batch; packed and
+    /// unpacked inference are bitwise identical.
+    pub fn pack_weights(&mut self) {
+        for layer in &mut self.layers {
+            layer.pack_weights();
         }
     }
 
@@ -404,6 +437,29 @@ mod tests {
             Box::new(Dense::new(7, 3, &mut rng)),
         ]);
         assert_ne!(a.arch_fingerprint(), other.arch_fingerprint());
+    }
+
+    #[test]
+    fn fused_and_packed_infer_stays_bitwise_equal_to_forward() {
+        use crate::layers::{Conv2d, Flatten, MaxPool2d, Relu};
+        let mut rng = SeededRng::new(12);
+        // Exercises both fusion pairs (Conv2d→Relu, Dense→Relu), a relu
+        // that cannot fuse (after pooling), and a trailing bare Dense.
+        let mut m = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 3 * 3, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 3, &mut rng)),
+        ]);
+        let x = rng.normal_tensor(&[2, 1, 6, 6], 0.0, 1.0);
+        let reference = m.forward(&x, false);
+        assert_eq!(m.infer(&x), reference, "fused infer diverged");
+        m.pack_weights();
+        assert_eq!(m.infer(&x), reference, "packed infer diverged");
     }
 
     #[test]

@@ -5,6 +5,20 @@ use crate::metrics::accuracy;
 use crate::model::Sequential;
 use crate::optim::Optimizer;
 use cn_data::{BatchIter, Dataset};
+use cn_tensor::SeededRng;
+
+/// The per-epoch shuffle stream: epoch `e` of `shuffle_seed` `s` draws
+/// its permutation from `SeededRng::new(s).fork(e)`.
+///
+/// The previous derivation — `(s + e) · 0x9E37…` — was the same
+/// collidable arithmetic mix removed from `Dropout`: two runs whose
+/// seeds differ by one replayed each other's epoch streams shifted by
+/// one epoch (`(s + (e+1)) ≡ ((s+1) + e)`), silently correlating
+/// training runs that were meant to be independent. Fork-based stream
+/// splitting keeps adjacent seeds decorrelated.
+pub fn epoch_shuffle_rng(shuffle_seed: u64, epoch: usize) -> SeededRng {
+    SeededRng::new(shuffle_seed).fork(epoch as u64)
+}
 
 /// Configuration of a training run.
 #[derive(Debug, Clone)]
@@ -108,12 +122,8 @@ impl Trainer {
             let mut reg_sum = 0.0f64;
             let mut acc_sum = 0.0f64;
             let mut batches = 0usize;
-            let seed = self
-                .config
-                .shuffle_seed
-                .wrapping_add(epoch as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            for (x, y) in BatchIter::new(data, self.config.batch_size, Some(seed)) {
+            let mut shuffle = epoch_shuffle_rng(self.config.shuffle_seed, epoch);
+            for (x, y) in BatchIter::with_rng(data, self.config.batch_size, &mut shuffle) {
                 if let Some(hook) = &mut self.before_batch {
                     hook(model, global_batch);
                 }
@@ -231,6 +241,46 @@ mod tests {
         for ((_, a), (_, b)) in before.iter().zip(after.iter()) {
             assert_eq!(a, b);
         }
+    }
+
+    /// Regression: the old `(seed + epoch) · 0x9E37…` shuffle derivation
+    /// collided across adjacent seeds — `shuffle_seed` 100 at epoch 1
+    /// produced the exact permutation of `shuffle_seed` 101 at epoch 0,
+    /// replaying a "different" run's batch stream shifted by one epoch.
+    #[test]
+    fn adjacent_shuffle_seeds_do_not_replay_shifted_epoch_streams() {
+        let n = 64;
+        for seed in [0u64, 100, 0x9E37_79B9] {
+            for epoch in 0..3usize {
+                let late = epoch_shuffle_rng(seed, epoch + 1).permutation(n);
+                let early = epoch_shuffle_rng(seed + 1, epoch).permutation(n);
+                assert_ne!(late, early, "seed {seed} epoch {epoch} replayed");
+            }
+        }
+        // Epochs of one run stay mutually distinct…
+        assert_ne!(
+            epoch_shuffle_rng(7, 0).permutation(n),
+            epoch_shuffle_rng(7, 1).permutation(n)
+        );
+        // …and the stream is still deterministic per (seed, epoch).
+        assert_eq!(
+            epoch_shuffle_rng(7, 2).permutation(n),
+            epoch_shuffle_rng(7, 2).permutation(n)
+        );
+    }
+
+    /// Training itself remains deterministic per config after the
+    /// fork-based reseeding.
+    #[test]
+    fn fit_is_deterministic_per_shuffle_seed() {
+        let data = toy_data(32, 20);
+        let run = |seed| {
+            let mut model = small_model(21);
+            let mut opt = Sgd::new(0.05);
+            Trainer::new(TrainConfig::new(3, 8, seed)).fit(&mut model, &data, &mut opt)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
     }
 
     #[test]

@@ -289,7 +289,24 @@ fn worker_loop(
         let classes = logits.dims()[1];
         let data = logits.data();
         let preds = logits.argmax_rows();
+        // Account the batch *before* dispatching replies: a client that
+        // receives the last reply and immediately reads `stats()` must
+        // see its own request counted (the counters used to be bumped
+        // after the send loop, so a fast reader raced the worker and
+        // observed stale totals).
+        shared.stats.requests.fetch_add(n as u64, Ordering::Relaxed);
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .batch_slots
+            .fetch_add(config.max_batch as u64, Ordering::Relaxed);
         for (row, request) in batch.into_iter().enumerate() {
+            let micros = request
+                .enqueued_at
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX));
+            shared.stats.latency.record(micros as u64);
             let row_logits = &data[row * classes..(row + 1) * classes];
             // A departed client (dropped Ticket) is not an error.
             let _ = request.tx.send(Reply {
@@ -297,19 +314,7 @@ fn worker_loop(
                 class: preds[row],
                 batch_size: n,
             });
-            let micros = request
-                .enqueued_at
-                .elapsed()
-                .as_micros()
-                .min(u128::from(u64::MAX));
-            shared.stats.latency.record(micros as u64);
         }
-        shared.stats.requests.fetch_add(n as u64, Ordering::Relaxed);
-        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        shared
-            .stats
-            .batch_slots
-            .fetch_add(config.max_batch as u64, Ordering::Relaxed);
     }
 }
 

@@ -14,8 +14,8 @@ const BUCKETS: usize = SUB_BUCKETS * POWERS;
 /// A lock-free log-linear latency histogram over microseconds.
 ///
 /// Recording is a single relaxed atomic increment; percentiles are read
-/// from a [`snapshot`](LatencyHistogram::snapshot) as the lower bound of
-/// the bucket containing the requested rank (≈12.5 % resolution).
+/// from a [`snapshot`](LatencyHistogram::snapshot) as the **midpoint**
+/// of the bucket containing the requested rank (≈12.5 % resolution).
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: Vec<AtomicU64>,
@@ -39,6 +39,9 @@ impl LatencyHistogram {
     }
 
     /// Lower bound (µs) of the values that land in `bucket`.
+    ///
+    /// Also defined for `bucket == BUCKETS` (the exclusive upper bound of
+    /// the last bucket), which [`midpoint`](Self::midpoint) relies on.
     fn lower_bound(bucket: usize) -> u64 {
         if bucket < SUB_BUCKETS {
             return bucket as u64;
@@ -46,6 +49,19 @@ impl LatencyHistogram {
         let top = (bucket - SUB_BUCKETS) / SUB_BUCKETS + 3;
         let sub = ((bucket - SUB_BUCKETS) % SUB_BUCKETS) as u64;
         (1u64 << top) + (sub << (top - 3))
+    }
+
+    /// Midpoint (µs) of `bucket` — the minimum-bias point estimate for
+    /// observations known only to lie somewhere in the bucket.
+    ///
+    /// Recorded values are integer microseconds, so the midpoint is
+    /// taken over the *representable* values `[lower, upper − 1]`; the
+    /// unit-width sub-buckets below 8 µs thus stay exact (`[3, 4)` → 3.0,
+    /// not 3.5) while wide buckets get the unbiased center.
+    fn midpoint(bucket: usize) -> f64 {
+        let lower = Self::lower_bound(bucket);
+        let last = Self::lower_bound(bucket + 1) - 1;
+        (lower as f64 + last as f64) / 2.0
     }
 
     /// Records one latency observation.
@@ -84,8 +100,15 @@ impl HistogramSnapshot {
         self.counts.iter().sum()
     }
 
-    /// The `q`-quantile latency in microseconds (bucket lower bound), or
-    /// 0.0 when nothing was recorded.
+    /// The `q`-quantile latency in microseconds, or 0.0 when nothing was
+    /// recorded.
+    ///
+    /// Reported as the **midpoint** of the bucket containing the
+    /// requested rank. The previous lower-bound estimate systematically
+    /// under-reported every percentile by up to one bucket width
+    /// (≈12.5 %): all observations in `[lower, upper)` were collapsed
+    /// onto `lower`. The midpoint is the unbiased choice absent
+    /// intra-bucket information.
     ///
     /// # Panics
     ///
@@ -101,10 +124,10 @@ impl HistogramSnapshot {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return LatencyHistogram::lower_bound(i) as f64;
+                return LatencyHistogram::midpoint(i);
             }
         }
-        LatencyHistogram::lower_bound(self.counts.len() - 1) as f64
+        LatencyHistogram::midpoint(self.counts.len() - 1)
     }
 }
 
@@ -207,9 +230,34 @@ mod tests {
         let p50 = snap.quantile(0.5);
         let p99 = snap.quantile(0.99);
         // Log-linear resolution is 12.5 %; allow a generous envelope.
+        // (Rank 500 lands in bucket [480, 512) → midpoint 495.5; rank
+        // 990 in [960, 1024) → midpoint 991.5.)
         assert!((400.0..=560.0).contains(&p50), "p50 {p50}");
         assert!((850.0..=1024.0).contains(&p99), "p99 {p99}");
         assert!(snap.quantile(0.0) <= p50 && p50 <= p99);
+    }
+
+    /// Regression: `quantile` used to return the bucket *lower* bound,
+    /// systematically under-reporting p50/p95/p99 by up to one bucket
+    /// width (≈12.5 %). A constant load makes the bias exact: every
+    /// observation is 1000 µs, which lands in bucket `[960, 1024)`, so
+    /// every percentile must read the 991.5 µs integer midpoint of
+    /// `{960 … 1023}` (not 960).
+    #[test]
+    fn quantile_reports_bucket_midpoint_not_lower_bound() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let snap = h.snapshot();
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 991.5, "q = {q}");
+        }
+        // Unit-wide sub-buckets hold exactly one integer value, so the
+        // midpoint stays exact: 3 µs reads back as 3.0.
+        let h = LatencyHistogram::new();
+        h.record(3);
+        assert_eq!(h.snapshot().quantile(0.5), 3.0);
     }
 
     #[test]

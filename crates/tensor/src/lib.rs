@@ -7,7 +7,9 @@
 //!
 //! - an owned, contiguous, row-major [`Tensor`] with shape/stride bookkeeping,
 //! - elementwise and broadcast arithmetic ([`ops`]),
-//! - blocked, multi-threaded matrix multiplication ([`ops::matmul`]),
+//! - packed, register-tiled, multi-threaded matrix multiplication with
+//!   fused bias/ReLU epilogues and reusable pre-packed weight panels
+//!   ([`ops::gemm`]; [`ops::matmul`] holds the `Tensor` entry points),
 //! - `im2col`/`col2im` convolution lowering and pooling kernels,
 //! - the linear algebra needed by Lipschitz-constant regularization
 //!   (power iteration, Gram matrices, orthogonality penalties — [`linalg`]),

@@ -1,22 +1,27 @@
-//! Blocked, multi-threaded matrix multiplication.
+//! Matrix-multiplication entry points over the packed GEMM driver.
 //!
 //! Three fused variants avoid materializing transposes in backprop:
-//! `A·B`, `Aᵀ·B` and `A·Bᵀ`. Rows of the output are distributed over
-//! threads with [`crate::parallel::parallel_chunks_mut`]; the inner loops
-//! are ordered `i-k-j` so the innermost loop streams both `B` and `C`
-//! contiguously, which auto-vectorizes well.
+//! `A·B`, `Aᵀ·B` and `A·Bᵀ`. All three are thin wrappers over
+//! [`crate::ops::gemm`]: they pack the right operand into column panels
+//! and run the register-tiled driver with no epilogue. Because the
+//! driver accumulates every output element in ascending `k` order with a
+//! single `f32` accumulator, results are bitwise identical to the
+//! historic i-k-j triple-loop kernels (and to [`matmul_naive`]).
+//!
+//! Products with fewer than [`MR`] output rows (single-request
+//! inference, gradient reductions over tiny batches) skip packing
+//! entirely and run direct loops: packing the right operand costs
+//! `O(k·n)`, which only `m ≥ MR` rows of arithmetic amortize. The
+//! direct loops keep the identical per-element accumulation order, so
+//! the bitwise guarantee is unaffected. Callers that run many skinny
+//! products against one frozen operand should pre-pack it once and use
+//! [`crate::ops::gemm::gemm_bias_act`] instead.
+//!
+//! Degenerate shapes are well-defined: any of `m`, `n`, `k` being zero
+//! yields the correctly-shaped all-zero (possibly empty) output.
 
-use crate::parallel::parallel_chunks_mut;
+use crate::ops::gemm::{gemm_into, Epilogue, Layout, PackedB, MR};
 use crate::tensor::Tensor;
-
-/// Minimum number of output rows per spawned chunk; below this the spawn
-/// overhead dominates the arithmetic.
-const MIN_ROWS_PER_CHUNK: usize = 8;
-
-fn rows_per_chunk(m: usize) -> usize {
-    let workers = crate::parallel::num_threads();
-    (m.div_ceil(workers)).max(MIN_ROWS_PER_CHUNK)
-}
 
 impl Tensor {
     /// Matrix product `self · rhs` for rank-2 tensors `[m, k] · [k, n]`.
@@ -32,17 +37,13 @@ impl Tensor {
         assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
 
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = rhs.data();
-        parallel_chunks_mut(out.data_mut(), rows_per_chunk(m) * n, |chunk_idx, c| {
-            let row0 = chunk_idx * rows_per_chunk(m);
-            let rows = c.len() / n;
-            for i in 0..rows {
-                let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        if m < MR {
+            // Skinny product: the historic i-k-j loops, verbatim. No
+            // zero-skip — `0.0 × NaN/±inf = NaN` must reach the output.
+            let (a, b, c) = (self.data(), rhs.data(), out.data_mut());
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
                 let crow = &mut c[i * n..(i + 1) * n];
-                // No zero-skip: `0.0 × NaN/±inf = NaN` must reach the
-                // output so overflowed masks are detectable, not silently
-                // replaced by finite-looking results.
                 for (kk, &aik) in arow.iter().enumerate() {
                     let brow = &b[kk * n..(kk + 1) * n];
                     for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
@@ -50,7 +51,18 @@ impl Tensor {
                     }
                 }
             }
-        });
+            return out;
+        }
+        let b = PackedB::pack(rhs.data(), k, n, Layout::RowMajor);
+        gemm_into(
+            out.data_mut(),
+            m,
+            n,
+            self.data(),
+            Layout::RowMajor,
+            &b,
+            Epilogue::None,
+        );
         out
     }
 
@@ -67,25 +79,32 @@ impl Tensor {
         assert_eq!(k, k2, "t_matmul leading dims disagree: {k} vs {k2}");
 
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = rhs.data();
-        parallel_chunks_mut(out.data_mut(), rows_per_chunk(m) * n, |chunk_idx, c| {
-            let row0 = chunk_idx * rows_per_chunk(m);
-            let rows = c.len() / n;
+        if m < MR {
+            // Skinny product: the historic k-i-j loops, verbatim.
+            let (a, b, c) = (self.data(), rhs.data(), out.data_mut());
             for kk in 0..k {
                 let brow = &b[kk * n..(kk + 1) * n];
                 let arow = &a[kk * m..(kk + 1) * m];
-                // As in `matmul`, no zero-skip: NaN/±inf in `b` must
-                // propagate even where `a` is exactly zero.
-                for i in 0..rows {
-                    let aik = arow[row0 + i];
+                for i in 0..m {
+                    let aik = arow[i];
                     let crow = &mut c[i * n..(i + 1) * n];
                     for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
                         *cj += aik * bj;
                     }
                 }
             }
-        });
+            return out;
+        }
+        let b = PackedB::pack(rhs.data(), k, n, Layout::RowMajor);
+        gemm_into(
+            out.data_mut(),
+            m,
+            n,
+            self.data(),
+            Layout::Transposed,
+            &b,
+            Epilogue::None,
+        );
         out
     }
 
@@ -102,13 +121,11 @@ impl Tensor {
         assert_eq!(k, k2, "matmul_t trailing dims disagree: {k} vs {k2}");
 
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = rhs.data();
-        parallel_chunks_mut(out.data_mut(), rows_per_chunk(m) * n, |chunk_idx, c| {
-            let row0 = chunk_idx * rows_per_chunk(m);
-            let rows = c.len() / n;
-            for i in 0..rows {
-                let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        if m < MR {
+            // Skinny product: the historic i-j-k dot loops, verbatim.
+            let (a, b, c) = (self.data(), rhs.data(), out.data_mut());
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
                 let crow = &mut c[i * n..(i + 1) * n];
                 for (j, cj) in crow.iter_mut().enumerate() {
                     let brow = &b[j * k..(j + 1) * k];
@@ -119,7 +136,18 @@ impl Tensor {
                     *cj += acc;
                 }
             }
-        });
+            return out;
+        }
+        let b = PackedB::pack(rhs.data(), k, n, Layout::Transposed);
+        gemm_into(
+            out.data_mut(),
+            m,
+            n,
+            self.data(),
+            Layout::RowMajor,
+            &b,
+            Epilogue::None,
+        );
         out
     }
 
@@ -145,6 +173,11 @@ impl Tensor {
 }
 
 /// Reference (naive triple-loop) matmul used by tests and property checks.
+///
+/// Each output element is accumulated by one `f32` accumulator in
+/// ascending `k` order — the exact float-operation sequence of the packed
+/// driver (and of the pre-packing kernels), so comparisons against it may
+/// assert **bitwise equality**, not just closeness.
 pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let n = b.dims()[1];
@@ -249,6 +282,82 @@ mod tests {
 
         let at = Tensor::from_vec(vec![0.0, 1.0], &[2, 1]);
         assert!(at.t_matmul(&b).data()[0].is_nan());
+    }
+
+    /// Regression: an `n == 0` product used to panic ("chunk_len must be
+    /// positive") because the parallel chunk size `rows_per_chunk(m) * n`
+    /// collapsed to zero. Every empty-dimension product must return the
+    /// correctly-shaped empty (or zero) tensor across all three variants.
+    #[test]
+    fn degenerate_shapes_produce_empty_or_zero_tensors() {
+        // n == 0: [m, 0] outputs with zero elements.
+        assert_eq!(
+            Tensor::ones(&[3, 4]).matmul(&Tensor::zeros(&[4, 0])).dims(),
+            &[3, 0]
+        );
+        assert_eq!(
+            Tensor::ones(&[4, 3])
+                .t_matmul(&Tensor::zeros(&[4, 0]))
+                .dims(),
+            &[3, 0]
+        );
+        assert_eq!(
+            Tensor::ones(&[3, 4])
+                .matmul_t(&Tensor::zeros(&[0, 4]))
+                .dims(),
+            &[3, 0]
+        );
+        // m == 0: [0, n] outputs.
+        assert_eq!(
+            Tensor::zeros(&[0, 4]).matmul(&Tensor::ones(&[4, 5])).dims(),
+            &[0, 5]
+        );
+        assert_eq!(
+            Tensor::zeros(&[4, 0])
+                .t_matmul(&Tensor::ones(&[4, 5]))
+                .dims(),
+            &[0, 5]
+        );
+        assert_eq!(
+            Tensor::zeros(&[0, 4])
+                .matmul_t(&Tensor::ones(&[5, 4]))
+                .dims(),
+            &[0, 5]
+        );
+        // k == 0: empty reduction, all-zero [m, n].
+        assert_eq!(
+            Tensor::zeros(&[2, 0]).matmul(&Tensor::zeros(&[0, 3])),
+            Tensor::zeros(&[2, 3])
+        );
+        assert_eq!(
+            Tensor::zeros(&[0, 2]).t_matmul(&Tensor::zeros(&[0, 3])),
+            Tensor::zeros(&[2, 3])
+        );
+        assert_eq!(
+            Tensor::zeros(&[2, 0]).matmul_t(&Tensor::zeros(&[3, 0])),
+            Tensor::zeros(&[2, 3])
+        );
+    }
+
+    /// The packed register-tiled kernel keeps the per-element ascending-k
+    /// accumulation order, so it must be **bitwise** equal to the naive
+    /// reference (which reproduces the pre-packing kernels exactly).
+    #[test]
+    fn packed_kernel_is_bit_identical_to_naive() {
+        let mut rng = SeededRng::new(77);
+        let a = rng.normal_tensor(&[33, 65], 0.0, 1.0);
+        let b = rng.normal_tensor(&[65, 29], 0.0, 1.0);
+        assert_eq!(a.matmul(&b), matmul_naive(&a, &b));
+        assert_eq!(
+            a.transpose().t_matmul(&b),
+            matmul_naive(&a, &b),
+            "t_matmul bit-identity"
+        );
+        assert_eq!(
+            a.matmul_t(&b.transpose()),
+            matmul_naive(&a, &b),
+            "matmul_t bit-identity"
+        );
     }
 
     #[test]

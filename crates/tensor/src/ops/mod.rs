@@ -1,9 +1,11 @@
-//! Tensor operations: elementwise arithmetic, matrix multiplication,
-//! reductions, convolution lowering (`im2col`), pooling and padding.
+//! Tensor operations: elementwise arithmetic, packed register-tiled
+//! matrix multiplication ([`gemm`]), reductions, convolution lowering
+//! (`im2col`), pooling and padding.
 
 pub mod axis;
 pub mod concat;
 pub mod elementwise;
+pub mod gemm;
 pub mod im2col;
 pub mod matmul;
 pub mod pad;
@@ -12,6 +14,7 @@ pub mod reduce;
 
 pub use concat::{concat_channels, split_channels};
 pub use elementwise::{broadcast_zip, reduce_to_suffix};
+pub use gemm::{gemm_bias_act, gemm_into, Activation, Epilogue, Layout, PackedB};
 pub use im2col::{col2im, conv_out_dim, im2col, nchw_to_rows, rows_to_nchw, Conv2dGeometry};
 pub use pad::{pad_nchw, unpad_nchw};
 pub use pool::{

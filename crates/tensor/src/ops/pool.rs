@@ -26,6 +26,11 @@ impl PoolGeometry {
 /// Max pooling over `[N, C, H, W]`. Returns the pooled tensor and the flat
 /// input index chosen per output element (for the backward pass).
 ///
+/// NaN **propagates**: a window containing NaN pools to NaN with the
+/// argmax pointing at the first NaN cell, so the backward pass routes the
+/// gradient to the offending input instead of silently reporting `-inf`
+/// at index 0 (which would both hide the NaN and mis-route gradients).
+///
 /// # Panics
 ///
 /// Panics if `input` is not rank-4 or the window does not fit.
@@ -48,14 +53,24 @@ pub fn max_pool2d(input: &Tensor, geo: PoolGeometry) -> (Tensor, Vec<u32>) {
         for oy in 0..oh {
             for ox in 0..ow {
                 let mut best = f32::NEG_INFINITY;
-                let mut best_idx = 0usize;
-                for ky in 0..geo.kernel {
+                let mut best_idx = usize::MAX;
+                'window: for ky in 0..geo.kernel {
                     for kx in 0..geo.kernel {
                         let iy = oy * geo.stride + ky;
                         let ix = ox * geo.stride + kx;
                         let idx = base + iy * w + ix;
-                        if x[idx] > best {
-                            best = x[idx];
+                        let v = x[idx];
+                        if v.is_nan() {
+                            // NaN poisons the window; no later value may
+                            // displace it (`v > NaN` is always false).
+                            best = v;
+                            best_idx = idx;
+                            break 'window;
+                        }
+                        // The first cell always claims the argmax so an
+                        // all-`-inf` window still points inside itself.
+                        if best_idx == usize::MAX || v > best {
+                            best = v;
                             best_idx = idx;
                         }
                     }
@@ -270,6 +285,62 @@ mod tests {
         let g = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]);
         let gi = max_pool2d_backward(&g, &arg, &[1, 1, 2, 2]);
         assert_eq!(gi.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    /// Regression: the `x[idx] > best` scan with `best = -inf` silently
+    /// pooled an all-NaN window to `-inf` with argmax index 0 — hiding
+    /// the NaN *and* routing the backward gradient to the wrong cell.
+    #[test]
+    fn max_pool_propagates_nan_windows() {
+        let x = Tensor::from_vec(vec![f32::NAN; 4], &[1, 1, 2, 2]);
+        let (y, arg) = max_pool2d(&x, PoolGeometry::square(2));
+        assert!(y.data()[0].is_nan(), "all-NaN window must pool to NaN");
+        assert!(arg[0] < 4, "argmax must point inside the window");
+
+        // NaN mid-window wins over larger finite values before and after.
+        let x = Tensor::from_vec(vec![5.0, f32::NAN, 7.0, 1.0], &[1, 1, 2, 2]);
+        let (y, arg) = max_pool2d(&x, PoolGeometry::square(2));
+        assert!(y.data()[0].is_nan());
+        assert_eq!(arg[0], 1, "argmax must point at the NaN cell");
+
+        // Only the poisoned window is affected: a clean second channel
+        // pools normally.
+        let x = Tensor::from_vec(
+            vec![f32::NAN, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0],
+            &[1, 2, 2, 2],
+        );
+        let (y, _) = max_pool2d(&x, PoolGeometry::square(2));
+        assert!(y.data()[0].is_nan());
+        assert_eq!(y.data()[1], 4.0);
+    }
+
+    /// Backward companion of the NaN fix: the gradient must reach the
+    /// NaN cell, not input index 0.
+    #[test]
+    fn max_pool_backward_routes_gradient_to_nan_cell() {
+        let x = Tensor::from_vec(vec![5.0, 1.0, f32::NAN, 2.0], &[1, 1, 2, 2]);
+        let (_, arg) = max_pool2d(&x, PoolGeometry::square(2));
+        let g = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]);
+        let gi = max_pool2d_backward(&g, &arg, &[1, 1, 2, 2]);
+        assert_eq!(gi.data(), &[0.0, 0.0, 10.0, 0.0]);
+    }
+
+    /// Regression: an all-`-inf` window used to keep the initial
+    /// `best_idx = 0`, pointing the argmax at flat index 0 — possibly a
+    /// different image's pixel. The argmax must stay inside the window.
+    #[test]
+    fn max_pool_all_neg_infinity_window_picks_in_window_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let inf = Tensor::full(&[1, 1, 2, 2], f32::NEG_INFINITY);
+        let x2 = Tensor::concat_batch(&[&x, &inf]);
+        let (y, arg) = max_pool2d(&x2, PoolGeometry::square(2));
+        assert_eq!(y.data()[0], 4.0);
+        assert_eq!(y.data()[1], f32::NEG_INFINITY);
+        assert!(
+            (4..8).contains(&(arg[1] as usize)),
+            "argmax {} escaped the second image's window",
+            arg[1]
+        );
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Property tests for the packed register-tiled GEMM driver.
+//!
+//! The driver's contract is stronger than "numerically close": because
+//! every output element is accumulated in ascending `k` order by a
+//! single `f32` accumulator (no split-k, no FMA), the packed kernel must
+//! be **bitwise identical** to the naive triple-loop reference — which
+//! itself reproduces the pre-packing i-k-j kernels' float-op sequence
+//! exactly. Every comparison below is exact, including NaN (compared on
+//! bit patterns) and shapes that exercise ragged tiles and zero
+//! dimensions.
+
+use cn_tensor::ops::matmul::matmul_naive;
+use cn_tensor::ops::{gemm_bias_act, Activation, Layout, PackedB};
+use cn_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+/// Exact comparison: non-NaN values must agree **bitwise** (±inf and
+/// signed zero included); NaN must appear at exactly the same positions.
+/// NaN *payload* bits are excluded — IEEE 754 leaves the payload choice
+/// to the implementation, so differently-scheduled but semantically
+/// identical float ops may pick different quiet-NaN encodings.
+fn assert_bit_identical(got: &Tensor, want: &Tensor, what: &str) -> Result<(), TestCaseError> {
+    prop_assert!(got.dims() == want.dims(), "{what} shape mismatch");
+    for (i, (x, y)) in got.data().iter().zip(want.data().iter()).enumerate() {
+        prop_assert!(
+            x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+            "{what} diverged at flat index {i}: {x} vs {y}"
+        );
+    }
+    Ok(())
+}
+
+/// Sprinkles NaN/±inf into a tensor at deterministic positions.
+fn poison(t: &mut Tensor, rng: &mut SeededRng, rate: f32) {
+    let specials = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0];
+    for v in t.data_mut() {
+        if rng.uniform() < rate {
+            *v = specials[rng.index(specials.len())];
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three transpose variants are bitwise equal to the naive
+    /// reference over random shapes spanning sub-tile, ragged-tile and
+    /// multi-panel regimes.
+    #[test]
+    fn all_variants_bit_identical_to_naive(
+        m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+        let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+        let want = matmul_naive(&a, &b);
+        assert_bit_identical(&a.matmul(&b), &want, "matmul")?;
+        assert_bit_identical(&a.transpose().t_matmul(&b), &want, "t_matmul")?;
+        assert_bit_identical(&a.matmul_t(&b.transpose()), &want, "matmul_t")?;
+    }
+
+    /// NaN and ±inf operands flow through packing, the register tile and
+    /// the writeback exactly as through the naive loops (`0 × inf`,
+    /// `inf − inf` and NaN propagation included).
+    #[test]
+    fn non_finite_operands_propagate_bit_identically(
+        m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+        let mut b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+        poison(&mut a, &mut rng, 0.15);
+        poison(&mut b, &mut rng, 0.15);
+        let want = matmul_naive(&a, &b);
+        assert_bit_identical(&a.matmul(&b), &want, "matmul")?;
+        assert_bit_identical(&a.transpose().t_matmul(&b), &want, "t_matmul")?;
+        assert_bit_identical(&a.matmul_t(&b.transpose()), &want, "matmul_t")?;
+    }
+
+    /// Zero-dimension products return the correctly-shaped empty / zero
+    /// tensor for every variant (regression: `n == 0` used to panic on a
+    /// zero chunk length).
+    #[test]
+    fn zero_dimensions_are_well_defined(
+        m in 0usize..6, k in 0usize..6, n in 0usize..6, seed in 0u64..100
+    ) {
+        prop_assume!(m == 0 || k == 0 || n == 0);
+        let mut rng = SeededRng::new(seed);
+        let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+        let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+        let want = matmul_naive(&a, &b);
+        prop_assert_eq!(a.matmul(&b), want.clone());
+        prop_assert_eq!(a.transpose().t_matmul(&b), want.clone());
+        prop_assert_eq!(a.matmul_t(&b.transpose()), want);
+    }
+
+    /// The fused bias(+ReLU) epilogue over a pre-packed operand equals
+    /// the unfused chain bitwise, shape-raggedness included.
+    #[test]
+    fn fused_epilogue_bit_identical_to_unfused_chain(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, relu in 0usize..2, seed in 0u64..1000
+    ) {
+        let relu = relu == 1;
+        let mut rng = SeededRng::new(seed);
+        let x = rng.normal_tensor(&[m, k], 0.0, 1.0);
+        let w = rng.normal_tensor(&[n, k], 0.0, 1.0); // [out, in] weight
+        let bias = rng.normal_tensor(&[n], 0.0, 1.0);
+        let packed = PackedB::from_tensor(&w, Layout::Transposed);
+        let act = if relu { Activation::Relu } else { Activation::Identity };
+        let fused = gemm_bias_act(&x, Layout::RowMajor, &packed, Some(&bias), act);
+        let mut unfused = &x.matmul_t(&w) + &bias;
+        if relu {
+            unfused = unfused.map(|v| v.max(0.0));
+        }
+        assert_bit_identical(&fused, &unfused, "gemm_bias_act")?;
+    }
+
+    /// Packing then multiplying equals multiplying then packing the
+    /// fresh operand: `PackedB` is reusable state, not a cache of one
+    /// call.
+    #[test]
+    fn packed_operand_is_reusable_across_lhs(
+        k in 1usize..16, n in 1usize..16, seed in 0u64..500
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+        let packed = PackedB::from_tensor(&b, Layout::RowMajor);
+        for m in [1usize, 7, 9] {
+            let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+            let via_packed =
+                gemm_bias_act(&a, Layout::RowMajor, &packed, None, Activation::Identity);
+            assert_bit_identical(&via_packed, &a.matmul(&b), "reused packed operand")?;
+        }
+    }
+}
+
+/// The pinned bit-identity case: exact expected output words of the
+/// pre-PR kernel on a fixed seed, guarding against any future
+/// reordering (split-k, FMA, pairwise sums) silently changing results.
+#[test]
+fn pinned_case_matches_pre_packing_kernel_words() {
+    let mut rng = SeededRng::new(0xC0FFEE);
+    let a = rng.normal_tensor(&[3, 5], 0.0, 1.0);
+    let b = rng.normal_tensor(&[5, 2], 0.0, 1.0);
+    let c = a.matmul(&b);
+    // Bit patterns produced by the seed (pre-packing) i-k-j kernel.
+    let expected: [u32; 6] = [
+        0x4004_b2ac,
+        0xbfa9_659b,
+        0xc081_8fa0,
+        0xc074_b659,
+        0xbfd3_9912,
+        0x408e_2038,
+    ];
+    let got: Vec<u32> = c.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, expected, "values: {:?}", c.data());
+}
