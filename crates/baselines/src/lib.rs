@@ -19,6 +19,8 @@
 //! the x-axis (the digital-copy fraction; zero for statistical training)
 //! and mean Monte-Carlo accuracy at σ = 0.5 on the y-axis.
 
+#![warn(missing_docs)]
+
 pub mod protection;
 pub mod replication;
 pub mod sparse_adaptation;

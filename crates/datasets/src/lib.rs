@@ -31,6 +31,8 @@
 //! assert_eq!(y.len(), 16);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dataset;
 pub mod loader;
 pub mod stats;

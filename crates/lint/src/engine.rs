@@ -1,0 +1,305 @@
+//! The rule engine: diagnostics, the [`Rule`] trait, suppression
+//! filtering and the driver that runs a rule set over parsed files.
+
+use crate::source::SourceFile;
+
+/// How serious a finding is. Both levels fail CI — the distinction is
+/// informational (a `Warning` marks heuristic rules whose findings may
+/// legitimately end in a suppression rather than a code change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Heuristic finding: verify, then fix or suppress with a reason.
+    Warning,
+    /// Contract violation: fix it (suppression needs a strong reason).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in human and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, pointing at a token in a file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule identifier (kebab-case).
+    pub rule: &'static str,
+    /// Severity of the owning rule.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation, including what to do instead.
+    pub message: String,
+    /// Byte offset the finding anchors to (used for test-span filtering).
+    pub offset: usize,
+}
+
+impl Diagnostic {
+    /// `file:line:col severity[rule] message` — the human format.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}:{} {}[{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.severity.name(),
+            self.rule,
+            self.message
+        )
+    }
+
+    /// One JSON object (the `--format json` element).
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"rule":"{}","severity":"{}","path":"{}","line":{},"col":{},"message":"{}"}}"#,
+            self.rule,
+            self.severity.name(),
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Collects findings for one (rule, file) pair; rules report token
+/// indices and the sink resolves positions.
+pub struct Sink<'a> {
+    file: &'a SourceFile,
+    rule: &'static str,
+    severity: Severity,
+    out: Vec<Diagnostic>,
+}
+
+impl<'a> Sink<'a> {
+    /// Reports a finding anchored at token `tok_index`.
+    pub fn report(&mut self, tok_index: usize, message: impl Into<String>) {
+        let t = &self.file.tokens[tok_index];
+        self.out.push(Diagnostic {
+            rule: self.rule,
+            severity: self.severity,
+            path: self.file.path.clone(),
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+            offset: t.start,
+        });
+    }
+}
+
+/// A single lint rule.
+pub trait Rule {
+    /// Stable kebab-case identifier (`collidable-seed-mix`).
+    fn id(&self) -> &'static str;
+
+    /// Default severity of this rule's findings.
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    /// One-line description for `--list-rules` and the docs.
+    fn summary(&self) -> &'static str;
+
+    /// Whether the rule runs on a file at this workspace-relative path.
+    fn applies_to(&self, path: &str) -> bool {
+        let _ = path;
+        true
+    }
+
+    /// Whether findings inside `#[cfg(test)]`/`#[test]` spans are
+    /// dropped (most contracts bind production code only).
+    fn skip_test_code(&self) -> bool {
+        true
+    }
+
+    /// Scans the file, reporting findings into `sink`.
+    fn check(&self, file: &SourceFile, sink: &mut Sink<'_>);
+}
+
+/// Rule id of the engine-level check on `cn-lint` comments themselves.
+pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
+
+/// Runs `rules` over `files` and returns the surviving diagnostics,
+/// sorted by (path, line, col, rule).
+///
+/// The engine itself contributes the [`MALFORMED_SUPPRESSION`] check: a
+/// comment that contains `cn-lint` but does not parse as
+/// `allow(rule, reason = "…")`, or that names a rule no one registered,
+/// is itself a finding — a typo'd suppression that silently suppresses
+/// nothing is worse than no suppression at all.
+pub fn run(files: &[SourceFile], rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in files {
+        for rule in rules {
+            if !rule.applies_to(&file.path) {
+                continue;
+            }
+            let mut sink = Sink {
+                file,
+                rule: rule.id(),
+                severity: rule.severity(),
+                out: Vec::new(),
+            };
+            rule.check(file, &mut sink);
+            for d in sink.out {
+                if rule.skip_test_code() && file.in_test_code(d.offset) {
+                    continue;
+                }
+                if suppressed(file, rule.id(), d.line) {
+                    continue;
+                }
+                diags.push(d);
+            }
+        }
+        // Engine-level checks on the suppression comments themselves.
+        for m in &file.malformed {
+            diags.push(Diagnostic {
+                rule: MALFORMED_SUPPRESSION,
+                severity: Severity::Error,
+                path: file.path.clone(),
+                line: m.line,
+                col: m.col,
+                message: format!("malformed cn-lint comment: {}", m.problem),
+                offset: 0,
+            });
+        }
+        for s in &file.suppressions {
+            if !rules.iter().any(|r| r.id() == s.rule) {
+                diags.push(Diagnostic {
+                    rule: MALFORMED_SUPPRESSION,
+                    severity: Severity::Error,
+                    path: file.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!(
+                        "suppression names unknown rule `{}` (see --list-rules)",
+                        s.rule
+                    ),
+                    offset: 0,
+                });
+            }
+        }
+    }
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    diags
+}
+
+fn suppressed(file: &SourceFile, rule: &str, line: u32) -> bool {
+    file.suppressions
+        .iter()
+        .any(|s| s.rule == rule && s.applies_to == line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FlagEveryFoo;
+    impl Rule for FlagEveryFoo {
+        fn id(&self) -> &'static str {
+            "flag-foo"
+        }
+        fn summary(&self) -> &'static str {
+            "flags the identifier foo"
+        }
+        fn check(&self, file: &SourceFile, sink: &mut Sink<'_>) {
+            for i in 0..file.tokens.len() {
+                if file.is_ident(i, "foo") {
+                    sink.report(i, "found foo");
+                }
+            }
+        }
+    }
+
+    fn rules() -> Vec<Box<dyn Rule>> {
+        vec![Box::new(FlagEveryFoo)]
+    }
+
+    #[test]
+    fn fires_and_positions() {
+        let f = SourceFile::parse("a.rs", "let x = 1;\nlet foo = 2;\n");
+        let diags = run(&[f], &rules());
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].line, diags[0].col), (2, 5));
+        assert_eq!(diags[0].rule, "flag-foo");
+    }
+
+    #[test]
+    fn trailing_allow_suppresses() {
+        let f = SourceFile::parse(
+            "a.rs",
+            "let foo = 2; // cn-lint: allow(flag-foo, reason = \"test\")\n",
+        );
+        assert!(run(&[f], &rules()).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_suppresses_next_line() {
+        let f = SourceFile::parse(
+            "a.rs",
+            "// cn-lint: allow(flag-foo, reason = \"test\")\nlet foo = 2;\n",
+        );
+        assert!(run(&[f], &rules()).is_empty());
+    }
+
+    #[test]
+    fn allow_for_another_rule_does_not_suppress() {
+        let f = SourceFile::parse(
+            "a.rs",
+            "// cn-lint: allow(kernel-zero-skip, reason = \"x\")\nlet foo = 2;\n",
+        );
+        // One finding survives, plus the unknown-rule finding (the test
+        // registry only knows flag-foo).
+        let diags = run(&[f], &rules());
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().any(|d| d.rule == "flag-foo"));
+        assert!(diags.iter().any(|d| d.rule == MALFORMED_SUPPRESSION));
+    }
+
+    #[test]
+    fn test_code_is_skipped_by_default() {
+        let f = SourceFile::parse("a.rs", "#[cfg(test)]\nmod t { fn g() { let foo = 1; } }\n");
+        assert!(run(&[f], &rules()).is_empty());
+    }
+
+    #[test]
+    fn malformed_comment_is_a_finding() {
+        let f = SourceFile::parse("a.rs", "// cn-lint: allow(Bad Name)\n");
+        let diags = run(&[f], &rules());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, MALFORMED_SUPPRESSION);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

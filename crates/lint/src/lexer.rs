@@ -1,0 +1,554 @@
+//! A small, self-contained lexer for Rust source files.
+//!
+//! The rules in this crate are token-level: they never need a full parse
+//! tree, but they must never be fooled by operators inside string
+//! literals, seed constants inside comments, or braces inside `char`
+//! literals. The lexer therefore handles exactly the lexical structure
+//! that matters for that guarantee — ordinary and raw (byte) strings,
+//! char literals vs. lifetimes, nested block comments, doc comments and
+//! numeric literals — and tracks a line/column position for every token
+//! so diagnostics point at real source locations.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `wrapping_mul`, `r#async`).
+    Ident,
+    /// An integer or float literal, including any type suffix.
+    Number,
+    /// A string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"` and raw-byte
+    /// combinations.
+    Str,
+    /// A character or byte literal: `'x'`, `'\n'`, `b'0'`.
+    Char,
+    /// A lifetime: `'a`, `'static`.
+    Lifetime,
+    /// Punctuation, greedily grouped into multi-character operators
+    /// (`==`, `::`, `->`, `..=` …).
+    Punct,
+}
+
+/// One code token with its byte span and 1-based line/column position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based column (in characters) of `start`.
+    pub col: u32,
+}
+
+/// One comment (comments are kept out of the code-token stream so rules
+/// never match inside them, but suppression parsing still sees them).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Byte offset of the `//` or `/*`.
+    pub start: usize,
+    /// Byte offset one past the end of the comment.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub doc: bool,
+    /// Whether this is a block comment (`/* … */`, possibly nested).
+    pub block: bool,
+}
+
+/// Lexer output: the code tokens and the comments of one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so lexing is greedy.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenizes `src`, returning code tokens and comments separately.
+///
+/// The lexer is lossless about positions but deliberately permissive: an
+/// unterminated literal is consumed to end-of-file rather than reported,
+/// since the compiler will reject such a file long before the linter
+/// matters.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one char, maintaining the line/column counters.
+    fn bump(&mut self) {
+        let b = self.bytes[self.pos];
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count characters, not continuation bytes.
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn start_token(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, start: (usize, u32, u32)) {
+        self.out.tokens.push(Token {
+            kind,
+            start: start.0,
+            end: self.pos,
+            line: start.1,
+            col: start.2,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.start_token();
+        // `///` (but not `////`) and `//!` are doc comments.
+        let doc = (self.peek(2) == b'/' && self.peek(3) != b'/') || self.peek(2) == b'!';
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            start: start.0,
+            end: self.pos,
+            line: start.1,
+            col: start.2,
+            doc,
+            block: false,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.start_token();
+        // `/**` (but not `/***` or the degenerate `/**/`) and `/*!`.
+        let doc = self.peek(2) == b'!'
+            || (self.peek(2) == b'*' && self.peek(3) != b'*' && self.peek(3) != b'/');
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            start: start.0,
+            end: self.pos,
+            line: start.1,
+            col: start.2,
+            doc,
+            block: true,
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` and raw
+    /// identifiers (`r#match`). Returns `false` when the `r`/`b` starts a
+    /// plain identifier, leaving the position untouched.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut prefix = 1usize; // past the leading r or b
+        if self.peek(0) == b'b' && self.peek(1) == b'r' {
+            prefix = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(prefix + hashes) == b'#' {
+            hashes += 1;
+        }
+        let after = self.peek(prefix + hashes);
+        let raw = self.peek(0) == b'r' || prefix == 2;
+        if raw && after == b'"' {
+            let start = self.start_token();
+            self.bump_n(prefix + hashes + 1);
+            self.raw_string_body(hashes);
+            self.push_token(TokenKind::Str, start);
+            return true;
+        }
+        if raw && hashes > 0 && (after == b'_' || after.is_ascii_alphabetic()) {
+            // Raw identifier `r#ident`.
+            let start = self.start_token();
+            self.bump_n(prefix + hashes);
+            self.ident_body();
+            self.push_token(TokenKind::Ident, start);
+            return true;
+        }
+        if self.peek(0) == b'b' && hashes == 0 {
+            if self.peek(1) == b'"' {
+                let start = self.start_token();
+                self.bump(); // b
+                self.string_from_quote(start);
+                return true;
+            }
+            if self.peek(1) == b'\'' {
+                let start = self.start_token();
+                self.bump(); // b
+                self.char_literal(start);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(1 + matched) == b'#' {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    fn string(&mut self) {
+        let start = self.start_token();
+        self.string_from_quote(start);
+    }
+
+    fn string_from_quote(&mut self, start: (usize, u32, u32)) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2.min(self.bytes.len() - self.pos)),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push_token(TokenKind::Str, start);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.start_token();
+        let next = self.peek(1);
+        if next == b'\\' {
+            self.char_literal(start);
+            return;
+        }
+        if next == b'_' || next.is_ascii_alphabetic() {
+            // `'a` is a lifetime unless a closing quote follows the
+            // identifier (`'x'` is a char).
+            let mut len = 1usize;
+            while {
+                let b = self.peek(1 + len);
+                b == b'_' || b.is_ascii_alphanumeric()
+            } {
+                len += 1;
+            }
+            if self.peek(1 + len) == b'\'' {
+                self.char_literal(start);
+            } else {
+                self.bump_n(1 + len);
+                self.push_token(TokenKind::Lifetime, start);
+            }
+            return;
+        }
+        self.char_literal(start);
+    }
+
+    fn char_literal(&mut self, start: (usize, u32, u32)) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2.min(self.bytes.len() - self.pos)),
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push_token(TokenKind::Char, start);
+    }
+
+    fn number(&mut self) {
+        let start = self.start_token();
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'X' | b'o' | b'O' | b'b' | b'B') {
+            self.bump_n(2);
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            self.push_token(TokenKind::Number, start);
+            return;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // A fractional part only when a digit follows the dot, so `0..n`
+        // and `1.max(x)` lex as integer + punct/ident.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        } else if self.peek(0) == b'.'
+            && !self.peek(1).is_ascii_alphabetic()
+            && self.peek(1) != b'.'
+            && self.peek(1) != b'_'
+        {
+            // Trailing-dot float `1.` (not a range, not a method call).
+            self.bump();
+        }
+        // Exponent.
+        if matches!(self.peek(0), b'e' | b'E') {
+            let sign = matches!(self.peek(1), b'+' | b'-') as usize;
+            if self.peek(1 + sign).is_ascii_digit() {
+                self.bump_n(1 + sign);
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`f32`, `u64`, `usize` …).
+        while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        self.push_token(TokenKind::Number, start);
+    }
+
+    fn ident(&mut self) {
+        let start = self.start_token();
+        self.ident_body();
+        self.push_token(TokenKind::Ident, start);
+    }
+
+    fn ident_body(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn punct(&mut self) {
+        let start = self.start_token();
+        let rest = &self.src[self.pos..];
+        for op in OPERATORS {
+            if rest.starts_with(op) {
+                self.bump_n(op.len());
+                self.push_token(TokenKind::Punct, start);
+                return;
+            }
+        }
+        self.bump();
+        self.push_token(TokenKind::Punct, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        let lexed = lex(src);
+        lexed
+            .tokens
+            .iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn operators_lex_greedily() {
+        let toks = kinds("a == b != 0.0 .. c ..= d :: e");
+        let texts: Vec<&str> = toks.iter().map(|(_, s)| *s).collect();
+        assert_eq!(
+            texts,
+            ["a", "==", "b", "!=", "0.0", "..", "c", "..=", "d", "::", "e"]
+        );
+    }
+
+    #[test]
+    fn strings_hide_operators() {
+        let toks = kinds(r#"let s = "a == b /* not a comment */";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(_, s)| *s == "=="));
+        assert!(lex(r#"let s = "a /* x */";"#).comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"quote " inside"#; let t = 1;"##;
+        let toks = kinds(src);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(strs, [r##"r#"quote " inside"#"##]);
+        assert!(toks.iter().any(|(_, s)| *s == "t"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r###"let a = b"bytes"; let b = br#"raw"#; let c = b'x';"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && *s == "r#match"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("before /* outer /* inner */ still outer */ after");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens.len(), 2);
+        assert!(lexed.comments[0].block);
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        let lexed = lex(
+            "/// doc\n//! inner doc\n// plain\n//// not doc\n/** block doc */\n/* plain block */",
+        );
+        let docs: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, [true, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn numbers_with_underscores_and_suffixes() {
+        let toks = kinds("0x9E37_79B9_7F4A_7C15 1_000u64 0.5f32 1e-3 2.5E+4 7usize 1.");
+        assert!(toks.iter().all(|(k, _)| *k == TokenKind::Number));
+        assert_eq!(toks.len(), 7);
+    }
+
+    #[test]
+    fn range_does_not_eat_the_dots() {
+        let toks = kinds("for i in 0..n {}");
+        let texts: Vec<&str> = toks.iter().map(|(_, s)| *s).collect();
+        assert_eq!(texts, ["for", "i", "in", "0", "..", "n", "{", "}"]);
+    }
+
+    #[test]
+    fn method_call_on_int_literal() {
+        let toks = kinds("1.max(2)");
+        let texts: Vec<&str> = toks.iter().map(|(_, s)| *s).collect();
+        assert_eq!(texts, ["1", ".", "max", "(", "2", ")"]);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let lexed = lex("ab\n  cd = 1\n");
+        let t = &lexed.tokens[1];
+        assert_eq!((t.line, t.col), (2, 3));
+        let eq = &lexed.tokens[2];
+        assert_eq!((eq.line, eq.col), (2, 6));
+    }
+
+    #[test]
+    fn multibyte_chars_count_as_one_column() {
+        let src = "let σ = 1;\nlet x = 2;";
+        let lexed = lex(src);
+        // `σ` is 2 bytes but 1 column; `=` after it sits at column 7.
+        let eq = lexed
+            .tokens
+            .iter()
+            .find(|t| &src[t.start..t.end] == "=")
+            .unwrap();
+        assert_eq!((eq.line, eq.col), (1, 7));
+        let x = lexed
+            .tokens
+            .iter()
+            .find(|t| &src[t.start..t.end] == "x")
+            .unwrap();
+        assert_eq!((x.line, x.col), (2, 5));
+    }
+}

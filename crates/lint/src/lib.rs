@@ -1,0 +1,48 @@
+//! # cn-lint
+//!
+//! An in-tree, dependency-free static analyzer that machine-checks the
+//! contracts this workspace's correctness rests on but the compiler
+//! cannot see: decorrelated-but-deterministic RNG derivation, NaN-
+//! propagating kernels, the deliberately-FMA-free bit-exact GEMM, and
+//! bounded concurrency. Each rule encodes a bug class a past PR fixed
+//! by hand; the linter keeps them fixed as the workspace grows.
+//!
+//! Three layers:
+//!
+//! - [`lexer`] — a small token-level lexer for Rust source (strings,
+//!   raw strings, char literals, nested block comments, doc comments,
+//!   line/column tracking),
+//! - [`engine`] + [`source`] — per-rule visitors over a parsed
+//!   [`source::SourceFile`] (with `#[cfg(test)]` span detection), inline
+//!   suppression via `// cn-lint: allow(rule-name, reason = "…")`,
+//!   severity levels, and human / JSON diagnostics with stable rule IDs,
+//! - [`rules`] — the catalog itself.
+//!
+//! Run it over the workspace with `cargo run -p cn-lint`; a clean tree
+//! exits 0.
+//!
+//! # Example
+//!
+//! ```
+//! use cn_lint::source::SourceFile;
+//! use cn_lint::{engine, rules};
+//!
+//! let file = SourceFile::parse(
+//!     "crates/tensor/src/ops/fake.rs",
+//!     "fn f(x: f32) -> bool { x == 0.0 }",
+//! );
+//! let diags = engine::run(&[file], &rules::catalog());
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule, "kernel-zero-skip");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use engine::{Diagnostic, Rule, Severity};
+pub use source::SourceFile;

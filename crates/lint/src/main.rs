@@ -1,0 +1,128 @@
+//! The `cn-lint` binary: lints the workspace, prints diagnostics, exits
+//! non-zero on any finding.
+//!
+//! ```text
+//! cargo run -p cn-lint                      # human output, repo root
+//! cargo run -p cn-lint -- --format json     # machine-readable (CI)
+//! cargo run -p cn-lint -- --list-rules      # the catalog
+//! cargo run -p cn-lint -- --root path/to/ws # explicit workspace root
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = diagnostics found, 2 = usage or I/O error.
+
+use cn_lint::engine::json_escape;
+use cn_lint::{rules, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut format = Format::Human;
+    let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("cn-lint: --format expects `human` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("cn-lint: --root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "cn-lint: static analysis for the CorrectNet workspace\n\
+                     \n\
+                     USAGE: cn-lint [--format human|json] [--root DIR] [--list-rules]\n\
+                     \n\
+                     Suppress a finding inline with:\n\
+                     // cn-lint: allow(rule-name, reason = \"why this site is sound\")"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cn-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let catalog = rules::catalog();
+    if list_rules {
+        for rule in &catalog {
+            println!(
+                "{:<26} {:<8} {}",
+                rule.id(),
+                rule.severity().name(),
+                rule.summary()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let diags = match workspace::lint_workspace(&root, &catalog) {
+        Ok(d) => d,
+        Err(err) => {
+            eprintln!("cn-lint: {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Human => {
+            for d in &diags {
+                println!("{}", d.render_human());
+            }
+            if diags.is_empty() {
+                eprintln!("cn-lint: clean");
+            } else {
+                eprintln!("cn-lint: {} diagnostic(s)", diags.len());
+            }
+        }
+        Format::Json => {
+            let body: Vec<String> = diags
+                .iter()
+                .map(|d| format!("  {}", d.render_json()))
+                .collect();
+            println!(
+                "{{\n\"root\": \"{}\",\n\"count\": {},\n\"diagnostics\": [\n{}\n]\n}}",
+                json_escape(&root.display().to_string()),
+                diags.len(),
+                body.join(",\n")
+            );
+        }
+    }
+
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The workspace root when `--root` is absent: the current directory if
+/// it looks like the workspace (has `Cargo.toml` and `crates/`),
+/// otherwise two levels above this crate's manifest (which is
+/// `crates/lint`).
+fn default_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}

@@ -1,0 +1,154 @@
+//! `collidable-seed-mix` — XOR/add of a seed with a multiplied counter.
+//!
+//! The Dropout/Trainer/protection bug family (fixed across PRs 4–5, with
+//! the last live instance in `SeededRng::fork` itself): deriving a child
+//! seed as `seed ^ counter · φ64` or `(seed + counter) · φ64` looks like
+//! splitmix but is not — the raw multiplied counter is combined with the
+//! seed *before* any finalization, so related `(seed, counter)` pairs
+//! cancel exactly and produce colliding streams. Child streams must be
+//! derived through `SeededRng::fork`, which finalizes both words.
+
+use crate::engine::{Rule, Sink};
+use crate::lexer::TokenKind;
+use crate::rules::normalize_number;
+use crate::source::SourceFile;
+
+/// The golden-ratio multipliers the bug family reaches for.
+const GOLDEN: &[&str] = &["0x9e3779b9", "0x9e3779b97f4a7c15"];
+
+/// Flags seed mixes that combine a golden-ratio-multiplied counter with
+/// another word via `^`/`+` without prior finalization.
+pub struct CollidableSeedMix;
+
+impl Rule for CollidableSeedMix {
+    fn id(&self) -> &'static str {
+        "collidable-seed-mix"
+    }
+
+    fn summary(&self) -> &'static str {
+        "xor/add of a seed with a golden-ratio-multiplied counter collides for related inputs; \
+         derive child streams via SeededRng::fork"
+    }
+
+    fn check(&self, file: &SourceFile, sink: &mut Sink<'_>) {
+        for i in 0..file.tokens.len() {
+            if file.tokens[i].kind != TokenKind::Number {
+                continue;
+            }
+            if !GOLDEN.contains(&normalize_number(file.tok(i)).as_str()) {
+                continue;
+            }
+            if wrapping_mul_mix(file, i) || bare_mul_mix(file, i) {
+                sink.report(
+                    i,
+                    "collidable seed mix: combining a seed with a golden-ratio-multiplied \
+                     counter collides for related inputs; derive child streams via \
+                     `SeededRng::fork` (full splitmix64 finalization over both words)",
+                );
+            }
+        }
+    }
+}
+
+/// `X.wrapping_mul(0x9E37…)` whose receiver or result is xor/add-combined.
+fn wrapping_mul_mix(file: &SourceFile, const_idx: usize) -> bool {
+    // Expect `. wrapping_mul ( CONST )`.
+    if const_idx < 3
+        || !file.is_punct(const_idx - 1, "(")
+        || !file.is_ident(const_idx - 2, "wrapping_mul")
+        || !file.is_punct(const_idx - 3, ".")
+    {
+        return false;
+    }
+    if !file.is_punct(const_idx + 1, ")") {
+        return false;
+    }
+    let receiver_start = receiver_start(file, const_idx - 3);
+    // Mixed just before the receiver: `seed ^ counter.wrapping_mul(G)`.
+    if receiver_start > 0 {
+        let prev = file.tok(receiver_start - 1);
+        if prev == "^" || prev == "+" {
+            return true;
+        }
+    }
+    // Mixed just after the call: `counter.wrapping_mul(G) ^ seed`.
+    if const_idx + 2 < file.tokens.len() {
+        let next = file.tok(const_idx + 2);
+        if next == "^" || next == "+" {
+            return true;
+        }
+    }
+    // Parenthesized pre-mix receiver: `(seed + counter).wrapping_mul(G)`.
+    if file.is_punct(const_idx - 4, ")") {
+        let open = file.matching_open(const_idx - 4);
+        if group_has_mix_operator(file, open, const_idx - 4) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `CONST * x` / `x * CONST` with a `^`/`+` mix in the same statement.
+fn bare_mul_mix(file: &SourceFile, const_idx: usize) -> bool {
+    let left_mul = const_idx > 0 && file.is_punct(const_idx - 1, "*");
+    let right_mul = file.is_punct(const_idx + 1, "*");
+    if !left_mul && !right_mul {
+        return false;
+    }
+    // `(seed + counter) * G` — the paren group right of/left of the `*`.
+    if left_mul && const_idx >= 2 && file.is_punct(const_idx - 2, ")") {
+        let open = file.matching_open(const_idx - 2);
+        if group_has_mix_operator(file, open, const_idx - 2) {
+            return true;
+        }
+    }
+    // `seed ^ counter * G` (either side) — any `^`/`+` in the statement
+    // outside bracket groups.
+    let start = file.statement_start(const_idx);
+    let end = file.statement_end(const_idx);
+    let mut depth = 0i32;
+    for j in start..end {
+        match file.tok(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "^" if depth <= 0 => return true,
+            "+" if depth <= 0 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Walks back over a postfix chain (`a.b(c).d`) to its first token.
+fn receiver_start(file: &SourceFile, dot_idx: usize) -> usize {
+    let mut j = dot_idx;
+    while j > 0 {
+        let prev = file.tok(j - 1);
+        match prev {
+            ")" | "]" => j = file.matching_open(j - 1),
+            "." | "::" => j -= 1,
+            _ if file.tokens[j - 1].kind == TokenKind::Ident
+                || file.tokens[j - 1].kind == TokenKind::Number =>
+            {
+                j -= 1
+            }
+            _ => break,
+        }
+    }
+    j
+}
+
+/// Whether the bracket group `(open … close)` contains a top-level
+/// `^`/`+` (depth 1 relative to the group).
+fn group_has_mix_operator(file: &SourceFile, open: usize, close: usize) -> bool {
+    let mut depth = 0i32;
+    for j in open..=close {
+        match file.tok(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "^" | "+" if depth == 1 => return true,
+            _ => {}
+        }
+    }
+    false
+}

@@ -1,0 +1,51 @@
+//! `kernel-zero-skip` — `== 0.0`/`!= 0.0` guards in tensor kernels.
+//!
+//! PR 4 removed the `aik == 0.0` skip from matmul: skipping "zero" work
+//! silently masked NaN/±inf in the other operand (`0.0 × NaN` must stay
+//! NaN). Kernels under `crates/tensor/src/ops/` may not compare floats
+//! against literal zero to elide work; callers that genuinely need a
+//! zero test (and have thought about non-finite inputs) suppress with a
+//! reason.
+
+use crate::engine::{Rule, Sink};
+use crate::lexer::TokenKind;
+use crate::rules::is_float_zero;
+use crate::source::SourceFile;
+
+/// Flags float-zero equality guards inside the tensor kernel tree.
+pub struct KernelZeroSkip;
+
+impl Rule for KernelZeroSkip {
+    fn id(&self) -> &'static str {
+        "kernel-zero-skip"
+    }
+
+    fn summary(&self) -> &'static str {
+        "float == 0.0 guard in a tensor kernel masks NaN/inf propagation (0.0 * NaN must stay NaN)"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path.contains("crates/tensor/src/ops/")
+    }
+
+    fn check(&self, file: &SourceFile, sink: &mut Sink<'_>) {
+        for i in 0..file.tokens.len() {
+            if !(file.is_punct(i, "==") || file.is_punct(i, "!=")) {
+                continue;
+            }
+            let zero_neighbor = [i.wrapping_sub(1), i + 1].into_iter().any(|j| {
+                j < file.tokens.len()
+                    && file.tokens[j].kind == TokenKind::Number
+                    && is_float_zero(file.tok(j))
+            });
+            if zero_neighbor {
+                sink.report(
+                    i,
+                    "floating-point zero-skip in a kernel: eliding work on `== 0.0` masks \
+                     NaN/±inf propagation (0.0 × NaN must stay NaN); remove the guard or \
+                     suppress with a justification covering non-finite inputs",
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! `missing-deprecation-note` — `#[deprecated]` must point somewhere.
+//!
+//! The engine migration (PR 3) deprecated the legacy Monte-Carlo entry
+//! points with notes naming the exact replacement
+//! (`engine::monte_carlo` + backend). A bare `#[deprecated]` tells
+//! callers only that they are wrong, not what to do; every deprecation
+//! in this workspace carries a `note = "use …"`.
+
+use crate::engine::{Rule, Sink};
+use crate::source::SourceFile;
+
+/// Flags `#[deprecated]` attributes without a `note` key.
+pub struct MissingDeprecationNote;
+
+impl Rule for MissingDeprecationNote {
+    fn id(&self) -> &'static str {
+        "missing-deprecation-note"
+    }
+
+    fn summary(&self) -> &'static str {
+        "#[deprecated] without note = \"use …\": deprecations must name the replacement"
+    }
+
+    // A deprecation in test code still reaches rustdoc/users of the
+    // fixture; check everywhere.
+    fn skip_test_code(&self) -> bool {
+        false
+    }
+
+    fn check(&self, file: &SourceFile, sink: &mut Sink<'_>) {
+        for i in 0..file.tokens.len().saturating_sub(2) {
+            if !(file.is_punct(i, "#")
+                && file.is_punct(i + 1, "[")
+                && file.is_ident(i + 2, "deprecated"))
+            {
+                continue;
+            }
+            // `#[deprecated]` — no arguments at all.
+            if file.is_punct(i + 3, "]") {
+                sink.report(i + 2, MESSAGE);
+                continue;
+            }
+            // `#[deprecated(…)]` — look for a `note` key at depth 1.
+            if file.is_punct(i + 3, "(") {
+                let close = file.matching_close(i + 3);
+                let has_note =
+                    ((i + 4)..close).any(|j| file.is_ident(j, "note") && file.is_punct(j + 1, "="));
+                if !has_note {
+                    sink.report(i + 2, MESSAGE);
+                }
+            }
+        }
+    }
+}
+
+const MESSAGE: &str = "#[deprecated] without a note: add note = \"use …\" naming the \
+                       replacement (the engine-migration shims set the pattern)";

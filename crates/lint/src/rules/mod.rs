@@ -1,0 +1,145 @@
+//! The rule catalog.
+//!
+//! Every rule encodes a contract this workspace has already paid to
+//! learn (the motivating incident is cited in each rule's module docs).
+//! Rules are token-level visitors over a [`SourceFile`]; they must stay
+//! dependency-free and conservative — a rule that cries wolf gets
+//! suppressed into uselessness.
+
+use crate::engine::Rule;
+use crate::source::SourceFile;
+
+mod collidable_seed_mix;
+mod kernel_zero_skip;
+mod lock_in_hot_path;
+mod missing_deprecation_note;
+mod no_fma_in_exact_gemm;
+mod stats_after_reply;
+mod unbounded_thread_spawn;
+
+pub use collidable_seed_mix::CollidableSeedMix;
+pub use kernel_zero_skip::KernelZeroSkip;
+pub use lock_in_hot_path::LockInHotPath;
+pub use missing_deprecation_note::MissingDeprecationNote;
+pub use no_fma_in_exact_gemm::NoFmaInExactGemm;
+pub use stats_after_reply::StatsAfterReply;
+pub use unbounded_thread_spawn::UnboundedThreadSpawn;
+
+/// The full catalog, in stable order.
+pub fn catalog() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(CollidableSeedMix),
+        Box::new(KernelZeroSkip),
+        Box::new(NoFmaInExactGemm),
+        Box::new(UnboundedThreadSpawn),
+        Box::new(LockInHotPath),
+        Box::new(StatsAfterReply),
+        Box::new(MissingDeprecationNote),
+    ]
+}
+
+/// Normalizes a numeric literal for comparison: underscores stripped,
+/// lowercased, and any alphabetic type suffix removed (`0x9E37_79B9u64`
+/// → `0x9e3779b9`). Hex/octal/binary prefixes survive.
+pub(crate) fn normalize_number(text: &str) -> String {
+    let mut s: String = text
+        .chars()
+        .filter(|&c| c != '_')
+        .map(|c| c.to_ascii_lowercase())
+        .collect();
+    // Strip a type suffix: for hex literals only `usize`/`isize`-style
+    // suffixes that follow the digits are ambiguous with hex digits, so
+    // strip known suffixes explicitly.
+    for suffix in [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+        "f64", "f32",
+    ] {
+        if let Some(stripped) = s.strip_suffix(suffix) {
+            // Don't mistake the trailing hex digits of e.g. `0xf32` for a
+            // suffix unless digits remain.
+            if stripped.len() > 2 || (!stripped.is_empty() && !s.starts_with("0x")) {
+                s = stripped.to_string();
+                break;
+            }
+        }
+    }
+    s
+}
+
+/// Whether a number token (by normalized text) is a floating-point zero:
+/// `0.0`, `0.`, `0e0`, `0f32` (suffix already stripped → trailing dot or
+/// a fractional part of zeros).
+pub(crate) fn is_float_zero(raw: &str) -> bool {
+    let norm = normalize_number(raw);
+    let is_float_shaped = norm.contains('.')
+        || norm.contains('e')
+        || raw.to_ascii_lowercase().contains("f32")
+        || raw.to_ascii_lowercase().contains("f64");
+    is_float_shaped && norm.parse::<f64>() == Ok(0.0)
+}
+
+/// Whether token `tok_index` sits inside a `use` declaration (walking
+/// back over path segments, grouping braces and commas to the keyword —
+/// `statement_start` would stop at the `{` of a grouped import).
+pub(crate) fn in_use_decl(file: &SourceFile, tok_index: usize) -> bool {
+    use crate::lexer::TokenKind;
+    let mut j = tok_index;
+    while j > 0 {
+        if file.is_ident(j - 1, "use") {
+            return true;
+        }
+        let path_like = matches!(file.tok(j - 1), "::" | "," | "{" | "*")
+            || file.tokens[j - 1].kind == TokenKind::Ident;
+        if !path_like {
+            return false;
+        }
+        j -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_normalization() {
+        assert_eq!(
+            normalize_number("0x9E37_79B9_7F4A_7C15"),
+            "0x9e3779b97f4a7c15"
+        );
+        assert_eq!(normalize_number("0x9E37_79B9u64"), "0x9e3779b9");
+        assert_eq!(normalize_number("1_000usize"), "1000");
+        assert_eq!(normalize_number("0.5f32"), "0.5");
+    }
+
+    #[test]
+    fn float_zero_detection() {
+        for yes in ["0.0", "0.", "0.000", "0.0f32", "0f64", "0.0_f32", "0e0"] {
+            assert!(is_float_zero(yes), "{yes}");
+        }
+        for no in ["0", "0usize", "0u64", "1.0", "0.5", "0x0"] {
+            assert!(!is_float_zero(no), "{no}");
+        }
+    }
+
+    #[test]
+    fn use_decl_detection() {
+        let f = SourceFile::parse("x.rs", "use std::sync::Mutex;\nlet m = Mutex::new(1);\n");
+        let first = f
+            .tokens
+            .iter()
+            .position(|t| f.text[t.start..t.end] == *"Mutex")
+            .unwrap();
+        assert!(in_use_decl(&f, first));
+        let second = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| f.text[t.start..t.end] == *"Mutex")
+            .nth(1)
+            .unwrap()
+            .0;
+        assert!(!in_use_decl(&f, second));
+    }
+}

@@ -1,0 +1,56 @@
+//! `no-fma-in-exact-gemm` — FMA is banned under `ops/gemm/`.
+//!
+//! The packed GEMM's bit-exactness contract (PR 5) requires every
+//! product to round through an f32 multiply *then* an f32 add, exactly
+//! like the seed i-k-j kernel. A fused multiply-add rounds once, so
+//! `_mm256_fmadd_ps` or `f32::mul_add` anywhere in the kernel silently
+//! changes every test that pins bitwise equality. The opt-in FMA fast
+//! path ROADMAP plans must live behind a separate backend flag, not in
+//! the exact kernel tree.
+
+use crate::engine::{Rule, Sink};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Flags fused-multiply-add intrinsics and `mul_add` calls in the exact
+/// GEMM tree.
+pub struct NoFmaInExactGemm;
+
+impl Rule for NoFmaInExactGemm {
+    fn id(&self) -> &'static str {
+        "no-fma-in-exact-gemm"
+    }
+
+    fn summary(&self) -> &'static str {
+        "FMA in the exact GEMM tree breaks the bit-exactness contract (single rounding != mul-then-add)"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path.contains("ops/gemm/")
+    }
+
+    // The contract binds tests too: a reference computed with mul_add
+    // would assert the wrong bits.
+    fn skip_test_code(&self) -> bool {
+        false
+    }
+
+    fn check(&self, file: &SourceFile, sink: &mut Sink<'_>) {
+        for i in 0..file.tokens.len() {
+            if file.tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let text = file.tok(i);
+            let fma_intrinsic = text.starts_with("_mm") && text.contains("fmadd");
+            let mul_add_call = text == "mul_add" && i > 0 && file.is_punct(i - 1, ".");
+            if fma_intrinsic || mul_add_call {
+                sink.report(
+                    i,
+                    "fused multiply-add in the exact GEMM tree: FMA rounds once where the \
+                     bit-exactness contract requires mul-then-add rounding; keep the exact \
+                     kernel FMA-free (an FMA fast path belongs behind a separate backend flag)",
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! `stats-after-reply` — ordering of stats updates vs. reply dispatch.
+//!
+//! PR 5's stale-stats fix: cn-serve workers used to bump request/batch
+//! counters *after* sending replies, so a client that read `stats()`
+//! right after receiving its reply raced the worker and saw stale totals
+//! (an intermittent batcher-test flake). The contract: within a serving
+//! worker function, every stats mutation (`fetch_add`/`record` on the
+//! stats collector) happens textually before the reply `send`. This is a
+//! heuristic ordering check — `Warning` severity — because token order
+//! inside one function body is a proxy for happens-before, not a proof.
+
+use crate::engine::{Rule, Severity, Sink};
+use crate::source::SourceFile;
+
+/// Flags stats-collector mutations placed after a reply `send` in the
+/// same serving-worker function.
+pub struct StatsAfterReply;
+
+impl Rule for StatsAfterReply {
+    fn id(&self) -> &'static str {
+        "stats-after-reply"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn summary(&self) -> &'static str {
+        "stats recorded after reply dispatch: clients reading stats() right after a reply see stale totals"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path.contains("crates/serve/src/")
+    }
+
+    fn check(&self, file: &SourceFile, sink: &mut Sink<'_>) {
+        for span in &file.fn_spans {
+            let Some(body_start) = span.body_start else {
+                continue;
+            };
+            let body_end = file.matching_close(body_start);
+            // Last `.send(` in the body.
+            let mut last_send = None;
+            for i in body_start..body_end {
+                if file.is_punct(i, ".")
+                    && file.is_ident(i + 1, "send")
+                    && file.is_punct(i + 2, "(")
+                {
+                    last_send = Some(i);
+                }
+            }
+            let Some(send_idx) = last_send else {
+                continue;
+            };
+            // Any stats mutation after it?
+            for i in send_idx..body_end {
+                let is_mutation = file.is_punct(i, ".")
+                    && (file.is_ident(i + 1, "fetch_add") || file.is_ident(i + 1, "record"))
+                    && file.is_punct(i + 2, "(");
+                if !is_mutation {
+                    continue;
+                }
+                // Only flag mutations on a stats-looking receiver chain,
+                // so unrelated atomics don't trip the rule.
+                let stmt = file.statement_start(i);
+                let mentions_stats =
+                    (stmt..i).any(|j| file.is_ident(j, "stats") || file.is_ident(j, "latency"));
+                if mentions_stats {
+                    sink.report(
+                        i + 1,
+                        "stats update after the reply send in a serving worker: a client \
+                         that reads stats() immediately after its reply races this code and \
+                         sees stale totals (the PR 5 batcher flake); move the stats update \
+                         before the dispatch loop",
+                    );
+                }
+            }
+        }
+    }
+}

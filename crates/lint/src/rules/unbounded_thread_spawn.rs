@@ -1,0 +1,47 @@
+//! `unbounded-thread-spawn` — OS threads outside `cn_tensor::parallel`.
+//!
+//! PR 4's thread-per-chunk regression: a helper that called
+//! `std::thread::spawn` per work item fanned out to hundreds of OS
+//! threads for small-chunk callers. All production parallelism goes
+//! through `cn_tensor::parallel` (capped at `num_threads()` workers);
+//! any other spawn site must be provably bounded and joined, and says so
+//! in a suppression reason.
+
+use crate::engine::{Rule, Sink};
+use crate::source::SourceFile;
+
+/// Flags `thread::spawn` / `thread::Builder` outside the sanctioned
+/// parallelism module.
+pub struct UnboundedThreadSpawn;
+
+impl Rule for UnboundedThreadSpawn {
+    fn id(&self) -> &'static str {
+        "unbounded-thread-spawn"
+    }
+
+    fn summary(&self) -> &'static str {
+        "OS-thread spawn outside cn_tensor::parallel; use the capped helpers or justify the bound"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        // The sanctioned implementation itself.
+        !path.ends_with("crates/tensor/src/parallel.rs") && path != "crates/tensor/src/parallel.rs"
+    }
+
+    fn check(&self, file: &SourceFile, sink: &mut Sink<'_>) {
+        for i in 0..file.tokens.len() {
+            if !file.is_ident(i, "thread") || !file.is_punct(i + 1, "::") {
+                continue;
+            }
+            let target = i + 2;
+            if file.is_ident(target, "spawn") || file.is_ident(target, "Builder") {
+                sink.report(
+                    target,
+                    "OS-thread spawn outside cn_tensor::parallel: unbounded spawning caused \
+                     the thread-per-chunk regression; use parallel_chunks_mut/parallel_ranges \
+                     or suppress, stating the worker bound and who joins the threads",
+                );
+            }
+        }
+    }
+}

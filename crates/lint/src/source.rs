@@ -1,0 +1,546 @@
+//! A lexed source file plus the derived structure rules need: test-code
+//! spans, function spans and inline suppressions.
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+
+/// An inline suppression parsed from a
+/// `// cn-lint: allow(rule-name, reason = "…")` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule being allowed.
+    pub rule: String,
+    /// The justification, if one was given.
+    pub reason: Option<String>,
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// 1-based line the suppression applies to: the comment's own line
+    /// for a trailing comment, the next line containing code for a
+    /// standalone one.
+    pub applies_to: u32,
+}
+
+/// A comment that contains the `cn-lint` marker but could not be parsed
+/// as a well-formed suppression (reported as `malformed-suppression`).
+#[derive(Debug, Clone)]
+pub struct MalformedSuppression {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// What was wrong.
+    pub problem: String,
+}
+
+/// A span of one `fn` item: its name and the byte range of `fn … }`.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub start: usize,
+    /// Byte offset one past the body's closing `}` (or the `;` of a
+    /// bodyless declaration).
+    pub end: usize,
+    /// Index into the token stream of the body's `{`, if there is one.
+    pub body_start: Option<usize>,
+}
+
+/// One file, lexed and analyzed, ready for rules to scan.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators; rules filter on this.
+    pub path: String,
+    /// The raw text.
+    pub text: String,
+    /// Code tokens (no comments).
+    pub tokens: Vec<Token>,
+    /// Comments.
+    pub comments: Vec<Comment>,
+    /// Byte ranges covered by `#[cfg(test)]` items and `#[test]` functions.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Spans of all `fn` items, in source order.
+    pub fn_spans: Vec<FnSpan>,
+    /// Parsed suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// `cn-lint` comments that failed to parse.
+    pub malformed: Vec<MalformedSuppression>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes `text` under the given workspace-relative path.
+    pub fn parse(path: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        let path = path.into();
+        let text = text.into();
+        let Lexed { tokens, comments } = lex(&text);
+        let test_spans = test_spans(&tokens, &text);
+        let fn_spans = fn_spans(&tokens, &text);
+        let (suppressions, malformed) = parse_suppressions(&comments, &tokens, &text);
+        SourceFile {
+            path,
+            text,
+            tokens,
+            comments,
+            test_spans,
+            fn_spans,
+            suppressions,
+            malformed,
+        }
+    }
+
+    /// The text of token `i`.
+    pub fn tok(&self, i: usize) -> &str {
+        let t = &self.tokens[i];
+        &self.text[t.start..t.end]
+    }
+
+    /// Whether token `i` is an identifier with exactly this text.
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        i < self.tokens.len() && self.tokens[i].kind == TokenKind::Ident && self.tok(i) == text
+    }
+
+    /// Whether token `i` is punctuation with exactly this text.
+    pub fn is_punct(&self, i: usize, text: &str) -> bool {
+        i < self.tokens.len() && self.tokens[i].kind == TokenKind::Punct && self.tok(i) == text
+    }
+
+    /// Whether the byte offset lies inside test-only code.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Index of the token that starts the statement containing token `i`:
+    /// the token after the closest preceding `;`, `{` or `}`.
+    pub fn statement_start(&self, i: usize) -> usize {
+        let mut j = i;
+        while j > 0 {
+            let prev = self.tok(j - 1);
+            if matches!(prev, ";" | "{" | "}") {
+                break;
+            }
+            j -= 1;
+        }
+        j
+    }
+
+    /// Index one past the end of the statement containing token `i`: the
+    /// next `;`, `{` or `}` at or after `i`.
+    pub fn statement_end(&self, i: usize) -> usize {
+        let mut j = i;
+        while j < self.tokens.len() && !matches!(self.tok(j), ";" | "{" | "}") {
+            j += 1;
+        }
+        j
+    }
+
+    /// Index of the token holding the matching `)`/`]`/`}` for the opening
+    /// bracket at `open`, or the last token if unbalanced.
+    pub fn matching_close(&self, open: usize) -> usize {
+        let close = match self.tok(open) {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            other => panic!("token {other:?} is not an opening bracket"),
+        };
+        let open_text = self.tok(open).to_string();
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < self.tokens.len() {
+            let t = self.tok(j);
+            if t == open_text {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+
+    /// Index of the token holding the matching opening bracket for the
+    /// closing bracket at `close`.
+    pub fn matching_open(&self, close: usize) -> usize {
+        let open = match self.tok(close) {
+            ")" => "(",
+            "]" => "[",
+            "}" => "{",
+            other => panic!("token {other:?} is not a closing bracket"),
+        };
+        let close_text = self.tok(close).to_string();
+        let mut depth = 0usize;
+        let mut j = close + 1;
+        while j > 0 {
+            j -= 1;
+            let t = self.tok(j);
+            if t == close_text {
+                depth += 1;
+            } else if t == open {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        0
+    }
+}
+
+/// Computes the byte spans of test-only code: any item annotated
+/// `#[cfg(test)]` (in any attribute position) or `#[test]`.
+fn test_spans(tokens: &[Token], text: &str) -> Vec<(usize, usize)> {
+    let tok = |i: usize| &text[tokens[i].start..tokens[i].end];
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if !(tok(i) == "#" && tok(i + 1) == "[") {
+            i += 1;
+            continue;
+        }
+        let attr_start_tok = i;
+        // Scan the attribute group(s) in front of the item; remember
+        // whether any of them marks test code.
+        let mut is_test = false;
+        let mut j = i;
+        while j + 1 < tokens.len() && tok(j) == "#" && tok(j + 1) == "[" {
+            let close = matching_bracket(tokens, text, j + 1);
+            let inner: Vec<&str> = ((j + 2)..close).map(tok).collect();
+            if inner.as_slice() == ["test"] || (inner.contains(&"cfg") && inner.contains(&"test")) {
+                is_test = true;
+            }
+            j = close + 1;
+        }
+        if !is_test {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Find the end of the annotated item: the matching `}` of its
+        // first top-level `{`, or a `;` for bodyless items.
+        let mut k = j;
+        let mut end = tokens.last().map(|t| t.end).unwrap_or(0);
+        while k < tokens.len() {
+            match tok(k) {
+                "{" => {
+                    let close = matching_bracket(tokens, text, k);
+                    end = tokens[close].end;
+                    break;
+                }
+                ";" => {
+                    end = tokens[k].end;
+                    break;
+                }
+                // Skip over interior attributes of the item header.
+                "#" if k + 1 < tokens.len() && tok(k + 1) == "[" => {
+                    k = matching_bracket(tokens, text, k + 1) + 1;
+                }
+                _ => k += 1,
+            }
+        }
+        spans.push((tokens[attr_start_tok].start, end));
+        i = j.max(i + 1);
+    }
+    spans
+}
+
+/// Matching-close helper over raw token slices (used before a
+/// [`SourceFile`] exists).
+fn matching_bracket(tokens: &[Token], text: &str, open: usize) -> usize {
+    let tok = |i: usize| &text[tokens[i].start..tokens[i].end];
+    let (o, c) = match tok(open) {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = tok(j);
+        if t == o {
+            depth += 1;
+        } else if t == c {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Collects the spans of every `fn` item.
+fn fn_spans(tokens: &[Token], text: &str) -> Vec<FnSpan> {
+    let tok = |i: usize| &text[tokens[i].start..tokens[i].end];
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tok(i) != "fn" || tokens[i].kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // `fn` inside a type position (`fn(usize)`) has no name ident.
+        if i + 1 >= tokens.len() || tokens[i + 1].kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = tok(i + 1).to_string();
+        // Find the body `{` or a terminating `;` (trait method decl),
+        // skipping balanced bracket groups of the signature.
+        let mut j = i + 2;
+        let mut body_start = None;
+        let mut end = tokens.last().map(|t| t.end).unwrap_or(0);
+        while j < tokens.len() {
+            match tok(j) {
+                "(" | "[" => j = matching_bracket(tokens, text, j) + 1,
+                "{" => {
+                    body_start = Some(j);
+                    let close = matching_bracket(tokens, text, j);
+                    end = tokens[close].end;
+                    break;
+                }
+                ";" => {
+                    end = tokens[j].end;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        spans.push(FnSpan {
+            name,
+            start: tokens[i].start,
+            end,
+            body_start,
+        });
+        i += 2;
+    }
+    spans
+}
+
+/// Parses `cn-lint` comments into suppressions and malformed markers.
+fn parse_suppressions(
+    comments: &[Comment],
+    tokens: &[Token],
+    text: &str,
+) -> (Vec<Suppression>, Vec<MalformedSuppression>) {
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Suppressions live in plain comments only; doc comments merely
+        // *talk about* the syntax (this crate's own docs included).
+        if c.doc {
+            continue;
+        }
+        let body = &text[c.start..c.end];
+        let Some(marker) = body.find("cn-lint") else {
+            continue;
+        };
+        let after_marker = &body[marker + "cn-lint".len()..];
+        // A prose mention ("the cn-lint binary") is fine; a comment that
+        // pairs the marker with `allow` is a suppression attempt and must
+        // parse exactly.
+        if !after_marker.trim_start().starts_with(':') && !after_marker.contains("allow") {
+            continue;
+        }
+        let rest = after_marker.trim_start();
+        let Some(rest) = rest.strip_prefix(':') else {
+            bad.push(MalformedSuppression {
+                line: c.line,
+                col: c.col,
+                problem: "expected `cn-lint: allow(rule-name, reason = \"…\")`".to_string(),
+            });
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => {
+                // A trailing comment applies to its own line; a standalone
+                // comment applies to the next line that has code on it.
+                let code_before = tokens.iter().any(|t| t.line == c.line && t.start < c.start);
+                let applies_to = if code_before {
+                    c.line
+                } else {
+                    tokens
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .unwrap_or(c.line)
+                };
+                good.push(Suppression {
+                    rule,
+                    reason,
+                    line: c.line,
+                    applies_to,
+                });
+            }
+            Err(problem) => bad.push(MalformedSuppression {
+                line: c.line,
+                col: c.col,
+                problem,
+            }),
+        }
+    }
+    (good, bad)
+}
+
+/// Parses `allow(rule-name)` or `allow(rule-name, reason = "…")`.
+fn parse_allow(s: &str) -> Result<(String, Option<String>), String> {
+    let Some(inner) = s
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('('))
+    else {
+        return Err("expected `allow(…)` after `cn-lint:`".to_string());
+    };
+    let Some(inner) = inner.trim_end().strip_suffix(')') else {
+        return Err("unclosed `allow(`".to_string());
+    };
+    let (rule_part, reason_part) = match inner.find(',') {
+        Some(comma) => (&inner[..comma], Some(inner[comma + 1..].trim())),
+        None => (inner, None),
+    };
+    let rule = rule_part.trim();
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '-')
+    {
+        return Err(format!("invalid rule name `{rule}`"));
+    }
+    let reason = match reason_part {
+        None => None,
+        Some(r) => {
+            let Some(quoted) = r
+                .strip_prefix("reason")
+                .map(str::trim_start)
+                .and_then(|t| t.strip_prefix('='))
+                .map(str::trim_start)
+            else {
+                return Err("expected `reason = \"…\"` after the rule name".to_string());
+            };
+            let Some(value) = quoted.strip_prefix('"').and_then(|t| t.strip_suffix('"')) else {
+                return Err("reason must be a double-quoted string".to_string());
+            };
+            if value.trim().is_empty() {
+                return Err("reason must not be empty".to_string());
+            }
+            Some(value.to_string())
+        }
+    };
+    Ok((rule.to_string(), reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_span_covers_the_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() { let x = 1; }\n}\nfn also_live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let live = src.find("live").unwrap();
+        let inner = src.find("inner").unwrap();
+        let also = src.find("also_live").unwrap();
+        assert!(!f.in_test_code(live));
+        assert!(f.in_test_code(inner));
+        assert!(!f.in_test_code(also));
+    }
+
+    #[test]
+    fn test_attribute_function_span() {
+        let src = "#[test]\nfn check() { assert!(true); }\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test_code(src.find("assert").unwrap()));
+        assert!(!f.in_test_code(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn stacked_attributes_before_test_item() {
+        let src = "#[allow(dead_code)]\n#[cfg(test)]\nmod t { fn g() {} }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test_code(src.find("g").unwrap()));
+    }
+
+    #[test]
+    fn cfg_any_including_test_counts_as_test() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod t { fn g() {} }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test_code(src.find("g").unwrap()));
+    }
+
+    #[test]
+    fn fn_spans_with_nested_braces() {
+        let src = "fn outer() { if x { y() } }\nfn next() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.fn_spans.len(), 2);
+        assert_eq!(f.fn_spans[0].name, "outer");
+        assert!(f.fn_spans[0].end <= src.find("fn next").unwrap());
+    }
+
+    #[test]
+    fn trailing_suppression_applies_to_its_own_line() {
+        let src = "let x = 1; // cn-lint: allow(some-rule, reason = \"why\")\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        let s = &f.suppressions[0];
+        assert_eq!(s.rule, "some-rule");
+        assert_eq!(s.reason.as_deref(), Some("why"));
+        assert_eq!(s.applies_to, 1);
+    }
+
+    #[test]
+    fn standalone_suppression_applies_to_next_code_line() {
+        let src = "// cn-lint: allow(some-rule)\n\n// another comment\nlet x = 1;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.suppressions[0].applies_to, 4);
+    }
+
+    #[test]
+    fn malformed_suppressions_are_reported() {
+        for bad in [
+            "// cn-lint allow(x)",
+            "// cn-lint: deny(some-rule)",
+            "// cn-lint: allow(Some_Rule)",
+            "// cn-lint: allow(rule, reason = unquoted)",
+            "// cn-lint: allow(rule, reason = \"\")",
+            "// cn-lint: allow(rule",
+        ] {
+            let f = SourceFile::parse("x.rs", bad);
+            assert_eq!(f.malformed.len(), 1, "{bad}");
+            assert!(f.suppressions.is_empty(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn suppression_syntax_in_a_string_is_ignored() {
+        let src = "let s = \"// cn-lint: allow(x)\";\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppressions.is_empty());
+        assert!(f.malformed.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_and_prose_mentions_are_not_suppressions() {
+        let src = "/// Quote: `// cn-lint: allow(rule)` suppresses.\n//! cn-lint allow syntax doc\n// the cn-lint binary runs in CI\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppressions.is_empty());
+        assert!(f.malformed.is_empty());
+    }
+
+    #[test]
+    fn statement_boundaries() {
+        let src = "let a = 1; let b = foo(x, y); let c = 3;";
+        let f = SourceFile::parse("x.rs", src);
+        let foo = f
+            .tokens
+            .iter()
+            .position(|t| &src[t.start..t.end] == "foo")
+            .unwrap();
+        let start = f.statement_start(foo);
+        assert_eq!(f.tok(start), "let");
+        let end = f.statement_end(foo);
+        assert_eq!(f.tok(end), ";");
+    }
+}

@@ -1,0 +1,90 @@
+//! Workspace discovery: which `.rs` files get linted.
+
+use crate::engine::{self, Diagnostic, Rule};
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+
+/// Path fragments excluded from linting: the rule fixtures fire on
+/// purpose.
+const SKIP_PATHS: &[&str] = &["crates/lint/tests/fixtures/"];
+
+/// Collects every lintable `.rs` file under `root`, as paths relative to
+/// it, sorted for deterministic output.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal.
+pub fn discover(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            let rel_str = rel_path_str(&rel);
+            if SKIP_PATHS.iter().any(|skip| rel_str.contains(skip)) {
+                continue;
+            }
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// A relative path as a `/`-separated string (rule filters match on
+/// this, independent of the host OS).
+pub fn rel_path_str(path: &Path) -> String {
+    path.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints the workspace rooted at `root` with `rules`: discovers files,
+/// parses each, runs the engine.
+///
+/// # Errors
+///
+/// Propagates I/O errors from traversal or reading a source file.
+pub fn lint_workspace(root: &Path, rules: &[Box<dyn Rule>]) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for rel in discover(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        files.push(SourceFile::parse(rel_path_str(&rel), text));
+    }
+    Ok(engine::run(&files, rules))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_tree_is_excluded() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = discover(&root).unwrap();
+        assert!(!files.is_empty());
+        let strs: Vec<String> = files.iter().map(|p| rel_path_str(p)).collect();
+        assert!(strs
+            .iter()
+            .all(|p| !p.contains("crates/lint/tests/fixtures/")));
+        assert!(strs.iter().all(|p| !p.starts_with("target/")));
+        assert!(strs.iter().any(|p| p == "crates/tensor/src/rng.rs"));
+    }
+}

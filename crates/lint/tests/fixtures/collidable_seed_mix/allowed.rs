@@ -1,0 +1,5 @@
+//@ path: crates/nn/src/layers/fake_dropout.rs
+fn per_call_seed(seed: u64, calls: u64) -> u64 {
+    // cn-lint: allow(collidable-seed-mix, reason = "fixture: legacy derivation pinned by a bit-compat regression test")
+    seed ^ calls.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -1,0 +1,6 @@
+//@ path: crates/nn/src/layers/fake_dropout.rs
+// A per-call stream derived by xoring the seed with a multiplied
+// counter — the exact Dropout/Trainer bug family.
+fn per_call_seed(seed: u64, calls: u64) -> u64 {
+    seed ^ calls.wrapping_mul(0x9E37_79B9_7F4A_7C15) //~ collidable-seed-mix
+}

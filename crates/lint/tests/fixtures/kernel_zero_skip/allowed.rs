@@ -1,0 +1,10 @@
+//@ path: crates/tensor/src/ops/fake_axpy.rs
+pub fn axpy(a: f32, xs: &[f32], ys: &mut [f32]) {
+    for (x, y) in xs.iter().zip(ys.iter_mut()) {
+        // cn-lint: allow(kernel-zero-skip, reason = "fixture: inputs are validated finite by the caller")
+        if *x == 0.0 {
+            continue;
+        }
+        *y += a * *x;
+    }
+}

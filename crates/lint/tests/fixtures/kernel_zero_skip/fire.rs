@@ -1,0 +1,9 @@
+//@ path: crates/tensor/src/ops/fake_axpy.rs
+pub fn axpy(a: f32, xs: &[f32], ys: &mut [f32]) {
+    for (x, y) in xs.iter().zip(ys.iter_mut()) {
+        if *x == 0.0 { //~ kernel-zero-skip
+            continue;
+        }
+        *y += a * *x;
+    }
+}

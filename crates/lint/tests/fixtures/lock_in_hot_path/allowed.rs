@@ -1,0 +1,7 @@
+//@ path: crates/analog/src/engine/fake_mc.rs
+use std::sync::Mutex;
+
+pub struct SwapSlot {
+    // cn-lint: allow(lock-in-hot-path, reason = "fixture: locked once per deployment swap, not per sample")
+    slot: Mutex<u64>,
+}

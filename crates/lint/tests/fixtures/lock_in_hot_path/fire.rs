@@ -1,0 +1,7 @@
+//@ path: crates/analog/src/engine/fake_mc.rs
+use std::sync::Mutex;
+
+pub fn gather(samples: usize) -> Vec<f32> {
+    let results = Mutex::new(Vec::with_capacity(samples)); //~ lock-in-hot-path
+    results.into_inner().unwrap()
+}

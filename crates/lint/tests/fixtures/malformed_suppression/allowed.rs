@@ -1,0 +1,5 @@
+//@ path: crates/nn/src/fake.rs
+// A well-formed suppression of a known rule parses silently even when
+// nothing fires on the next line.
+// cn-lint: allow(kernel-zero-skip, reason = "fixture: demonstrates well-formed syntax")
+fn f() {}

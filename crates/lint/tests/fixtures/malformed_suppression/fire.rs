@@ -1,0 +1,4 @@
+//@ path: crates/nn/src/fake.rs
+fn f() {}
+// cn-lint: allow(no-such-rule, reason = "the rule id has a typo")
+//~^ malformed-suppression

@@ -1,0 +1,4 @@
+//@ path: crates/analog/src/fake_compat.rs
+// cn-lint: allow(missing-deprecation-note, reason = "fixture: replacement lands in the next PR")
+#[deprecated(since = "0.2.0")]
+pub fn legacy_entry() {}

@@ -1,0 +1,3 @@
+//@ path: crates/analog/src/fake_compat.rs
+#[deprecated(since = "0.2.0")] //~ missing-deprecation-note
+pub fn legacy_entry() {}

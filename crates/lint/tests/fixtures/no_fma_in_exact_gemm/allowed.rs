@@ -1,0 +1,9 @@
+//@ path: crates/tensor/src/ops/gemm/fake_kernel.rs
+pub fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        // cn-lint: allow(no-fma-in-exact-gemm, reason = "fixture: opt-in fast path behind a non-exact backend flag")
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}

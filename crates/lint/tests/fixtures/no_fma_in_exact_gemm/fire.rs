@@ -1,0 +1,8 @@
+//@ path: crates/tensor/src/ops/gemm/fake_kernel.rs
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc = x.mul_add(*y, acc); //~ no-fma-in-exact-gemm
+    }
+    acc
+}

@@ -1,0 +1,8 @@
+//@ path: crates/serve/src/fake_worker.rs
+fn worker_loop(batch: Vec<Request>, shared: &Shared) {
+    for request in batch {
+        let _ = request.tx.send(Reply::default());
+    }
+    // cn-lint: allow(stats-after-reply, reason = "fixture: counter feeds an end-of-run report, not live stats()")
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+}

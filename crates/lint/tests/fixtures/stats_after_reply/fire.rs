@@ -1,0 +1,7 @@
+//@ path: crates/serve/src/fake_worker.rs
+fn worker_loop(batch: Vec<Request>, shared: &Shared) {
+    for request in batch {
+        let _ = request.tx.send(Reply::default());
+    }
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed); //~ stats-after-reply
+}

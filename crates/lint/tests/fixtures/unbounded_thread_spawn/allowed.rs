@@ -1,0 +1,12 @@
+//@ path: crates/bench/src/fake_driver.rs
+pub fn run_all(jobs: Vec<Job>) {
+    let handles: Vec<_> = jobs
+        .into_iter()
+        .take(4)
+        // cn-lint: allow(unbounded-thread-spawn, reason = "fixture: capped at 4 workers, joined below")
+        .map(|job| std::thread::spawn(move || job.run()))
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

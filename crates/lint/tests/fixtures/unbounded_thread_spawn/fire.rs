@@ -1,0 +1,6 @@
+//@ path: crates/bench/src/fake_driver.rs
+pub fn run_all(jobs: Vec<Job>) {
+    for job in jobs {
+        std::thread::spawn(move || job.run()); //~ unbounded-thread-spawn
+    }
+}

@@ -1,0 +1,163 @@
+//! Marker-driven fixture tests for every cataloged rule.
+//!
+//! Each fixture under `tests/fixtures/<rule>/` is a plain `.rs` file that is
+//! never compiled. Its first line is a `//@ path: <virtual-path>` directive
+//! giving the workspace-relative path the rule's path filters should see.
+//! Expected diagnostics are marked inline:
+//!
+//! - `//~ rule-name`  — a diagnostic with that rule id on the same line
+//! - `//~^ rule-name` — a diagnostic with that rule id on the previous line
+//!
+//! `fire.rs` fixtures pin that the rule fires at exactly the marked lines;
+//! `allowed.rs` twins carry a `// cn-lint: allow(...)` suppression and must
+//! produce zero diagnostics.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use cn_lint::engine;
+use cn_lint::rules;
+use cn_lint::source::SourceFile;
+
+/// `(rule id, line)` pairs — both the expected and the produced side.
+type DiagSet = BTreeSet<(String, usize)>;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Strip the directive/marker lines down to (virtual path, expected set).
+///
+/// Marker comments are left in the source text handed to the linter — they
+/// are ordinary line comments, and a correct lexer/suppression parser must
+/// ignore them — so line numbers in the fixture match what the engine sees.
+fn parse_fixture(text: &str, file: &Path) -> (String, DiagSet) {
+    let first = text.lines().next().unwrap_or("");
+    let virtual_path = first
+        .strip_prefix("//@ path:")
+        .unwrap_or_else(|| panic!("{}: first line must be `//@ path: ...`", file.display()))
+        .trim()
+        .to_string();
+
+    let mut expected = BTreeSet::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if let Some(pos) = line.find("//~") {
+            let rest = &line[pos + 3..];
+            let (rule, at) = match rest.strip_prefix('^') {
+                Some(r) => (r.trim(), lineno - 1),
+                None => (rest.trim(), lineno),
+            };
+            assert!(
+                !rule.is_empty(),
+                "{}:{}: empty expectation marker",
+                file.display(),
+                lineno
+            );
+            expected.insert((rule.to_string(), at));
+        }
+    }
+    (virtual_path, expected)
+}
+
+fn run_fixture(file: &Path) -> (DiagSet, DiagSet) {
+    let text =
+        std::fs::read_to_string(file).unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+    let (virtual_path, expected) = parse_fixture(&text, file);
+    let source = SourceFile::parse(virtual_path, text.as_str());
+    let diags = engine::run(std::slice::from_ref(&source), &rules::catalog());
+    let actual: DiagSet = diags
+        .iter()
+        .map(|d| (d.rule.to_string(), d.line as usize))
+        .collect();
+    (expected, actual)
+}
+
+fn check_pair(dir: &str) {
+    let base = fixtures_dir().join(dir);
+
+    let fire = base.join("fire.rs");
+    let (expected, actual) = run_fixture(&fire);
+    assert!(
+        !expected.is_empty(),
+        "{}: fire fixture declares no `//~` expectations",
+        fire.display()
+    );
+    assert_eq!(
+        expected,
+        actual,
+        "{}: expected diagnostics {:?}, got {:?}",
+        fire.display(),
+        expected,
+        actual
+    );
+
+    let allowed = base.join("allowed.rs");
+    let (expected, actual) = run_fixture(&allowed);
+    assert!(
+        expected.is_empty(),
+        "{}: allowed fixtures must not declare expectations",
+        allowed.display()
+    );
+    assert!(
+        actual.is_empty(),
+        "{}: suppression failed, diagnostics leaked: {:?}",
+        allowed.display(),
+        actual
+    );
+}
+
+#[test]
+fn collidable_seed_mix_fixture() {
+    check_pair("collidable_seed_mix");
+}
+
+#[test]
+fn kernel_zero_skip_fixture() {
+    check_pair("kernel_zero_skip");
+}
+
+#[test]
+fn no_fma_in_exact_gemm_fixture() {
+    check_pair("no_fma_in_exact_gemm");
+}
+
+#[test]
+fn unbounded_thread_spawn_fixture() {
+    check_pair("unbounded_thread_spawn");
+}
+
+#[test]
+fn lock_in_hot_path_fixture() {
+    check_pair("lock_in_hot_path");
+}
+
+#[test]
+fn stats_after_reply_fixture() {
+    check_pair("stats_after_reply");
+}
+
+#[test]
+fn missing_deprecation_note_fixture() {
+    check_pair("missing_deprecation_note");
+}
+
+#[test]
+fn malformed_suppression_fixture() {
+    check_pair("malformed_suppression");
+}
+
+#[test]
+fn every_cataloged_rule_has_a_fixture_pair() {
+    let mut missing = Vec::new();
+    for rule in rules::catalog() {
+        let dir = fixtures_dir().join(rule.id().replace('-', "_"));
+        if !dir.join("fire.rs").is_file() || !dir.join("allowed.rs").is_file() {
+            missing.push(rule.id().to_string());
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "rules without fixture pairs: {missing:?}"
+    );
+}

@@ -1,0 +1,26 @@
+//! Self-hosting integration test: the workspace must lint clean.
+//!
+//! This is the same sweep `cargo run -p cn-lint` and the CI job perform.
+//! Intentional uses of flagged patterns (the hot-swap slot `Mutex` in
+//! `cn-serve`, the bounded worker `thread::Builder` loop, ...) carry inline
+//! `// cn-lint: allow(...)` suppressions with reasons; anything new that
+//! trips a rule fails this test with the rendered diagnostics.
+
+use std::path::Path;
+
+use cn_lint::rules;
+use cn_lint::workspace;
+
+#[test]
+fn workspace_is_diagnostic_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = workspace::lint_workspace(&root, &rules::catalog())
+        .expect("walking the workspace should succeed");
+    let rendered: Vec<String> = diags.iter().map(|d| d.render_human()).collect();
+    assert!(
+        rendered.is_empty(),
+        "cn-lint found {} diagnostic(s) in the workspace:\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}

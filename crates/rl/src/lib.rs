@@ -21,6 +21,8 @@
 //! learning. [`exhaustive`] provides the all-layers reference of Fig. 10
 //! and small-space ground truth; [`random_search`] is a sanity baseline.
 
+#![warn(missing_docs)]
+
 pub mod env;
 pub mod exhaustive;
 pub mod policy;

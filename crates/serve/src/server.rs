@@ -84,6 +84,7 @@ struct Request {
 /// State shared between the server handle and its workers: the hot-swap
 /// deployment slot and the health counters.
 struct Shared {
+    // cn-lint: allow(lock-in-hot-path, reason = "hot-swap slot: locked once per install/rebind at a batch boundary, never per request")
     slot: Mutex<Arc<CompiledModel>>,
     epoch: AtomicU64,
     stats: StatsCollector,
@@ -126,6 +127,7 @@ impl Server {
         assert!(!sample_dims.is_empty(), "sample_dims must be non-empty");
         let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
         let shared = Arc::new(Shared {
+            // cn-lint: allow(lock-in-hot-path, reason = "hot-swap slot construction; see Shared::slot")
             slot: Mutex::new(Arc::clone(&compiled)),
             epoch: AtomicU64::new(0),
             stats: StatsCollector::new(),
@@ -136,6 +138,7 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 let cfg = config.clone();
                 let dims = sample_dims.to_vec();
+                // cn-lint: allow(unbounded-thread-spawn, reason = "bounded by config.workers; joined in shutdown_in_place")
                 std::thread::Builder::new()
                     .name(format!("cn-serve-worker-{w}"))
                     .spawn(move || worker_loop(&queue, &shared, &cfg, &dims))
@@ -246,6 +249,7 @@ impl Drop for Server {
     }
 }
 
+// cn-lint: allow(lock-in-hot-path, reason = "hot-swap slot accessor: called on install/current/rebind, not per batch")
 fn lock_slot(slot: &Mutex<Arc<CompiledModel>>) -> std::sync::MutexGuard<'_, Arc<CompiledModel>> {
     slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }

@@ -29,6 +29,8 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod hash;
 pub mod io;

@@ -43,13 +43,8 @@ impl SeededRng {
     /// Derives an independent child generator; `stream` distinguishes
     /// multiple children of the same parent seed.
     pub fn fork(&mut self, stream: u64) -> SeededRng {
-        // splitmix-style mixing of a fresh draw with the stream id keeps the
-        // child streams decorrelated even for adjacent ids.
         let base: u64 = self.inner.random();
-        let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        SeededRng::new(z ^ (z >> 31))
+        SeededRng::new(derive_stream_seed(base, stream))
     }
 
     /// Uniform sample in `[0, 1)`.
@@ -159,6 +154,29 @@ impl SeededRng {
     }
 }
 
+/// The splitmix64 output/finalization function: two multiply-xorshift
+/// rounds with full avalanche (every input bit flips every output bit
+/// with probability ≈ 1/2).
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a parent draw and a stream id onto a child seed.
+///
+/// Both words go through a full splitmix64 finalization *before* they are
+/// combined: `stream · φ64` is the splitmix64 state at index `stream`, so
+/// finalizing it yields the sequence's `stream`-th output, and the result
+/// is folded into `base` and finalized again. The previous derivation
+/// combined the raw multiplied counter directly — `finalize(base ^
+/// stream · φ64)` — so pairs like `(base, 1)` and `(base ^ φ64, 0)`
+/// collapsed onto the same child seed (the Dropout/Trainer bug family).
+fn derive_stream_seed(base: u64, stream: u64) -> u64 {
+    let stream_word = splitmix64(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    splitmix64(base.wrapping_add(stream_word))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +210,42 @@ mod tests {
         let mut a = parent.fork(0);
         let mut b = parent.fork(1);
         assert_ne!(a.uniform(), b.uniform());
+    }
+
+    /// Regression: the old derivation `finalize(base ^ stream · φ64)`
+    /// XOR-combined the raw multiplied counter with the parent draw, so
+    /// related `(base, stream)` pairs cancelled exactly — `(base, s)` and
+    /// `(base ^ s · φ64, 0)` produced the *same* child seed. Finalizing
+    /// each word before combining must keep every such pair distinct.
+    #[test]
+    fn stream_mix_resists_xor_cancellation() {
+        const PHI64: u64 = 0x9E37_79B9_7F4A_7C15;
+        for base in [0u64, 1, 0xDEAD_BEEF, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            for s in 1..8u64 {
+                let a = derive_stream_seed(base, s);
+                let b = derive_stream_seed(base ^ s.wrapping_mul(PHI64), 0);
+                assert_ne!(a, b, "base {base:#x} stream {s}");
+            }
+        }
+    }
+
+    /// Adjacent `(seed, stream)` pairs must all yield distinct child
+    /// streams — a grid of small seeds and stream ids may not collide on
+    /// their first draws.
+    #[test]
+    fn adjacent_seed_stream_pairs_do_not_collide() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for seed in 0..16u64 {
+            for stream in 0..16u64 {
+                let mut child = SeededRng::new(seed).fork(stream);
+                let fingerprint = (child.uniform().to_bits(), child.uniform().to_bits());
+                assert!(
+                    seen.insert(fingerprint),
+                    "fork collision at seed {seed}, stream {stream}"
+                );
+            }
+        }
     }
 
     #[test]
