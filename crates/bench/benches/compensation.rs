@@ -41,9 +41,12 @@ fn bench_energy_analysis(c: &mut Criterion) {
         report.digital_macs,
         report.digital_energy_fraction(&CostModel::default())
     );
-    c.bench_function("energy_analysis_lenet", |b| {
+    // Grouped so the baseline taxonomy is uniformly group/id.
+    let mut group = c.benchmark_group("energy_analysis");
+    group.bench_function("lenet", |b| {
         b.iter(|| black_box(analyze(&mut comp, &[1, 28, 28], &CostModel::default())));
     });
+    group.finish();
 }
 
 fn quick_criterion() -> Criterion {

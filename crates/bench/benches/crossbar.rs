@@ -65,10 +65,13 @@ fn bench_tiled_vs_monolithic(c: &mut Criterion) {
 fn bench_programming(c: &mut Criterion) {
     let mut rng = SeededRng::new(7);
     let w = rng.normal_tensor(&[128, 128], 0.0, 1.0);
-    c.bench_function("program_128x128_with_variation", |b| {
+    // Grouped so the baseline taxonomy is uniformly group/id.
+    let mut group = c.benchmark_group("crossbar_program");
+    group.bench_function("128x128_with_variation", |b| {
         let mut r = SeededRng::new(8);
         b.iter(|| black_box(Crossbar::program(&w, CellSpec::typical(0.3), &mut r)));
     });
+    group.finish();
 }
 
 fn quick_criterion() -> Criterion {

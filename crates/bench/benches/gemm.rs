@@ -14,7 +14,7 @@ use std::hint::black_box;
 
 /// `(name, m, k, n)` — m is the im2col patch count (LeNet/VGG layers at
 /// batch 1) or the batch size for dense heads.
-const SHAPES: [(&str, usize, usize, usize); 7] = [
+const SHAPES: [(&str, usize, usize, usize); 8] = [
     // Single-request serving: the short-m (< MR) kernel path.
     ("vgg_fc_b1", 1, 512, 512),
     // LeNet-5 conv2 on MNIST: 10×10 patches, 6·5·5 patch len, 16 filters.
@@ -27,6 +27,8 @@ const SHAPES: [(&str, usize, usize, usize); 7] = [
     ("vgg_conv3", 64, 2304, 256),
     // VGG dense head at batch 32: 32 × [512 → 512].
     ("vgg_fc_b32", 32, 512, 512),
+    // Fast square case: the CI perf-smoke subset (`scripts/bench`).
+    ("square256", 256, 256, 256),
     // Square stress case (the acceptance-criterion shape).
     ("square512", 512, 512, 512),
 ];

@@ -32,7 +32,9 @@ fn bench_mask_sampling(c: &mut Criterion) {
 fn bench_mc_sample(c: &mut Criterion) {
     let data = synthetic_mnist(64, 64, 4);
     let model = lenet5(&LeNetConfig::mnist(5));
-    c.bench_function("mc_one_lenet_sample_64imgs", |b| {
+    // Grouped so the baseline taxonomy is uniformly group/id.
+    let mut group = c.benchmark_group("mc_sample");
+    group.bench_function("one_lenet_sample_64imgs", |b| {
         let backend = AnalogBackend::lognormal(0.5);
         b.iter(|| {
             black_box(monte_carlo(
@@ -43,6 +45,7 @@ fn bench_mc_sample(c: &mut Criterion) {
             ))
         });
     });
+    group.finish();
 }
 
 fn quick_criterion() -> Criterion {

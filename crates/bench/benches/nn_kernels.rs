@@ -43,12 +43,15 @@ fn bench_conv_backward(c: &mut Criterion) {
     let x = rng.normal_tensor(&[8, 16, 16, 16], 0.0, 1.0);
     let y = conv.forward(&x, true);
     let g = rng.normal_tensor(y.dims(), 0.0, 1.0);
-    c.bench_function("conv2d_fwd_bwd_16c_b8", |b| {
+    // Grouped so the baseline taxonomy is uniformly group/id.
+    let mut group = c.benchmark_group("conv2d_train");
+    group.bench_function("fwd_bwd_16c_b8", |b| {
         b.iter(|| {
             let _ = conv.forward(&x, true);
             black_box(conv.backward(&g))
         });
     });
+    group.finish();
 }
 
 fn bench_noise_mask_application(c: &mut Criterion) {

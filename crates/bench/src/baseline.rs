@@ -1,0 +1,549 @@
+//! Named bench baselines: the machine-readable perf trajectory.
+//!
+//! A [`Baseline`] is one recorded benchmark run — every benchmark's full
+//! per-sample vector plus enough provenance (host fingerprint, git rev,
+//! creation time) to judge whether two runs are comparable. Baselines
+//! are saved as `BENCH_<name>.json` at the repo root (schema below) and
+//! compared with [`compare::compare`], whose statistical gate is what
+//! turns the mini-criterion harness from a printer into a CI gate.
+//!
+//! Benchmarks are identified by a four-level taxonomy
+//! `workspace/bench/group/id` (e.g. `cn-bench/gemm/gemm_packed/square256`):
+//! the crate, the bench binary, the criterion group and the benchmark id.
+//! The `bench` and `group/id` levels come straight from the criterion
+//! shim's `CN_BENCH_JSONL` records ([`Baseline::ingest_jsonl`]).
+//!
+//! # Schema (version 1)
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "kind": "bench-baseline",
+//!   "name": "seed",
+//!   "created_unix": 1754500000,
+//!   "git_rev": "8da93b8",
+//!   "host": { "hostname": "…", "os": "linux", "arch": "x86_64", "cpus": 8 },
+//!   "benchmarks": [
+//!     {
+//!       "workspace": "cn-bench",
+//!       "bench": "gemm",
+//!       "group": "gemm_packed",
+//!       "id": "square256",
+//!       "iters_per_sample": 180,
+//!       "samples_ns": [701234.5, …]
+//!     }, …
+//!   ]
+//! }
+//! ```
+//!
+//! Mean/min/max are derived, never stored — stored summaries could
+//! silently diverge from the samples they summarize.
+//!
+//! Corrupt or incomplete files are rejected with a named
+//! [`BaselineError`] (mirroring the `.cnm` cache's corrupt-entry
+//! handling: a bad artifact is a diagnosable error, not a crash).
+
+pub mod compare;
+
+use correctnet::export::json::Json;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Version stamp written into every baseline file.
+pub const BASELINE_SCHEMA_VERSION: u32 = 1;
+
+/// The `kind` discriminator distinguishing baselines from the other
+/// schema-v1 JSON artifacts in the repo (experiment reports).
+pub const BASELINE_KIND: &str = "bench-baseline";
+
+/// Why a baseline could not be loaded or ingested.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Filesystem-level failure.
+    Io {
+        /// The path that failed.
+        path: PathBuf,
+        /// The underlying error, stringified.
+        detail: String,
+    },
+    /// The file is not valid JSON (or a JSONL line is not).
+    Parse {
+        /// The parser's message.
+        detail: String,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// Dotted path of the field, e.g. `benchmarks[2].samples_ns`.
+        field: String,
+    },
+    /// A field is present but has the wrong type or an invalid value.
+    BadField {
+        /// Dotted path of the field.
+        field: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The file's `schema_version`/`kind` is not one this code reads.
+    UnsupportedSchema {
+        /// What the file declared.
+        found: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Io { path, detail } => {
+                write!(f, "baseline I/O error at {}: {detail}", path.display())
+            }
+            BaselineError::Parse { detail } => write!(f, "baseline is not valid JSON: {detail}"),
+            BaselineError::MissingField { field } => {
+                write!(f, "baseline is missing field `{field}`")
+            }
+            BaselineError::BadField { field, reason } => {
+                write!(f, "baseline field `{field}` is invalid: {reason}")
+            }
+            BaselineError::UnsupportedSchema { found } => {
+                write!(f, "unsupported baseline schema: {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Where a baseline was measured. Two baselines from different hosts are
+/// still comparable, but the compare layer flags the mismatch — absolute
+/// wall-clock across machines is apples to oranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostFingerprint {
+    /// Machine hostname (`unknown` when undeterminable).
+    pub hostname: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available logical CPUs.
+    pub cpus: u64,
+}
+
+impl HostFingerprint {
+    /// Fingerprint of the current machine.
+    pub fn detect() -> HostFingerprint {
+        let hostname = std::env::var("HOSTNAME")
+            .ok()
+            .filter(|h| !h.is_empty())
+            .or_else(|| {
+                std::fs::read_to_string("/etc/hostname")
+                    .ok()
+                    .map(|h| h.trim().to_string())
+                    .filter(|h| !h.is_empty())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        HostFingerprint {
+            hostname,
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hostname", Json::str(&self.hostname)),
+            ("os", Json::str(&self.os)),
+            ("arch", Json::str(&self.arch)),
+            ("cpus", Json::num(self.cpus as f64)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<HostFingerprint, BaselineError> {
+        Ok(HostFingerprint {
+            hostname: req_str(json, "host.hostname", "hostname")?,
+            os: req_str(json, "host.os", "os")?,
+            arch: req_str(json, "host.arch", "arch")?,
+            cpus: req_u64(json, "host.cpus", "cpus")?,
+        })
+    }
+}
+
+/// One benchmark's recorded run inside a [`Baseline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Taxonomy level 1: the crate the bench lives in (`cn-bench`).
+    pub workspace: String,
+    /// Taxonomy level 2: the bench binary (`gemm`, `serve_throughput`…).
+    pub bench: String,
+    /// Taxonomy level 3: the criterion group (`gemm_packed`…).
+    pub group: String,
+    /// Taxonomy level 4: the benchmark id within the group.
+    pub id: String,
+    /// Iterations batched into each timed sample.
+    pub iters_per_sample: u64,
+    /// Per-iteration nanoseconds, one entry per sample.
+    pub samples_ns: Vec<f64>,
+}
+
+impl BenchRecord {
+    /// The full hierarchical id, `workspace/bench/group/id`.
+    pub fn full_id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.workspace, self.bench, self.group, self.id
+        )
+    }
+
+    /// Mean per-iteration nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// Fastest sample (ns/iter).
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest sample (ns/iter).
+    pub fn max_ns(&self) -> f64 {
+        self.samples_ns.iter().cloned().fold(0.0f64, f64::max)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workspace", Json::str(&self.workspace)),
+            ("bench", Json::str(&self.bench)),
+            ("group", Json::str(&self.group)),
+            ("id", Json::str(&self.id)),
+            ("iters_per_sample", Json::num(self.iters_per_sample as f64)),
+            (
+                "samples_ns",
+                Json::arr(self.samples_ns.iter().map(|&s| Json::num(s))),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json, ctx: &str) -> Result<BenchRecord, BaselineError> {
+        let record = BenchRecord {
+            workspace: req_str(json, &format!("{ctx}.workspace"), "workspace")?,
+            bench: req_str(json, &format!("{ctx}.bench"), "bench")?,
+            group: req_str(json, &format!("{ctx}.group"), "group")?,
+            id: req_str(json, &format!("{ctx}.id"), "id")?,
+            iters_per_sample: req_u64(
+                json,
+                &format!("{ctx}.iters_per_sample"),
+                "iters_per_sample",
+            )?,
+            samples_ns: req_f64_arr(json, &format!("{ctx}.samples_ns"), "samples_ns")?,
+        };
+        if record.samples_ns.is_empty() {
+            return Err(BaselineError::BadField {
+                field: format!("{ctx}.samples_ns"),
+                reason: "must contain at least one sample".to_string(),
+            });
+        }
+        Ok(record)
+    }
+}
+
+/// One named, saved benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Baseline name (`seed`, `pr12`, …) — also the file-name stem.
+    pub name: String,
+    /// Creation time, seconds since the Unix epoch.
+    pub created_unix: u64,
+    /// Short git revision the run was taken at (`unknown` outside git).
+    pub git_rev: String,
+    /// Where the run was measured.
+    pub host: HostFingerprint,
+    /// The recorded benchmarks, sorted by [`BenchRecord::full_id`].
+    pub benchmarks: Vec<BenchRecord>,
+}
+
+impl Baseline {
+    /// An empty baseline stamped with the current host/time/revision
+    /// (`repo` is where `git rev-parse` runs).
+    pub fn new_stamped(name: &str, repo: &Path) -> Baseline {
+        Baseline {
+            name: name.to_string(),
+            created_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            git_rev: detect_git_rev(repo),
+            host: HostFingerprint::detect(),
+            benchmarks: Vec::new(),
+        }
+    }
+
+    /// The conventional file name for a baseline: `BENCH_<name>.json`.
+    pub fn file_name(name: &str) -> String {
+        format!("BENCH_{name}.json")
+    }
+
+    /// Ingests the criterion shim's `CN_BENCH_JSONL` feed: one JSON
+    /// object per line with `bin`, `label`, `iters_per_sample` and
+    /// `samples_ns`. `label` is split at its first `/` into group and id
+    /// (label-only benchmarks get an empty group). When the feed holds
+    /// several records for the same benchmark (re-runs appending to one
+    /// file), the **last** record wins. The result replaces
+    /// `self.benchmarks`, sorted by full id.
+    pub fn ingest_jsonl(&mut self, workspace: &str, text: &str) -> Result<(), BaselineError> {
+        let mut records: Vec<BenchRecord> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let ctx = format!("jsonl line {}", lineno + 1);
+            let json = Json::parse(line).map_err(|e| BaselineError::Parse {
+                detail: format!("{ctx}: {e}"),
+            })?;
+            let bin = req_str(&json, &format!("{ctx}.bin"), "bin")?;
+            let label = req_str(&json, &format!("{ctx}.label"), "label")?;
+            let (group, id) = match label.split_once('/') {
+                Some((group, id)) => (group.to_string(), id.to_string()),
+                None => (String::new(), label.clone()),
+            };
+            let record = BenchRecord {
+                workspace: workspace.to_string(),
+                bench: bin,
+                group,
+                id,
+                iters_per_sample: req_u64(
+                    &json,
+                    &format!("{ctx}.iters_per_sample"),
+                    "iters_per_sample",
+                )?,
+                samples_ns: req_f64_arr(&json, &format!("{ctx}.samples_ns"), "samples_ns")?,
+            };
+            records.retain(|r| r.full_id() != record.full_id());
+            records.push(record);
+        }
+        records.sort_by_key(|r| r.full_id());
+        self.benchmarks = records;
+        Ok(())
+    }
+
+    /// The baseline as a schema-v1 JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::num(BASELINE_SCHEMA_VERSION as f64)),
+            ("kind", Json::str(BASELINE_KIND)),
+            ("name", Json::str(&self.name)),
+            ("created_unix", Json::num(self.created_unix as f64)),
+            ("git_rev", Json::str(&self.git_rev)),
+            ("host", self.host.to_json()),
+            (
+                "benchmarks",
+                Json::arr(self.benchmarks.iter().map(|b| b.to_json())),
+            ),
+        ])
+    }
+
+    /// Parses a schema-v1 JSON document back into a baseline. Corrupt
+    /// documents are rejected with the specific [`BaselineError`].
+    pub fn from_json(json: &Json) -> Result<Baseline, BaselineError> {
+        if json.as_obj().is_none() {
+            return Err(BaselineError::BadField {
+                field: "<root>".to_string(),
+                reason: "expected a JSON object".to_string(),
+            });
+        }
+        let version = req_u64(json, "schema_version", "schema_version")?;
+        if version != BASELINE_SCHEMA_VERSION as u64 {
+            return Err(BaselineError::UnsupportedSchema {
+                found: format!("schema_version {version}"),
+            });
+        }
+        let kind = req_str(json, "kind", "kind")?;
+        if kind != BASELINE_KIND {
+            return Err(BaselineError::UnsupportedSchema {
+                found: format!("kind `{kind}`"),
+            });
+        }
+        let host = HostFingerprint::from_json(req(json, "host", "host")?)?;
+        let bench_json = req(json, "benchmarks", "benchmarks")?;
+        let items = bench_json.as_arr().ok_or_else(|| BaselineError::BadField {
+            field: "benchmarks".to_string(),
+            reason: "expected an array".to_string(),
+        })?;
+        let mut benchmarks = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            benchmarks.push(BenchRecord::from_json(item, &format!("benchmarks[{i}]"))?);
+        }
+        Ok(Baseline {
+            name: req_str(json, "name", "name")?,
+            created_unix: req_u64(json, "created_unix", "created_unix")?,
+            git_rev: req_str(json, "git_rev", "git_rev")?,
+            host,
+            benchmarks,
+        })
+    }
+
+    /// Renders the baseline as pretty JSON (trailing newline included).
+    pub fn render(&self) -> String {
+        let mut text = self.to_json().render_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Writes the baseline to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), BaselineError> {
+        std::fs::write(path, self.render()).map_err(|e| BaselineError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Reads and parses a baseline from `path`.
+    pub fn load(path: &Path) -> Result<Baseline, BaselineError> {
+        let text = std::fs::read_to_string(path).map_err(|e| BaselineError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+        let json = Json::parse(&text).map_err(|e| BaselineError::Parse {
+            detail: e.to_string(),
+        })?;
+        Baseline::from_json(&json)
+    }
+}
+
+/// Short git revision of `repo`'s HEAD, or `unknown`.
+pub fn detect_git_rev(repo: &Path) -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(repo)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn req<'a>(json: &'a Json, ctx: &str, field: &str) -> Result<&'a Json, BaselineError> {
+    json.get(field).ok_or_else(|| BaselineError::MissingField {
+        field: ctx.to_string(),
+    })
+}
+
+fn req_str(json: &Json, ctx: &str, field: &str) -> Result<String, BaselineError> {
+    req(json, ctx, field)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| BaselineError::BadField {
+            field: ctx.to_string(),
+            reason: "expected a string".to_string(),
+        })
+}
+
+fn req_u64(json: &Json, ctx: &str, field: &str) -> Result<u64, BaselineError> {
+    let num = req(json, ctx, field)?
+        .as_f64()
+        .ok_or_else(|| BaselineError::BadField {
+            field: ctx.to_string(),
+            reason: "expected a number".to_string(),
+        })?;
+    if num < 0.0 || num.fract() != 0.0 {
+        return Err(BaselineError::BadField {
+            field: ctx.to_string(),
+            reason: format!("expected a non-negative integer, got {num}"),
+        });
+    }
+    Ok(num as u64)
+}
+
+fn req_f64_arr(json: &Json, ctx: &str, field: &str) -> Result<Vec<f64>, BaselineError> {
+    let items = req(json, ctx, field)?
+        .as_arr()
+        .ok_or_else(|| BaselineError::BadField {
+            field: ctx.to_string(),
+            reason: "expected an array".to_string(),
+        })?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.as_f64().ok_or_else(|| BaselineError::BadField {
+                field: format!("{ctx}[{i}]"),
+                reason: "expected a number".to_string(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_baseline() -> Baseline {
+        Baseline {
+            name: "seed".to_string(),
+            created_unix: 1_754_500_000,
+            git_rev: "8da93b8".to_string(),
+            host: HostFingerprint {
+                hostname: "ci".to_string(),
+                os: "linux".to_string(),
+                arch: "x86_64".to_string(),
+                cpus: 8,
+            },
+            benchmarks: vec![BenchRecord {
+                workspace: "cn-bench".to_string(),
+                bench: "gemm".to_string(),
+                group: "gemm_packed".to_string(),
+                id: "square256".to_string(),
+                iters_per_sample: 180,
+                samples_ns: vec![700_000.0, 710_000.0, 705_000.0],
+            }],
+        }
+    }
+
+    #[test]
+    fn full_id_is_four_level_taxonomy() {
+        let b = sample_baseline();
+        assert_eq!(
+            b.benchmarks[0].full_id(),
+            "cn-bench/gemm/gemm_packed/square256"
+        );
+        assert_eq!(b.benchmarks[0].mean_ns(), 705_000.0);
+        assert_eq!(b.benchmarks[0].min_ns(), 700_000.0);
+        assert_eq!(b.benchmarks[0].max_ns(), 710_000.0);
+    }
+
+    #[test]
+    fn jsonl_ingest_splits_labels_and_dedupes() {
+        let mut b = sample_baseline();
+        let feed = "\
+{\"bin\":\"gemm\",\"label\":\"gemm_packed/square256\",\"warm_up_iters\":10,\"iters_per_sample\":4,\"samples_ns\":[1,2]}\n\
+{\"bin\":\"gemm\",\"label\":\"bare\",\"warm_up_iters\":1,\"iters_per_sample\":1,\"samples_ns\":[5]}\n\
+{\"bin\":\"gemm\",\"label\":\"gemm_packed/square256\",\"warm_up_iters\":10,\"iters_per_sample\":4,\"samples_ns\":[3,4]}\n";
+        b.ingest_jsonl("cn-bench", feed).unwrap();
+        assert_eq!(b.benchmarks.len(), 2);
+        // Sorted by full id; the re-run record replaced the first one.
+        assert_eq!(b.benchmarks[0].full_id(), "cn-bench/gemm//bare");
+        assert_eq!(b.benchmarks[1].samples_ns, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn jsonl_rejects_missing_fields() {
+        let mut b = sample_baseline();
+        let err = b
+            .ingest_jsonl("cn-bench", "{\"bin\":\"gemm\",\"label\":\"x\"}")
+            .unwrap_err();
+        assert!(matches!(err, BaselineError::MissingField { .. }), "{err}");
+    }
+
+    #[test]
+    fn file_name_convention() {
+        assert_eq!(Baseline::file_name("seed"), "BENCH_seed.json");
+    }
+}

@@ -1,0 +1,387 @@
+//! The statistical regression gate between two [`Baseline`]s.
+//!
+//! A benchmark only counts as **regressed** when two independent
+//! conditions hold:
+//!
+//! 1. **Magnitude** — the relative mean delta exceeds the configured
+//!    threshold: `(mean_new − mean_old) / mean_old > threshold`.
+//! 2. **Separation** — a rank/overlap test on the raw sample vectors
+//!    agrees the two distributions genuinely moved apart. The test is
+//!    the Vargha–Delaney A measure (the Mann–Whitney U statistic
+//!    normalised to `[0, 1]`): the probability that a randomly chosen
+//!    candidate sample is slower than a randomly chosen baseline sample,
+//!    ties counting half. `A = 0.5` means fully overlapping
+//!    distributions; regression requires `A ≥ min_effect`.
+//!
+//! The two-condition gate is what keeps a 10-sample bench from flaking
+//! CI: a 3 % wobble fails the magnitude gate, and a single slow outlier
+//! dragging the mean past the threshold fails the separation gate
+//! (one outlier in ten samples moves A to ≈ 0.55, far below 0.75) —
+//! while a genuine 25 % slowdown shifts every sample and passes both.
+//!
+//! Improvements are detected symmetrically (mean delta below
+//! `−threshold`, `A ≤ 1 − min_effect`) and reported, but never fail the
+//! gate. Benchmarks present in only one baseline are reported explicitly
+//! rather than silently dropped.
+
+use super::{Baseline, BenchRecord};
+use correctnet::export::json::Json;
+use std::collections::BTreeMap;
+
+/// Knobs of the regression gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// Relative mean-delta threshold (0.2 = fail beyond +20 %).
+    pub threshold: f64,
+    /// Minimum Vargha–Delaney A for a delta to count as separated.
+    pub min_effect: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> CompareConfig {
+        CompareConfig {
+            threshold: 0.2,
+            min_effect: 0.75,
+        }
+    }
+}
+
+/// Per-benchmark outcome of the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Mean delta beyond the threshold and the rank test confirms the
+    /// separation — fails the gate.
+    Regressed,
+    /// Mean delta below `−threshold` with confirmed separation.
+    Improved,
+    /// Mean delta within the threshold band.
+    Unchanged,
+    /// Mean delta beyond the threshold but the sample distributions
+    /// overlap — attributed to noise, not gated.
+    NoisyDelta,
+}
+
+impl Verdict {
+    /// Stable lower-case name used in JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Regressed => "regressed",
+            Verdict::Improved => "improved",
+            Verdict::Unchanged => "unchanged",
+            Verdict::NoisyDelta => "noisy-delta",
+        }
+    }
+}
+
+/// One matched benchmark's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchComparison {
+    /// The benchmark's full hierarchical id.
+    pub full_id: String,
+    /// Baseline mean (ns/iter).
+    pub mean_old_ns: f64,
+    /// Candidate mean (ns/iter).
+    pub mean_new_ns: f64,
+    /// `(mean_new − mean_old) / mean_old`.
+    pub rel_delta: f64,
+    /// Vargha–Delaney A: P(candidate sample > baseline sample).
+    pub effect: f64,
+    /// Gate outcome.
+    pub verdict: Verdict,
+}
+
+/// The full outcome of comparing a candidate run against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Name of the reference baseline.
+    pub baseline_name: String,
+    /// Name of the candidate run.
+    pub candidate_name: String,
+    /// The gate configuration used.
+    pub config: CompareConfig,
+    /// Matched benchmarks in full-id order.
+    pub comparisons: Vec<BenchComparison>,
+    /// Benchmarks recorded in the baseline but absent from the candidate.
+    pub only_in_baseline: Vec<String>,
+    /// Benchmarks recorded in the candidate but absent from the baseline.
+    pub only_in_candidate: Vec<String>,
+    /// The two runs come from different host fingerprints.
+    pub host_mismatch: bool,
+}
+
+impl CompareReport {
+    /// The benchmarks that failed the gate.
+    pub fn regressions(&self) -> Vec<&BenchComparison> {
+        self.comparisons
+            .iter()
+            .filter(|c| c.verdict == Verdict::Regressed)
+            .collect()
+    }
+
+    /// Whether the gate fails (any regression).
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions().is_empty()
+    }
+
+    fn count(&self, verdict: Verdict) -> usize {
+        self.comparisons
+            .iter()
+            .filter(|c| c.verdict == verdict)
+            .count()
+    }
+
+    /// Human-readable rendering, one line per benchmark plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench compare: candidate `{}` vs baseline `{}` (threshold +{:.0}%, min effect {:.2})\n",
+            self.candidate_name,
+            self.baseline_name,
+            self.config.threshold * 100.0,
+            self.config.min_effect,
+        ));
+        if self.host_mismatch {
+            out.push_str(
+                "warning: baselines were recorded on different hosts; absolute deltas are indicative only\n",
+            );
+        }
+        for c in &self.comparisons {
+            out.push_str(&format!(
+                "{:<11} {}: mean {} -> {} ({:+.1}%, effect {:.2})\n",
+                c.verdict.name(),
+                c.full_id,
+                fmt_ns(c.mean_old_ns),
+                fmt_ns(c.mean_new_ns),
+                c.rel_delta * 100.0,
+                c.effect,
+            ));
+        }
+        for id in &self.only_in_baseline {
+            out.push_str(&format!("removed     {id}: in baseline only\n"));
+        }
+        for id in &self.only_in_candidate {
+            out.push_str(&format!("added       {id}: in candidate only\n"));
+        }
+        out.push_str(&format!(
+            "summary: {} compared, {} regressed, {} improved, {} noisy, {} unchanged, {} removed, {} added\n",
+            self.comparisons.len(),
+            self.count(Verdict::Regressed),
+            self.count(Verdict::Improved),
+            self.count(Verdict::NoisyDelta),
+            self.count(Verdict::Unchanged),
+            self.only_in_baseline.len(),
+            self.only_in_candidate.len(),
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (the `--format json` output).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::num(1.0)),
+            ("kind", Json::str("bench-compare")),
+            ("baseline", Json::str(&self.baseline_name)),
+            ("candidate", Json::str(&self.candidate_name)),
+            ("threshold", Json::num(self.config.threshold)),
+            ("min_effect", Json::num(self.config.min_effect)),
+            ("host_mismatch", Json::Bool(self.host_mismatch)),
+            (
+                "comparisons",
+                Json::arr(self.comparisons.iter().map(|c| {
+                    Json::obj([
+                        ("id", Json::str(&c.full_id)),
+                        ("verdict", Json::str(c.verdict.name())),
+                        ("mean_old_ns", Json::num(c.mean_old_ns)),
+                        ("mean_new_ns", Json::num(c.mean_new_ns)),
+                        ("rel_delta", Json::num(c.rel_delta)),
+                        ("effect", Json::num(c.effect)),
+                    ])
+                })),
+            ),
+            (
+                "only_in_baseline",
+                Json::arr(self.only_in_baseline.iter().map(Json::str)),
+            ),
+            (
+                "only_in_candidate",
+                Json::arr(self.only_in_candidate.iter().map(Json::str)),
+            ),
+            ("regressed", Json::Bool(self.has_regressions())),
+        ])
+    }
+}
+
+/// The Vargha–Delaney A measure: the probability that a random sample
+/// from `new` exceeds a random sample from `old`, ties counting half.
+/// `0.5` = fully overlapping; `1.0` = every new sample is slower than
+/// every old sample. Depends only on ranks, so it is invariant under
+/// sample permutation and monotone transforms.
+pub fn a_statistic(new: &[f64], old: &[f64]) -> f64 {
+    if new.is_empty() || old.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0;
+    for &n in new {
+        for &o in old {
+            if n > o {
+                wins += 1.0;
+            } else if n == o {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (new.len() * old.len()) as f64
+}
+
+/// Applies the two-condition gate to one pair of sample vectors.
+pub fn judge(old: &BenchRecord, new: &BenchRecord, config: &CompareConfig) -> BenchComparison {
+    let mean_old = old.mean_ns();
+    let mean_new = new.mean_ns();
+    let rel_delta = if mean_old > 0.0 && mean_old.is_finite() {
+        (mean_new - mean_old) / mean_old
+    } else {
+        0.0
+    };
+    let effect = a_statistic(&new.samples_ns, &old.samples_ns);
+    let verdict = if rel_delta > config.threshold {
+        if effect >= config.min_effect {
+            Verdict::Regressed
+        } else {
+            Verdict::NoisyDelta
+        }
+    } else if rel_delta < -config.threshold {
+        if effect <= 1.0 - config.min_effect {
+            Verdict::Improved
+        } else {
+            Verdict::NoisyDelta
+        }
+    } else {
+        Verdict::Unchanged
+    };
+    BenchComparison {
+        full_id: old.full_id(),
+        mean_old_ns: mean_old,
+        mean_new_ns: mean_new,
+        rel_delta,
+        effect,
+        verdict,
+    }
+}
+
+/// Compares `candidate` against `baseline`, matching benchmarks by their
+/// hierarchical full id. Benchmarks present on only one side are listed
+/// in the report (never silently dropped).
+pub fn compare(baseline: &Baseline, candidate: &Baseline, config: &CompareConfig) -> CompareReport {
+    let old: BTreeMap<String, &BenchRecord> = baseline
+        .benchmarks
+        .iter()
+        .map(|b| (b.full_id(), b))
+        .collect();
+    let new: BTreeMap<String, &BenchRecord> = candidate
+        .benchmarks
+        .iter()
+        .map(|b| (b.full_id(), b))
+        .collect();
+    let comparisons = old
+        .iter()
+        .filter_map(|(id, o)| new.get(id).map(|n| judge(o, n, config)))
+        .collect();
+    CompareReport {
+        baseline_name: baseline.name.clone(),
+        candidate_name: candidate.name.clone(),
+        config: *config,
+        comparisons,
+        only_in_baseline: old
+            .keys()
+            .filter(|k| !new.contains_key(*k))
+            .cloned()
+            .collect(),
+        only_in_candidate: new
+            .keys()
+            .filter(|k| !old.contains_key(*k))
+            .cloned()
+            .collect(),
+        host_mismatch: baseline.host != candidate.host,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, samples: &[f64]) -> BenchRecord {
+        BenchRecord {
+            workspace: "cn-bench".to_string(),
+            bench: "gemm".to_string(),
+            group: "gemm_packed".to_string(),
+            id: id.to_string(),
+            iters_per_sample: 4,
+            samples_ns: samples.to_vec(),
+        }
+    }
+
+    #[test]
+    fn identical_samples_are_unchanged() {
+        let old = record("sq", &[100.0, 110.0, 105.0]);
+        let c = judge(&old, &old, &CompareConfig::default());
+        assert_eq!(c.verdict, Verdict::Unchanged);
+        assert_eq!(c.rel_delta, 0.0);
+        assert_eq!(c.effect, 0.5);
+    }
+
+    #[test]
+    fn clean_two_x_slowdown_regresses() {
+        let old = record("sq", &[100.0, 110.0, 105.0]);
+        let new = record("sq", &[200.0, 220.0, 210.0]);
+        let c = judge(&old, &new, &CompareConfig::default());
+        assert_eq!(c.verdict, Verdict::Regressed);
+        assert_eq!(c.effect, 1.0);
+        assert!((c.rel_delta - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outlier_driven_mean_delta_is_noisy_not_regressed() {
+        // Nine steady samples and one 4× outlier: mean is +30% (past the
+        // threshold) but the distributions overlap — A ≈ 0.55.
+        let old = record("sq", &[100.0; 10]);
+        let mut samples = [100.0; 10];
+        samples[9] = 400.0;
+        let new = record("sq", &samples);
+        let c = judge(&old, &new, &CompareConfig::default());
+        assert!(
+            c.rel_delta > 0.2,
+            "mean delta {} should exceed gate",
+            c.rel_delta
+        );
+        assert_eq!(c.verdict, Verdict::NoisyDelta);
+    }
+
+    #[test]
+    fn clean_speedup_is_improved() {
+        let old = record("sq", &[200.0, 210.0, 205.0]);
+        let new = record("sq", &[100.0, 105.0, 102.0]);
+        let c = judge(&old, &new, &CompareConfig::default());
+        assert_eq!(c.verdict, Verdict::Improved);
+        assert_eq!(c.effect, 0.0);
+    }
+
+    #[test]
+    fn a_statistic_counts_ties_half() {
+        assert_eq!(a_statistic(&[1.0], &[1.0]), 0.5);
+        assert_eq!(a_statistic(&[2.0], &[1.0]), 1.0);
+        assert_eq!(a_statistic(&[1.0], &[2.0]), 0.0);
+        assert_eq!(a_statistic(&[], &[1.0]), 0.5);
+    }
+}

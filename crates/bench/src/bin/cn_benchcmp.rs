@@ -1,0 +1,266 @@
+//! `cn-benchcmp` — save, list and statistically compare bench baselines.
+//!
+//! ```text
+//! cn-benchcmp save --name NAME --jsonl FILE [--dir DIR] [--workspace W]
+//! cn-benchcmp compare BASELINE CANDIDATE [--dir DIR] [--threshold F]
+//!                                        [--min-effect F] [--format human|json]
+//! cn-benchcmp list [--dir DIR]
+//! ```
+//!
+//! `save` ingests the criterion shim's `CN_BENCH_JSONL` feed and writes
+//! `DIR/BENCH_<NAME>.json` (schema in `cn_bench::baseline`). `compare`
+//! resolves each positional argument either as a baseline *name*
+//! (`DIR/BENCH_<arg>.json`) or, when it contains a path separator or
+//! `.json` suffix, as a file path; it exits non-zero when any benchmark
+//! fails the statistical gate. `--format json` mirrors `cn-lint`'s
+//! machine-readable CI output.
+//!
+//! Exit codes: 0 = no regression, 1 = regression(s) found, 2 = usage or
+//! I/O error.
+
+use cn_bench::baseline::compare::{compare, CompareConfig};
+use cn_bench::baseline::Baseline;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  cn-benchcmp save --name NAME --jsonl FILE [--dir DIR] [--workspace W]
+  cn-benchcmp compare BASELINE CANDIDATE [--dir DIR] [--threshold F]
+                                         [--min-effect F] [--format human|json]
+  cn-benchcmp list [--dir DIR]
+
+BASELINE/CANDIDATE are baseline names (resolved to DIR/BENCH_<name>.json)
+or explicit .json paths. DIR defaults to the workspace root.
+Exit codes: 0 = no regression, 1 = regression(s), 2 = usage/IO error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("save") => cmd_save(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            println!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("cn-benchcmp: unknown command `{other}`\n\n{USAGE}");
+            2
+        }
+    };
+    ExitCode::from(code)
+}
+
+/// The default baseline directory: the workspace root (where the
+/// committed `BENCH_*.json` trajectory lives).
+fn default_dir() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// A positional baseline argument: a name unless it looks like a path.
+fn resolve(arg: &str, dir: &std::path::Path) -> PathBuf {
+    if arg.ends_with(".json") || arg.contains('/') || arg.contains('\\') {
+        PathBuf::from(arg)
+    } else {
+        dir.join(Baseline::file_name(arg))
+    }
+}
+
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    match args.get(*i + 1) {
+        Some(value) => {
+            *i += 2;
+            Ok(value.clone())
+        }
+        None => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn cmd_save(args: &[String]) -> u8 {
+    let mut name: Option<String> = None;
+    let mut jsonl: Option<PathBuf> = None;
+    let mut dir = default_dir();
+    let mut workspace = "cn-bench".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let result = match args[i].as_str() {
+            "--name" => flag_value(args, &mut i, "--name").map(|v| name = Some(v)),
+            "--jsonl" => {
+                flag_value(args, &mut i, "--jsonl").map(|v| jsonl = Some(PathBuf::from(v)))
+            }
+            "--dir" => flag_value(args, &mut i, "--dir").map(|v| dir = PathBuf::from(v)),
+            "--workspace" => flag_value(args, &mut i, "--workspace").map(|v| workspace = v),
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(msg) = result {
+            eprintln!("cn-benchcmp: {msg}\n\n{USAGE}");
+            return 2;
+        }
+    }
+    let (Some(name), Some(jsonl)) = (name, jsonl) else {
+        eprintln!("cn-benchcmp: save needs --name and --jsonl\n\n{USAGE}");
+        return 2;
+    };
+    let feed = match std::fs::read_to_string(&jsonl) {
+        Ok(feed) => feed,
+        Err(err) => {
+            eprintln!("cn-benchcmp: cannot read {}: {err}", jsonl.display());
+            return 2;
+        }
+    };
+    let mut baseline = Baseline::new_stamped(&name, &dir);
+    if let Err(err) = baseline.ingest_jsonl(&workspace, &feed) {
+        eprintln!("cn-benchcmp: {}: {err}", jsonl.display());
+        return 2;
+    }
+    if baseline.benchmarks.is_empty() {
+        eprintln!(
+            "cn-benchcmp: {} holds no benchmark records (did the bench run with CN_BENCH_JSONL set?)",
+            jsonl.display()
+        );
+        return 2;
+    }
+    let path = dir.join(Baseline::file_name(&name));
+    if let Err(err) = baseline.save(&path) {
+        eprintln!("cn-benchcmp: {err}");
+        return 2;
+    }
+    println!(
+        "saved baseline `{}` ({} benchmarks, git {}) to {}",
+        baseline.name,
+        baseline.benchmarks.len(),
+        baseline.git_rev,
+        path.display()
+    );
+    0
+}
+
+fn cmd_compare(args: &[String]) -> u8 {
+    let mut positional: Vec<String> = Vec::new();
+    let mut dir = default_dir();
+    let mut config = CompareConfig::default();
+    let mut json_output = false;
+    let mut i = 0;
+    while i < args.len() {
+        let result = match args[i].as_str() {
+            "--dir" => flag_value(args, &mut i, "--dir").map(|v| dir = PathBuf::from(v)),
+            "--threshold" => flag_value(args, &mut i, "--threshold").and_then(|v| {
+                v.parse::<f64>()
+                    .map(|t| config.threshold = t)
+                    .map_err(|_| format!("--threshold expects a number, got `{v}`"))
+            }),
+            "--min-effect" => flag_value(args, &mut i, "--min-effect").and_then(|v| {
+                v.parse::<f64>()
+                    .map(|e| config.min_effect = e)
+                    .map_err(|_| format!("--min-effect expects a number, got `{v}`"))
+            }),
+            "--format" => flag_value(args, &mut i, "--format").and_then(|v| match v.as_str() {
+                "human" => {
+                    json_output = false;
+                    Ok(())
+                }
+                "json" => {
+                    json_output = true;
+                    Ok(())
+                }
+                other => Err(format!("--format expects `human` or `json`, got `{other}`")),
+            }),
+            other if other.starts_with('-') => Err(format!("unknown argument `{other}`")),
+            other => {
+                positional.push(other.to_string());
+                i += 1;
+                Ok(())
+            }
+        };
+        if let Err(msg) = result {
+            eprintln!("cn-benchcmp: {msg}\n\n{USAGE}");
+            return 2;
+        }
+    }
+    let [baseline_arg, candidate_arg] = positional.as_slice() else {
+        eprintln!("cn-benchcmp: compare needs exactly two baselines\n\n{USAGE}");
+        return 2;
+    };
+    let mut loaded = Vec::new();
+    for arg in [baseline_arg, candidate_arg] {
+        let path = resolve(arg, &dir);
+        match Baseline::load(&path) {
+            Ok(b) => loaded.push(b),
+            Err(err) => {
+                eprintln!("cn-benchcmp: {err}");
+                return 2;
+            }
+        }
+    }
+    let candidate = loaded.pop().expect("two baselines loaded");
+    let baseline = loaded.pop().expect("two baselines loaded");
+    let report = compare(&baseline, &candidate, &config);
+    if json_output {
+        println!("{}", report.to_json().render_pretty());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.has_regressions() {
+        1
+    } else {
+        0
+    }
+}
+
+fn cmd_list(args: &[String]) -> u8 {
+    let mut dir = default_dir();
+    let mut i = 0;
+    while i < args.len() {
+        let result = match args[i].as_str() {
+            "--dir" => flag_value(args, &mut i, "--dir").map(|v| dir = PathBuf::from(v)),
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(msg) = result {
+            eprintln!("cn-benchcmp: {msg}\n\n{USAGE}");
+            return 2;
+        }
+    }
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("cn-benchcmp: cannot read {}: {err}", dir.display());
+            return 2;
+        }
+    };
+    let mut names: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        println!("no BENCH_*.json baselines in {}", dir.display());
+        return 0;
+    }
+    for path in names {
+        match Baseline::load(&path) {
+            Ok(b) => println!(
+                "{:<24} {:>3} benchmarks  git {:<10} host {} ({} cpus)",
+                b.name,
+                b.benchmarks.len(),
+                b.git_rev,
+                b.host.hostname,
+                b.host.cpus
+            ),
+            Err(err) => println!(
+                "{:<24} UNREADABLE: {err}",
+                path.file_name().unwrap_or_default().to_string_lossy()
+            ),
+        }
+    }
+    0
+}

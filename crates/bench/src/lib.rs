@@ -18,6 +18,10 @@
 //!   JSON schema (version 1).
 //! - [`runner`] — resolves names, stamps wall clocks, prints tables and
 //!   writes `results/<name>_<scale>.json`.
+//! - [`baseline`] — named bench baselines (`BENCH_<name>.json` at the
+//!   repo root: `workspace/bench/group/id` taxonomy, per-sample vectors,
+//!   host fingerprint, git rev) and the statistical regression gate
+//!   behind the `cn-benchcmp` binary and `scripts/bench`.
 //!
 //! ```bash
 //! cargo run -p cn-bench --release --bin cn-experiments -- list
@@ -37,12 +41,15 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod cache;
 pub mod experiments;
 pub mod profile;
 pub mod report;
 pub mod runner;
 
+pub use baseline::compare::{compare, BenchComparison, CompareConfig, CompareReport, Verdict};
+pub use baseline::{Baseline, BaselineError, BenchRecord, HostFingerprint};
 pub use cache::{cache_dir, CacheStats, ModelCache, ModelKey};
 pub use experiments::{Ctx, Experiment};
 pub use profile::{pipeline_config, Pair, PaperRow, Scale};

@@ -1,0 +1,479 @@
+//! Baseline schema, compare-statistics and `cn-benchcmp` gate tests.
+//!
+//! Three layers:
+//!
+//! - in-memory schema round-trips plus named-error rejection of corrupt
+//!   baselines (mirroring the `.cnm` cache's corrupt-entry tests),
+//! - property tests over the statistical gate (symmetry, permutation
+//!   invariance, threshold monotonicity),
+//! - the pinned fixture pair under `tests/fixtures/` driven through the
+//!   real `cn-benchcmp` binary, asserting exit codes and both human and
+//!   JSON diagnostics.
+
+use cn_bench::baseline::compare::{compare, judge, CompareConfig, Verdict};
+use cn_bench::baseline::{Baseline, BaselineError, BenchRecord, HostFingerprint};
+use correctnet::export::json::Json;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn record(id: &str, samples: &[f64]) -> BenchRecord {
+    BenchRecord {
+        workspace: "cn-bench".to_string(),
+        bench: "gemm".to_string(),
+        group: "gemm_packed".to_string(),
+        id: id.to_string(),
+        iters_per_sample: 4,
+        samples_ns: samples.to_vec(),
+    }
+}
+
+fn baseline(name: &str, benchmarks: Vec<BenchRecord>) -> Baseline {
+    Baseline {
+        name: name.to_string(),
+        created_unix: 1_754_500_000,
+        git_rev: "abc1234".to_string(),
+        host: HostFingerprint {
+            hostname: "test".to_string(),
+            os: "linux".to_string(),
+            arch: "x86_64".to_string(),
+            cpus: 4,
+        },
+        benchmarks,
+    }
+}
+
+// ---------------------------------------------------------------- schema
+
+#[test]
+fn baseline_round_trips_through_json() {
+    let b = baseline(
+        "rt",
+        vec![
+            record("square256", &[1.0, 2.5, 3.25]),
+            record("square512", &[1e6, 2e6]),
+        ],
+    );
+    let parsed = Json::parse(&b.render()).expect("rendered baseline parses");
+    assert_eq!(Baseline::from_json(&parsed).expect("schema round-trip"), b);
+}
+
+#[test]
+fn fixture_files_parse() {
+    for name in [
+        "BENCH_fixture_base.json",
+        "BENCH_fixture_equal.json",
+        "BENCH_fixture_regressed.json",
+    ] {
+        let b = Baseline::load(&fixture(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!b.benchmarks.is_empty(), "{name} holds benchmarks");
+    }
+}
+
+#[test]
+fn missing_file_is_io_error() {
+    let err = Baseline::load(&fixture("BENCH_does_not_exist.json")).unwrap_err();
+    assert!(matches!(err, BaselineError::Io { .. }), "{err}");
+}
+
+#[test]
+fn corrupt_baselines_are_rejected_with_named_errors() {
+    let good = baseline("good", vec![record("sq", &[1.0, 2.0])]).to_json();
+
+    // Not JSON at all.
+    assert!(matches!(
+        Json::parse("{ nope").map_err(|e| BaselineError::Parse {
+            detail: e.to_string()
+        }),
+        Err(BaselineError::Parse { .. })
+    ));
+
+    // Each required top-level field, removed in turn.
+    for field in [
+        "schema_version",
+        "kind",
+        "name",
+        "created_unix",
+        "git_rev",
+        "host",
+        "benchmarks",
+    ] {
+        let Json::Obj(members) = good.clone() else {
+            unreachable!()
+        };
+        let stripped = Json::Obj(members.into_iter().filter(|(k, _)| k != field).collect());
+        let err = Baseline::from_json(&stripped).unwrap_err();
+        assert!(
+            matches!(err, BaselineError::MissingField { .. }),
+            "dropping `{field}` must be MissingField, got {err}"
+        );
+        assert!(
+            err.to_string().contains(field),
+            "error names `{field}`: {err}"
+        );
+    }
+
+    // Future schema versions and foreign kinds are refused, not guessed at.
+    let mut future = baseline("future", vec![record("sq", &[1.0])]).to_json();
+    if let Json::Obj(members) = &mut future {
+        members[0].1 = Json::num(99.0);
+    }
+    assert!(matches!(
+        Baseline::from_json(&future).unwrap_err(),
+        BaselineError::UnsupportedSchema { .. }
+    ));
+
+    let mut wrong_kind = baseline("kind", vec![record("sq", &[1.0])]).to_json();
+    if let Json::Obj(members) = &mut wrong_kind {
+        members[1].1 = Json::str("experiment-report");
+    }
+    assert!(matches!(
+        Baseline::from_json(&wrong_kind).unwrap_err(),
+        BaselineError::UnsupportedSchema { .. }
+    ));
+
+    // A benchmark with an empty sample vector is useless for the gate.
+    let empty = baseline("empty", vec![record("sq", &[])]).to_json();
+    let err = Baseline::from_json(&empty).unwrap_err();
+    assert!(matches!(err, BaselineError::BadField { .. }), "{err}");
+    assert!(err.to_string().contains("samples_ns"), "{err}");
+
+    // A non-numeric sample is a type error, located by index.
+    let mut bad_sample = baseline("bad", vec![record("sq", &[1.0, 2.0])]).to_json();
+    if let Some(Json::Obj(members)) = bad_sample
+        .get("benchmarks")
+        .and_then(|b| b.as_arr())
+        .map(|a| a[0].clone())
+    {
+        let fixed: Vec<(String, Json)> = members
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "samples_ns" {
+                    (k, Json::arr([Json::num(1.0), Json::str("fast")]))
+                } else {
+                    (k, v)
+                }
+            })
+            .collect();
+        if let Json::Obj(top) = &mut bad_sample {
+            for (k, v) in top.iter_mut() {
+                if k == "benchmarks" {
+                    *v = Json::arr([Json::Obj(fixed.clone())]);
+                }
+            }
+        }
+    }
+    let err = Baseline::from_json(&bad_sample).unwrap_err();
+    assert!(matches!(err, BaselineError::BadField { .. }), "{err}");
+    assert!(err.to_string().contains("samples_ns[1]"), "{err}");
+}
+
+// ------------------------------------------------------- gate statistics
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A baseline compared against itself never regresses (nor improves):
+    /// the rank statistic sits at exactly 0.5 and the mean delta at 0.
+    fn self_compare_never_regresses(raw in proptest::collection::vec(1u64..1_000_000, 1..24)) {
+        let samples: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        let r = record("self", &samples);
+        let c = judge(&r, &r, &CompareConfig::default());
+        prop_assert_eq!(c.verdict, Verdict::Unchanged);
+        prop_assert_eq!(c.rel_delta, 0.0);
+        prop_assert_eq!(c.effect, 0.5);
+    }
+
+    /// The gate depends only on the sample *sets*: rotating either
+    /// vector changes nothing (integer-valued samples keep the mean sum
+    /// exact under reordering).
+    fn gate_is_permutation_invariant(
+        old_raw in proptest::collection::vec(1u64..1_000_000, 2..16),
+        new_raw in proptest::collection::vec(1u64..1_000_000, 2..16),
+        rot in 0usize..16,
+    ) {
+        let old: Vec<f64> = old_raw.iter().map(|&v| v as f64).collect();
+        let new: Vec<f64> = new_raw.iter().map(|&v| v as f64).collect();
+        let mut rotated = new.clone();
+        let split = rot % rotated.len();
+        rotated.rotate_left(split);
+        let config = CompareConfig::default();
+        let direct = judge(&record("p", &old), &record("p", &new), &config);
+        let shuffled = judge(&record("p", &old), &record("p", &rotated), &config);
+        prop_assert_eq!(direct.verdict, shuffled.verdict);
+        prop_assert_eq!(direct.effect, shuffled.effect);
+        prop_assert_eq!(direct.rel_delta, shuffled.rel_delta);
+    }
+
+    /// Tightening the threshold can only find **more** regressions: if a
+    /// benchmark regresses at threshold `t`, it regresses at any `t' < t`.
+    fn regression_is_monotone_in_threshold(
+        old_raw in proptest::collection::vec(1u64..1_000_000, 2..16),
+        new_raw in proptest::collection::vec(1u64..1_000_000, 2..16),
+        t_lo_pct in 1u64..100,
+        t_hi_pct in 1u64..100,
+    ) {
+        prop_assume!(t_lo_pct < t_hi_pct);
+        let old: Vec<f64> = old_raw.iter().map(|&v| v as f64).collect();
+        let new: Vec<f64> = new_raw.iter().map(|&v| v as f64).collect();
+        let loose = CompareConfig { threshold: t_hi_pct as f64 / 100.0, ..CompareConfig::default() };
+        let tight = CompareConfig { threshold: t_lo_pct as f64 / 100.0, ..CompareConfig::default() };
+        let at_hi = judge(&record("m", &old), &record("m", &new), &loose);
+        let at_lo = judge(&record("m", &old), &record("m", &new), &tight);
+        if at_hi.verdict == Verdict::Regressed {
+            prop_assert_eq!(at_lo.verdict, Verdict::Regressed);
+        }
+    }
+}
+
+#[test]
+fn compare_reports_added_and_removed_benchmarks() {
+    let old = baseline(
+        "old",
+        vec![record("kept", &[1.0, 2.0]), record("dropped", &[1.0, 2.0])],
+    );
+    let new = baseline(
+        "new",
+        vec![record("kept", &[1.0, 2.0]), record("added", &[1.0, 2.0])],
+    );
+    let report = compare(&old, &new, &CompareConfig::default());
+    assert_eq!(report.comparisons.len(), 1);
+    assert_eq!(
+        report.only_in_baseline,
+        vec!["cn-bench/gemm/gemm_packed/dropped".to_string()]
+    );
+    assert_eq!(
+        report.only_in_candidate,
+        vec!["cn-bench/gemm/gemm_packed/added".to_string()]
+    );
+    assert!(!report.has_regressions());
+    // Mismatches appear in both renderings — never silently dropped.
+    let human = report.render_human();
+    assert!(
+        human.contains("removed     cn-bench/gemm/gemm_packed/dropped"),
+        "{human}"
+    );
+    assert!(
+        human.contains("added       cn-bench/gemm/gemm_packed/added"),
+        "{human}"
+    );
+    let json = report.to_json();
+    assert_eq!(
+        json.get("only_in_baseline")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .len(),
+        1
+    );
+    assert_eq!(
+        json.get("only_in_candidate")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn compare_flags_host_mismatch() {
+    let old = baseline("old", vec![record("sq", &[1.0, 2.0])]);
+    let mut new = baseline("new", vec![record("sq", &[1.0, 2.0])]);
+    new.host.hostname = "elsewhere".to_string();
+    let report = compare(&old, &new, &CompareConfig::default());
+    assert!(report.host_mismatch);
+    assert!(report.render_human().contains("different hosts"));
+}
+
+// --------------------------------------------------- cn-benchcmp binary
+
+fn benchcmp(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cn-benchcmp"))
+        .args(args)
+        .output()
+        .expect("cn-benchcmp runs")
+}
+
+#[test]
+fn equal_fixture_pair_passes_the_gate() {
+    let base = fixture("BENCH_fixture_base.json");
+    let equal = fixture("BENCH_fixture_equal.json");
+    let out = benchcmp(&["compare", base.to_str().unwrap(), equal.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("unchanged"), "{stdout}");
+    assert!(stdout.contains("3 compared, 0 regressed"), "{stdout}");
+}
+
+#[test]
+fn regressed_fixture_fails_and_names_the_benchmark_in_human_output() {
+    let base = fixture("BENCH_fixture_base.json");
+    let bad = fixture("BENCH_fixture_regressed.json");
+    let out = benchcmp(&["compare", base.to_str().unwrap(), bad.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    // The ~2× slowdown is named with its verdict...
+    assert!(
+        stdout.contains("regressed   cn-bench/gemm/gemm_packed/square256"),
+        "{stdout}"
+    );
+    // ...the unchanged benchmark is not gated...
+    assert!(
+        stdout.contains("unchanged   cn-bench/engine_forward"),
+        "{stdout}"
+    );
+    // ...and the id mismatches are reported, not dropped.
+    assert!(
+        stdout.contains("removed     cn-bench/serve_throughput"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("added       cn-bench/gemm/gemm_packed/square320"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn regressed_fixture_fails_and_names_the_benchmark_in_json_output() {
+    let base = fixture("BENCH_fixture_base.json");
+    let bad = fixture("BENCH_fixture_regressed.json");
+    let out = benchcmp(&[
+        "compare",
+        base.to_str().unwrap(),
+        bad.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("JSON output parses");
+    assert_eq!(json.get("regressed").and_then(Json::as_bool), Some(true));
+    let comparisons = json.get("comparisons").unwrap().as_arr().unwrap();
+    let square256 = comparisons
+        .iter()
+        .find(|c| c.get("id").and_then(Json::as_str) == Some("cn-bench/gemm/gemm_packed/square256"))
+        .expect("regressed benchmark present in JSON");
+    assert_eq!(
+        square256.get("verdict").and_then(Json::as_str),
+        Some("regressed")
+    );
+    let delta = square256.get("rel_delta").and_then(Json::as_f64).unwrap();
+    assert!(delta > 0.9 && delta < 1.1, "≈2× slowdown, got {delta}");
+    assert_eq!(
+        json.get("only_in_baseline")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn generous_threshold_lets_the_regressed_fixture_pass() {
+    let base = fixture("BENCH_fixture_base.json");
+    let bad = fixture("BENCH_fixture_regressed.json");
+    let out = benchcmp(&[
+        "compare",
+        base.to_str().unwrap(),
+        bad.to_str().unwrap(),
+        "--threshold",
+        "1.5",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn corrupt_baseline_is_a_usage_error_not_a_crash() {
+    let dir = std::env::temp_dir().join("cn_benchcmp_corrupt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_corrupt.json");
+    std::fs::write(&path, "{ \"schema_version\": 1 ").unwrap();
+    let base = fixture("BENCH_fixture_base.json");
+    let out = benchcmp(&["compare", base.to_str().unwrap(), path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not valid JSON"), "{stderr}");
+}
+
+/// End-to-end `save` → `compare` over the JSONL feed the criterion shim
+/// emits: saving a run and comparing it against itself exits 0 (the
+/// `scripts/bench save && scripts/bench compare` acceptance flow),
+/// while a synthetic 2× slowdown in one benchmark flips the gate.
+#[test]
+fn save_then_self_compare_is_clean_and_synthetic_slowdown_fails() {
+    let dir = std::env::temp_dir().join("cn_benchcmp_save_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let feed = "\
+{\"bin\":\"gemm\",\"label\":\"gemm_packed/square256\",\"warm_up_iters\":10,\"iters_per_sample\":4,\"samples_ns\":[700000,701000,699000,700500,698500]}\n\
+{\"bin\":\"serve_throughput\",\"label\":\"serve_throughput_512_requests/max_batch/32\",\"warm_up_iters\":5,\"iters_per_sample\":2,\"samples_ns\":[3700000,3710000,3695000,3705000,3698000]}\n";
+    let jsonl = dir.join("run.jsonl");
+    std::fs::write(&jsonl, feed).unwrap();
+
+    let out = benchcmp(&[
+        "save",
+        "--name",
+        "seedtest",
+        "--jsonl",
+        jsonl.to_str().unwrap(),
+        "--dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let saved = dir.join("BENCH_seedtest.json");
+    let parsed = Baseline::load(&saved).expect("saved baseline loads");
+    assert_eq!(parsed.benchmarks.len(), 2);
+
+    // Unchanged tree: the run gates cleanly against itself.
+    let out = benchcmp(&[
+        "compare",
+        "seedtest",
+        "seedtest",
+        "--dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Inject a synthetic 2× slowdown into one benchmark and re-save.
+    let slowed = feed.replace(
+        "[700000,701000,699000,700500,698500]",
+        "[1400000,1402000,1398000,1401000,1397000]",
+    );
+    std::fs::write(&jsonl, slowed).unwrap();
+    let out = benchcmp(&[
+        "save",
+        "--name",
+        "slow",
+        "--jsonl",
+        jsonl.to_str().unwrap(),
+        "--dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = benchcmp(&[
+        "compare",
+        "seedtest",
+        "slow",
+        "--dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("regressed   cn-bench/gemm/gemm_packed/square256"),
+        "{stdout}"
+    );
+}

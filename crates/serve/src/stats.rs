@@ -260,6 +260,67 @@ mod tests {
         assert_eq!(h.snapshot().quantile(0.5), 3.0);
     }
 
+    /// Wide-bucket midpoints across every power of two the histogram can
+    /// resolve: a constant load of `2^k` µs must read back as the exact
+    /// integer midpoint of `[2^k, 2^k + 2^(k-3))`, for every quantile.
+    /// Computed independently of the private helpers so a bucket-layout
+    /// change that shifts the estimate fails loudly.
+    #[test]
+    fn wide_bucket_midpoints_hold_across_powers_of_two() {
+        for k in 3..=25u32 {
+            let lo = 1u64 << k;
+            let width = 1u64 << (k - 3); // first sub-bucket of octave k
+            let expected = (lo as f64 + (lo + width - 1) as f64) / 2.0;
+            let h = LatencyHistogram::new();
+            for _ in 0..50 {
+                h.record(lo);
+            }
+            let snap = h.snapshot();
+            for q in [0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(snap.quantile(q), expected, "k = {k}, q = {q}");
+            }
+            // The estimate never escapes the bucket that produced it.
+            assert!((lo as f64) <= expected && expected < (lo + width) as f64);
+        }
+    }
+
+    /// Every bucket's midpoint lies strictly inside its bounds and the
+    /// sequence of midpoints is strictly increasing — quantile estimates
+    /// can therefore never invert (p99 < p50) from bucket geometry alone.
+    #[test]
+    fn bucket_midpoints_are_in_bounds_and_strictly_increasing() {
+        let mut prev = -1.0f64;
+        for i in 0..BUCKETS {
+            let mid = LatencyHistogram::midpoint(i);
+            let lo = LatencyHistogram::lower_bound(i) as f64;
+            let hi = LatencyHistogram::lower_bound(i + 1) as f64;
+            assert!(
+                lo <= mid && mid < hi,
+                "bucket {i}: {mid} outside [{lo}, {hi})"
+            );
+            assert!(mid > prev, "bucket {i}: midpoint {mid} <= {prev}");
+            prev = mid;
+        }
+    }
+
+    /// The log-linear p99 path through a wide bucket: a 1 % tail at
+    /// 2^20 µs must not drag p99 out of the body, while the max quantile
+    /// reads the tail bucket's midpoint exactly.
+    #[test]
+    fn tail_quantile_reads_wide_bucket_midpoint() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(500);
+        }
+        h.record(1 << 20);
+        let snap = h.snapshot();
+        // Body: 500 lands in [480, 512) → integer midpoint 495.5.
+        assert_eq!(snap.quantile(0.5), 495.5);
+        assert_eq!(snap.quantile(0.99), 495.5);
+        // Tail: [2^20, 2^20 + 2^17) → midpoint (1048576 + 1179647) / 2.
+        assert_eq!(snap.quantile(1.0), 1_114_111.5);
+    }
+
     #[test]
     fn empty_histogram_reports_zero() {
         let h = LatencyHistogram::new();

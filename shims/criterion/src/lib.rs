@@ -4,11 +4,33 @@
 //! use, with a simple wall-clock measurement loop: warm up for
 //! `warm_up_time`, then run batches until `measurement_time` elapses or
 //! `sample_size` samples are collected, and report mean / min / max
-//! nanoseconds per iteration on stdout. No statistics, plots or
-//! comparisons — the point is cheap, reproducible timing in an offline
-//! environment.
+//! nanoseconds per iteration on stdout. No plots — the point is cheap,
+//! reproducible timing in an offline environment.
+//!
+//! Beyond stdout, every completed benchmark hands its full per-sample
+//! vector to the reporting layer as a [`SampleRecord`]:
+//!
+//! - an in-process hook registered with [`Criterion::reporter`]
+//!   (used by the harness self-tests and ad-hoc tooling), and
+//! - a machine-readable JSONL sink: when `CN_BENCH_JSONL=<path>` is set,
+//!   one JSON object per benchmark is appended to `<path>`. This is the
+//!   feed `cn-benchcmp save` turns into `BENCH_<name>.json` baselines.
+//!
+//! Measurement is driven through an internal clock abstraction so the
+//! sampling policy itself is testable: [`Criterion::with_fake_clock`]
+//! substitutes a deterministic virtual timeline where every benched
+//! iteration costs a fixed number of nanoseconds.
+//!
+//! Like real criterion, positional command-line arguments act as
+//! substring filters on benchmark labels (`cargo bench -p cn-bench
+//! --bench gemm -- square256`); flag-like arguments (anything starting
+//! with `-`, e.g. the `--bench` cargo appends) are ignored.
 
-use std::fmt::Display;
+use std::cell::{Cell, RefCell};
+use std::fmt::{self, Display};
+use std::io::Write as _;
+use std::rc::Rc;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Benchmark identifier: a function name with an optional parameter.
@@ -45,12 +67,119 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// The measurement outcome of one benchmark: the full sample vector and
+/// the loop parameters that produced it. Handed to reporter hooks and
+/// rendered into the `CN_BENCH_JSONL` sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRecord {
+    /// Full label (`group/id` for grouped benchmarks).
+    pub label: String,
+    /// Iterations executed during calibration warm-up.
+    pub warm_up_iters: u64,
+    /// Iterations batched into each timed sample.
+    pub iters_per_sample: u64,
+    /// Per-iteration nanoseconds, one entry per collected sample.
+    pub samples_ns: Vec<f64>,
+}
+
+impl SampleRecord {
+    /// Mean per-iteration nanoseconds over the samples.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// One JSONL line for the `CN_BENCH_JSONL` sink. `bin` names the
+    /// bench binary the record came from (the taxonomy's second level).
+    pub fn to_json_line(&self, bin: &str) -> String {
+        let samples: Vec<String> = self.samples_ns.iter().map(|s| format!("{s}")).collect();
+        format!(
+            "{{\"bin\":\"{}\",\"label\":\"{}\",\"warm_up_iters\":{},\"iters_per_sample\":{},\"samples_ns\":[{}]}}",
+            json_escape(bin),
+            json_escape(&self.label),
+            self.warm_up_iters,
+            self.iters_per_sample,
+            samples.join(",")
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The measurement timeline: wall clock in production, a deterministic
+/// virtual clock in harness self-tests. The fake clock advances by a
+/// fixed `step_ns` per benched iteration, so warm-up calibration, sample
+/// batching and deadline truncation are all exactly reproducible.
+#[derive(Clone)]
+enum Clock {
+    Wall,
+    Fake { now_ns: Rc<Cell<u64>>, step_ns: u64 },
+}
+
+impl Clock {
+    fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Wall => wall_epoch().elapsed().as_nanos() as u64,
+            Clock::Fake { now_ns, .. } => now_ns.get(),
+        }
+    }
+
+    /// One benched iteration completed: advance the virtual timeline
+    /// (no-op on the wall clock — real time advanced on its own).
+    fn advance_iter(&self) {
+        if let Clock::Fake { now_ns, step_ns } = self {
+            now_ns.set(now_ns.get() + step_ns);
+        }
+    }
+}
+
+fn wall_epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+type ReporterHook = Rc<RefCell<dyn FnMut(&SampleRecord)>>;
+
 /// Top-level harness configuration and entry point.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Criterion {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    clock: Clock,
+    reporter: Option<ReporterHook>,
+    /// Explicit label filters; `None` falls back to the CLI filters
+    /// captured by [`init_cli_filters`].
+    filters: Option<Vec<String>>,
+}
+
+impl fmt::Debug for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Criterion")
+            .field("sample_size", &self.sample_size)
+            .field("warm_up_time", &self.warm_up_time)
+            .field("measurement_time", &self.measurement_time)
+            .field("fake_clock", &matches!(self.clock, Clock::Fake { .. }))
+            .field("reporter", &self.reporter.is_some())
+            .field("filters", &self.filters)
+            .finish()
+    }
 }
 
 impl Default for Criterion {
@@ -59,11 +188,27 @@ impl Default for Criterion {
             sample_size: 20,
             warm_up_time: Duration::from_millis(200),
             measurement_time: Duration::from_millis(800),
+            clock: Clock::Wall,
+            reporter: None,
+            filters: None,
         }
     }
 }
 
 impl Criterion {
+    /// A harness on a deterministic virtual clock where every benched
+    /// iteration costs exactly `step` of simulated time. Used by the
+    /// self-tests that pin warm-up/sample-count semantics.
+    pub fn with_fake_clock(step: Duration) -> Criterion {
+        Criterion {
+            clock: Clock::Fake {
+                now_ns: Rc::new(Cell::new(0)),
+                step_ns: step.as_nanos().max(1) as u64,
+            },
+            ..Criterion::default()
+        }
+    }
+
     pub fn sample_size(mut self, n: usize) -> Criterion {
         self.sample_size = n.max(1);
         self
@@ -77,6 +222,32 @@ impl Criterion {
     pub fn measurement_time(mut self, d: Duration) -> Criterion {
         self.measurement_time = d;
         self
+    }
+
+    /// Registers an in-process hook receiving each completed benchmark's
+    /// [`SampleRecord`] (after the stdout line is printed).
+    pub fn reporter(mut self, hook: impl FnMut(&SampleRecord) + 'static) -> Criterion {
+        self.reporter = Some(Rc::new(RefCell::new(hook)));
+        self
+    }
+
+    /// Adds an explicit substring filter on benchmark labels, overriding
+    /// the CLI filters. A benchmark runs when any filter matches.
+    pub fn filter(mut self, substring: impl Into<String>) -> Criterion {
+        self.filters
+            .get_or_insert_with(Vec::new)
+            .push(substring.into());
+        self
+    }
+
+    fn label_selected(&self, label: &str) -> bool {
+        let cli = CLI_FILTERS.get();
+        let filters = match (&self.filters, cli) {
+            (Some(own), _) => own.as_slice(),
+            (None, Some(cli)) => cli.as_slice(),
+            (None, None) => &[],
+        };
+        filters.is_empty() || filters.iter().any(|f| label.contains(f.as_str()))
     }
 
     pub fn bench_function(
@@ -95,6 +266,19 @@ impl Criterion {
         }
     }
 }
+
+/// Positional (non-flag) command-line arguments, as label filters.
+/// Called once by the `criterion_main!`-generated `main`; unit tests
+/// never call it, so programmatic [`Criterion`] values are unaffected.
+pub fn init_cli_filters() {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let _ = CLI_FILTERS.set(filters);
+}
+
+static CLI_FILTERS: OnceLock<Vec<String>> = OnceLock::new();
 
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
@@ -130,30 +314,33 @@ impl BenchmarkGroup<'_> {
 /// Drives the measured closure inside a benchmark body.
 pub struct Bencher {
     mode: BencherMode,
+    clock: Clock,
     iters_done: u64,
-    elapsed: Duration,
+    elapsed_ns: u64,
 }
 
 enum BencherMode {
-    WarmUp { deadline: Instant },
+    WarmUp { deadline_ns: u64 },
     Measure { iters: u64 },
 }
 
 impl Bencher {
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
         match self.mode {
-            BencherMode::WarmUp { deadline } => {
-                while Instant::now() < deadline {
+            BencherMode::WarmUp { deadline_ns } => {
+                while self.clock.now_ns() < deadline_ns {
                     std::hint::black_box(f());
+                    self.clock.advance_iter();
                     self.iters_done += 1;
                 }
             }
             BencherMode::Measure { iters } => {
-                let start = Instant::now();
+                let start = self.clock.now_ns();
                 for _ in 0..iters {
                     std::hint::black_box(f());
+                    self.clock.advance_iter();
                 }
-                self.elapsed = start.elapsed();
+                self.elapsed_ns = self.clock.now_ns() - start;
                 self.iters_done = iters;
             }
         }
@@ -161,13 +348,17 @@ impl Bencher {
 }
 
 fn run_one(config: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if !config.label_selected(label) {
+        return;
+    }
     // Warm-up doubles as calibration: how many iterations fit the window?
     let mut warm = Bencher {
         mode: BencherMode::WarmUp {
-            deadline: Instant::now() + config.warm_up_time,
+            deadline_ns: config.clock.now_ns() + config.warm_up_time.as_nanos() as u64,
         },
+        clock: config.clock.clone(),
         iters_done: 0,
-        elapsed: Duration::ZERO,
+        elapsed_ns: 0,
     };
     f(&mut warm);
     if warm.iters_done == 0 {
@@ -181,16 +372,18 @@ fn run_one(config: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
         .max(1);
 
     let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
-    let deadline = Instant::now() + config.measurement_time.mul_f64(1.5);
+    let deadline_ns =
+        config.clock.now_ns() + config.measurement_time.mul_f64(1.5).as_nanos() as u64;
     for _ in 0..config.sample_size {
         let mut b = Bencher {
             mode: BencherMode::Measure { iters: per_sample },
+            clock: config.clock.clone(),
             iters_done: 0,
-            elapsed: Duration::ZERO,
+            elapsed_ns: 0,
         };
         f(&mut b);
-        samples_ns.push(b.elapsed.as_nanos() as f64 / per_sample as f64);
-        if Instant::now() > deadline {
+        samples_ns.push(b.elapsed_ns as f64 / per_sample as f64);
+        if config.clock.now_ns() > deadline_ns {
             break;
         }
     }
@@ -205,6 +398,57 @@ fn run_one(config: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
         samples_ns.len(),
         per_sample
     );
+    let record = SampleRecord {
+        label: label.to_string(),
+        warm_up_iters: warm.iters_done,
+        iters_per_sample: per_sample,
+        samples_ns,
+    };
+    if let Some(hook) = &config.reporter {
+        (hook.borrow_mut())(&record);
+    }
+    jsonl_report(&record);
+}
+
+/// Appends `record` to the `CN_BENCH_JSONL` sink, if configured.
+fn jsonl_report(record: &SampleRecord) {
+    let Ok(path) = std::env::var("CN_BENCH_JSONL") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = record.to_json_line(&bench_bin_name());
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut file) => {
+            let _ = writeln!(file, "{line}");
+        }
+        Err(err) => eprintln!("criterion shim: cannot append to CN_BENCH_JSONL={path}: {err}"),
+    }
+}
+
+/// The bench binary's taxonomy name: `CN_BENCH_BIN` when set, otherwise
+/// the executable stem with cargo's trailing `-<16 hex>` hash stripped.
+fn bench_bin_name() -> String {
+    if let Ok(name) = std::env::var("CN_BENCH_BIN") {
+        if !name.is_empty() {
+            return name;
+        }
+    }
+    let exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".to_string());
+    match exe.rsplit_once('-') {
+        Some((stem, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            stem.to_string()
+        }
+        _ => exe,
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -245,6 +489,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::init_cli_filters();
             $($group();)+
         }
     };
@@ -278,5 +523,113 @@ mod tests {
             b.iter(|| black_box(n * 2));
         });
         group.finish();
+    }
+
+    /// Captures every reported record through the hook.
+    fn capturing(c: Criterion) -> (Criterion, Rc<RefCell<Vec<SampleRecord>>>) {
+        let seen: Rc<RefCell<Vec<SampleRecord>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = seen.clone();
+        let c = c.reporter(move |r| sink.borrow_mut().push(r.clone()));
+        (c, seen)
+    }
+
+    /// Pins the measurement policy end to end on the virtual clock: a
+    /// 1 ms/iter closure under a 10 ms warm-up window runs exactly 10
+    /// calibration iterations; a 20 ms measurement window split into 5
+    /// samples batches ⌈10·(20/10)/5⌉ = 4 iterations per sample; every
+    /// sample then reads exactly 1e6 ns/iter. A shim refactor that
+    /// changes warm-up, batching or sample-count semantics breaks this.
+    #[test]
+    fn fake_clock_pins_warm_up_and_sampling_semantics() {
+        let c = Criterion::with_fake_clock(Duration::from_millis(1))
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(20));
+        let (mut c, seen) = capturing(c);
+        let mut calls = 0u64;
+        c.bench_function("fake", |b| b.iter(|| calls += 1));
+        let records = seen.borrow();
+        assert_eq!(
+            *records,
+            vec![SampleRecord {
+                label: "fake".to_string(),
+                warm_up_iters: 10,
+                iters_per_sample: 4,
+                samples_ns: vec![1e6; 5],
+            }]
+        );
+        // Warm-up (10) plus 5 samples × 4 iters.
+        assert_eq!(calls, 30);
+    }
+
+    /// The 1.5× measurement-time deadline truncates slow benchmarks:
+    /// with 1 iteration per sample at 1 ms each, sampling stops once the
+    /// virtual clock passes warm-up + 30 ms — at 31 samples, far short
+    /// of the requested 100.
+    #[test]
+    fn fake_clock_pins_deadline_truncation() {
+        let c = Criterion::with_fake_clock(Duration::from_millis(1))
+            .sample_size(100)
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(20));
+        let (mut c, seen) = capturing(c);
+        c.bench_function("slow", |b| b.iter(|| ()));
+        let records = seen.borrow();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].iters_per_sample, 1);
+        assert_eq!(records[0].samples_ns.len(), 31);
+        assert!(records[0].samples_ns.iter().all(|&s| s == 1e6));
+    }
+
+    #[test]
+    fn filters_select_benchmarks_by_substring() {
+        let c = Criterion::with_fake_clock(Duration::from_millis(1))
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(4))
+            .filter("square256");
+        let (mut c, seen) = capturing(c);
+        let mut group = c.benchmark_group("gemm_packed");
+        group.bench_function("square256", |b| b.iter(|| ()));
+        group.bench_function("square512", |b| b.iter(|| ()));
+        group.finish();
+        let labels: Vec<String> = seen.borrow().iter().map(|r| r.label.clone()).collect();
+        assert_eq!(labels, vec!["gemm_packed/square256".to_string()]);
+    }
+
+    #[test]
+    fn closure_without_iter_reports_nothing() {
+        let c = Criterion::with_fake_clock(Duration::from_millis(1));
+        let (mut c, seen) = capturing(c);
+        c.bench_function("empty", |_b| {});
+        assert!(seen.borrow().is_empty());
+    }
+
+    #[test]
+    fn json_line_is_pinned() {
+        let record = SampleRecord {
+            label: "gemm_packed/square256".to_string(),
+            warm_up_iters: 10,
+            iters_per_sample: 4,
+            samples_ns: vec![1000000.0, 1250000.5],
+        };
+        assert_eq!(
+            record.to_json_line("gemm"),
+            "{\"bin\":\"gemm\",\"label\":\"gemm_packed/square256\",\
+             \"warm_up_iters\":10,\"iters_per_sample\":4,\
+             \"samples_ns\":[1000000,1250000.5]}"
+        );
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn mean_over_samples() {
+        let record = SampleRecord {
+            label: "x".to_string(),
+            warm_up_iters: 1,
+            iters_per_sample: 1,
+            samples_ns: vec![1.0, 3.0],
+        };
+        assert_eq!(record.mean_ns(), 2.0);
     }
 }
