@@ -21,6 +21,7 @@ pub mod fig2;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod net_serving;
 pub mod serving;
 pub mod table1;
 
@@ -110,6 +111,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(ablation_device::AblationDevice),
         Box::new(ablation_lipschitz::AblationLipschitz),
         Box::new(serving::Serving),
+        Box::new(net_serving::NetServing),
     ]
 }
 

@@ -13,7 +13,7 @@ use cn_nn::zoo::{lenet5, LeNetConfig};
 use cn_nn::Sequential;
 use correctnet::export::json::Json;
 
-const EXPECTED: [&str; 9] = [
+const EXPECTED: [&str; 10] = [
     "table1",
     "fig2",
     "fig7",
@@ -23,6 +23,7 @@ const EXPECTED: [&str; 9] = [
     "ablation_device",
     "ablation_lipschitz",
     "serving",
+    "net_serving",
 ];
 
 fn temp_cache(tag: &str) -> ModelCache {
@@ -36,7 +37,7 @@ fn every_registered_name_resolves() {
     let names = experiments::names();
     assert_eq!(
         names, EXPECTED,
-        "catalog must list the eight paper artifacts plus the serving workload"
+        "catalog must list the eight paper artifacts plus the serving workloads"
     );
     for name in names {
         let exp = experiments::find(name).unwrap_or_else(|| panic!("`{name}` must resolve"));

@@ -1,0 +1,92 @@
+//! `blocking-io-without-timeout` — socket reads/accepts with no timeout.
+//!
+//! The cn-net frontend's contract: every connection handler interleaves
+//! reply flushing, drain checks and socket reads, which only works if no
+//! socket call can block indefinitely — a peer that stops sending (but
+//! keeps the connection open) would otherwise pin a pool handler forever
+//! and a drain would never complete. The rule: any function that works
+//! with `TcpStream`/`TcpListener` and performs a blocking read or accept
+//! must also configure a timeout (`set_read_timeout`/`set_write_timeout`)
+//! or switch the socket to non-blocking (`set_nonblocking`) *in the same
+//! function* — the only scope a reader can audit locally. A function
+//! relying on a caller-configured socket states that in a suppression.
+
+use crate::engine::{Rule, Sink};
+use crate::source::SourceFile;
+
+/// Socket types whose presence marks a function as doing network I/O.
+const SOCKET_TYPES: &[&str] = &["TcpStream", "TcpListener"];
+
+/// Method calls that block indefinitely on an unconfigured socket.
+const BLOCKING_CALLS: &[&str] = &[
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "accept",
+];
+
+/// Calls that bound (or remove) the blocking, satisfying the contract.
+const SILENCERS: &[&str] = &["set_read_timeout", "set_write_timeout", "set_nonblocking"];
+
+/// Flags blocking socket reads/accepts in functions that never configure
+/// a timeout on the socket.
+pub struct BlockingIoWithoutTimeout;
+
+impl Rule for BlockingIoWithoutTimeout {
+    fn id(&self) -> &'static str {
+        "blocking-io-without-timeout"
+    }
+
+    fn summary(&self) -> &'static str {
+        "socket read/accept with no timeout in scope can hang a handler forever; set_read_timeout/set_write_timeout (or set_nonblocking) in the same fn"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        // Production code only: integration tests and benches drive
+        // sockets they fully control.
+        !path.contains("/tests/") && !path.contains("/benches/")
+    }
+
+    fn check(&self, file: &SourceFile, sink: &mut Sink<'_>) {
+        for span in &file.fn_spans {
+            let Some(body_start) = span.body_start else {
+                continue;
+            };
+            // Token range of the whole item: from the `fn` keyword to the
+            // body's closing brace (the signature's types count — a
+            // `stream: &mut TcpStream` parameter marks the function).
+            let first = match file.tokens.iter().position(|t| t.start >= span.start) {
+                Some(i) => i,
+                None => continue,
+            };
+            let body_end = file.matching_close(body_start);
+
+            let mentions_socket =
+                (first..body_end).any(|i| SOCKET_TYPES.iter().any(|ty| file.is_ident(i, ty)));
+            if !mentions_socket {
+                continue;
+            }
+            let has_silencer =
+                (first..body_end).any(|i| SILENCERS.iter().any(|s| file.is_ident(i, s)));
+            if has_silencer {
+                continue;
+            }
+            for i in body_start..body_end {
+                let is_blocking_call = file.is_punct(i, ".")
+                    && BLOCKING_CALLS.iter().any(|c| file.is_ident(i + 1, c))
+                    && file.is_punct(i + 2, "(");
+                if is_blocking_call {
+                    sink.report(
+                        i + 1,
+                        "blocking socket call with no timeout configured in this fn: a \
+                         stalled peer pins the thread forever and drains never finish; \
+                         call set_read_timeout/set_write_timeout (or set_nonblocking) on \
+                         the socket in this function, or suppress stating where the \
+                         timeout is configured",
+                    );
+                }
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 use crate::engine::Rule;
 use crate::source::SourceFile;
 
+mod blocking_io_without_timeout;
 mod collidable_seed_mix;
 mod kernel_zero_skip;
 mod lock_in_hot_path;
@@ -17,6 +18,7 @@ mod no_fma_in_exact_gemm;
 mod stats_after_reply;
 mod unbounded_thread_spawn;
 
+pub use blocking_io_without_timeout::BlockingIoWithoutTimeout;
 pub use collidable_seed_mix::CollidableSeedMix;
 pub use kernel_zero_skip::KernelZeroSkip;
 pub use lock_in_hot_path::LockInHotPath;
@@ -35,6 +37,7 @@ pub fn catalog() -> Vec<Box<dyn Rule>> {
         Box::new(LockInHotPath),
         Box::new(StatsAfterReply),
         Box::new(MissingDeprecationNote),
+        Box::new(BlockingIoWithoutTimeout),
     ]
 }
 

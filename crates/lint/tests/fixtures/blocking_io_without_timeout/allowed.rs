@@ -1,0 +1,30 @@
+//@ path: crates/net/src/fake_frontend.rs
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+// Compliant: the timeout is configured in the same function as the read.
+pub fn read_with_timeout(stream: &mut TcpStream) -> std::io::Result<usize> {
+    stream.set_read_timeout(Some(Duration::from_millis(2)))?;
+    let mut buf = [0u8; 64];
+    stream.read(&mut buf)
+}
+
+// Compliant: the listener is switched to non-blocking before accepting.
+pub fn accept_nonblocking(listener: &TcpListener) {
+    listener.set_nonblocking(true).unwrap();
+    let _ = listener.accept();
+}
+
+// A function relying on a caller-configured socket states so.
+pub fn read_preconfigured(stream: &mut TcpStream) -> std::io::Result<usize> {
+    let mut buf = [0u8; 64];
+    // cn-lint: allow(blocking-io-without-timeout, reason = "fixture: handler pool sets the read timeout before handing the stream over")
+    stream.read(&mut buf)
+}
+
+// No socket types in scope: generic readers are not this rule's business.
+pub fn read_generic<R: Read>(r: &mut R) -> std::io::Result<usize> {
+    let mut buf = [0u8; 64];
+    r.read(&mut buf)
+}

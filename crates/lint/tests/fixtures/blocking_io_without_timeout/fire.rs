@@ -1,0 +1,18 @@
+//@ path: crates/net/src/fake_frontend.rs
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+
+pub fn accept_forever(listener: &TcpListener) {
+    loop {
+        let _ = listener.accept(); //~ blocking-io-without-timeout
+    }
+}
+
+pub fn read_request(stream: &mut TcpStream) -> Vec<u8> {
+    let mut buf = vec![0u8; 1024];
+    let n = stream.read(&mut buf).unwrap(); //~ blocking-io-without-timeout
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap(); //~ blocking-io-without-timeout
+    buf.truncate(n);
+    buf
+}

@@ -148,6 +148,11 @@ fn malformed_suppression_fixture() {
 }
 
 #[test]
+fn blocking_io_without_timeout_fixture() {
+    check_pair("blocking_io_without_timeout");
+}
+
+#[test]
 fn every_cataloged_rule_has_a_fixture_pair() {
     let mut missing = Vec::new();
     for rule in rules::catalog() {

@@ -1,0 +1,827 @@
+//! The length-prefixed binary frame codec — the wire contract between
+//! the TCP frontend and its clients.
+//!
+//! Every frame is a fixed 16-byte header followed by a payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic        b"CN"
+//! 2       1     version      (currently 1)
+//! 3       1     kind         0 InferRequest | 1 InferReply | 2 Control
+//!                            | 3 ControlReply | 4 Error
+//! 4       8     request_id   u64 LE, chosen by the client, echoed in the
+//!                            reply — replies are pinned by id, never by
+//!                            arrival order
+//! 12      4     payload_len  u32 LE, bounded by the decoder's cap
+//! ```
+//!
+//! Payload encodings (all integers LE, all floats IEEE-754 `f32` LE,
+//! bit-preserving):
+//!
+//! - **InferRequest**: `u32 ndims | ndims × u32 dims | ∏dims × f32` — a
+//!   batch tensor whose first dimension is the row count.
+//! - **InferReply**: `u32 rows | u32 classes | rows × u32 class |
+//!   rows·classes × f32 logits`.
+//! - **Control** / **ControlReply**: UTF-8 JSON text (see
+//!   [`control`](crate::control)).
+//! - **Error**: `u16 code | UTF-8 message` ([`ErrorCode`]).
+//!
+//! Decoding is strict: unknown magic/version/kind, lengths beyond the
+//! configured cap, truncated payloads and length/shape mismatches are all
+//! **named errors** ([`FrameError`]) — a peer-supplied length is never
+//! trusted beyond the cap, so a hostile or corrupt peer cannot make the
+//! decoder allocate unboundedly.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first two bytes of every frame.
+pub const MAGIC: [u8; 2] = [b'C', b'N'];
+
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Default payload cap (16 MiB) used by [`FrameReader::new`].
+pub const DEFAULT_MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// Most dimensions an [`Payload::InferRequest`] tensor may carry — far
+/// above anything the serving layer shapes, low enough to bound header
+/// parsing.
+pub const MAX_DIMS: usize = 8;
+
+/// Application-level error codes carried by [`Payload::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The shard router shed the request (queue full / overload): back
+    /// off and retry — the explicit backpressure signal.
+    Backpressure,
+    /// The frontend is draining and admits no new requests.
+    Draining,
+    /// The request was malformed (bad shape, bad JSON, bad frame kind).
+    BadRequest,
+    /// The serving side failed internally (worker died).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire representation.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Backpressure => 1,
+            ErrorCode::Draining => 2,
+            ErrorCode::BadRequest => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_u16(code: u16) -> Option<ErrorCode> {
+        match code {
+            1 => Some(ErrorCode::Backpressure),
+            2 => Some(ErrorCode::Draining),
+            3 => Some(ErrorCode::BadRequest),
+            4 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Backpressure => "backpressure",
+            ErrorCode::Draining => "draining",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Internal => "internal",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The typed payload of a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A batch of inputs: `dims[0]` rows of shape `dims[1..]`.
+    InferRequest {
+        /// Tensor dimensions; `dims[0]` is the row count.
+        dims: Vec<usize>,
+        /// Row-major tensor data, `∏dims` values.
+        data: Vec<f32>,
+    },
+    /// Per-row argmax classes and raw logits for one request.
+    InferReply {
+        /// Argmax class per row.
+        classes: Vec<u32>,
+        /// Row-major logits, `rows × width` values.
+        logits: Vec<f32>,
+        /// Logit count per row.
+        width: usize,
+    },
+    /// A JSON control command (`stats`, `drain`, `swap`).
+    Control(String),
+    /// The JSON answer to a control command.
+    ControlReply(String),
+    /// A named failure; the request it answers is identified by the
+    /// frame's `request_id`.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Payload {
+    fn kind(&self) -> u8 {
+        match self {
+            Payload::InferRequest { .. } => 0,
+            Payload::InferReply { .. } => 1,
+            Payload::Control(_) => 2,
+            Payload::ControlReply(_) => 3,
+            Payload::Error { .. } => 4,
+        }
+    }
+}
+
+/// One frame: a client-chosen request id plus a typed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Client-chosen id; replies echo it, which is the only pairing
+    /// mechanism (replies may arrive out of request order).
+    pub request_id: u64,
+    /// The typed payload.
+    pub payload: Payload,
+}
+
+impl Frame {
+    /// Convenience constructor.
+    pub fn new(request_id: u64, payload: Payload) -> Frame {
+        Frame {
+            request_id,
+            payload,
+        }
+    }
+}
+
+/// Why a frame failed to decode. Every variant names the offending
+/// quantity — wire debugging should never require a hex dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 2],
+    },
+    /// The version byte is one this build does not speak.
+    UnsupportedVersion {
+        /// The version found.
+        found: u8,
+    },
+    /// The kind byte names no known payload type.
+    UnknownKind {
+        /// The kind found.
+        found: u8,
+    },
+    /// The header announces a payload larger than the configured cap.
+    Oversize {
+        /// Announced payload length.
+        len: usize,
+        /// The decoder's cap.
+        cap: usize,
+    },
+    /// The buffer ended before the announced payload did.
+    Truncated {
+        /// Bytes the frame needs in total.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The payload bytes disagree with their own framing (shape/length
+    /// mismatch, bad UTF-8, unknown error code, too many dims).
+    BadPayload {
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:?} (expected {MAGIC:?})")
+            }
+            FrameError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (speaking {VERSION})"
+                )
+            }
+            FrameError::UnknownKind { found } => write!(f, "unknown frame kind {found}"),
+            FrameError::Oversize { len, cap } => {
+                write!(f, "payload of {len} bytes exceeds the {cap}-byte cap")
+            }
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needs {needed} bytes, got {got}")
+            }
+            FrameError::BadPayload { detail } => write!(f, "bad payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn bad(detail: impl Into<String>) -> FrameError {
+    FrameError::BadPayload {
+        detail: detail.into(),
+    }
+}
+
+/// Encodes a frame into bytes (header + payload).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(&frame.payload);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.payload.kind());
+    out.extend_from_slice(&frame.request_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn encode_payload(payload: &Payload) -> Vec<u8> {
+    match payload {
+        Payload::InferRequest { dims, data } => {
+            let mut out = Vec::with_capacity(4 + 4 * dims.len() + 4 * data.len());
+            out.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+            for &d in dims {
+                out.extend_from_slice(&(d as u32).to_le_bytes());
+            }
+            for &v in data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+        Payload::InferReply {
+            classes,
+            logits,
+            width,
+        } => {
+            let mut out = Vec::with_capacity(8 + 4 * classes.len() + 4 * logits.len());
+            out.extend_from_slice(&(classes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(*width as u32).to_le_bytes());
+            for &c in classes {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+            for &v in logits {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+        Payload::Control(text) | Payload::ControlReply(text) => text.as_bytes().to_vec(),
+        Payload::Error { code, message } => {
+            let mut out = Vec::with_capacity(2 + message.len());
+            out.extend_from_slice(&code.to_u16().to_le_bytes());
+            out.extend_from_slice(message.as_bytes());
+            out
+        }
+    }
+}
+
+/// A validated header: what the first [`HEADER_LEN`] bytes announce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Frame kind byte (already known valid).
+    pub kind: u8,
+    /// Echoed request id.
+    pub request_id: u64,
+    /// Announced payload length in bytes.
+    pub payload_len: usize,
+}
+
+/// Parses and validates a frame header against `cap`.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] below [`HEADER_LEN`] bytes, plus the
+/// magic/version/kind/oversize validations.
+pub fn decode_header(buf: &[u8], cap: usize) -> Result<Header, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated {
+            needed: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    if buf[0..2] != MAGIC {
+        return Err(FrameError::BadMagic {
+            found: [buf[0], buf[1]],
+        });
+    }
+    if buf[2] != VERSION {
+        return Err(FrameError::UnsupportedVersion { found: buf[2] });
+    }
+    let kind = buf[3];
+    if kind > 4 {
+        return Err(FrameError::UnknownKind { found: kind });
+    }
+    let request_id = u64::from_le_bytes(buf[4..12].try_into().expect("8 header bytes"));
+    let payload_len = u32::from_le_bytes(buf[12..16].try_into().expect("4 header bytes")) as usize;
+    if payload_len > cap {
+        return Err(FrameError::Oversize {
+            len: payload_len,
+            cap,
+        });
+    }
+    Ok(Header {
+        kind,
+        request_id,
+        payload_len,
+    })
+}
+
+/// Decodes one complete frame from the front of `buf`, returning it and
+/// the number of bytes consumed.
+///
+/// # Errors
+///
+/// Any [`FrameError`]; [`FrameError::Truncated`] when `buf` does not yet
+/// hold the whole frame (the streaming reader retries after more bytes).
+pub fn decode(buf: &[u8], cap: usize) -> Result<(Frame, usize), FrameError> {
+    let header = decode_header(buf, cap)?;
+    let total = HEADER_LEN + header.payload_len;
+    if buf.len() < total {
+        return Err(FrameError::Truncated {
+            needed: total,
+            got: buf.len(),
+        });
+    }
+    let payload = decode_payload(header.kind, &buf[HEADER_LEN..total])?;
+    Ok((
+        Frame {
+            request_id: header.request_id,
+            payload,
+        },
+        total,
+    ))
+}
+
+/// Little-endian u32 cursor over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, at: 0 }
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
+        let end = self.at + 4;
+        if end > self.buf.len() {
+            return Err(bad(format!("payload ends inside {what}")));
+        }
+        let v = u32::from_le_bytes(self.buf[self.at..end].try_into().expect("4 bytes"));
+        self.at = end;
+        Ok(v)
+    }
+
+    fn f32s(&mut self, n: usize, what: &str) -> Result<Vec<f32>, FrameError> {
+        let end = self.at + 4 * n;
+        if end > self.buf.len() {
+            return Err(bad(format!(
+                "payload ends inside {what}: needs {n} floats, has {} bytes",
+                self.buf.len() - self.at
+            )));
+        }
+        let out = self.buf[self.at..end]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        self.at = end;
+        Ok(out)
+    }
+
+    fn finish(self, what: &str) -> Result<(), FrameError> {
+        if self.at != self.buf.len() {
+            return Err(bad(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn decode_payload(kind: u8, buf: &[u8]) -> Result<Payload, FrameError> {
+    match kind {
+        0 => {
+            let mut c = Cursor::new(buf);
+            let ndims = c.u32("ndims")? as usize;
+            if ndims == 0 || ndims > MAX_DIMS {
+                return Err(bad(format!("ndims {ndims} outside [1, {MAX_DIMS}]")));
+            }
+            let mut dims = Vec::with_capacity(ndims);
+            let mut product: usize = 1;
+            for i in 0..ndims {
+                let d = c.u32("dims")? as usize;
+                product = product
+                    .checked_mul(d)
+                    .ok_or_else(|| bad(format!("dims overflow at dims[{i}]")))?;
+                dims.push(d);
+            }
+            // The announced shape must account for exactly the bytes that
+            // follow; the cap already bounded the total.
+            let data = c.f32s(product, "tensor data")?;
+            c.finish("tensor data")?;
+            Ok(Payload::InferRequest { dims, data })
+        }
+        1 => {
+            let mut c = Cursor::new(buf);
+            let rows = c.u32("rows")? as usize;
+            let width = c.u32("width")? as usize;
+            let mut classes = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                classes.push(c.u32("classes")?);
+            }
+            let count = rows
+                .checked_mul(width)
+                .ok_or_else(|| bad("rows × width overflow"))?;
+            let logits = c.f32s(count, "logits")?;
+            c.finish("logits")?;
+            Ok(Payload::InferReply {
+                classes,
+                logits,
+                width,
+            })
+        }
+        2 | 3 => {
+            let text = std::str::from_utf8(buf)
+                .map_err(|e| bad(format!("control JSON is not UTF-8: {e}")))?
+                .to_string();
+            if kind == 2 {
+                Ok(Payload::Control(text))
+            } else {
+                Ok(Payload::ControlReply(text))
+            }
+        }
+        4 => {
+            if buf.len() < 2 {
+                return Err(bad("error payload shorter than its 2-byte code"));
+            }
+            let raw = u16::from_le_bytes(buf[0..2].try_into().expect("2 bytes"));
+            let code =
+                ErrorCode::from_u16(raw).ok_or_else(|| bad(format!("unknown error code {raw}")))?;
+            let message = std::str::from_utf8(&buf[2..])
+                .map_err(|e| bad(format!("error message is not UTF-8: {e}")))?
+                .to_string();
+            Ok(Payload::Error { code, message })
+        }
+        other => Err(FrameError::UnknownKind { found: other }),
+    }
+}
+
+/// Writes one frame to `w` (a single `write_all` of the encoded bytes).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode(frame))
+}
+
+/// What one [`FrameReader::poll`] produced.
+#[derive(Debug)]
+pub enum PollFrame {
+    /// A complete frame.
+    Frame(Frame),
+    /// No complete frame yet (the read would block / timed out mid-frame
+    /// or the frame is still partial) — call again later.
+    Pending,
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+}
+
+/// Why a [`FrameReader::poll`] failed.
+#[derive(Debug)]
+pub enum ReadFrameError {
+    /// The stream failed (including EOF *inside* a frame, which is
+    /// reported as an [`io::ErrorKind::UnexpectedEof`]).
+    Io(io::Error),
+    /// The bytes failed to decode; the connection should be dropped —
+    /// framing is lost.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for ReadFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadFrameError::Io(e) => write!(f, "frame read I/O error: {e}"),
+            ReadFrameError::Frame(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadFrameError {}
+
+impl From<FrameError> for ReadFrameError {
+    fn from(e: FrameError) -> ReadFrameError {
+        ReadFrameError::Frame(e)
+    }
+}
+
+/// Incremental frame reader over a byte stream with read timeouts.
+///
+/// Socket reads may return partial frames or time out between polls; the
+/// reader buffers across calls and only surfaces complete frames, so a
+/// connection handler can interleave reading with reply flushing without
+/// ever blocking past the socket's read timeout.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    cap: usize,
+}
+
+impl FrameReader {
+    /// A reader enforcing the [`DEFAULT_MAX_PAYLOAD`] cap.
+    pub fn new() -> FrameReader {
+        FrameReader::with_cap(DEFAULT_MAX_PAYLOAD)
+    }
+
+    /// A reader enforcing a custom payload cap.
+    pub fn with_cap(cap: usize) -> FrameReader {
+        FrameReader {
+            buf: Vec::new(),
+            cap,
+        }
+    }
+
+    /// How many buffered bytes are waiting for the rest of their frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Reads from `r` once (respecting its timeout) and tries to decode
+    /// one frame. `WouldBlock`/`TimedOut` surface as [`PollFrame::Pending`],
+    /// a clean close at a frame boundary as [`PollFrame::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReadFrameError::Io`] on hard stream errors (including EOF inside
+    /// a frame), [`ReadFrameError::Frame`] when framing is lost.
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> Result<PollFrame, ReadFrameError> {
+        // Fast path: a previous read may have buffered several frames.
+        if let Some(frame) = self.take_buffered()? {
+            return Ok(PollFrame::Frame(frame));
+        }
+        let mut chunk = [0u8; 64 * 1024];
+        match r.read(&mut chunk) {
+            Ok(0) => {
+                if self.buf.is_empty() {
+                    Ok(PollFrame::Eof)
+                } else {
+                    Err(ReadFrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "peer closed mid-frame with {} bytes pending",
+                            self.buf.len()
+                        ),
+                    )))
+                }
+            }
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                match self.take_buffered()? {
+                    Some(frame) => Ok(PollFrame::Frame(frame)),
+                    None => Ok(PollFrame::Pending),
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(PollFrame::Pending)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(PollFrame::Pending),
+            Err(e) => Err(ReadFrameError::Io(e)),
+        }
+    }
+
+    /// Decodes one frame from the buffer front if it is complete.
+    fn take_buffered(&mut self) -> Result<Option<Frame>, FrameError> {
+        match decode(&self.buf, self.cap) {
+            Ok((frame, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(frame))
+            }
+            Err(FrameError::Truncated { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Default for FrameReader {
+    fn default() -> FrameReader {
+        FrameReader::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = encode(&frame);
+        let (back, consumed) = decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn all_payload_kinds_round_trip() {
+        round_trip(Frame::new(
+            7,
+            Payload::InferRequest {
+                dims: vec![2, 3],
+                data: vec![1.0, -2.5, 0.0, f32::MIN_POSITIVE, 1e30, -0.0],
+            },
+        ));
+        round_trip(Frame::new(
+            u64::MAX,
+            Payload::InferReply {
+                classes: vec![1, 0],
+                logits: vec![0.1, 0.9, 0.8, 0.2],
+                width: 2,
+            },
+        ));
+        round_trip(Frame::new(
+            0,
+            Payload::Control("{\"cmd\":\"stats\"}".into()),
+        ));
+        round_trip(Frame::new(3, Payload::ControlReply("{\"ok\":true}".into())));
+        round_trip(Frame::new(
+            9,
+            Payload::Error {
+                code: ErrorCode::Backpressure,
+                message: "queue full".into(),
+            },
+        ));
+    }
+
+    #[test]
+    fn nan_and_infinity_bits_survive() {
+        let data = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        let frame = Frame::new(
+            1,
+            Payload::InferRequest {
+                dims: vec![3],
+                data: data.clone(),
+            },
+        );
+        let (back, _) = decode(&encode(&frame), DEFAULT_MAX_PAYLOAD).unwrap();
+        match back.payload {
+            Payload::InferRequest { data: got, .. } => {
+                for (a, b) in data.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_rejections() {
+        let good = encode(&Frame::new(1, Payload::Control("{}".into())));
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode(&bad_magic, 1024).unwrap_err(),
+            FrameError::BadMagic {
+                found: [b'X', b'N']
+            }
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[2] = 9;
+        assert!(matches!(
+            decode(&bad_version, 1024).unwrap_err(),
+            FrameError::UnsupportedVersion { found: 9 }
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[3] = 200;
+        assert!(matches!(
+            decode(&bad_kind, 1024).unwrap_err(),
+            FrameError::UnknownKind { found: 200 }
+        ));
+
+        assert!(matches!(
+            decode(&good[..10], 1024).unwrap_err(),
+            FrameError::Truncated {
+                needed: 16,
+                got: 10
+            }
+        ));
+    }
+
+    #[test]
+    fn peer_supplied_length_is_capped() {
+        // A hostile header announcing a huge payload must be rejected by
+        // the cap — before any allocation proportional to the claim.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&MAGIC);
+        hostile.push(VERSION);
+        hostile.push(2);
+        hostile.extend_from_slice(&0u64.to_le_bytes());
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_header(&hostile, 4096).unwrap_err(),
+            FrameError::Oversize {
+                len: u32::MAX as usize,
+                cap: 4096
+            }
+        );
+    }
+
+    #[test]
+    fn shape_data_mismatch_is_rejected() {
+        // dims say 2×3 = 6 floats but only 5 follow.
+        let frame = Frame::new(
+            1,
+            Payload::InferRequest {
+                dims: vec![2, 3],
+                data: vec![0.0; 6],
+            },
+        );
+        let mut bytes = encode(&frame);
+        bytes.truncate(bytes.len() - 4);
+        let fixed = (bytes.len() - HEADER_LEN) as u32;
+        bytes[12..16].copy_from_slice(&fixed.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes, 1024).unwrap_err(),
+            FrameError::BadPayload { .. }
+        ));
+    }
+
+    #[test]
+    fn reader_reassembles_split_frames() {
+        let frames = vec![
+            Frame::new(1, Payload::Control("{\"cmd\":\"stats\"}".into())),
+            Frame::new(
+                2,
+                Payload::InferRequest {
+                    dims: vec![1, 4],
+                    data: vec![0.5; 4],
+                },
+            ),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode(f));
+        }
+        // Feed the bytes a few at a time through a reader; each poll
+        // consumes its whole (tiny) chunk in one read.
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(3) {
+            let mut src = chunk;
+            match reader.poll(&mut src).unwrap() {
+                PollFrame::Frame(f) => got.push(f),
+                PollFrame::Pending => {}
+                PollFrame::Eof => panic!("premature EOF"),
+            }
+        }
+        // Everything is fed; drain the frames still buffered (the fast
+        // path yields them without touching the empty source).
+        let mut empty: &[u8] = &[];
+        loop {
+            match reader.poll(&mut empty).unwrap() {
+                PollFrame::Frame(f) => got.push(f),
+                PollFrame::Eof => break,
+                PollFrame::Pending => panic!("reader stalled with complete input"),
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn reader_reports_mid_frame_eof() {
+        let bytes = encode(&Frame::new(5, Payload::Control("{}".into())));
+        let mut src = &bytes[..bytes.len() - 1];
+        let mut reader = FrameReader::new();
+        // Consume the partial bytes, then hit EOF inside the frame.
+        loop {
+            match reader.poll(&mut src) {
+                Ok(PollFrame::Pending) => continue,
+                Ok(PollFrame::Frame(_) | PollFrame::Eof) => panic!("frame should be incomplete"),
+                Err(ReadFrameError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+                    break;
+                }
+                Err(e) => panic!("wrong error {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Frame-codec contract tests: property-based round-trips, strict
+//! rejection of damaged input, and a golden-bytes pin of the version-1
+//! header layout so a silent wire-format change fails loudly.
+
+use cn_net::frame::{
+    decode, decode_header, encode, Frame, FrameError, Payload, HEADER_LEN, MAGIC, VERSION,
+};
+use cn_net::{ErrorCode, DEFAULT_MAX_PAYLOAD};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inference batches round-trip for any shape and any f32 bit
+    /// pattern (including NaN payloads, negative zero and infinities —
+    /// the codec must be bit-preserving, not value-preserving).
+    #[test]
+    fn infer_request_round_trips(
+        request_id in 0u64..u64::MAX,
+        rows in 1usize..5,
+        cols in 1usize..17,
+        bits in proptest::collection::vec(0u32..u32::MAX, 1..80),
+    ) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| f32::from_bits(bits[i % bits.len()]))
+            .collect();
+        let frame = Frame::new(request_id, Payload::InferRequest {
+            dims: vec![rows, cols],
+            data: data.clone(),
+        });
+        let bytes = encode(&frame);
+        let (back, consumed) = decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(back.request_id, request_id);
+        match back.payload {
+            Payload::InferRequest { dims, data: got } => {
+                prop_assert_eq!(dims, vec![rows, cols]);
+                prop_assert_eq!(got.len(), data.len());
+                for (a, b) in data.iter().zip(&got) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => prop_assert!(false, "wrong payload {:?}", other),
+        }
+    }
+
+    /// Control text (arbitrary text, not just JSON) round-trips
+    /// byte-exactly.
+    #[test]
+    fn control_round_trips(
+        request_id in 0u64..u64::MAX,
+        text in "[a-zA-Z0-9{}:, \"]{0,64}",
+    ) {
+        let frame = Frame::new(request_id, Payload::Control(text.clone()));
+        let (back, _) = decode(&encode(&frame), DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Every strict prefix of a valid frame decodes to `Truncated` —
+    /// never to a bogus frame, never to a different error that would make
+    /// a streaming reader drop the connection mid-frame.
+    #[test]
+    fn every_truncation_is_named(cut in 0usize..60) {
+        let frame = Frame::new(42, Payload::InferRequest {
+            dims: vec![2, 5],
+            data: vec![1.5; 10],
+        });
+        let bytes = encode(&frame);
+        prop_assume!(cut < bytes.len());
+        match decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD) {
+            Err(FrameError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(needed > cut);
+                prop_assert!(needed <= bytes.len());
+            }
+            other => prop_assert!(false, "cut at {}: {:?}", cut, other),
+        }
+    }
+
+    /// Single-byte corruption anywhere in a frame is always *detected*:
+    /// the decode either fails with a named error or yields a different
+    /// frame whose re-encoding matches the corrupted bytes (flips inside
+    /// payload values — legitimately different data). It must never
+    /// panic, hang or over-consume.
+    #[test]
+    fn corruption_never_panics_or_overconsumes(at in 0usize..56, flip in 0u8..255) {
+        let flip = flip + 1; // 1..=255: always an actual change
+        let frame = Frame::new(7, Payload::InferRequest {
+            dims: vec![1, 8],
+            data: vec![0.25; 8],
+        });
+        let mut bytes = encode(&frame);
+        prop_assume!(at < bytes.len());
+        bytes[at] ^= flip;
+        // Named rejection is the common outcome; a lucky decode must be faithful.
+        if let Ok((decoded, consumed)) = decode(&bytes, DEFAULT_MAX_PAYLOAD) {
+            prop_assert!(consumed <= bytes.len());
+            prop_assert_eq!(&encode(&decoded)[..], &bytes[..consumed]);
+        }
+    }
+}
+
+/// The golden version-1 wire bytes: a `Control` frame with request id
+/// `0x1122334455667788` and payload `{"cmd":"stats"}`. Any header layout
+/// change (field order, widths, endianness, magic, version) breaks this
+/// pin and must come with a version bump and a compat shim instead.
+#[test]
+fn version1_header_bytes_are_pinned() {
+    let frame = Frame::new(
+        0x1122_3344_5566_7788,
+        Payload::Control("{\"cmd\":\"stats\"}".into()),
+    );
+    let bytes = encode(&frame);
+    let expected_header: [u8; HEADER_LEN] = [
+        b'C', b'N', // magic
+        1,    // version
+        2,    // kind = Control
+        0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // request id, LE
+        15, 0, 0, 0, // payload length, LE
+    ];
+    assert_eq!(&bytes[..HEADER_LEN], &expected_header);
+    assert_eq!(&bytes[HEADER_LEN..], b"{\"cmd\":\"stats\"}");
+    assert_eq!(MAGIC, [b'C', b'N']);
+    assert_eq!(VERSION, 1);
+}
+
+/// A frame stamped with a *future* version must be rejected by name —
+/// the cross-version compatibility contract: old servers tell new
+/// clients exactly what they speak instead of misparsing.
+#[test]
+fn future_versions_are_rejected_by_name() {
+    let mut bytes = encode(&Frame::new(1, Payload::Control("{}".into())));
+    bytes[2] = VERSION + 1;
+    assert_eq!(
+        decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+        FrameError::UnsupportedVersion { found: VERSION + 1 }
+    );
+}
+
+/// The error-frame payload round-trips every named code and rejects
+/// unknown codes (a future code must not alias onto an old meaning).
+#[test]
+fn error_codes_are_closed_under_round_trip() {
+    for code in [
+        ErrorCode::Backpressure,
+        ErrorCode::Draining,
+        ErrorCode::BadRequest,
+        ErrorCode::Internal,
+    ] {
+        let frame = Frame::new(
+            3,
+            Payload::Error {
+                code,
+                message: "m".into(),
+            },
+        );
+        let (back, _) = decode(&encode(&frame), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(ErrorCode::from_u16(code.to_u16()), Some(code));
+    }
+    let mut bytes = encode(&Frame::new(
+        3,
+        Payload::Error {
+            code: ErrorCode::Internal,
+            message: String::new(),
+        },
+    ));
+    let last = bytes.len() - 2;
+    bytes[last..].copy_from_slice(&999u16.to_le_bytes());
+    assert!(matches!(
+        decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+        FrameError::BadPayload { .. }
+    ));
+}
+
+/// Oversize headers are refused before any payload-sized allocation, and
+/// the cap is the decoder's, not the peer's.
+#[test]
+fn oversize_is_checked_against_the_local_cap() {
+    let frame = Frame::new(1, Payload::Control("x".repeat(100)));
+    let bytes = encode(&frame);
+    assert!(decode(&bytes, 100).is_ok());
+    assert_eq!(
+        decode(&bytes, 99).unwrap_err(),
+        FrameError::Oversize { len: 100, cap: 99 }
+    );
+    assert_eq!(
+        decode_header(&bytes, 10).unwrap_err(),
+        FrameError::Oversize { len: 100, cap: 10 }
+    );
+}

@@ -1,0 +1,315 @@
+//! End-to-end loopback tests: a real TCP frontend over a multi-shard
+//! router, driven by the loadgen library and by raw frame clients.
+//!
+//! These pin the acceptance contracts of the network layer:
+//!
+//! - every reply pairs to its request by id with **zero** mispairs, and
+//!   reply *content* matches a digital recomputation of the request;
+//! - queue-full overload surfaces as explicit backpressure frames;
+//! - a graceful drain completes accepted in-flight requests before the
+//!   sockets close;
+//! - `/stats` aggregates every shard.
+
+use cn_analog::engine::DigitalBackend;
+use cn_net::frame::{write_frame, Frame, FrameReader, Payload, PollFrame};
+use cn_net::{loadgen, Frontend, FrontendConfig, LoadgenConfig, Mode, RouterConfig, ShardRouter};
+use cn_nn::zoo::mlp;
+use cn_serve::ServeConfig;
+use cn_tensor::Tensor;
+use correctnet::export::json::Json;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Starts a loopback frontend over `shards` digital shards of an
+/// `layers` MLP (exact backend: every shard computes the nominal model).
+fn start(layers: &[usize], shards: usize, config: RouterConfig) -> Frontend {
+    let model = mlp(layers, 7);
+    let router = ShardRouter::new(&model, DigitalBackend, shards, 7, &[layers[0]], &config);
+    Frontend::bind("127.0.0.1:0", Arc::new(router), FrontendConfig::default())
+        .expect("bind loopback")
+}
+
+/// The digital ground truth for one loadgen request: the logits the
+/// nominal model produces for [`loadgen::request_rows`]`(seed, id, …)`.
+fn expected_logits(layers: &[usize], seed: u64, id: u64, rows: usize) -> Vec<f32> {
+    let mut model = mlp(layers, 7);
+    let row_len = layers[0];
+    let data = loadgen::request_rows(seed, id, rows, row_len);
+    let x = Tensor::from_vec(data, &[rows, row_len]);
+    model.forward(&x, false).data().to_vec()
+}
+
+fn raw_client(frontend: &Frontend) -> (TcpStream, FrameReader) {
+    let stream = TcpStream::connect(frontend.local_addr()).expect("connect loopback");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(5))))
+        .expect("socket timeouts");
+    (stream, FrameReader::new())
+}
+
+/// Reads frames until one arrives (panics at `deadline`).
+fn recv(stream: &mut TcpStream, reader: &mut FrameReader, deadline: Instant) -> Frame {
+    loop {
+        match reader.poll(stream).expect("readable stream") {
+            PollFrame::Frame(frame) => return frame,
+            PollFrame::Pending | PollFrame::Eof => {
+                assert!(Instant::now() < deadline, "no frame before deadline");
+            }
+        }
+    }
+}
+
+/// The tentpole acceptance test: a 4-shard fleet under concurrent
+/// closed-loop load answers **every** request, pairs **every** reply by
+/// request id, and every reply's logits match a digital recomputation of
+/// that id's payload — content-level proof that no reply was swapped.
+#[test]
+fn loadgen_pairs_and_matches_content_on_four_shards() {
+    let layers = [8, 16, 4];
+    let serve = ServeConfig::new(4)
+        .max_wait(Duration::from_millis(1))
+        .workers(2);
+    let frontend = start(&layers, 4, RouterConfig::new(serve));
+
+    let mut config = LoadgenConfig::new(&[8]);
+    config.connections = 4;
+    config.requests = 200;
+    config.batch_rows = 3;
+    config.seed = 42;
+    config.mode = Mode::Closed { window: 8 };
+    let width = *layers.last().unwrap();
+    config.expect = Some(Arc::new(move |id, classes, logits| {
+        let want = expected_logits(&layers, 42, id, 3);
+        if classes.len() != 3 || logits.len() != want.len() {
+            return false;
+        }
+        let close = logits
+            .iter()
+            .zip(&want)
+            .all(|(a, b)| (a - b).abs() <= 1e-3 * (1.0 + b.abs()));
+        // Argmax must agree wherever the margin is decisive.
+        let classes_ok = (0..3).all(|r| {
+            let row = &want[r * width..(r + 1) * width];
+            let (best, &top) = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap();
+            let runner_up = row
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != best)
+                .map(|(_, &v)| v)
+                .fold(f32::NEG_INFINITY, f32::max);
+            top - runner_up < 1e-3 || classes[r] as usize == best
+        });
+        close && classes_ok
+    }));
+
+    let report = loadgen::run(frontend.local_addr(), &config).expect("load run");
+    assert_eq!(report.completed, 200, "{report:?}");
+    assert_eq!(report.mispaired, 0, "{report:?}");
+    assert_eq!(report.content_mismatched, 0, "{report:?}");
+    assert_eq!(report.errored, 0, "{report:?}");
+    assert_eq!(report.lost, 0, "{report:?}");
+    assert!(report.p50_us > 0.0, "{report:?}");
+
+    frontend.drain();
+    let router = frontend.join();
+    assert!(router.drained());
+}
+
+/// Overload contract: with tiny queues and a saturating closed loop, the
+/// router sheds — and every shed surfaces to the client as an explicit
+/// backpressure error frame, still pinned to its request id (no silent
+/// drops, no disconnects).
+#[test]
+fn overload_surfaces_as_backpressure_frames() {
+    let layers = [16, 64, 10];
+    let serve = ServeConfig::new(1)
+        .max_wait(Duration::from_micros(100))
+        .queue_capacity(1)
+        .workers(1);
+    let frontend = start(&layers, 2, RouterConfig::new(serve).shed_inflight(2));
+
+    let mut config = LoadgenConfig::new(&[16]);
+    config.connections = 4;
+    config.requests = 240;
+    config.mode = Mode::Closed { window: 32 };
+    let report = loadgen::run(frontend.local_addr(), &config).expect("load run");
+
+    assert!(report.backpressured > 0, "{report:?}");
+    assert!(report.completed > 0, "{report:?}");
+    assert_eq!(report.mispaired, 0, "{report:?}");
+    assert_eq!(report.lost, 0, "{report:?}");
+    assert_eq!(
+        report.completed + report.backpressured + report.rejected_draining + report.errored,
+        240,
+        "every request is answered exactly once: {report:?}"
+    );
+    // The router counted what it shed.
+    assert!(frontend.router().stats().shed > 0);
+
+    frontend.drain();
+    frontend.join();
+}
+
+/// Drain contract: requests already accepted when the drain begins are
+/// completed and delivered before the connection closes — even requests
+/// still *waiting in a batching window*, which the drain must flush
+/// early rather than letting the window expire.
+#[test]
+fn graceful_drain_completes_inflight_requests() {
+    let layers = [8, 16, 4];
+    // A 16-wide batch window of 2 s: 4 rows will sit waiting for fill,
+    // so they are provably in flight when the drain lands.
+    let serve = ServeConfig::new(16)
+        .max_wait(Duration::from_secs(2))
+        .workers(1);
+    let frontend = start(&layers, 2, RouterConfig::new(serve));
+    let started = Instant::now();
+
+    let (mut infer, mut infer_reader) = raw_client(&frontend);
+    let rows = loadgen::request_rows(0, 9, 4, 8);
+    write_frame(
+        &mut infer,
+        &Frame::new(
+            9,
+            Payload::InferRequest {
+                dims: vec![4, 8],
+                data: rows,
+            },
+        ),
+    )
+    .expect("send batch");
+
+    // Wait until the rows are demonstrably in flight on the shards.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while frontend.router().stats().inflight.iter().sum::<usize>() < 4 {
+        assert!(Instant::now() < deadline, "rows never reached the router");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let (mut ctl, mut ctl_reader) = raw_client(&frontend);
+    write_frame(
+        &mut ctl,
+        &Frame::new(1, Payload::Control("{\"cmd\":\"drain\"}".into())),
+    )
+    .expect("send drain");
+    let reply = recv(
+        &mut ctl,
+        &mut ctl_reader,
+        Instant::now() + Duration::from_secs(5),
+    );
+    assert_eq!(reply.request_id, 1);
+    assert!(matches!(reply.payload, Payload::ControlReply(ref r) if r.contains("true")));
+
+    // The in-flight batch must be answered (not dropped), and well before
+    // the 2 s batching window would have expired on its own — the drain
+    // flushes partially-filled batches immediately.
+    let reply = recv(
+        &mut infer,
+        &mut infer_reader,
+        Instant::now() + Duration::from_secs(5),
+    );
+    assert_eq!(reply.request_id, 9);
+    match reply.payload {
+        Payload::InferReply {
+            classes,
+            logits,
+            width,
+        } => {
+            assert_eq!(classes.len(), 4);
+            assert_eq!(width, 4);
+            assert_eq!(logits.len(), 16);
+        }
+        other => panic!("expected the batch reply, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(1900),
+        "drain waited out the batching window instead of flushing it"
+    );
+
+    // The whole frontend settles: acceptor, handlers, shards.
+    let router = frontend.join();
+    assert!(router.drained());
+    assert_eq!(router.stats().state.name(), "draining");
+}
+
+/// `/stats` aggregates every shard: shard count, request conservation
+/// across shards, non-zero percentiles, and the generation counter
+/// reflecting a hot swap performed over the control plane.
+#[test]
+fn stats_command_aggregates_all_shards() {
+    let layers = [8, 16, 4];
+    let serve = ServeConfig::new(4)
+        .max_wait(Duration::from_millis(1))
+        .workers(1);
+    let frontend = start(&layers, 4, RouterConfig::new(serve));
+
+    let mut config = LoadgenConfig::new(&[8]);
+    config.connections = 2;
+    config.requests = 60;
+    config.mode = Mode::Closed { window: 4 };
+    let report = loadgen::run(frontend.local_addr(), &config).expect("load run");
+    assert_eq!(report.completed, 60, "{report:?}");
+
+    let (mut ctl, mut reader) = raw_client(&frontend);
+    write_frame(
+        &mut ctl,
+        &Frame::new(2, Payload::Control("{\"cmd\":\"stats\"}".into())),
+    )
+    .expect("send stats");
+    let reply = recv(
+        &mut ctl,
+        &mut reader,
+        Instant::now() + Duration::from_secs(5),
+    );
+    let text = match reply.payload {
+        Payload::ControlReply(text) => text,
+        other => panic!("expected a control reply, got {other:?}"),
+    };
+    let json = Json::parse(&text).expect("stats reply is JSON");
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(json.get("state").and_then(Json::as_str), Some("accepting"));
+    let shards = json.get("shards").and_then(Json::as_arr).expect("shards");
+    assert_eq!(shards.len(), 4);
+    let per_shard: f64 = shards
+        .iter()
+        .map(|s| s.get("requests").and_then(Json::as_f64).unwrap())
+        .sum();
+    let agg = json.get("aggregate").expect("aggregate");
+    assert_eq!(agg.get("requests").and_then(Json::as_f64), Some(per_shard));
+    assert_eq!(per_shard, 60.0);
+    assert!(agg.get("p50_us").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(agg.get("p99_us").and_then(Json::as_f64).unwrap() > 0.0);
+
+    // Hot swap over the control plane bumps the generation and the fleet
+    // keeps serving.
+    write_frame(
+        &mut ctl,
+        &Frame::new(
+            3,
+            Payload::Control("{\"cmd\":\"swap\",\"mode\":\"reprogram\"}".into()),
+        ),
+    )
+    .expect("send swap");
+    let reply = recv(
+        &mut ctl,
+        &mut reader,
+        Instant::now() + Duration::from_secs(5),
+    );
+    assert!(matches!(reply.payload, Payload::ControlReply(ref r) if r.contains("true")));
+    assert_eq!(frontend.router().generation(), 1);
+
+    let mut config = LoadgenConfig::new(&[8]);
+    config.requests = 20;
+    config.connections = 2;
+    let report = loadgen::run(frontend.local_addr(), &config).expect("post-swap load");
+    assert_eq!(report.completed, 20, "{report:?}");
+
+    frontend.drain();
+    frontend.join();
+}

@@ -71,6 +71,20 @@ impl Ticket {
     pub fn wait(self) -> Result<Reply, ServeError> {
         self.rx.recv().map_err(|_| ServeError::WorkerGone)
     }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    ///
+    /// Once this returns `Some`, the ticket is spent — further polls
+    /// report [`ServeError::WorkerGone`] because the reply channel has
+    /// been consumed. Network frontends use this to multiplex many
+    /// in-flight tickets over one connection-handler thread.
+    pub fn try_wait(&mut self) -> Option<Result<Reply, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(reply) => Some(Ok(reply)),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::WorkerGone)),
+        }
+    }
 }
 
 /// One queued request: the sample, its reply channel and the admission
@@ -229,6 +243,22 @@ impl Server {
         &self.config
     }
 
+    /// Number of requests admitted but not yet popped by a worker — the
+    /// router's load signal (execution-stage requests are *not* counted;
+    /// pair with an external in-flight counter for total load).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops admitting new requests **without** joining the workers: they
+    /// drain everything already admitted, reply, and exit on their own.
+    /// The non-consuming half of a graceful drain — callers that only
+    /// hold `&Server` (a shard router's control plane) use this, then let
+    /// `Drop`/[`shutdown`](Server::shutdown) do the join.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
     /// Stops admitting requests, drains the queue and joins the workers.
     /// Every already-admitted request still receives its reply.
     pub fn shutdown(mut self) {
@@ -377,6 +407,40 @@ mod tests {
             srv.classify(&Tensor::zeros(&[4])).unwrap_err(),
             ServeError::ShuttingDown
         );
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking() {
+        let srv = server(&ServeConfig::new(4).max_wait(Duration::from_millis(1)));
+        let mut ticket = srv.submit(&Tensor::zeros(&[4])).unwrap();
+        // Poll until the reply lands; the first polls may see None.
+        let reply = loop {
+            if let Some(result) = ticket.try_wait() {
+                break result.unwrap();
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(reply.logits.len(), 3);
+        // The ticket is spent: the channel was consumed.
+        assert!(matches!(
+            ticket.try_wait(),
+            Some(Err(ServeError::WorkerGone))
+        ));
+    }
+
+    #[test]
+    fn close_drains_then_rejects() {
+        let srv = server(&ServeConfig::new(8).max_wait(Duration::from_millis(1)));
+        let x = Tensor::zeros(&[4]);
+        let tickets: Vec<Ticket> = (0..20).map(|_| srv.submit(&x).unwrap()).collect();
+        srv.close();
+        assert_eq!(srv.submit(&x).unwrap_err(), ServeError::ShuttingDown);
+        // Everything admitted before the close still gets its reply.
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        // Workers exited on their own; queue_depth reads zero.
+        assert_eq!(srv.queue_depth(), 0);
     }
 
     #[test]
