@@ -388,14 +388,25 @@ impl<'a> Cursor<'a> {
         Ok(v)
     }
 
+    /// Payload bytes not yet consumed.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
     fn f32s(&mut self, n: usize, what: &str) -> Result<Vec<f32>, FrameError> {
-        let end = self.at + 4 * n;
-        if end > self.buf.len() {
-            return Err(bad(format!(
-                "payload ends inside {what}: needs {n} floats, has {} bytes",
-                self.buf.len() - self.at
-            )));
-        }
+        // Checked: `n` is peer-controlled (a dims product can reach
+        // 2^62+ without overflowing usize), so `4 * n` must not wrap
+        // into a bounds check that passes.
+        let end = n
+            .checked_mul(4)
+            .and_then(|bytes| bytes.checked_add(self.at))
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                bad(format!(
+                    "payload ends inside {what}: needs {n} floats, has {} bytes",
+                    self.remaining()
+                ))
+            })?;
         let out = self.buf[self.at..end]
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
@@ -442,13 +453,27 @@ fn decode_payload(kind: u8, buf: &[u8]) -> Result<Payload, FrameError> {
             let mut c = Cursor::new(buf);
             let rows = c.u32("rows")? as usize;
             let width = c.u32("width")? as usize;
+            // The announced counts must be backed by bytes actually in
+            // the payload *before* they size any allocation — a 24-byte
+            // frame claiming u32::MAX rows must fail here, not abort
+            // the process inside Vec::with_capacity.
+            let count = rows
+                .checked_mul(width)
+                .ok_or_else(|| bad("rows × width overflow"))?;
+            let need = rows
+                .checked_add(count)
+                .and_then(|words| words.checked_mul(4))
+                .ok_or_else(|| bad("rows × width overflow"))?;
+            if need != c.remaining() {
+                return Err(bad(format!(
+                    "{rows} rows × {width} logits needs {need} payload bytes, has {}",
+                    c.remaining()
+                )));
+            }
             let mut classes = Vec::with_capacity(rows);
             for _ in 0..rows {
                 classes.push(c.u32("classes")?);
             }
-            let count = rows
-                .checked_mul(width)
-                .ok_or_else(|| bad("rows × width overflow"))?;
             let logits = c.f32s(count, "logits")?;
             c.finish("logits")?;
             Ok(Payload::InferReply {

@@ -113,6 +113,9 @@ struct Shared {
     config: FrontendConfig,
     /// Connections answered-and-closed because the queue was full.
     conns_shed: AtomicU64,
+    /// Connections whose handler panicked (the panic is contained; the
+    /// handler thread survives to serve the next connection).
+    handler_panics: AtomicU64,
 }
 
 impl Shared {
@@ -154,6 +157,7 @@ impl Frontend {
             draining: AtomicBool::new(false),
             config: config.clone(),
             conns_shed: AtomicU64::new(0),
+            handler_panics: AtomicU64::new(0),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -203,6 +207,13 @@ impl Frontend {
         self.shared.conns_shed.load(Ordering::Relaxed)
     }
 
+    /// Connections whose handler panicked. The pool survives a panic
+    /// (each connection's state is dropped with it), but a non-zero
+    /// count means a bug worth chasing.
+    pub fn handler_panics(&self) -> u64 {
+        self.shared.handler_panics.load(Ordering::Relaxed)
+    }
+
     /// Initiates the graceful drain from the host process (equivalent to
     /// a `{"cmd":"drain"}` control frame).
     pub fn drain(&self) {
@@ -239,9 +250,24 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
         match listener.accept() {
             Ok((stream, _peer)) => match shared.conns.push(stream) {
                 Ok(()) => {}
-                Err(PushError::Full(stream) | PushError::Closed(stream)) => {
+                Err(PushError::Full(stream)) => {
                     shared.conns_shed.fetch_add(1, Ordering::Relaxed);
-                    reject_connection(stream, &shared.config);
+                    reject_connection(
+                        stream,
+                        &shared.config,
+                        ErrorCode::Backpressure,
+                        "connection queue full; retry later",
+                    );
+                }
+                // Closed means a drain won the race against this accept:
+                // telling the peer to retry would be a lie.
+                Err(PushError::Closed(stream)) => {
+                    reject_connection(
+                        stream,
+                        &shared.config,
+                        ErrorCode::Draining,
+                        "server draining",
+                    );
                 }
             },
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -255,16 +281,23 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-/// Answers a connection the pool cannot take with a backpressure frame.
-fn reject_connection(mut stream: TcpStream, config: &FrontendConfig) {
+/// Answers a connection the pool cannot take with the named error frame
+/// ([`ErrorCode::Backpressure`] when the queue is full,
+/// [`ErrorCode::Draining`] when the frontend is shutting down).
+fn reject_connection(
+    mut stream: TcpStream,
+    config: &FrontendConfig,
+    code: ErrorCode,
+    message: &str,
+) {
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let _ = write_frame(
         &mut stream,
         &Frame::new(
             0,
             Payload::Error {
-                code: ErrorCode::Backpressure,
-                message: "connection queue full; retry later".into(),
+                code,
+                message: message.into(),
             },
         ),
     );
@@ -277,8 +310,17 @@ fn handler_loop(shared: &Shared) {
         let mut batch = shared.conns.pop_batch(1, Duration::ZERO);
         match batch.pop() {
             Some(stream) => {
-                // Individual connection failures must not kill the pool.
-                let _ = handle_connection(stream, shared);
+                // Individual connection failures — Err *or* panic — must
+                // not kill the pool: an unwinding handler thread would
+                // silently shrink it until no connections are served.
+                // All connection state lives in the closure, so the
+                // unwind cannot poison anything the pool shares.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = handle_connection(stream, shared);
+                }));
+                if outcome.is_err() {
+                    shared.handler_panics.fetch_add(1, Ordering::Relaxed);
+                }
             }
             None => return,
         }

@@ -173,6 +173,62 @@ fn error_codes_are_closed_under_round_trip() {
     ));
 }
 
+/// Hand-crafts a version-1 frame from raw parts, bypassing `encode` so
+/// hostile field values impossible to produce from a `Payload` can be
+/// put on the wire.
+fn raw_frame(kind: u8, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.push(VERSION);
+    bytes.push(kind);
+    bytes.extend_from_slice(&request_id.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// A tiny InferReply frame claiming `u32::MAX` rows must be rejected by
+/// name *before* the claimed count sizes any allocation — a 24-byte
+/// frame must never be able to demand a multi-GiB `Vec` (which would
+/// abort the daemon where the allocation fails).
+#[test]
+fn hostile_reply_counts_fail_before_allocating() {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+    payload.extend_from_slice(&1u32.to_le_bytes()); // width
+    let bytes = raw_frame(1, 9, &payload);
+    assert_eq!(bytes.len(), HEADER_LEN + 8);
+    assert!(matches!(
+        decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+        FrameError::BadPayload { .. }
+    ));
+    // rows × width overflowing usize is equally named, not a panic.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode(&raw_frame(1, 9, &payload), DEFAULT_MAX_PAYLOAD).unwrap_err(),
+        FrameError::BadPayload { .. }
+    ));
+}
+
+/// A dims product that fits in `usize` but whose *byte* count wraps
+/// (e.g. 2³¹ × 2³¹ × 2 = 2⁶³ floats) must be a named rejection — never
+/// a "successful" decode of an empty tensor with a huge announced
+/// shape, which would break the shape↔data invariant downstream.
+#[test]
+fn wrapping_dims_byte_count_is_rejected() {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&3u32.to_le_bytes()); // ndims
+    payload.extend_from_slice(&0x8000_0000u32.to_le_bytes());
+    payload.extend_from_slice(&0x8000_0000u32.to_le_bytes());
+    payload.extend_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        decode(&raw_frame(0, 9, &payload), DEFAULT_MAX_PAYLOAD).unwrap_err(),
+        FrameError::BadPayload { .. }
+    ));
+}
+
 /// Oversize headers are refused before any payload-sized allocation, and
 /// the cap is the decoder's, not the peer's.
 #[test]
