@@ -534,6 +534,20 @@ mod tests {
     }
 
     #[test]
+    fn hostile_baseline_file_fails_as_parse_error() {
+        // cn-benchcmp loads attacker-writable baseline files; a bomb of
+        // 100k nested arrays must surface as BaselineError::Parse via the
+        // JSON depth limit, not blow the stack.
+        let dir = std::env::temp_dir().join("cn_bench_baseline_hostile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bomb.json");
+        std::fs::write(&path, "[".repeat(100_000)).unwrap();
+        let err = Baseline::load(&path).unwrap_err();
+        assert!(matches!(err, BaselineError::Parse { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn jsonl_rejects_missing_fields() {
         let mut b = sample_baseline();
         let err = b

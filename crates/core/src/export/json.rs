@@ -189,7 +189,7 @@ impl Json {
     pub fn parse(text: &str) -> Result<Json, ParseError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(ParseError::new(pos, "trailing characters after document"));
@@ -197,6 +197,14 @@ impl Json {
         Ok(value)
     }
 }
+
+/// Maximum container nesting [`Json::parse`] accepts. Metadata this
+/// parser sees is attacker-reachable (model containers, control
+/// frames), and each nesting level is a stack frame: without a cap,
+/// a few hundred KiB of `[[[[…` overflows the stack and aborts the
+/// process instead of returning an error. Real metadata nests a
+/// handful of levels.
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 /// Renders an `f64` so that integers stay integral (`3` not `3.0` is fine
 /// either way for JSON; Rust's shortest-round-trip `Display` is used).
@@ -265,7 +273,10 @@ fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), ParseError> 
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
+    if depth >= MAX_PARSE_DEPTH {
+        return Err(ParseError::new(*pos, "nesting too deep"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(ParseError::new(*pos, "unexpected end of input")),
@@ -282,7 +293,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -310,7 +321,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
                     return Err(ParseError::new(*pos, "expected `:`"));
                 }
                 *pos += 1;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 members.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -445,6 +456,27 @@ mod tests {
             let back = Json::parse(&text).unwrap();
             assert_eq!(back.as_f64(), Some(x), "{text}");
         }
+    }
+
+    #[test]
+    fn hostile_deep_nesting_is_an_error_not_a_stack_overflow() {
+        // 100k unclosed brackets: without the depth gate this recursed once
+        // per byte and aborted the process before any error could surface.
+        let hostile = "[".repeat(100_000);
+        let err = Json::parse(&hostile).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+
+        // Same guard on the object side.
+        let hostile = "{\"k\":".repeat(100_000);
+        let err = Json::parse(&hostile).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn nesting_just_under_the_limit_still_parses() {
+        let depth = MAX_PARSE_DEPTH - 1;
+        let text = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(Json::parse(&text).is_ok());
     }
 
     #[test]

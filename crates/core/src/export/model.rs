@@ -45,10 +45,12 @@ pub fn model_from_bytes(bytes: &[u8]) -> Result<(Json, Vec<(String, Tensor)>)> {
         return Err(TensorError::Malformed("bad model container magic".into()));
     }
     let meta_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
-    let dict_start = 8 + meta_len;
-    if bytes.len() < dict_start {
-        return Err(TensorError::Malformed("truncated model metadata".into()));
-    }
+    // The header length is attacker-controlled: near-usize::MAX values
+    // must fail as "truncated", not wrap the offset past the check.
+    let dict_start = meta_len
+        .checked_add(8)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| TensorError::Malformed("truncated model metadata".into()))?;
     let meta_text = std::str::from_utf8(&bytes[8..dict_start])
         .map_err(|_| TensorError::Malformed("model metadata is not utf-8".into()))?;
     let meta = Json::parse(meta_text)
@@ -117,6 +119,30 @@ mod tests {
             "restored model must compute identically"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hostile_meta_len_fails_without_wrapping_the_offset() {
+        // A header claiming u32::MAX metadata bytes: `8 + meta_len` used to
+        // be computed unchecked, so on 32-bit-usize targets it wrapped small
+        // and the slice below read out of bounds. Must fail as truncation.
+        let mut bytes = Vec::from(MODEL_MAGIC);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = model_from_bytes(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("truncated model metadata"),
+            "{err}"
+        );
+
+        // One past the actual payload is also truncation, not a panic.
+        let mut bytes = Vec::from(MODEL_MAGIC);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(b"{}");
+        let err = model_from_bytes(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("truncated model metadata"),
+            "{err}"
+        );
     }
 
     #[test]

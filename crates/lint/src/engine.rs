@@ -145,17 +145,27 @@ pub trait Rule {
 /// Rule id of the engine-level check on `cn-lint` comments themselves.
 pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
 
+/// Rule id of the engine-level check for suppressions that no longer
+/// suppress anything.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
 /// Runs `rules` over `files` and returns the surviving diagnostics,
 /// sorted by (path, line, col, rule).
 ///
-/// The engine itself contributes the [`MALFORMED_SUPPRESSION`] check: a
-/// comment that contains `cn-lint` but does not parse as
-/// `allow(rule, reason = "…")`, or that names a rule no one registered,
-/// is itself a finding — a typo'd suppression that silently suppresses
-/// nothing is worse than no suppression at all.
+/// The engine itself contributes two checks on the suppression comments:
+///
+/// - [`MALFORMED_SUPPRESSION`]: a comment that contains `cn-lint` but
+///   does not parse as `allow(rule, reason = "…")`, or that names a rule
+///   no one registered — a typo'd suppression that silently suppresses
+///   nothing is worse than no suppression at all.
+/// - [`UNUSED_SUPPRESSION`]: a well-formed suppression for a known rule
+///   that suppressed nothing on this run — the code it excused has been
+///   fixed or moved, and the stale comment would mask a future
+///   regression at that line. Delete it.
 pub fn run(files: &[SourceFile], rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for file in files {
+        let mut used = vec![false; file.suppressions.len()];
         for rule in rules {
             if !rule.applies_to(&file.path) {
                 continue;
@@ -171,7 +181,8 @@ pub fn run(files: &[SourceFile], rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
                 if rule.skip_test_code() && file.in_test_code(d.offset) {
                     continue;
                 }
-                if suppressed(file, rule.id(), d.line) {
+                if let Some(si) = suppression_for(file, rule.id(), d.line) {
+                    used[si] = true;
                     continue;
                 }
                 diags.push(d);
@@ -189,7 +200,7 @@ pub fn run(files: &[SourceFile], rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
                 offset: 0,
             });
         }
-        for s in &file.suppressions {
+        for (si, s) in file.suppressions.iter().enumerate() {
             if !rules.iter().any(|r| r.id() == s.rule) {
                 diags.push(Diagnostic {
                     rule: MALFORMED_SUPPRESSION,
@@ -203,6 +214,21 @@ pub fn run(files: &[SourceFile], rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
                     ),
                     offset: 0,
                 });
+            } else if !used[si] {
+                diags.push(Diagnostic {
+                    rule: UNUSED_SUPPRESSION,
+                    severity: Severity::Error,
+                    path: file.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!(
+                        "suppression of `{}` matched no finding: the excused code is \
+                         gone, and a stale allow would mask a future regression here; \
+                         delete the comment",
+                        s.rule
+                    ),
+                    offset: 0,
+                });
             }
         }
     }
@@ -212,10 +238,78 @@ pub fn run(files: &[SourceFile], rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
     diags
 }
 
-fn suppressed(file: &SourceFile, rule: &str, line: u32) -> bool {
+/// Index of the suppression covering (`rule`, `line`), if any.
+fn suppression_for(file: &SourceFile, rule: &str, line: u32) -> Option<usize> {
     file.suppressions
         .iter()
-        .any(|s| s.rule == rule && s.applies_to == line)
+        .position(|s| s.rule == rule && s.applies_to == line)
+}
+
+/// Renders diagnostics as a SARIF 2.1.0 log (one run, one artifact per
+/// distinct path) for code-scanning upload from CI.
+///
+/// `rules` supplies the driver's rule metadata; the two engine-level
+/// rule ids are appended so every result's `ruleId` resolves.
+pub fn render_sarif(diags: &[Diagnostic], rules: &[Box<dyn Rule>]) -> String {
+    let mut rule_ids: Vec<(&str, &str)> = rules.iter().map(|r| (r.id(), r.summary())).collect();
+    rule_ids.push((
+        MALFORMED_SUPPRESSION,
+        "cn-lint comment does not parse or names an unknown rule",
+    ));
+    rule_ids.push((
+        UNUSED_SUPPRESSION,
+        "suppression matched no finding and would mask a future regression",
+    ));
+
+    let rules_json: Vec<String> = rule_ids
+        .iter()
+        .map(|(id, summary)| {
+            format!(
+                r#"{{"id":"{}","shortDescription":{{"text":"{}"}}}}"#,
+                json_escape(id),
+                json_escape(summary)
+            )
+        })
+        .collect();
+
+    let results_json: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            let rule_index = rule_ids
+                .iter()
+                .position(|(id, _)| *id == d.rule)
+                .unwrap_or(0);
+            let level = match d.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            };
+            format!(
+                concat!(
+                    r#"{{"ruleId":"{}","ruleIndex":{},"level":"{}","#,
+                    r#""message":{{"text":"{}"}},"locations":[{{"physicalLocation":"#,
+                    r#"{{"artifactLocation":{{"uri":"{}"}},"region":{{"startLine":{},"startColumn":{}}}}}}}]}}"#
+                ),
+                json_escape(d.rule),
+                rule_index,
+                level,
+                json_escape(&d.message),
+                json_escape(&d.path),
+                d.line,
+                d.col
+            )
+        })
+        .collect();
+
+    format!(
+        concat!(
+            r#"{{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","#,
+            r#""runs":[{{"tool":{{"driver":{{"name":"cn-lint","version":"{}","rules":[{}]}}}},"#,
+            r#""results":[{}]}}]}}"#
+        ),
+        env!("CARGO_PKG_VERSION"),
+        rules_json.join(","),
+        results_json.join(",")
+    )
 }
 
 #[cfg(test)]
@@ -301,5 +395,60 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn unused_suppression_is_a_finding() {
+        // Well-formed, known rule, but nothing on the line fires.
+        let f = SourceFile::parse(
+            "a.rs",
+            "let bar = 2; // cn-lint: allow(flag-foo, reason = \"stale\")\n",
+        );
+        let diags = run(&[f], &rules());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, UNUSED_SUPPRESSION);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn used_suppression_is_not_unused() {
+        let f = SourceFile::parse(
+            "a.rs",
+            "let foo = 2; // cn-lint: allow(flag-foo, reason = \"test\")\nlet foo = 3;\n",
+        );
+        let diags = run(&[f], &rules());
+        // Line 1's finding is suppressed (and the suppression is used);
+        // line 2's finding survives.
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].rule, diags[0].line), ("flag-foo", 2));
+    }
+
+    #[test]
+    fn unknown_rule_suppression_is_not_double_reported() {
+        let f = SourceFile::parse("a.rs", "// cn-lint: allow(no-such-rule, reason = \"x\")\n");
+        let diags = run(&[f], &rules());
+        // Malformed (unknown rule) only — not also unused.
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, MALFORMED_SUPPRESSION);
+    }
+
+    #[test]
+    fn sarif_output_is_well_formed() {
+        let f = SourceFile::parse("a.rs", "let foo = 2;\n");
+        let diags = run(&[f], &rules());
+        let sarif = render_sarif(&diags, &rules());
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"name\":\"cn-lint\""));
+        assert!(sarif.contains("\"ruleId\":\"flag-foo\""));
+        assert!(sarif.contains("\"startLine\":1"));
+        // Engine-level rules are always present in the driver metadata.
+        assert!(sarif.contains("\"id\":\"unused-suppression\""));
+        assert!(sarif.contains("\"id\":\"malformed-suppression\""));
+    }
+
+    #[test]
+    fn sarif_with_no_findings_has_empty_results() {
+        let sarif = render_sarif(&[], &rules());
+        assert!(sarif.ends_with("\"results\":[]}]}"));
     }
 }

@@ -76,6 +76,25 @@ const OPERATORS: &[&str] = &[
     ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
 ];
 
+/// Rust's strict and reserved-in-expressions keywords. The lexer itself
+/// classifies keywords as [`TokenKind::Ident`] (rules match on text),
+/// but the syntax layer must distinguish `match`-the-keyword from
+/// `match`-the-method-name, and pattern parsing must not capture `mut`
+/// or `ref` as a binding.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while",
+];
+
+/// Whether `text` is a Rust keyword (raw identifiers like `r#match` are
+/// not: the `r#` prefix is part of the token text and defeats the match,
+/// which is exactly the language's own rule).
+pub fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
 /// Tokenizes `src`, returning code tokens and comments separately.
 ///
 /// The lexer is lossless about positions but deliberately permissive: an
@@ -522,6 +541,16 @@ mod tests {
         let toks = kinds("1.max(2)");
         let texts: Vec<&str> = toks.iter().map(|(_, s)| *s).collect();
         assert_eq!(texts, ["1", ".", "max", "(", "2", ")"]);
+    }
+
+    #[test]
+    fn keyword_classification() {
+        for kw in ["fn", "match", "loop", "Self", "mut"] {
+            assert!(is_keyword(kw), "{kw}");
+        }
+        for not in ["spawn", "matches", "r#match", "loop_count", ""] {
+            assert!(!is_keyword(not), "{not}");
+        }
     }
 
     #[test]

@@ -7,15 +7,22 @@
 //! bounded concurrency. Each rule encodes a bug class a past PR fixed
 //! by hand; the linter keeps them fixed as the workspace grows.
 //!
-//! Three layers:
+//! The analyzer is layered:
 //!
 //! - [`lexer`] — a small token-level lexer for Rust source (strings,
 //!   raw strings, char literals, nested block comments, doc comments,
 //!   line/column tracking),
+//! - [`syntax`] — a dependency-free recursive-descent parser over the
+//!   token stream: functions, blocks, `let` bindings, call expressions
+//!   and method chains (everything else degrades to opaque nodes),
+//! - [`dataflow`] — conservative intra-function taint tracking from
+//!   untrusted decode sources through bindings and arithmetic into
+//!   allocation/indexing sinks, cleared by recognized guards,
 //! - [`engine`] + [`source`] — per-rule visitors over a parsed
 //!   [`source::SourceFile`] (with `#[cfg(test)]` span detection), inline
 //!   suppression via `// cn-lint: allow(rule-name, reason = "…")`,
-//!   severity levels, and human / JSON diagnostics with stable rule IDs,
+//!   severity levels, and human / JSON / SARIF diagnostics with stable
+//!   rule IDs,
 //! - [`rules`] — the catalog itself.
 //!
 //! Run it over the workspace with `cargo run -p cn-lint`; a clean tree
@@ -38,10 +45,12 @@
 
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod engine;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod syntax;
 pub mod workspace;
 
 pub use engine::{Diagnostic, Rule, Severity};

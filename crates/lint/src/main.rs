@@ -4,13 +4,15 @@
 //! ```text
 //! cargo run -p cn-lint                      # human output, repo root
 //! cargo run -p cn-lint -- --format json     # machine-readable (CI)
+//! cargo run -p cn-lint -- --format sarif    # SARIF 2.1.0 (code scanning)
+//! cargo run -p cn-lint -- --changed origin/main  # only files changed vs a ref
 //! cargo run -p cn-lint -- --list-rules      # the catalog
 //! cargo run -p cn-lint -- --root path/to/ws # explicit workspace root
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = diagnostics found, 2 = usage or I/O error.
 
-use cn_lint::engine::json_escape;
+use cn_lint::engine::{json_escape, render_sarif};
 use cn_lint::{rules, workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,20 +20,25 @@ use std::process::ExitCode;
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
+    let mut changed: Option<String> = None;
     let mut list_rules = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next().as_deref() {
                 Some("human") => format = Format::Human,
                 Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 other => {
-                    eprintln!("cn-lint: --format expects `human` or `json`, got {other:?}");
+                    eprintln!(
+                        "cn-lint: --format expects `human`, `json` or `sarif`, got {other:?}"
+                    );
                     return ExitCode::from(2);
                 }
             },
@@ -42,12 +49,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--changed" => match args.next() {
+                Some(gitref) => changed = Some(gitref),
+                None => {
+                    eprintln!("cn-lint: --changed expects a git ref (e.g. origin/main)");
+                    return ExitCode::from(2);
+                }
+            },
             "--list-rules" => list_rules = true,
             "--help" | "-h" => {
                 println!(
                     "cn-lint: static analysis for the CorrectNet workspace\n\
                      \n\
-                     USAGE: cn-lint [--format human|json] [--root DIR] [--list-rules]\n\
+                     USAGE: cn-lint [--format human|json|sarif] [--root DIR]\n\
+                     \x20              [--changed GIT_REF] [--list-rules]\n\
+                     \n\
+                     --changed GIT_REF  lint only files the working tree changed vs GIT_REF\n\
                      \n\
                      Suppress a finding inline with:\n\
                      // cn-lint: allow(rule-name, reason = \"why this site is sound\")"
@@ -75,7 +92,12 @@ fn main() -> ExitCode {
     }
 
     let root = root.unwrap_or_else(default_root);
-    let diags = match workspace::lint_workspace(&root, &catalog) {
+    let lint_result = match &changed {
+        Some(gitref) => workspace::changed_files(&root, gitref)
+            .and_then(|rels| workspace::lint_files(&root, &rels, &catalog)),
+        None => workspace::lint_workspace(&root, &catalog),
+    };
+    let diags = match lint_result {
         Ok(d) => d,
         Err(err) => {
             eprintln!("cn-lint: {}: {err}", root.display());
@@ -105,6 +127,9 @@ fn main() -> ExitCode {
                 diags.len(),
                 body.join(",\n")
             );
+        }
+        Format::Sarif => {
+            println!("{}", render_sarif(&diags, &catalog));
         }
     }
 

@@ -1,0 +1,60 @@
+//! `alloc-from-decoded-length` — allocation sized by untrusted input.
+//!
+//! PR 8's InferReply bug: `InferReply::decode` called
+//! `Vec::with_capacity(count)` with a `count` read straight off the
+//! wire, before checking it against the bytes actually present — a
+//! 12-byte hostile frame could demand a 17 GiB allocation. The fix
+//! (validate decoded lengths against `remaining()` before allocating)
+//! is a contract every decoder must keep, and this rule machine-checks
+//! it: a length that flows from a decode source (`from_le_bytes`,
+//! `get_u32_le`, cursor reads, JSON numbers cast to integers) into
+//! `Vec::with_capacity` / `vec![_; n]` / `reserve` / `resize` — or
+//! into a slice index — without passing a bounding guard
+//! (`checked_*`, `min`/`clamp`, or a comparison that diverges) is a
+//! finding.
+//!
+//! The dataflow model is deliberately conservative (see
+//! [`crate::dataflow`]); the remedy is either a real bounds check
+//! against the available bytes or a suppression stating why the value
+//! is trusted.
+
+use crate::dataflow::{self, EventKind};
+use crate::engine::{Rule, Sink};
+use crate::source::SourceFile;
+
+/// Flags allocations and indexing sized by unvalidated decoded lengths.
+pub struct AllocFromDecodedLength;
+
+impl Rule for AllocFromDecodedLength {
+    fn id(&self) -> &'static str {
+        "alloc-from-decoded-length"
+    }
+
+    fn summary(&self) -> &'static str {
+        "allocation or index sized by a decoded length with no bounds check; validate against available bytes first"
+    }
+
+    fn check(&self, file: &SourceFile, sink: &mut Sink<'_>) {
+        for ev in dataflow::analyze(file) {
+            match ev.kind {
+                EventKind::Alloc => sink.report(
+                    ev.tok,
+                    format!(
+                        "`{}` sized by a length decoded from untrusted input: a hostile \
+                         frame can demand an arbitrary allocation (the InferReply 17 GiB \
+                         bug); check the length against the bytes actually available \
+                         (or checked_*/min/clamp it) before allocating",
+                        ev.what
+                    ),
+                ),
+                EventKind::Index => sink.report(
+                    ev.tok,
+                    "slice indexed by a value decoded from untrusted input with no bounds \
+                     check: a hostile frame can panic the decoder; validate the index \
+                     against the slice length first",
+                ),
+                EventKind::Arith => {}
+            }
+        }
+    }
+}

@@ -2,30 +2,38 @@
 //!
 //! Every rule encodes a contract this workspace has already paid to
 //! learn (the motivating incident is cited in each rule's module docs).
-//! Rules are token-level visitors over a [`SourceFile`]; they must stay
-//! dependency-free and conservative — a rule that cries wolf gets
+//! The original rules are token-level visitors over a [`SourceFile`];
+//! the hostile-input rules added later run on the [`crate::syntax`]
+//! tree and the [`crate::dataflow`] taint analysis. All of them must
+//! stay dependency-free and conservative — a rule that cries wolf gets
 //! suppressed into uselessness.
 
 use crate::engine::Rule;
 use crate::source::SourceFile;
 
+mod alloc_from_decoded_length;
 mod blocking_io_without_timeout;
 mod collidable_seed_mix;
 mod kernel_zero_skip;
 mod lock_in_hot_path;
 mod missing_deprecation_note;
 mod no_fma_in_exact_gemm;
+mod panic_unsafe_pool_thread;
 mod stats_after_reply;
 mod unbounded_thread_spawn;
+mod unchecked_length_arithmetic;
 
+pub use alloc_from_decoded_length::AllocFromDecodedLength;
 pub use blocking_io_without_timeout::BlockingIoWithoutTimeout;
 pub use collidable_seed_mix::CollidableSeedMix;
 pub use kernel_zero_skip::KernelZeroSkip;
 pub use lock_in_hot_path::LockInHotPath;
 pub use missing_deprecation_note::MissingDeprecationNote;
 pub use no_fma_in_exact_gemm::NoFmaInExactGemm;
+pub use panic_unsafe_pool_thread::PanicUnsafePoolThread;
 pub use stats_after_reply::StatsAfterReply;
 pub use unbounded_thread_spawn::UnboundedThreadSpawn;
+pub use unchecked_length_arithmetic::UncheckedLengthArithmetic;
 
 /// The full catalog, in stable order.
 pub fn catalog() -> Vec<Box<dyn Rule>> {
@@ -38,6 +46,9 @@ pub fn catalog() -> Vec<Box<dyn Rule>> {
         Box::new(StatsAfterReply),
         Box::new(MissingDeprecationNote),
         Box::new(BlockingIoWithoutTimeout),
+        Box::new(AllocFromDecodedLength),
+        Box::new(UncheckedLengthArithmetic),
+        Box::new(PanicUnsafePoolThread),
     ]
 }
 

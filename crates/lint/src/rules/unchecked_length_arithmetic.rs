@@ -1,0 +1,46 @@
+//! `unchecked-length-arithmetic` — raw arithmetic on untrusted lengths.
+//!
+//! PR 8's `Cursor::f32s` bug: the byte-budget check computed `4 * n`
+//! with plain multiplication, so `n = usize::MAX / 2` wrapped the
+//! product small, passed the check, and the decode loop ran away. On a
+//! length decoded from hostile input, `*`, `+` and `<<` must be their
+//! `checked_`/`saturating_` forms (whose `None` is the error path the
+//! attacker deserves), or follow a guard that already bounded the
+//! operand.
+//!
+//! Taint sources, propagation and guard clearing are shared with
+//! [`alloc-from-decoded-length`](crate::rules::AllocFromDecodedLength)
+//! via [`crate::dataflow`].
+
+use crate::dataflow::{self, EventKind};
+use crate::engine::{Rule, Sink};
+use crate::source::SourceFile;
+
+/// Flags `*`/`+`/`<<` on lengths decoded from untrusted input.
+pub struct UncheckedLengthArithmetic;
+
+impl Rule for UncheckedLengthArithmetic {
+    fn id(&self) -> &'static str {
+        "unchecked-length-arithmetic"
+    }
+
+    fn summary(&self) -> &'static str {
+        "raw *, + or << on a decoded length can wrap past a later bounds check; use checked_mul/checked_add"
+    }
+
+    fn check(&self, file: &SourceFile, sink: &mut Sink<'_>) {
+        for ev in dataflow::analyze(file) {
+            if ev.kind == EventKind::Arith {
+                sink.report(
+                    ev.tok,
+                    format!(
+                        "`{}` on a length decoded from untrusted input can wrap and \
+                         defeat a later bounds check (the Cursor::f32s 4*n bug); use \
+                         checked_mul/checked_add and treat overflow as a malformed frame",
+                        ev.what
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -2,6 +2,8 @@
 //! spans, function spans and inline suppressions.
 
 use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+use crate::syntax::{self, FileSyntax};
+use std::cell::OnceCell;
 
 /// An inline suppression parsed from a
 /// `// cn-lint: allow(rule-name, reason = "…")` comment.
@@ -64,6 +66,8 @@ pub struct SourceFile {
     pub suppressions: Vec<Suppression>,
     /// `cn-lint` comments that failed to parse.
     pub malformed: Vec<MalformedSuppression>,
+    /// Lazily-built syntax tree, shared by every syntax-aware rule.
+    syntax: OnceCell<FileSyntax>,
 }
 
 impl SourceFile {
@@ -84,7 +88,15 @@ impl SourceFile {
             fn_spans,
             suppressions,
             malformed,
+            syntax: OnceCell::new(),
         }
+    }
+
+    /// The syntax tree, parsed on first use and cached (the three
+    /// dataflow rules share one parse per file).
+    pub fn syntax(&self) -> &FileSyntax {
+        self.syntax
+            .get_or_init(|| syntax::parse(&self.tokens, &self.text))
     }
 
     /// The text of token `i`.

@@ -1,0 +1,2003 @@
+//! The syntax layer: a lightweight recursive-descent parser over the
+//! token stream from [`crate::lexer`].
+//!
+//! Token-level rules can pin "this identifier never appears here", but
+//! the PR 8 review bugs (a peer-supplied count reaching
+//! `Vec::with_capacity` before the bytes-available check, a `4·n`
+//! bounds check that wrapped, a worker loop without `catch_unwind`)
+//! are *structural*: they need to know which expression flows into
+//! which call. This module turns the flat token stream into just
+//! enough structure for that — a brace tree of functions, blocks and
+//! statements with call expressions, `let` bindings and method chains
+//! resolved, plus receiver/argument identifier capture.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never panic, never loop.** The parser runs over every `.rs`
+//!    file in the workspace including macro bodies and half-edited
+//!    code; anything it cannot understand becomes an [`Expr::Opaque`]
+//!    node covering the confusing tokens, and every parse function
+//!    makes progress.
+//! 2. **Stay dependency-free.** No syn, no proc-macro2; the whole
+//!    point of cn-lint is that it builds everywhere the workspace
+//!    builds.
+//! 3. **Model only what the dataflow layer consumes.** Types,
+//!    generics, visibility and attributes are skipped, patterns are
+//!    reduced to the identifiers they bind, struct literals keep only
+//!    their field value expressions.
+//!
+//! Known ambiguities are resolved the way the language does: a `{`
+//! after a path in `if`/`while`/`for`/`match` head position starts the
+//! block, not a struct literal; `::<` turbofish is skipped; `'label:`
+//! before a loop is consumed.
+
+use crate::lexer::{is_keyword, Token, TokenKind};
+
+/// Everything the parser extracted from one file: all `fn` items
+/// (including nested ones and methods inside `impl`/`mod` blocks), in
+/// the order their `fn` keywords appear.
+#[derive(Debug, Default)]
+pub struct FileSyntax {
+    /// All parsed functions, flattened.
+    pub fns: Vec<FnItem>,
+}
+
+impl FileSyntax {
+    /// The first function with this name, if any (one-level call
+    /// resolution for same-file helpers).
+    pub fn fn_named(&self, name: &str) -> Option<&FnItem> {
+        self.fns.iter().find(|f| f.name == name)
+    }
+}
+
+/// One `fn` item: name, captured parameter identifiers and the body.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the name identifier.
+    pub name_tok: usize,
+    /// Identifiers bound by the parameter list (pattern idents only;
+    /// types are skipped).
+    pub params: Vec<String>,
+    /// The body, or `None` for a bodyless trait declaration.
+    pub body: Option<Block>,
+}
+
+/// A `{ … }` block: its bracket token indices and statements.
+#[derive(Debug)]
+pub struct Block {
+    /// Token index of the `{`.
+    pub open: usize,
+    /// Token index of the matching `}`.
+    pub close: usize,
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let PAT (= EXPR)? (else { … })? ;`
+    Let {
+        /// Identifiers the pattern binds.
+        binds: Vec<String>,
+        /// The initializer, if present.
+        init: Option<Expr>,
+    },
+    /// An expression statement (assignments included, as
+    /// [`Expr::Binary`] with an `=`-family operator).
+    Expr(Expr),
+}
+
+/// Which kind of loop an [`Expr::Loop`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `loop { … }` — runs until an explicit exit.
+    Loop,
+    /// `while COND { … }` / `while let PAT = … { … }`.
+    While,
+    /// `for PAT in ITER { … }`.
+    For,
+}
+
+/// One `match` arm, reduced to its pattern bindings and body.
+#[derive(Debug)]
+pub struct Arm {
+    /// Identifiers the arm's pattern binds.
+    pub binds: Vec<String>,
+    /// The arm body.
+    pub body: Expr,
+}
+
+/// An expression, reduced to the shapes the dataflow layer consumes.
+#[derive(Debug)]
+pub enum Expr {
+    /// A (possibly qualified) path: `rows`, `Vec::with_capacity`,
+    /// `self`. Turbofish segments are skipped.
+    Path {
+        /// The `::`-separated segments.
+        segs: Vec<String>,
+        /// Token index of the first segment.
+        tok: usize,
+        /// Token index of the last segment.
+        last_tok: usize,
+    },
+    /// A literal (number / string / char / bool / unit).
+    Lit {
+        /// Token index of the literal.
+        tok: usize,
+    },
+    /// `(a, b, …)` with two or more elements.
+    Tuple {
+        /// The elements.
+        items: Vec<Expr>,
+    },
+    /// `[a, b, …]` or `[x; n]`.
+    Array {
+        /// Elements, or `[value, length]` for the repeat form.
+        items: Vec<Expr>,
+        /// Whether this is the `[x; n]` repeat form.
+        repeat: bool,
+    },
+    /// `callee(args…)`.
+    Call {
+        /// The callee (usually a [`Expr::Path`]).
+        callee: Box<Expr>,
+        /// The arguments.
+        args: Vec<Expr>,
+    },
+    /// `recv.name(args…)`.
+    Method {
+        /// The receiver.
+        recv: Box<Expr>,
+        /// The method name.
+        name: String,
+        /// Token index of the method name.
+        name_tok: usize,
+        /// The arguments.
+        args: Vec<Expr>,
+    },
+    /// `recv.name` (tuple indices included, as their digit text).
+    Field {
+        /// The receiver.
+        recv: Box<Expr>,
+        /// The field name.
+        name: String,
+    },
+    /// `recv[index]`.
+    Index {
+        /// The indexed expression.
+        recv: Box<Expr>,
+        /// The index (ranges appear as a `..` [`Expr::Binary`]).
+        index: Box<Expr>,
+        /// Token index of the `[`.
+        tok: usize,
+    },
+    /// `name!(args…)` / `name![…]`; a brace-delimited body is kept as
+    /// one [`Expr::Opaque`] argument.
+    MacroCall {
+        /// The macro name (last path segment).
+        name: String,
+        /// Token index of the name.
+        name_tok: usize,
+        /// Top-level comma/semicolon-separated arguments.
+        args: Vec<Expr>,
+        /// Whether the last separator was `;` (the `vec![x; n]` form).
+        repeat: bool,
+    },
+    /// `lhs OP rhs`, including comparisons, ranges and (compound)
+    /// assignments.
+    Binary {
+        /// The operator text.
+        op: &'static str,
+        /// Token index of the operator.
+        op_tok: usize,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `!x`, `-x`, `*x` or a prefix range `..x`.
+    Unary {
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// `expr as TYPE`.
+    Cast {
+        /// The value being cast.
+        expr: Box<Expr>,
+        /// First identifier of the target type (`usize`, `u64`, …).
+        ty: String,
+    },
+    /// `&expr` / `&mut expr`.
+    Ref {
+        /// The referent.
+        expr: Box<Expr>,
+    },
+    /// `expr?`.
+    Try {
+        /// The inner expression.
+        expr: Box<Expr>,
+    },
+    /// `|params| body` / `move || body`.
+    Closure {
+        /// Identifiers bound by the parameter list.
+        params: Vec<String>,
+        /// The body.
+        body: Box<Expr>,
+    },
+    /// `if COND { … } (else …)?`.
+    If {
+        /// The condition (`if let` appears as [`Expr::LetCond`]).
+        cond: Box<Expr>,
+        /// The then-block.
+        then: Block,
+        /// The else branch: another `If` or a `Block`.
+        els: Option<Box<Expr>>,
+    },
+    /// The `let PAT = EXPR` inside `if let` / `while let`.
+    LetCond {
+        /// Identifiers the pattern binds.
+        binds: Vec<String>,
+        /// The scrutinee.
+        expr: Box<Expr>,
+    },
+    /// `match HEAD { arms… }`.
+    Match {
+        /// The scrutinee.
+        head: Box<Expr>,
+        /// The arms.
+        arms: Vec<Arm>,
+    },
+    /// `loop`/`while`/`for`.
+    Loop {
+        /// Which loop form.
+        kind: LoopKind,
+        /// Identifiers bound by a `for` pattern.
+        binds: Vec<String>,
+        /// The `while` condition or `for` iterator.
+        head: Option<Box<Expr>>,
+        /// The body.
+        body: Block,
+    },
+    /// `return (EXPR)?`.
+    Return {
+        /// The returned value, if any.
+        value: Option<Box<Expr>>,
+    },
+    /// `break (EXPR)?` or `continue`.
+    Jump {
+        /// A value carried by `break`, if any.
+        value: Option<Box<Expr>>,
+    },
+    /// A bare `{ … }` (or `unsafe { … }`) block expression.
+    Block(Block),
+    /// `Path { field: value, … }` — only the field value expressions
+    /// are kept.
+    StructLit {
+        /// The field value expressions (shorthand fields appear as
+        /// [`Expr::Path`]).
+        fields: Vec<Expr>,
+    },
+    /// Tokens the parser could not model; covers `[from, to]`
+    /// inclusive token indices.
+    Opaque {
+        /// First covered token.
+        from: usize,
+        /// Last covered token.
+        to: usize,
+    },
+}
+
+/// Parses one file's token stream. Infallible: unmodelled syntax
+/// degrades to [`Expr::Opaque`], never an error.
+pub fn parse(tokens: &[Token], text: &str) -> FileSyntax {
+    let mut p = Parser {
+        toks: tokens,
+        text,
+        i: 0,
+        depth: 0,
+        fns: Vec::new(),
+    };
+    while p.i < p.toks.len() {
+        if p.at_fn_item() {
+            p.parse_fn_item();
+        } else {
+            p.i += 1;
+        }
+    }
+    FileSyntax { fns: p.fns }
+}
+
+/// Calls `f` on `e` and every sub-expression, including block
+/// statements, loop heads, match arms and closure bodies.
+pub fn visit<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => {}
+        Expr::Tuple { items } | Expr::Array { items, .. } => {
+            items.iter().for_each(|x| visit(x, f));
+        }
+        Expr::Call { callee, args } => {
+            visit(callee, f);
+            args.iter().for_each(|x| visit(x, f));
+        }
+        Expr::Method { recv, args, .. } => {
+            visit(recv, f);
+            args.iter().for_each(|x| visit(x, f));
+        }
+        Expr::Field { recv, .. } => visit(recv, f),
+        Expr::Index { recv, index, .. } => {
+            visit(recv, f);
+            visit(index, f);
+        }
+        Expr::MacroCall { args, .. } => args.iter().for_each(|x| visit(x, f)),
+        Expr::Binary { lhs, rhs, .. } => {
+            visit(lhs, f);
+            visit(rhs, f);
+        }
+        Expr::Unary { expr }
+        | Expr::Cast { expr, .. }
+        | Expr::Ref { expr }
+        | Expr::Try { expr } => visit(expr, f),
+        Expr::Closure { body, .. } => visit(body, f),
+        Expr::If { cond, then, els } => {
+            visit(cond, f);
+            visit_block(then, f);
+            if let Some(e) = els {
+                visit(e, f);
+            }
+        }
+        Expr::LetCond { expr, .. } => visit(expr, f),
+        Expr::Match { head, arms } => {
+            visit(head, f);
+            arms.iter().for_each(|a| visit(&a.body, f));
+        }
+        Expr::Loop { head, body, .. } => {
+            if let Some(h) = head {
+                visit(h, f);
+            }
+            visit_block(body, f);
+        }
+        Expr::Return { value } | Expr::Jump { value } => {
+            if let Some(v) = value {
+                visit(v, f);
+            }
+        }
+        Expr::Block(b) => visit_block(b, f),
+        Expr::StructLit { fields } => fields.iter().for_each(|x| visit(x, f)),
+    }
+}
+
+/// [`visit`] over every expression in a block.
+pub fn visit_block<'a>(b: &'a Block, f: &mut impl FnMut(&'a Expr)) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    visit(e, f);
+                }
+            }
+            Stmt::Expr(e) => visit(e, f),
+        }
+    }
+}
+
+/// Recursion guard: deeper nesting than this degrades to
+/// [`Expr::Opaque`] instead of risking the parser's own stack.
+const MAX_DEPTH: usize = 200;
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    text: &'a str,
+    i: usize,
+    depth: usize,
+    fns: Vec<FnItem>,
+}
+
+impl<'a> Parser<'a> {
+    fn tok_text(&self, i: usize) -> &'a str {
+        match self.toks.get(i) {
+            Some(t) => &self.text[t.start..t.end],
+            None => "",
+        }
+    }
+
+    fn cur(&self) -> &'a str {
+        self.tok_text(self.i)
+    }
+
+    fn at(&self, s: &str) -> bool {
+        self.cur() == s
+    }
+
+    fn at_kind(&self, k: TokenKind) -> bool {
+        self.toks.get(self.i).map(|t| t.kind) == Some(k)
+    }
+
+    fn kind_at(&self, i: usize) -> Option<TokenKind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+
+    fn is_ident_at(&self, i: usize) -> bool {
+        self.kind_at(i) == Some(TokenKind::Ident)
+    }
+
+    fn eof(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.at(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `fn` keyword followed by a name identifier (not `fn(usize)` in a
+    /// type position, not `$name` in a macro definition).
+    fn at_fn_item(&self) -> bool {
+        self.at("fn")
+            && self.at_kind(TokenKind::Ident)
+            && self.is_ident_at(self.i + 1)
+            && !is_keyword(self.tok_text(self.i + 1))
+    }
+
+    /// Index of the matching close bracket for the open bracket at `open`,
+    /// or the last token when unbalanced.
+    fn matching(&self, open: usize) -> usize {
+        let (o, c) = match self.tok_text(open) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return open,
+        };
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < self.toks.len() {
+            let t = self.tok_text(j);
+            if t == o {
+                depth += 1;
+            } else if t == c {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        self.toks.len().saturating_sub(1)
+    }
+
+    /// Skips a balanced `<…>` group starting at the current `<`,
+    /// treating `>>` as two closes (turbofish and generic args).
+    fn skip_angles(&mut self) {
+        debug_assert!(self.at("<") || self.at("<<"));
+        let mut depth: isize = 0;
+        while !self.eof() {
+            match self.cur() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                ">=" => depth -= 1,
+                ">>=" => depth -= 2,
+                "(" | "[" => {
+                    let close = self.matching(self.i);
+                    self.i = close;
+                }
+                ";" | "{" | "}" => break, // never part of generic args
+                _ => {}
+            }
+            self.bump();
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+
+    /// Skips `#[…]` / `#![…]` attribute groups at the cursor.
+    fn skip_attrs(&mut self) {
+        while self.at("#") {
+            let mut j = self.i + 1;
+            if self.tok_text(j) == "!" {
+                j += 1;
+            }
+            if self.tok_text(j) != "[" {
+                break;
+            }
+            self.i = self.matching(j) + 1;
+        }
+    }
+
+    /// Parses `fn name…` at the cursor into [`Parser::fns`], leaving the
+    /// cursor after the body (or the `;`).
+    fn parse_fn_item(&mut self) {
+        self.bump(); // fn
+        let name_tok = self.i;
+        let name = self.cur().to_string();
+        self.bump();
+        if self.at("<") {
+            self.skip_angles();
+        }
+        // Parameter list.
+        let mut params = Vec::new();
+        if self.at("(") {
+            let close = self.matching(self.i);
+            params = self.param_idents(self.i + 1, close);
+            self.i = close + 1;
+        }
+        // Return type / where clause: scan to the body `{` or a `;`,
+        // skipping bracketed groups (`-> [f32; 4]`, `where F: Fn(usize)`).
+        let idx = self.fns.len();
+        self.fns.push(FnItem {
+            name,
+            name_tok,
+            params,
+            body: None,
+        });
+        while !self.eof() {
+            match self.cur() {
+                "(" | "[" => self.i = self.matching(self.i) + 1,
+                "<" => self.skip_angles(),
+                "{" => {
+                    let body = self.parse_block();
+                    self.fns[idx].body = Some(body);
+                    return;
+                }
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Pattern identifiers of a parameter list between token indices
+    /// `[from, to)`: the idents of each top-level comma segment before
+    /// its `:` (so `mut rows: usize` → `rows`, `(a, b): P` → `a, b`,
+    /// `&self` → nothing).
+    fn param_idents(&self, from: usize, to: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut j = from;
+        let mut in_type = false;
+        let mut angle: isize = 0;
+        while j < to {
+            match self.tok_text(j) {
+                "," if angle <= 0 => in_type = false,
+                ":" => in_type = true,
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                t if !in_type
+                    && self.is_ident_at(j)
+                    && !is_keyword(t)
+                    && !t.starts_with(|c: char| c.is_ascii_uppercase()) =>
+                {
+                    out.push(t.to_string());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out
+    }
+
+    /// Parses the `{ … }` at the cursor.
+    fn parse_block(&mut self) -> Block {
+        let open = self.i;
+        if !self.eat("{") {
+            // Resync stub: callers only reach this on malformed input.
+            return Block {
+                open,
+                close: open,
+                stmts: Vec::new(),
+            };
+        }
+        let hard_close = self.matching(open);
+        let mut stmts = Vec::new();
+        loop {
+            if self.eof() || self.i > hard_close {
+                break;
+            }
+            if self.i == hard_close {
+                self.bump();
+                break;
+            }
+            if self.eat(";") {
+                continue;
+            }
+            self.skip_attrs();
+            if self.at_fn_item() {
+                self.parse_fn_item();
+                continue;
+            }
+            if self.at("pub") {
+                // Visibility prefix of a block-local item; re-dispatch.
+                self.bump();
+                continue;
+            }
+            if self.at_item_keyword() {
+                self.skip_item(hard_close);
+                continue;
+            }
+            if self.at("let") && self.at_kind(TokenKind::Ident) {
+                stmts.push(self.parse_let());
+                continue;
+            }
+            let before = self.i;
+            let e = self.parse_expr(false);
+            stmts.push(Stmt::Expr(e));
+            if self.i == before {
+                // Safety net: guarantee progress on any input.
+                self.bump();
+            }
+        }
+        Block {
+            open,
+            close: hard_close,
+            stmts,
+        }
+    }
+
+    /// Item keywords that can open a non-`fn` item inside a block.
+    /// `const`/`static`/`type` only count when followed by an
+    /// identifier (so `const { … }` blocks and macro fragments pass
+    /// through the expression path).
+    fn at_item_keyword(&self) -> bool {
+        if !self.at_kind(TokenKind::Ident) {
+            return false;
+        }
+        match self.cur() {
+            "use" | "mod" | "struct" | "enum" | "impl" | "trait" | "extern" => true,
+            "const" | "static" | "type" => self.is_ident_at(self.i + 1),
+            "macro_rules" => self.tok_text(self.i + 1) == "!",
+            _ => false,
+        }
+    }
+
+    /// Skips one item: to the next top-level `;` or past the first
+    /// balanced `{…}`, whichever comes first, never beyond `limit`.
+    fn skip_item(&mut self, limit: usize) {
+        while !self.eof() && self.i < limit {
+            match self.cur() {
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "(" | "[" => self.i = self.matching(self.i) + 1,
+                "{" => {
+                    self.i = self.matching(self.i) + 1;
+                    return;
+                }
+                "=" => {
+                    // `type X = …;` / `const C: T = …;` — the value may
+                    // contain braces that are not the item body.
+                    self.bump();
+                    let _ = self.parse_expr(false);
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Parses `let PAT (: TYPE)? (= EXPR)? (else { … })? ;?`.
+    fn parse_let(&mut self) -> Stmt {
+        self.bump(); // let
+        let binds = self.pattern_binds(&["=", ";"]);
+        let mut init = None;
+        if self.eat("=") {
+            init = Some(self.parse_expr(false));
+        }
+        if self.at("else") {
+            // `let … else { diverge }`.
+            self.bump();
+            if self.at("{") {
+                let b = self.parse_block();
+                // The else-block of let-else always diverges; keep it as
+                // an expression statement so its contents stay visible.
+                if let Some(e) = init {
+                    init = Some(Expr::Binary {
+                        op: "let-else",
+                        op_tok: b.open,
+                        lhs: Box::new(e),
+                        rhs: Box::new(Expr::Block(b)),
+                    });
+                }
+            }
+        }
+        self.eat(";");
+        Stmt::Let { binds, init }
+    }
+
+    /// Collects the identifiers a pattern binds, consuming tokens until
+    /// one of `stops` at bracket depth 0 (or a block `{` / `}` / EOF).
+    /// A `{` directly after a path segment is a *struct pattern* and is
+    /// descended into (`Frame { kind, len }` binds both fields); any
+    /// other `{` ends the pattern. Lowercase non-keyword idents not
+    /// followed by `::`/`(`/`!` count as bindings; a top-level `:`
+    /// switches into type position (which binds nothing); a guard's
+    /// `if` stops the capture.
+    fn pattern_binds(&mut self, stops: &[&str]) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut depth = 0usize;
+        let mut angle: isize = 0;
+        let mut in_type = false;
+        let mut in_guard = false;
+        let mut prev_ident = false;
+        while !self.eof() {
+            let t = self.cur();
+            if depth == 0 && angle <= 0 && (stops.contains(&t) || t == "}") {
+                break;
+            }
+            if t == "{" && depth == 0 && !prev_ident {
+                break;
+            }
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                // Angle depth only matters for generics in type ascriptions
+                // and paths; inside a match guard `<`/`>` are comparisons.
+                "<" if !in_guard => angle += 1,
+                "<<" if !in_guard => angle += 2,
+                ">" if !in_guard => angle = (angle - 1).max(0),
+                ">>" if !in_guard => angle = (angle - 2).max(0),
+                ":" if depth == 0 => in_type = true,
+                "," if depth == 0 => in_type = false,
+                "if" => {
+                    in_guard = true;
+                    angle = 0;
+                }
+                _ => {
+                    if !in_type
+                        && !in_guard
+                        && self.at_kind(TokenKind::Ident)
+                        && !is_keyword(t)
+                        && !t.starts_with(|c: char| c.is_ascii_uppercase())
+                        && !matches!(self.tok_text(self.i + 1), "::" | "(" | "!")
+                        && t != "_"
+                    {
+                        out.push(t.to_string());
+                    }
+                }
+            }
+            prev_ident = self.at_kind(TokenKind::Ident) && !is_keyword(t);
+            self.bump();
+        }
+        out
+    }
+
+    // ---- expression parsing (precedence climbing) ----
+
+    /// Parses one expression. `no_struct` suppresses struct-literal
+    /// interpretation of `Path {` (condition / scrutinee position).
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        if self.depth >= MAX_DEPTH {
+            return self.opaque_to_stmt_end();
+        }
+        self.depth += 1;
+        let e = self.parse_assign(no_struct);
+        self.depth -= 1;
+        e
+    }
+
+    fn parse_assign(&mut self, ns: bool) -> Expr {
+        let lhs = self.parse_range(ns);
+        let op = match self.cur() {
+            "=" => "=",
+            "+=" => "+=",
+            "-=" => "-=",
+            "*=" => "*=",
+            "/=" => "/=",
+            "%=" => "%=",
+            "<<=" => "<<=",
+            ">>=" => ">>=",
+            "&=" => "&=",
+            "|=" => "|=",
+            "^=" => "^=",
+            _ => return lhs,
+        };
+        let op_tok = self.i;
+        self.bump();
+        let rhs = self.parse_expr(ns);
+        Expr::Binary {
+            op,
+            op_tok,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    fn at_expr_start(&self) -> bool {
+        if self.eof() {
+            return false;
+        }
+        match self.kind_at(self.i) {
+            Some(TokenKind::Ident) => !matches!(self.cur(), "in" | "else" | "where" | "as"),
+            Some(TokenKind::Punct) => {
+                matches!(
+                    self.cur(),
+                    "(" | "[" | "{" | "&" | "&&" | "!" | "-" | "*" | "|" | "||"
+                )
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    fn parse_range(&mut self, ns: bool) -> Expr {
+        if self.at("..") || self.at("..=") {
+            let op_tok = self.i;
+            self.bump();
+            if self.at_expr_start() && !(ns && self.at("{")) {
+                let rhs = self.parse_or(ns);
+                return Expr::Unary {
+                    expr: Box::new(rhs),
+                };
+            }
+            return Expr::Lit { tok: op_tok };
+        }
+        let lhs = self.parse_or(ns);
+        if self.at("..") || self.at("..=") {
+            let op_tok = self.i;
+            self.bump();
+            let rhs = if self.at_expr_start() && !(ns && self.at("{")) {
+                self.parse_or(ns)
+            } else {
+                Expr::Lit { tok: op_tok }
+            };
+            return Expr::Binary {
+                op: "..",
+                op_tok,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        lhs
+    }
+
+    fn parse_or(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.parse_and(ns);
+        while self.at("||") {
+            let op_tok = self.i;
+            self.bump();
+            let rhs = self.parse_and(ns);
+            lhs = Expr::Binary {
+                op: "||",
+                op_tok,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        lhs
+    }
+
+    fn parse_and(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.parse_cmp(ns);
+        while self.at("&&") {
+            let op_tok = self.i;
+            self.bump();
+            let rhs = self.parse_cmp(ns);
+            lhs = Expr::Binary {
+                op: "&&",
+                op_tok,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        lhs
+    }
+
+    fn parse_cmp(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.parse_bitor(ns);
+        loop {
+            let op = match self.cur() {
+                "==" => "==",
+                "!=" => "!=",
+                "<" => "<",
+                "<=" => "<=",
+                ">" => ">",
+                ">=" => ">=",
+                _ => return lhs,
+            };
+            let op_tok = self.i;
+            self.bump();
+            let rhs = self.parse_bitor(ns);
+            lhs = Expr::Binary {
+                op,
+                op_tok,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_bitor(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.parse_bitxor(ns);
+        while self.at("|") {
+            let op_tok = self.i;
+            self.bump();
+            let rhs = self.parse_bitxor(ns);
+            lhs = Expr::Binary {
+                op: "|",
+                op_tok,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        lhs
+    }
+
+    fn parse_bitxor(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.parse_bitand(ns);
+        while self.at("^") {
+            let op_tok = self.i;
+            self.bump();
+            let rhs = self.parse_bitand(ns);
+            lhs = Expr::Binary {
+                op: "^",
+                op_tok,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        lhs
+    }
+
+    fn parse_bitand(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.parse_shift(ns);
+        while self.at("&") {
+            let op_tok = self.i;
+            self.bump();
+            let rhs = self.parse_shift(ns);
+            lhs = Expr::Binary {
+                op: "&",
+                op_tok,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        lhs
+    }
+
+    fn parse_shift(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.parse_addsub(ns);
+        loop {
+            let op = match self.cur() {
+                "<<" => "<<",
+                ">>" => ">>",
+                _ => return lhs,
+            };
+            let op_tok = self.i;
+            self.bump();
+            let rhs = self.parse_addsub(ns);
+            lhs = Expr::Binary {
+                op,
+                op_tok,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_addsub(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.parse_muldiv(ns);
+        loop {
+            let op = match self.cur() {
+                "+" => "+",
+                "-" => "-",
+                _ => return lhs,
+            };
+            let op_tok = self.i;
+            self.bump();
+            let rhs = self.parse_muldiv(ns);
+            lhs = Expr::Binary {
+                op,
+                op_tok,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_muldiv(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.parse_cast(ns);
+        loop {
+            let op = match self.cur() {
+                "*" => "*",
+                "/" => "/",
+                "%" => "%",
+                _ => return lhs,
+            };
+            let op_tok = self.i;
+            self.bump();
+            let rhs = self.parse_cast(ns);
+            lhs = Expr::Binary {
+                op,
+                op_tok,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_cast(&mut self, ns: bool) -> Expr {
+        let mut e = self.parse_unary(ns);
+        while self.at("as") && self.at_kind(TokenKind::Ident) {
+            self.bump();
+            let ty = self.consume_type();
+            e = Expr::Cast {
+                expr: Box::new(e),
+                ty,
+            };
+        }
+        e
+    }
+
+    /// Consumes a type after `as` (or a closure's `->`), returning its
+    /// first identifier.
+    fn consume_type(&mut self) -> String {
+        let mut first = String::new();
+        // Pointer / reference / qualifier prefixes.
+        loop {
+            match self.cur() {
+                "*" | "&" | "&&" => self.bump(),
+                "const" | "mut" | "dyn" | "impl" => self.bump(),
+                _ => break,
+            }
+            if self.at_kind(TokenKind::Lifetime) {
+                self.bump();
+            }
+        }
+        while !self.eof() {
+            if self.at_kind(TokenKind::Ident) && !matches!(self.cur(), "as" | "else" | "in") {
+                if first.is_empty() {
+                    first = self.cur().to_string();
+                }
+                self.bump();
+            } else if self.at("::") {
+                self.bump();
+            } else if self.at("<") || self.at("<<") {
+                self.skip_angles();
+            } else if self.at("(") || self.at("[") {
+                self.i = self.matching(self.i) + 1;
+            } else {
+                break;
+            }
+        }
+        first
+    }
+
+    fn parse_unary(&mut self, ns: bool) -> Expr {
+        match self.cur() {
+            "!" | "-" => {
+                self.bump();
+                let e = self.parse_unary(ns);
+                Expr::Unary { expr: Box::new(e) }
+            }
+            "*" => {
+                self.bump();
+                let e = self.parse_unary(ns);
+                Expr::Unary { expr: Box::new(e) }
+            }
+            "&" | "&&" => {
+                self.bump();
+                self.eat("mut");
+                let e = self.parse_unary(ns);
+                Expr::Ref { expr: Box::new(e) }
+            }
+            _ => self.parse_postfix(ns),
+        }
+    }
+
+    fn parse_postfix(&mut self, ns: bool) -> Expr {
+        let mut e = self.parse_primary(ns);
+        loop {
+            if self.at(".") {
+                let after = self.i + 1;
+                if self.kind_at(after) == Some(TokenKind::Number) {
+                    // Tuple field `pair.0`.
+                    let name = self.tok_text(after).to_string();
+                    self.i = after + 1;
+                    e = Expr::Field {
+                        recv: Box::new(e),
+                        name,
+                    };
+                    continue;
+                }
+                if !self.is_ident_at(after) {
+                    break;
+                }
+                let name = self.tok_text(after).to_string();
+                if name == "await" {
+                    self.i = after + 1;
+                    continue;
+                }
+                let name_tok = after;
+                self.i = after + 1;
+                // Turbofish between name and call: `collect::<Vec<_>>()`.
+                if self.at("::") && self.tok_text(self.i + 1) == "<" {
+                    self.bump();
+                    self.skip_angles();
+                }
+                if self.at("(") {
+                    let args = self.parse_call_args();
+                    e = Expr::Method {
+                        recv: Box::new(e),
+                        name,
+                        name_tok,
+                        args,
+                    };
+                } else {
+                    e = Expr::Field {
+                        recv: Box::new(e),
+                        name,
+                    };
+                }
+                continue;
+            }
+            if self.at("(") {
+                let args = self.parse_call_args();
+                e = Expr::Call {
+                    callee: Box::new(e),
+                    args,
+                };
+                continue;
+            }
+            if self.at("[") {
+                let tok = self.i;
+                let close = self.matching(tok);
+                self.bump();
+                let index = self.parse_expr(false);
+                self.i = close + 1;
+                e = Expr::Index {
+                    recv: Box::new(e),
+                    index: Box::new(index),
+                    tok,
+                };
+                continue;
+            }
+            if self.at("?") {
+                self.bump();
+                e = Expr::Try { expr: Box::new(e) };
+                continue;
+            }
+            break;
+        }
+        e
+    }
+
+    /// Parses `( … )` call arguments at the cursor, split on top-level
+    /// commas.
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        let open = self.i;
+        let close = self.matching(open);
+        self.bump();
+        let mut args = Vec::new();
+        while self.i < close {
+            let before = self.i;
+            args.push(self.parse_expr(false));
+            if self.i <= before {
+                self.bump();
+            }
+            if !self.eat(",") && self.i < close {
+                // The expr parser stopped short (unmodelled syntax):
+                // cover the remainder of this argument opaquely.
+                let from = self.i;
+                while self.i < close && !self.at(",") {
+                    match self.cur() {
+                        "(" | "[" | "{" => self.i = self.matching(self.i) + 1,
+                        _ => self.bump(),
+                    }
+                }
+                if self.i > from {
+                    args.push(Expr::Opaque {
+                        from,
+                        to: self.i - 1,
+                    });
+                }
+                self.eat(",");
+            }
+        }
+        self.i = close + 1;
+        args
+    }
+
+    fn parse_primary(&mut self, ns: bool) -> Expr {
+        if self.eof() {
+            return Expr::Opaque {
+                from: self.toks.len().saturating_sub(1),
+                to: self.toks.len().saturating_sub(1),
+            };
+        }
+        // Loop labels: `'outer: loop { … }`.
+        if self.at_kind(TokenKind::Lifetime) && self.tok_text(self.i + 1) == ":" {
+            self.bump();
+            self.bump();
+            return self.parse_primary(ns);
+        }
+        match self.kind_at(self.i) {
+            Some(TokenKind::Number)
+            | Some(TokenKind::Str)
+            | Some(TokenKind::Char)
+            | Some(TokenKind::Lifetime) => {
+                let tok = self.i;
+                self.bump();
+                return Expr::Lit { tok };
+            }
+            _ => {}
+        }
+        match self.cur() {
+            "if" => return self.parse_if(),
+            "match" => return self.parse_match(),
+            "loop" | "while" | "for" => return self.parse_loop(),
+            "return" => {
+                self.bump();
+                let value = if self.at_expr_start() && !self.at("{") {
+                    Some(Box::new(self.parse_expr(ns)))
+                } else {
+                    None
+                };
+                return Expr::Return { value };
+            }
+            "break" => {
+                self.bump();
+                if self.at_kind(TokenKind::Lifetime) {
+                    self.bump();
+                }
+                let value = if self.at_expr_start() && !self.at("{") {
+                    Some(Box::new(self.parse_expr(ns)))
+                } else {
+                    None
+                };
+                return Expr::Jump { value };
+            }
+            "continue" => {
+                self.bump();
+                if self.at_kind(TokenKind::Lifetime) {
+                    self.bump();
+                }
+                return Expr::Jump { value: None };
+            }
+            "move" => {
+                self.bump();
+                return self.parse_closure();
+            }
+            "unsafe" => {
+                self.bump();
+                if self.at("{") {
+                    return Expr::Block(self.parse_block());
+                }
+                return self.opaque_to_stmt_end();
+            }
+            "let" => {
+                // `if let` / `while let` condition position.
+                self.bump();
+                let binds = self.pattern_binds(&["="]);
+                self.eat("=");
+                let expr = self.parse_expr(true);
+                return Expr::LetCond {
+                    binds,
+                    expr: Box::new(expr),
+                };
+            }
+            "true" | "false" => {
+                let tok = self.i;
+                self.bump();
+                return Expr::Lit { tok };
+            }
+            "|" | "||" => return self.parse_closure(),
+            "(" => {
+                let close = self.matching(self.i);
+                self.bump();
+                if self.i >= close {
+                    let tok = close;
+                    self.i = close + 1;
+                    return Expr::Lit { tok };
+                }
+                let mut items = Vec::new();
+                while self.i < close {
+                    let before = self.i;
+                    items.push(self.parse_expr(false));
+                    if self.i <= before {
+                        self.bump();
+                    }
+                    self.eat(",");
+                }
+                self.i = close + 1;
+                return if items.len() == 1 {
+                    items.pop().unwrap()
+                } else {
+                    Expr::Tuple { items }
+                };
+            }
+            "[" => {
+                let close = self.matching(self.i);
+                self.bump();
+                let mut items = Vec::new();
+                let mut repeat = false;
+                while self.i < close {
+                    let before = self.i;
+                    items.push(self.parse_expr(false));
+                    if self.i <= before {
+                        self.bump();
+                    }
+                    if self.eat(";") {
+                        repeat = true;
+                    } else {
+                        self.eat(",");
+                    }
+                }
+                self.i = close + 1;
+                return Expr::Array { items, repeat };
+            }
+            "{" => return Expr::Block(self.parse_block()),
+            _ => {}
+        }
+        if self.at_kind(TokenKind::Ident) {
+            return self.parse_path_expr(ns);
+        }
+        // Unknown punctuation: consume one token opaquely.
+        let tok = self.i;
+        self.bump();
+        Expr::Opaque { from: tok, to: tok }
+    }
+
+    /// A path, then whatever it heads: macro call, struct literal or a
+    /// plain path expression.
+    fn parse_path_expr(&mut self, ns: bool) -> Expr {
+        let tok = self.i;
+        let mut last_tok = self.i;
+        let mut segs = vec![self.cur().to_string()];
+        self.bump();
+        while self.at("::") {
+            if self.tok_text(self.i + 1) == "<" {
+                // Turbofish: `Vec::<u8>::with_capacity`.
+                self.bump();
+                self.skip_angles();
+                continue;
+            }
+            if !self.is_ident_at(self.i + 1) {
+                break;
+            }
+            self.bump();
+            last_tok = self.i;
+            segs.push(self.cur().to_string());
+            self.bump();
+        }
+        if self.at("!") && self.tok_text(self.i + 1) != "=" {
+            // Macro call (`!=` is handled by the lexer as one token, so
+            // a bare `!` here is really a macro bang).
+            let name = segs.last().cloned().unwrap_or_default();
+            let name_tok = last_tok;
+            self.bump();
+            return self.parse_macro_args(name, name_tok);
+        }
+        if !ns && self.at("{") && struct_lit_head(&segs) {
+            let fields = self.parse_struct_lit_fields();
+            return Expr::StructLit { fields };
+        }
+        Expr::Path {
+            segs,
+            tok,
+            last_tok,
+        }
+    }
+
+    /// Arguments of a macro call whose `!` was just consumed.
+    fn parse_macro_args(&mut self, name: String, name_tok: usize) -> Expr {
+        let delim = self.cur();
+        if delim == "{" {
+            let open = self.i;
+            let close = self.matching(open);
+            self.i = close + 1;
+            return Expr::MacroCall {
+                name,
+                name_tok,
+                args: vec![Expr::Opaque {
+                    from: open,
+                    to: close,
+                }],
+                repeat: false,
+            };
+        }
+        if delim != "(" && delim != "[" {
+            return Expr::MacroCall {
+                name,
+                name_tok,
+                args: Vec::new(),
+                repeat: false,
+            };
+        }
+        let open = self.i;
+        let close = self.matching(open);
+        self.bump();
+        let mut args = Vec::new();
+        let mut repeat = false;
+        while self.i < close {
+            let before = self.i;
+            args.push(self.parse_expr(false));
+            if self.i <= before {
+                self.bump();
+            }
+            if self.i < close {
+                if self.eat(";") {
+                    repeat = true;
+                } else if !self.eat(",") {
+                    // Macro-only syntax (`$x:expr`, token trees): cover
+                    // the rest of this argument opaquely.
+                    let from = self.i;
+                    while self.i < close && !self.at(",") && !self.at(";") {
+                        match self.cur() {
+                            "(" | "[" | "{" => self.i = self.matching(self.i) + 1,
+                            _ => self.bump(),
+                        }
+                    }
+                    if self.i > from {
+                        args.push(Expr::Opaque {
+                            from,
+                            to: self.i - 1,
+                        });
+                    }
+                    if self.eat(";") {
+                        repeat = true;
+                    } else {
+                        self.eat(",");
+                    }
+                }
+            }
+        }
+        self.i = close + 1;
+        Expr::MacroCall {
+            name,
+            name_tok,
+            args,
+            repeat,
+        }
+    }
+
+    /// Field value expressions of a struct literal whose `{` is at the
+    /// cursor.
+    fn parse_struct_lit_fields(&mut self) -> Vec<Expr> {
+        let open = self.i;
+        let close = self.matching(open);
+        self.bump();
+        let mut fields = Vec::new();
+        while self.i < close {
+            self.skip_attrs();
+            if self.eat(",") {
+                continue;
+            }
+            if self.at("..") {
+                // Functional update `..base`.
+                self.bump();
+                if self.i < close {
+                    fields.push(self.parse_expr(false));
+                }
+                continue;
+            }
+            if self.is_ident_at(self.i) && self.tok_text(self.i + 1) == ":" {
+                self.bump();
+                self.bump();
+                fields.push(self.parse_expr(false));
+            } else {
+                // Shorthand `field,` — the field is a local by that name.
+                let before = self.i;
+                fields.push(self.parse_expr(false));
+                if self.i <= before {
+                    self.bump();
+                }
+            }
+        }
+        self.i = close + 1;
+        fields
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        self.bump(); // if
+        let cond = self.parse_expr(true);
+        let then = if self.at("{") {
+            self.parse_block()
+        } else {
+            Block {
+                open: self.i,
+                close: self.i,
+                stmts: Vec::new(),
+            }
+        };
+        let els = if self.at("else") {
+            self.bump();
+            if self.at("if") {
+                Some(Box::new(self.parse_if()))
+            } else if self.at("{") {
+                Some(Box::new(Expr::Block(self.parse_block())))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            then,
+            els,
+        }
+    }
+
+    fn parse_match(&mut self) -> Expr {
+        self.bump(); // match
+        let head = self.parse_expr(true);
+        if !self.at("{") {
+            return Expr::Match {
+                head: Box::new(head),
+                arms: Vec::new(),
+            };
+        }
+        let open = self.i;
+        let close = self.matching(open);
+        self.bump();
+        let mut arms = Vec::new();
+        while self.i < close {
+            self.skip_attrs();
+            if self.eat(",") {
+                continue;
+            }
+            if self.i >= close {
+                break;
+            }
+            let binds = self.pattern_binds(&["=>"]);
+            if !self.eat("=>") {
+                // Unparseable arm: skip to the next top-level comma.
+                while self.i < close && !self.at(",") {
+                    match self.cur() {
+                        "(" | "[" | "{" => self.i = self.matching(self.i) + 1,
+                        _ => self.bump(),
+                    }
+                }
+                continue;
+            }
+            let before = self.i;
+            let body = self.parse_expr(false);
+            if self.i <= before {
+                self.bump();
+            }
+            arms.push(Arm { binds, body });
+        }
+        self.i = close + 1;
+        Expr::Match {
+            head: Box::new(head),
+            arms,
+        }
+    }
+
+    fn parse_loop(&mut self) -> Expr {
+        match self.cur() {
+            "loop" => {
+                self.bump();
+                let body = self.parse_block();
+                Expr::Loop {
+                    kind: LoopKind::Loop,
+                    binds: Vec::new(),
+                    head: None,
+                    body,
+                }
+            }
+            "while" => {
+                self.bump();
+                let cond = self.parse_expr(true);
+                let body = self.parse_block();
+                Expr::Loop {
+                    kind: LoopKind::While,
+                    binds: Vec::new(),
+                    head: Some(Box::new(cond)),
+                    body,
+                }
+            }
+            _ => {
+                self.bump(); // for
+                let binds = self.pattern_binds(&["in"]);
+                self.eat("in");
+                let iter = self.parse_expr(true);
+                let body = self.parse_block();
+                Expr::Loop {
+                    kind: LoopKind::For,
+                    binds,
+                    head: Some(Box::new(iter)),
+                    body,
+                }
+            }
+        }
+    }
+
+    fn parse_closure(&mut self) -> Expr {
+        let mut params = Vec::new();
+        if self.eat("||") {
+            // Zero parameters.
+        } else if self.eat("|") {
+            let open = self.i;
+            let mut depth = 0usize;
+            let mut j = open;
+            // Find the closing `|` at bracket depth 0.
+            while j < self.toks.len() {
+                match self.tok_text(j) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    "|" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            params = self.param_idents(open, j);
+            self.i = (j + 1).min(self.toks.len());
+        }
+        if self.at("->") {
+            self.bump();
+            let _ = self.consume_type();
+        }
+        let body = if self.at("{") {
+            Expr::Block(self.parse_block())
+        } else {
+            self.parse_expr(false)
+        };
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+        }
+    }
+
+    /// Fallback: consume (balanced) to the end of the statement and
+    /// return an opaque node over what was skipped.
+    fn opaque_to_stmt_end(&mut self) -> Expr {
+        let from = self.i;
+        while !self.eof() {
+            match self.cur() {
+                ";" | "}" | "," | ")" | "]" => break,
+                "(" | "[" | "{" => self.i = self.matching(self.i) + 1,
+                _ => self.bump(),
+            }
+        }
+        Expr::Opaque {
+            from,
+            to: self.i.saturating_sub(1).max(from),
+        }
+    }
+}
+
+/// Whether a `Path {` sequence should be read as a struct literal: the
+/// head is qualified or names a type (uppercase first letter), or is
+/// `Self`. A lowercase bare identifier before `{` is far more likely a
+/// parse slip than a struct literal, and misreading it would swallow a
+/// block.
+fn struct_lit_head(segs: &[String]) -> bool {
+    match segs.last() {
+        Some(last) => {
+            segs.len() > 1 || last.starts_with(|c: char| c.is_ascii_uppercase()) || last == "Self"
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileSyntax {
+        let lexed = lex(src);
+        parse(&lexed.tokens, src)
+    }
+
+    fn body<'s>(syntax: &'s FileSyntax, name: &str) -> &'s Block {
+        syntax
+            .fn_named(name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+            .body
+            .as_ref()
+            .unwrap()
+    }
+
+    /// Collect every method name in a function body.
+    fn method_names(b: &Block) -> Vec<String> {
+        let mut out = Vec::new();
+        visit_block(b, &mut |e| {
+            if let Expr::Method { name, .. } = e {
+                out.push(name.clone());
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn fn_items_params_and_lets() {
+        let s = parse_src(
+            "pub fn decode(buf: &[u8], mut limit: usize) -> Result<(), E> {\n\
+             let rows = read(buf)?;\n\
+             let (a, b): (u32, u32) = split(rows);\n\
+             Ok(())\n\
+             }\n",
+        );
+        assert_eq!(s.fns.len(), 1);
+        let f = &s.fns[0];
+        assert_eq!(f.name, "decode");
+        assert_eq!(f.params, ["buf", "limit"]);
+        let b = f.body.as_ref().unwrap();
+        assert!(matches!(
+            &b.stmts[0],
+            Stmt::Let { binds, init: Some(_) } if binds == &["rows".to_string()]
+        ));
+        assert!(matches!(
+            &b.stmts[1],
+            Stmt::Let { binds, .. } if binds == &["a".to_string(), "b".to_string()]
+        ));
+    }
+
+    #[test]
+    fn nested_fns_and_impl_methods_are_collected() {
+        let s = parse_src(
+            "impl Codec {\n\
+               fn outer(&self) { fn inner(x: usize) { x; } inner(1); }\n\
+             }\n\
+             mod m { pub fn in_mod() {} }\n",
+        );
+        let names: Vec<&str> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "in_mod"]);
+    }
+
+    #[test]
+    fn method_chains_resolve_receiver_and_args() {
+        let s = parse_src("fn f(n: usize) { let v = n.checked_mul(4).map(go); }\n");
+        let b = body(&s, "f");
+        let Stmt::Let { init: Some(e), .. } = &b.stmts[0] else {
+            panic!("expected let");
+        };
+        let Expr::Method {
+            recv, name, args, ..
+        } = e
+        else {
+            panic!("expected method, got {e:?}");
+        };
+        assert_eq!(name, "map");
+        assert_eq!(args.len(), 1);
+        let Expr::Method {
+            recv: inner,
+            name,
+            args,
+            ..
+        } = recv.as_ref()
+        else {
+            panic!("expected inner method");
+        };
+        assert_eq!(name, "checked_mul");
+        assert_eq!(args.len(), 1);
+        assert!(matches!(inner.as_ref(), Expr::Path { segs, .. } if segs == &["n".to_string()]));
+    }
+
+    #[test]
+    fn vec_macro_repeat_form() {
+        let s = parse_src("fn f(n: usize) { let v = vec![0u8; n]; let w = vec![1, 2]; }\n");
+        let b = body(&s, "f");
+        let Stmt::Let {
+            init: Some(Expr::MacroCall {
+                name, args, repeat, ..
+            }),
+            ..
+        } = &b.stmts[0]
+        else {
+            panic!("expected macro");
+        };
+        assert_eq!(name, "vec");
+        assert!(repeat);
+        assert_eq!(args.len(), 2);
+        let Stmt::Let {
+            init: Some(Expr::MacroCall { repeat, .. }),
+            ..
+        } = &b.stmts[1]
+        else {
+            panic!("expected macro");
+        };
+        assert!(!repeat);
+    }
+
+    #[test]
+    fn if_condition_stops_at_block_despite_struct_ambiguity() {
+        let s = parse_src("fn f(n: usize) { if n > limit { return; } n; }\n");
+        let b = body(&s, "f");
+        assert_eq!(b.stmts.len(), 2);
+        let Stmt::Expr(Expr::If { cond, then, .. }) = &b.stmts[0] else {
+            panic!("expected if, got {:?}", b.stmts[0]);
+        };
+        assert!(matches!(cond.as_ref(), Expr::Binary { op: ">", .. }));
+        assert!(matches!(then.stmts[0], Stmt::Expr(Expr::Return { .. })));
+    }
+
+    #[test]
+    fn struct_literals_in_expression_position() {
+        let s = parse_src(
+            "fn f(kind: u8, len: usize) -> Header { Header { kind, payload_len: len * 4 } }\n",
+        );
+        let b = body(&s, "f");
+        let Stmt::Expr(Expr::StructLit { fields }) = &b.stmts[0] else {
+            panic!("expected struct literal, got {:?}", b.stmts[0]);
+        };
+        assert_eq!(fields.len(), 2);
+        assert!(matches!(&fields[1], Expr::Binary { op: "*", .. }));
+    }
+
+    #[test]
+    fn turbofish_is_skipped() {
+        let s = parse_src(
+            "fn f(n: usize) { let v = Vec::<u8>::with_capacity(n); let c = it.collect::<Vec<_>>(); }\n",
+        );
+        let b = body(&s, "f");
+        let Stmt::Let {
+            init: Some(Expr::Call { callee, args }),
+            ..
+        } = &b.stmts[0]
+        else {
+            panic!("expected call, got {:?}", b.stmts[0]);
+        };
+        let Expr::Path { segs, .. } = callee.as_ref() else {
+            panic!("expected path callee");
+        };
+        assert_eq!(segs, &["Vec".to_string(), "with_capacity".to_string()]);
+        assert_eq!(args.len(), 1);
+        assert_eq!(method_names(b), ["collect"]);
+    }
+
+    #[test]
+    fn closures_nested_three_deep() {
+        let s = parse_src(
+            "fn f(items: Vec<usize>) {\n\
+               let g = move |a: usize| items.iter().map(|b| (0..*b).map(|c| c + a));\n\
+             }\n",
+        );
+        let b = body(&s, "f");
+        let mut closures = 0;
+        visit_block(b, &mut |e| {
+            if matches!(e, Expr::Closure { .. }) {
+                closures += 1;
+            }
+        });
+        assert_eq!(closures, 3);
+    }
+
+    #[test]
+    fn match_arms_capture_bindings_but_not_guard_locals() {
+        let s = parse_src(
+            "fn f(x: Option<usize>, cap: usize) -> usize {\n\
+               match x { Some(n) if n < cap => n, None => 0, _ => 1 }\n\
+             }\n",
+        );
+        let b = body(&s, "f");
+        let Stmt::Expr(Expr::Match { arms, .. }) = &b.stmts[0] else {
+            panic!("expected match");
+        };
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].binds, ["n"]);
+        assert!(arms[1].binds.is_empty());
+    }
+
+    #[test]
+    fn loops_and_labels() {
+        let s = parse_src(
+            "fn f(xs: &[usize]) {\n\
+               'outer: loop { break 'outer; }\n\
+               while running() { step(); }\n\
+               for (i, x) in xs.iter().enumerate() { i; x; }\n\
+             }\n",
+        );
+        let b = body(&s, "f");
+        let kinds: Vec<LoopKind> = b
+            .stmts
+            .iter()
+            .filter_map(|st| match st {
+                Stmt::Expr(Expr::Loop { kind, .. }) => Some(kind),
+                _ => None,
+            })
+            .copied()
+            .collect();
+        assert_eq!(kinds, [LoopKind::Loop, LoopKind::While, LoopKind::For]);
+        let Stmt::Expr(Expr::Loop { binds, .. }) = &b.stmts[2] else {
+            panic!();
+        };
+        assert_eq!(binds, &["i", "x"]);
+    }
+
+    #[test]
+    fn macro_bodies_and_cfg_test_items_do_not_derail_parsing() {
+        let s = parse_src(
+            "macro_rules! gen { ($name:ident) => { fn $name() {} }; }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+               #[test]\n\
+               fn check() { assert_eq!(1 + 1, 2); }\n\
+             }\n\
+             fn after() { work(); }\n",
+        );
+        // `fn $name` must not be mistaken for an item; `check` and
+        // `after` must both be found.
+        let names: Vec<&str> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"check"), "{names:?}");
+        assert!(names.contains(&"after"), "{names:?}");
+    }
+
+    #[test]
+    fn let_else_and_if_let_bind() {
+        let s = parse_src(
+            "fn f(m: Option<usize>) {\n\
+               let Some(n) = m else { return; };\n\
+               if let Some(k) = m { k; }\n\
+             }\n",
+        );
+        let b = body(&s, "f");
+        let Stmt::Let { binds, .. } = &b.stmts[0] else {
+            panic!();
+        };
+        assert_eq!(binds, &["n"]);
+        let Stmt::Expr(Expr::If { cond, .. }) = &b.stmts[1] else {
+            panic!("got {:?}", b.stmts[1]);
+        };
+        assert!(matches!(
+            cond.as_ref(),
+            Expr::LetCond { binds, .. } if binds == &["k".to_string()]
+        ));
+    }
+
+    #[test]
+    fn pathological_nesting_terminates_via_opaque() {
+        // 300 nested parens exceed MAX_DEPTH; the parser must neither
+        // overflow its stack nor loop.
+        let mut src = String::from("fn f() { let x = ");
+        src.push_str(&"(".repeat(300));
+        src.push('1');
+        src.push_str(&")".repeat(300));
+        src.push_str("; }\n");
+        let s = parse_src(&src);
+        assert_eq!(s.fns.len(), 1);
+        assert!(s.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn garbage_never_panics_and_always_finishes() {
+        for src in [
+            "fn f( {",
+            "fn f() { let = = ; }",
+            "fn f() { a.b.(c }",
+            "fn f() { match { { } }",
+            "impl } fn g() {}",
+            "fn f() { x[..; }",
+        ] {
+            let _ = parse_src(src);
+        }
+    }
+
+    #[test]
+    fn assignment_and_compound_assignment() {
+        let s = parse_src("fn f(mut n: usize, d: usize) { n = d + 1; n *= 4; self.at = n; }\n");
+        let b = body(&s, "f");
+        let ops: Vec<&str> = b
+            .stmts
+            .iter()
+            .filter_map(|st| match st {
+                Stmt::Expr(Expr::Binary { op, .. }) => Some(op),
+                _ => None,
+            })
+            .copied()
+            .collect();
+        assert_eq!(ops, ["=", "*=", "="]);
+    }
+}

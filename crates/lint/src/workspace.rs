@@ -63,12 +63,65 @@ pub fn rel_path_str(path: &Path) -> String {
 ///
 /// Propagates I/O errors from traversal or reading a source file.
 pub fn lint_workspace(root: &Path, rules: &[Box<dyn Rule>]) -> std::io::Result<Vec<Diagnostic>> {
+    let files = discover(root)?;
+    lint_files(root, &files, rules)
+}
+
+/// Lints an explicit set of workspace-relative files (the `--changed`
+/// path). Files that no longer exist or fall under the skip lists are
+/// silently ignored, so a rename or fixture edit doesn't fail the run.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading a source file.
+pub fn lint_files(
+    root: &Path,
+    rels: &[PathBuf],
+    rules: &[Box<dyn Rule>],
+) -> std::io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
-    for rel in discover(root)? {
-        let text = std::fs::read_to_string(root.join(&rel))?;
-        files.push(SourceFile::parse(rel_path_str(&rel), text));
+    for rel in rels {
+        let rel_str = rel_path_str(rel);
+        if !rel_str.ends_with(".rs") || SKIP_PATHS.iter().any(|skip| rel_str.contains(skip)) {
+            continue;
+        }
+        let path = root.join(rel);
+        if !path.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(path)?;
+        files.push(SourceFile::parse(rel_str, text));
     }
     Ok(engine::run(&files, rules))
+}
+
+/// Workspace-relative paths of files changed since `gitref`, per
+/// `git diff --name-only` (deleted files excluded). This compares the
+/// working tree against `gitref` directly, so staged and unstaged edits
+/// are both included.
+///
+/// # Errors
+///
+/// Fails if `git` cannot be spawned or exits non-zero (unknown ref,
+/// not a repository).
+pub fn changed_files(root: &Path, gitref: &str) -> std::io::Result<Vec<PathBuf>> {
+    let output = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", "--diff-filter=d", gitref, "--"])
+        .output()?;
+    if !output.status.success() {
+        return Err(std::io::Error::other(format!(
+            "git diff --name-only {gitref} failed: {}",
+            String::from_utf8_lossy(&output.stderr).trim()
+        )));
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    Ok(stdout
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(PathBuf::from)
+        .collect())
 }
 
 #[cfg(test)]

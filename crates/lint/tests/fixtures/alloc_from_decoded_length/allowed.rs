@@ -1,0 +1,40 @@
+//@ path: crates/net/src/frame.rs
+// The fixed shapes: a decoded count is validated against the bytes
+// actually present (or bounded by checked/min/clamp) before it sizes
+// anything — plus one deliberately-suppressed site.
+
+fn decode_reply(buf: &[u8]) -> Result<Vec<u32>, FrameError> {
+    let mut c = Cursor::new(buf);
+    let rows = c.u32("rows")? as usize;
+    let need = rows
+        .checked_mul(4)
+        .ok_or_else(|| bad("row count overflow"))?;
+    // The guard vouches for `rows` transitively through `need`.
+    if need != c.remaining() {
+        return Err(bad("row count not backed by payload bytes"));
+    }
+    let mut classes = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        classes.push(c.u32("classes")?);
+    }
+    Ok(classes)
+}
+
+fn decode_clamped(buf: &[u8]) -> Vec<f32> {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    vec![0.0f32; n.min(MAX_ROWS)]
+}
+
+fn pick(buf: &[u8], table: &[f32]) -> Option<f32> {
+    let at = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    if at >= table.len() {
+        return None;
+    }
+    Some(table[at])
+}
+
+fn trusted_scratch(buf: &[u8]) -> Vec<f32> {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    // cn-lint: allow(alloc-from-decoded-length, reason = "fixture: demonstrates a suppressed site; buf comes from the local trusted encoder, never the wire")
+    vec![0.0f32; n]
+}

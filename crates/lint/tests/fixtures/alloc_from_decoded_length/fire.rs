@@ -1,0 +1,29 @@
+//@ path: crates/net/src/frame.rs
+// The PR 8 InferReply bug, re-introduced: the announced row count sizes
+// an allocation before any byte-budget check backs it, so a 12-byte
+// hostile frame can demand a 17 GiB Vec.
+
+fn decode_reply(buf: &[u8]) -> Result<Vec<u32>, FrameError> {
+    let mut c = Cursor::new(buf);
+    let rows = c.u32("rows")? as usize;
+    let mut classes = Vec::with_capacity(rows); //~ alloc-from-decoded-length
+    for _ in 0..rows {
+        classes.push(c.u32("classes")?);
+    }
+    Ok(classes)
+}
+
+fn decode_scratch(buf: &[u8]) -> Vec<f32> {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    vec![0.0f32; n] //~ alloc-from-decoded-length
+}
+
+fn reserve_from_wire(buf: &mut impl Buf, out: &mut Vec<u8>) {
+    let len = buf.get_u32_le() as usize;
+    out.reserve(len); //~ alloc-from-decoded-length
+}
+
+fn pick(buf: &[u8], table: &[f32]) -> f32 {
+    let at = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    table[at] //~ alloc-from-decoded-length
+}

@@ -1,5 +1,7 @@
-//@ path: crates/nn/src/fake.rs
-// A well-formed suppression of a known rule parses silently even when
-// nothing fires on the next line.
-// cn-lint: allow(kernel-zero-skip, reason = "fixture: demonstrates well-formed syntax")
-fn f() {}
+//@ path: crates/tensor/src/ops/fake.rs
+// A well-formed suppression of a known rule parses cleanly and excuses
+// exactly the finding on its line (an allow that excuses nothing is an
+// unused-suppression finding — see that rule's fixtures).
+fn skip_zero(x: f32) -> bool {
+    x == 0.0 // cn-lint: allow(kernel-zero-skip, reason = "fixture: demonstrates well-formed syntax excusing a live finding")
+}

@@ -1,0 +1,29 @@
+//@ path: crates/net/src/frame.rs
+// The fixed shapes: arithmetic on decoded lengths goes through
+// checked/saturating forms or follows a bounding guard — plus one
+// deliberately-suppressed site.
+
+fn f32s_budget_ok(buf: &[u8], at: usize) -> Option<bool> {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let end = n.checked_mul(4)?.checked_add(at)?;
+    Some(end <= buf.len())
+}
+
+fn grow(buf: &[u8], len: usize) -> usize {
+    let extra = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    len.saturating_add(extra)
+}
+
+fn bounded(buf: &[u8]) -> usize {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if n > MAX_ROWS {
+        return 0;
+    }
+    n * 4
+}
+
+fn trusted(buf: &[u8]) -> usize {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    // cn-lint: allow(unchecked-length-arithmetic, reason = "fixture: demonstrates a suppressed site; n is a version byte bounded to 0..=3 by the caller")
+    n * 4
+}

@@ -1,0 +1,21 @@
+//@ path: crates/net/src/frame.rs
+// The Cursor::f32s bug, re-introduced: `n * 4` wraps for a hostile `n`
+// near usize::MAX, so the byte-budget check passes and the decode loop
+// runs away.
+
+fn f32s_budget_ok(buf: &[u8], at: usize) -> bool {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let end = at + n * 4; //~ unchecked-length-arithmetic
+    end <= buf.len()
+}
+
+fn grow(buf: &[u8], mut len: usize) -> usize {
+    let extra = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    len += extra; //~ unchecked-length-arithmetic
+    len
+}
+
+fn scale(buf: &mut impl Buf) -> usize {
+    let words = buf.get_u32_le() as usize;
+    words << 2 //~ unchecked-length-arithmetic
+}

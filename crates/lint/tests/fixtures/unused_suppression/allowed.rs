@@ -1,0 +1,7 @@
+//@ path: crates/tensor/src/ops/fake.rs
+// A suppression that is still earning its keep: the finding it excuses
+// is live, so the allow is used and nothing leaks.
+
+fn skip_zero(x: f32) -> bool {
+    x == 0.0 // cn-lint: allow(kernel-zero-skip, reason = "fixture: zero test is semantic here and non-finite inputs are rejected upstream")
+}

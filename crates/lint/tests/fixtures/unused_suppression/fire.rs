@@ -1,0 +1,10 @@
+//@ path: crates/tensor/src/ops/fake.rs
+// A stale suppression: the float-zero skip it excused was rewritten as
+// an integer sentinel long ago, so the allow matches nothing — and
+// would silently mask a reintroduced zero-skip at its line.
+
+// cn-lint: allow(kernel-zero-skip, reason = "stale: the excused compare is gone")
+//~^ unused-suppression
+fn healthy(x: u32) -> bool {
+    x == 0
+}

@@ -153,6 +153,26 @@ fn blocking_io_without_timeout_fixture() {
 }
 
 #[test]
+fn alloc_from_decoded_length_fixture() {
+    check_pair("alloc_from_decoded_length");
+}
+
+#[test]
+fn unchecked_length_arithmetic_fixture() {
+    check_pair("unchecked_length_arithmetic");
+}
+
+#[test]
+fn panic_unsafe_pool_thread_fixture() {
+    check_pair("panic_unsafe_pool_thread");
+}
+
+#[test]
+fn unused_suppression_fixture() {
+    check_pair("unused_suppression");
+}
+
+#[test]
 fn every_cataloged_rule_has_a_fixture_pair() {
     let mut missing = Vec::new();
     for rule in rules::catalog() {

@@ -164,6 +164,7 @@ impl Frontend {
             // cn-lint: allow(unbounded-thread-spawn, reason = "exactly one acceptor thread; joined in Frontend::join")
             std::thread::Builder::new()
                 .name("cn-net-acceptor".into())
+                // cn-lint: allow(panic-unsafe-pool-thread, reason = "acceptor loop matches every accept error non-fatally and has no panic path; its exit is observed by Frontend::join at drain")
                 .spawn(move || acceptor_loop(&listener, &shared))
                 .expect("spawn acceptor thread")
         };

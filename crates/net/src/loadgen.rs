@@ -187,12 +187,24 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenReport
         // cn-lint: allow(unbounded-thread-spawn, reason = "bounded by config.connections; joined below")
         let handle = std::thread::Builder::new()
             .name(format!("cn-loadgen-{conn}"))
+            // cn-lint: allow(panic-unsafe-pool-thread, reason = "finite per-connection request schedule, not a long-lived pool; joined below, and a panicked client fails the whole run")
             .spawn(move || connection_loop(stream, conn, &config, &totals, &hist))
             .expect("spawn loadgen thread");
         threads.push(handle);
     }
+    let mut panicked = 0usize;
     for handle in threads {
-        let _ = handle.join();
+        if handle.join().is_err() {
+            panicked += 1;
+        }
+    }
+    if panicked > 0 {
+        // A panicked client thread means its requests were neither
+        // completed nor counted as errors — the report would silently
+        // under-count. Fail the measurement instead.
+        return Err(io::Error::other(format!(
+            "{panicked} load-generator connection thread(s) panicked"
+        )));
     }
     let elapsed = started.elapsed();
     let snap = hist.snapshot();

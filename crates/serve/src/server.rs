@@ -295,60 +295,94 @@ fn worker_loop(
 ) {
     let mut session = Session::new(Arc::clone(&lock_slot(&shared.slot)));
     let mut seen_epoch = shared.epoch.load(Ordering::Acquire);
-    let sample_len: usize = sample_dims.iter().product();
     let mut batch_buf: Vec<f32> = Vec::new();
     loop {
         let batch = queue.pop_batch(config.max_batch, config.max_wait);
         if batch.is_empty() {
             return; // closed and drained
         }
-        let epoch = shared.epoch.load(Ordering::Acquire);
-        if epoch != seen_epoch {
-            session.rebind(Arc::clone(&lock_slot(&shared.slot)));
-            seen_epoch = epoch;
+        // A panic while executing one batch must not kill the worker: a
+        // dead thread silently shrinks the pool until the server stops
+        // serving. The batch dies with the panic (its reply channels
+        // drop, so its clients observe a closed server), the panic is
+        // counted, and the worker takes the next batch.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch(
+                &mut session,
+                &mut seen_epoch,
+                &mut batch_buf,
+                batch,
+                shared,
+                config,
+                sample_dims,
+            );
+        }));
+        if unwound.is_err() {
+            shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            batch_buf = Vec::new();
         }
+    }
+}
 
-        let n = batch.len();
-        batch_buf.clear();
-        batch_buf.reserve(n * sample_len);
-        for request in &batch {
-            batch_buf.extend_from_slice(request.input.data());
-        }
-        let mut dims = vec![n];
-        dims.extend_from_slice(sample_dims);
-        let x = Tensor::from_vec(std::mem::take(&mut batch_buf), &dims);
-        let logits = session.logits_batch(&x);
-        batch_buf = x.into_vec();
+/// Executes one coalesced batch: rebind to the latest deployment if it
+/// changed, assemble the batch tensor, infer, scatter per-row replies,
+/// record stats.
+fn run_batch(
+    session: &mut Session,
+    seen_epoch: &mut u64,
+    batch_buf: &mut Vec<f32>,
+    batch: Vec<Request>,
+    shared: &Shared,
+    config: &ServeConfig,
+    sample_dims: &[usize],
+) {
+    let epoch = shared.epoch.load(Ordering::Acquire);
+    if epoch != *seen_epoch {
+        session.rebind(Arc::clone(&lock_slot(&shared.slot)));
+        *seen_epoch = epoch;
+    }
 
-        let classes = logits.dims()[1];
-        let data = logits.data();
-        let preds = logits.argmax_rows();
-        // Account the batch *before* dispatching replies: a client that
-        // receives the last reply and immediately reads `stats()` must
-        // see its own request counted (the counters used to be bumped
-        // after the send loop, so a fast reader raced the worker and
-        // observed stale totals).
-        shared.stats.requests.fetch_add(n as u64, Ordering::Relaxed);
-        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        shared
-            .stats
-            .batch_slots
-            .fetch_add(config.max_batch as u64, Ordering::Relaxed);
-        for (row, request) in batch.into_iter().enumerate() {
-            let micros = request
-                .enqueued_at
-                .elapsed()
-                .as_micros()
-                .min(u128::from(u64::MAX));
-            shared.stats.latency.record(micros as u64);
-            let row_logits = &data[row * classes..(row + 1) * classes];
-            // A departed client (dropped Ticket) is not an error.
-            let _ = request.tx.send(Reply {
-                logits: row_logits.to_vec(),
-                class: preds[row],
-                batch_size: n,
-            });
-        }
+    let sample_len: usize = sample_dims.iter().product();
+    let n = batch.len();
+    batch_buf.clear();
+    batch_buf.reserve(n * sample_len);
+    for request in &batch {
+        batch_buf.extend_from_slice(request.input.data());
+    }
+    let mut dims = vec![n];
+    dims.extend_from_slice(sample_dims);
+    let x = Tensor::from_vec(std::mem::take(batch_buf), &dims);
+    let logits = session.logits_batch(&x);
+    *batch_buf = x.into_vec();
+
+    let classes = logits.dims()[1];
+    let data = logits.data();
+    let preds = logits.argmax_rows();
+    // Account the batch *before* dispatching replies: a client that
+    // receives the last reply and immediately reads `stats()` must
+    // see its own request counted (the counters used to be bumped
+    // after the send loop, so a fast reader raced the worker and
+    // observed stale totals).
+    shared.stats.requests.fetch_add(n as u64, Ordering::Relaxed);
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .batch_slots
+        .fetch_add(config.max_batch as u64, Ordering::Relaxed);
+    for (row, request) in batch.into_iter().enumerate() {
+        let micros = request
+            .enqueued_at
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX));
+        shared.stats.latency.record(micros as u64);
+        let row_logits = &data[row * classes..(row + 1) * classes];
+        // A departed client (dropped Ticket) is not an error.
+        let _ = request.tx.send(Reply {
+            logits: row_logits.to_vec(),
+            class: preds[row],
+            batch_size: n,
+        });
     }
 }
 

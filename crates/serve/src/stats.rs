@@ -138,6 +138,9 @@ pub(crate) struct StatsCollector {
     pub(crate) batches: AtomicU64,
     /// Sum of `max_batch` over executed batches — the fill denominator.
     pub(crate) batch_slots: AtomicU64,
+    /// Batches whose execution panicked (the worker survives; the
+    /// batch's reply channels drop, so its clients see a closed server).
+    pub(crate) worker_panics: AtomicU64,
     pub(crate) latency: LatencyHistogram,
     pub(crate) started: Instant,
 }
@@ -148,6 +151,7 @@ impl StatsCollector {
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_slots: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             started: Instant::now(),
         }
@@ -171,6 +175,7 @@ impl StatsCollector {
             p50_us: hist.quantile(0.50),
             p95_us: hist.quantile(0.95),
             p99_us: hist.quantile(0.99),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -193,6 +198,10 @@ pub struct ServerStats {
     pub p95_us: f64,
     /// 99th-percentile latency in microseconds.
     pub p99_us: f64,
+    /// Batches lost to a panic during execution. Zero in a healthy
+    /// instance; non-zero means a bug worth chasing, but the worker
+    /// pool itself survives.
+    pub worker_panics: u64,
 }
 
 #[cfg(test)]

@@ -77,7 +77,12 @@ pub fn tensor_from_bytes(buf: &mut Bytes) -> Result<Tensor> {
         )));
     }
     let count: usize = dims.iter().product();
-    if buf.remaining() < count * 4 {
+    // `count` came off the wire: the byte-budget product must be checked
+    // so a huge dimension can't wrap it small and pass the check.
+    let need = count
+        .checked_mul(4)
+        .ok_or_else(|| TensorError::Malformed("implausible element count".into()))?;
+    if buf.remaining() < need {
         return Err(TensorError::Malformed("truncated data".into()));
     }
     let mut data = Vec::with_capacity(count);
@@ -202,6 +207,38 @@ mod tests {
         let mut cut = full.slice(0..full.len() - 4);
         assert!(matches!(
             tensor_from_bytes(&mut cut),
+            Err(TensorError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_dims_rejected_before_allocation() {
+        // A wire header claiming a huge dimension must die at the size
+        // checks — `numel` saturates, the byte budget is checked_mul'd —
+        // and never reach `Vec::with_capacity`.
+        let mut buf = BytesMut::new();
+        buf.put_slice(TENSOR_MAGIC);
+        buf.put_u32_le(2);
+        buf.put_u64_le(u64::MAX / 2);
+        buf.put_u64_le(3);
+        let mut bytes = buf.freeze();
+        let err = tensor_from_bytes(&mut bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("implausible element count"),
+            "{err}"
+        );
+
+        // Dims whose product wraps usize exactly (2^32 * 2^32 on 64-bit)
+        // would pass a naive `count * 4` budget; the saturating numel cap
+        // catches it first.
+        let mut buf = BytesMut::new();
+        buf.put_slice(TENSOR_MAGIC);
+        buf.put_u32_le(2);
+        buf.put_u64_le(1 << 32);
+        buf.put_u64_le(1 << 32);
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            tensor_from_bytes(&mut bytes),
             Err(TensorError::Malformed(_))
         ));
     }
