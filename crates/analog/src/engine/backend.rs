@@ -211,8 +211,8 @@ impl Backend for DriftBackend<'_> {
     }
 }
 
-/// Escape hatch wrapping an arbitrary perturbation closure (the legacy
-/// `mc_with` contract): the closure receives a fresh model instance and
+/// Escape hatch wrapping an arbitrary perturbation closure (the removed
+/// legacy `mc_with` contract): the closure receives a fresh model instance and
 /// the instance RNG and may mutate it freely (install masks, retrain…).
 /// Masks it installs stay live (no baking), so the immutable inference
 /// path still honours them.

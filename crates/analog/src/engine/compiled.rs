@@ -1,7 +1,7 @@
 //! Compile step: freezing one deployment instance of a model.
 
 use super::backend::Backend;
-use cn_nn::Sequential;
+use cn_nn::{InferScratch, Sequential, ShapePlan};
 use cn_tensor::{SeededRng, Tensor};
 use std::sync::Arc;
 
@@ -114,6 +114,19 @@ impl CompiledModel {
     /// Logits for a batch through the immutable inference path.
     pub fn infer(&self, x: &Tensor) -> Tensor {
         self.model.infer(x)
+    }
+
+    /// [`infer`](CompiledModel::infer) through caller-owned scratch —
+    /// allocation-free in the steady state and bitwise identical to the
+    /// allocating path (see [`Sequential::infer_with`]).
+    pub fn infer_with<'s>(&self, x: &Tensor, scratch: &'s mut InferScratch) -> &'s Tensor {
+        self.model.infer_with(x, scratch)
+    }
+
+    /// Measures the scratch one session needs to run this deployment at
+    /// `[max_batch, …sample_dims]` inputs (see [`Sequential::shape_plan`]).
+    pub fn shape_plan(&self, sample_dims: &[usize], max_batch: usize) -> ShapePlan {
+        self.model.shape_plan(sample_dims, max_batch)
     }
 
     /// The deployed model snapshot.

@@ -17,10 +17,10 @@ use std::sync::Arc;
 /// `SeededRng::new(cfg.seed).fork(i)`, so results are deterministic in
 /// `cfg.seed` and independent of the worker thread count. Each worker
 /// keeps one [`Session`] and rebinds it per instance, reusing the batch
-/// scratch across the whole run. This reproduces the legacy
-/// `mc_accuracy` / `mc_accuracy_mode` / `mc_accuracy_from_layer` /
-/// `mc_with` results bit for bit (those names are now thin deprecated
-/// shims over this function).
+/// scratch across the whole run. This reproduces the results of the
+/// removed legacy `mc_accuracy` / `mc_accuracy_mode` /
+/// `mc_accuracy_from_layer` / `mc_with` free functions bit for bit
+/// (pair this entry point with the matching backend).
 ///
 /// ```
 /// use cn_analog::engine::{monte_carlo, AnalogBackend};

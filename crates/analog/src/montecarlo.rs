@@ -4,15 +4,16 @@
 //! and reports mean/std inference accuracy (Sec. IV). The protocol is
 //! implemented by the engine layer ([`crate::engine::monte_carlo`]): each
 //! sample compiles one deployment instance and executes it through a
-//! session. The historic `mc_*` free-function family survives here as
-//! deprecated one-line shims with bit-identical results.
+//! session. This module holds the protocol's configuration and result
+//! types. (The historic `mc_*` free-function shims have been removed;
+//! call `monte_carlo` with the matching backend —
+//! [`AnalogBackend::lognormal`](crate::engine::AnalogBackend::lognormal)
+//! for `mc_accuracy`, `lognormal_from` for `mc_accuracy_from_layer`,
+//! [`AnalogBackend::new`](crate::engine::AnalogBackend::new) for
+//! `mc_accuracy_mode`, and
+//! [`PerturbBackend`](crate::engine::PerturbBackend) for `mc_with`.)
 
-use crate::deployment::DeploymentMode;
-use crate::engine::{monte_carlo, AnalogBackend, PerturbBackend};
-use cn_data::Dataset;
 use cn_nn::metrics::mean_std;
-use cn_nn::Sequential;
-use cn_tensor::SeededRng;
 
 /// Monte-Carlo evaluation configuration.
 #[derive(Debug, Clone, Copy)]
@@ -69,87 +70,16 @@ impl McResult {
     }
 }
 
-/// Generic Monte-Carlo driver over an arbitrary perturbation closure.
-///
-/// # Panics
-///
-/// Panics if `samples` is zero.
-#[deprecated(
-    since = "0.2.0",
-    note = "use cn_analog::engine::monte_carlo with a custom Backend (PerturbBackend for closures)"
-)]
-pub fn mc_with(
-    model: &Sequential,
-    data: &Dataset,
-    samples: usize,
-    seed: u64,
-    batch_size: usize,
-    perturb: impl Fn(&mut Sequential, &mut SeededRng) + Sync + Send,
-) -> McResult {
-    let cfg = McConfig {
-        samples,
-        sigma: 0.0,
-        batch_size,
-        seed,
-    };
-    monte_carlo(model, data, &cfg, &PerturbBackend::new(perturb))
-}
-
-/// Monte-Carlo accuracy under the paper's weight-level log-normal model on
-/// **all** analog layers.
-#[deprecated(
-    since = "0.2.0",
-    note = "use cn_analog::engine::monte_carlo with AnalogBackend::lognormal(cfg.sigma)"
-)]
-pub fn mc_accuracy(model: &Sequential, data: &Dataset, cfg: &McConfig) -> McResult {
-    monte_carlo(model, data, cfg, &AnalogBackend::lognormal(cfg.sigma))
-}
-
-/// Monte-Carlo accuracy with variations only on weight layers `≥ start`
-/// (0-based; the paper's Fig. 9 protocol).
-#[deprecated(
-    since = "0.2.0",
-    note = "use cn_analog::engine::monte_carlo with AnalogBackend::lognormal_from(cfg.sigma, start)"
-)]
-pub fn mc_accuracy_from_layer(
-    model: &Sequential,
-    data: &Dataset,
-    cfg: &McConfig,
-    start: usize,
-) -> McResult {
-    monte_carlo(
-        model,
-        data,
-        cfg,
-        &AnalogBackend::lognormal_from(cfg.sigma, start),
-    )
-}
-
-/// Monte-Carlo accuracy under an arbitrary [`DeploymentMode`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use cn_analog::engine::monte_carlo with AnalogBackend::new(mode)"
-)]
-pub fn mc_accuracy_mode(
-    model: &Sequential,
-    data: &Dataset,
-    cfg: &McConfig,
-    mode: &DeploymentMode,
-) -> McResult {
-    monte_carlo(model, data, cfg, &AnalogBackend::new(mode.clone()))
-}
-
-// The legacy entry points stay under test: they must keep producing the
-// exact historical numbers now that they route through the engine.
-#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{monte_carlo, AnalogBackend};
     use cn_data::synthetic_mnist;
     use cn_nn::metrics::evaluate;
     use cn_nn::optim::Adam;
     use cn_nn::trainer::{TrainConfig, Trainer};
     use cn_nn::zoo::{lenet5, LeNetConfig};
+    use cn_nn::Sequential;
 
     fn trained_lenet() -> (Sequential, cn_data::TrainTest) {
         let data = synthetic_mnist(200, 60, 21);
@@ -159,12 +89,30 @@ mod tests {
         (model, data)
     }
 
+    fn mc_lognormal(model: &Sequential, data: &cn_data::Dataset, cfg: &McConfig) -> McResult {
+        monte_carlo(model, data, cfg, &AnalogBackend::lognormal(cfg.sigma))
+    }
+
+    fn mc_lognormal_from(
+        model: &Sequential,
+        data: &cn_data::Dataset,
+        cfg: &McConfig,
+        start: usize,
+    ) -> McResult {
+        monte_carlo(
+            model,
+            data,
+            cfg,
+            &AnalogBackend::lognormal_from(cfg.sigma, start),
+        )
+    }
+
     #[test]
     fn zero_sigma_reproduces_clean_accuracy() {
         let (model, data) = trained_lenet();
         let mut clean_model = model.clone();
         let clean = evaluate(&mut clean_model, &data.test, 32);
-        let res = mc_accuracy(&model, &data.test, &McConfig::new(3, 0.0, 1));
+        let res = mc_lognormal(&model, &data.test, &McConfig::new(3, 0.0, 1));
         assert!((res.mean - clean).abs() < 1e-6);
         assert!(res.std < 1e-5);
     }
@@ -173,39 +121,16 @@ mod tests {
     fn results_are_deterministic_and_thread_count_independent() {
         let (model, data) = trained_lenet();
         let cfg = McConfig::new(6, 0.4, 7);
-        let a = mc_accuracy(&model, &data.test, &cfg);
-        let b = mc_accuracy(&model, &data.test, &cfg);
+        let a = mc_lognormal(&model, &data.test, &cfg);
+        let b = mc_lognormal(&model, &data.test, &cfg);
         assert_eq!(a.accuracies, b.accuracies);
-    }
-
-    #[test]
-    fn shims_agree_with_engine_entry_point() {
-        use crate::engine::{monte_carlo, AnalogBackend};
-        let (model, data) = trained_lenet();
-        let cfg = McConfig::new(4, 0.5, 9);
-        let shim = mc_accuracy(&model, &data.test, &cfg);
-        let engine = monte_carlo(
-            &model,
-            &data.test,
-            &cfg,
-            &AnalogBackend::lognormal(cfg.sigma),
-        );
-        assert_eq!(shim.accuracies, engine.accuracies);
-        let shim = mc_accuracy_from_layer(&model, &data.test, &cfg, 3);
-        let engine = monte_carlo(
-            &model,
-            &data.test,
-            &cfg,
-            &AnalogBackend::lognormal_from(cfg.sigma, 3),
-        );
-        assert_eq!(shim.accuracies, engine.accuracies);
     }
 
     #[test]
     fn variation_degrades_accuracy_monotonically_in_expectation() {
         let (model, data) = trained_lenet();
-        let low = mc_accuracy(&model, &data.test, &McConfig::new(5, 0.1, 3));
-        let high = mc_accuracy(&model, &data.test, &McConfig::new(5, 0.8, 3));
+        let low = mc_lognormal(&model, &data.test, &McConfig::new(5, 0.1, 3));
+        let high = mc_lognormal(&model, &data.test, &McConfig::new(5, 0.8, 3));
         assert!(
             high.mean < low.mean + 0.02,
             "σ=0.8 ({}) should hurt more than σ=0.1 ({})",
@@ -218,8 +143,8 @@ mod tests {
     fn later_start_layer_hurts_less() {
         let (model, data) = trained_lenet();
         let cfg = McConfig::new(5, 0.6, 5);
-        let all = mc_accuracy_from_layer(&model, &data.test, &cfg, 0);
-        let last_only = mc_accuracy_from_layer(&model, &data.test, &cfg, 4);
+        let all = mc_lognormal_from(&model, &data.test, &cfg, 0);
+        let last_only = mc_lognormal_from(&model, &data.test, &cfg, 4);
         assert!(
             last_only.mean >= all.mean - 0.02,
             "noise on all layers ({}) should hurt at least as much as last-layer-only ({})",
@@ -232,6 +157,6 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_samples_panics() {
         let (model, data) = trained_lenet();
-        mc_accuracy(&model, &data.test, &McConfig::new(0, 0.1, 1));
+        mc_lognormal(&model, &data.test, &McConfig::new(0, 0.1, 1));
     }
 }

@@ -18,8 +18,16 @@
 use cn_bench::report::ExperimentReport;
 use cn_bench::runner::{run_many, RunOptions};
 use cn_bench::Scale;
+use cn_tensor::alloc::CountingHeap;
 use correctnet::export::json::Json;
 use std::path::PathBuf;
+
+/// The `alloc_profile` experiment reads per-thread allocation counters,
+/// which only exist when the binary installs the counting allocator.
+/// Two relaxed atomic bumps per alloc — negligible next to the kernels
+/// the other experiments time.
+#[global_allocator]
+static ALLOC: CountingHeap = CountingHeap::new();
 
 const USAGE: &str = "\
 usage:

@@ -16,6 +16,7 @@
 
 pub mod ablation_device;
 pub mod ablation_lipschitz;
+pub mod alloc_profile;
 pub mod fig10;
 pub mod fig2;
 pub mod fig7;
@@ -112,6 +113,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(ablation_lipschitz::AblationLipschitz),
         Box::new(serving::Serving),
         Box::new(net_serving::NetServing),
+        Box::new(alloc_profile::AllocProfile),
     ]
 }
 

@@ -13,7 +13,7 @@ use cn_nn::zoo::{lenet5, LeNetConfig};
 use cn_nn::Sequential;
 use correctnet::export::json::Json;
 
-const EXPECTED: [&str; 10] = [
+const EXPECTED: [&str; 11] = [
     "table1",
     "fig2",
     "fig7",
@@ -24,6 +24,7 @@ const EXPECTED: [&str; 10] = [
     "ablation_lipschitz",
     "serving",
     "net_serving",
+    "alloc_profile",
 ];
 
 fn temp_cache(tag: &str) -> ModelCache {
@@ -37,7 +38,7 @@ fn every_registered_name_resolves() {
     let names = experiments::names();
     assert_eq!(
         names, EXPECTED,
-        "catalog must list the eight paper artifacts plus the serving workloads"
+        "catalog must list the eight paper artifacts plus the serving and alloc-profile workloads"
     );
     for name in names {
         let exp = experiments::find(name).unwrap_or_else(|| panic!("`{name}` must resolve"));

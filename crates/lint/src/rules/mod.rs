@@ -12,6 +12,7 @@ use crate::engine::Rule;
 use crate::source::SourceFile;
 
 mod alloc_from_decoded_length;
+mod alloc_in_hot_loop;
 mod blocking_io_without_timeout;
 mod collidable_seed_mix;
 mod kernel_zero_skip;
@@ -24,6 +25,7 @@ mod unbounded_thread_spawn;
 mod unchecked_length_arithmetic;
 
 pub use alloc_from_decoded_length::AllocFromDecodedLength;
+pub use alloc_in_hot_loop::AllocInHotLoop;
 pub use blocking_io_without_timeout::BlockingIoWithoutTimeout;
 pub use collidable_seed_mix::CollidableSeedMix;
 pub use kernel_zero_skip::KernelZeroSkip;
@@ -49,6 +51,7 @@ pub fn catalog() -> Vec<Box<dyn Rule>> {
         Box::new(AllocFromDecodedLength),
         Box::new(UncheckedLengthArithmetic),
         Box::new(PanicUnsafePoolThread),
+        Box::new(AllocInHotLoop),
     ]
 }
 

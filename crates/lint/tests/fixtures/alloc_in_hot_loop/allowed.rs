@@ -1,0 +1,7 @@
+//@ path: crates/serve/src/fake_worker.rs
+
+pub fn worker_loop(n: usize) -> Vec<f32> {
+    // cn-lint: allow(alloc-in-hot-loop, reason = "fixture: grown once per worker at startup, before the steady-state loop")
+    let out = Vec::with_capacity(n);
+    out
+}

@@ -1,0 +1,20 @@
+//@ path: crates/serve/src/fake_worker.rs
+
+pub fn worker_loop(n: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n); //~ alloc-in-hot-loop
+    loop {
+        let staged = vec![0.0f32; n]; //~ alloc-in-hot-loop
+        let copied = staged.to_vec(); //~ alloc-in-hot-loop
+        out = copied.clone(); //~ alloc-in-hot-loop
+        if out.len() >= n {
+            break;
+        }
+    }
+    out
+}
+
+// Not a hot function: identical calls carry no finding.
+pub fn build_once(n: usize) -> Vec<f32> {
+    let seed = Vec::with_capacity(n);
+    seed.to_vec()
+}

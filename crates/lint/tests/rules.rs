@@ -173,6 +173,11 @@ fn unused_suppression_fixture() {
 }
 
 #[test]
+fn alloc_in_hot_loop_fixture() {
+    check_pair("alloc_in_hot_loop");
+}
+
+#[test]
 fn every_cataloged_rule_has_a_fixture_pair() {
     let mut missing = Vec::new();
     for rule in rules::catalog() {

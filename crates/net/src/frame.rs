@@ -240,21 +240,62 @@ fn bad(detail: impl Into<String>) -> FrameError {
 
 /// Encodes a frame into bytes (header + payload).
 pub fn encode(frame: &Frame) -> Vec<u8> {
-    let payload = encode_payload(&frame.payload);
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    let mut out = Vec::new();
+    encode_into(frame, &mut out);
+    out
+}
+
+/// Encodes a frame into a caller-owned buffer: `out` is cleared and
+/// refilled, reusing its capacity. A long-lived connection handler that
+/// passes the same buffer for every reply allocates nothing here once the
+/// buffer has grown to its steady-state frame size.
+pub fn encode_into(frame: &Frame, out: &mut Vec<u8>) {
+    out.clear();
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(frame.payload.kind());
     out.extend_from_slice(&frame.request_id.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out
+    // Length placeholder, patched once the payload is in place — writing
+    // the payload straight into `out` avoids a temporary payload vector.
+    out.extend_from_slice(&[0u8; 4]);
+    encode_payload_into(&frame.payload, out);
+    let payload_len = (out.len() - HEADER_LEN) as u32;
+    out[12..16].copy_from_slice(&payload_len.to_le_bytes());
 }
 
-fn encode_payload(payload: &Payload) -> Vec<u8> {
+/// Encodes an [`Payload::InferReply`] frame directly from borrowed row
+/// data — the reply hot path. Byte-identical to [`encode_into`] on an
+/// owned `InferReply` payload with the same contents, without ever
+/// materialising that payload.
+pub fn encode_infer_reply_into(
+    request_id: u64,
+    classes: &[u32],
+    logits: &[f32],
+    width: usize,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    let payload_len = 8 + 4 * classes.len() + 4 * logits.len();
+    out.reserve(HEADER_LEN + payload_len);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(1); // InferReply kind
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.extend_from_slice(&(classes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(width as u32).to_le_bytes());
+    for &c in classes {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    for &v in logits {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn encode_payload_into(payload: &Payload, out: &mut Vec<u8>) {
     match payload {
         Payload::InferRequest { dims, data } => {
-            let mut out = Vec::with_capacity(4 + 4 * dims.len() + 4 * data.len());
+            out.reserve(4 + 4 * dims.len() + 4 * data.len());
             out.extend_from_slice(&(dims.len() as u32).to_le_bytes());
             for &d in dims {
                 out.extend_from_slice(&(d as u32).to_le_bytes());
@@ -262,14 +303,13 @@ fn encode_payload(payload: &Payload) -> Vec<u8> {
             for &v in data {
                 out.extend_from_slice(&v.to_le_bytes());
             }
-            out
         }
         Payload::InferReply {
             classes,
             logits,
             width,
         } => {
-            let mut out = Vec::with_capacity(8 + 4 * classes.len() + 4 * logits.len());
+            out.reserve(8 + 4 * classes.len() + 4 * logits.len());
             out.extend_from_slice(&(classes.len() as u32).to_le_bytes());
             out.extend_from_slice(&(*width as u32).to_le_bytes());
             for &c in classes {
@@ -278,14 +318,14 @@ fn encode_payload(payload: &Payload) -> Vec<u8> {
             for &v in logits {
                 out.extend_from_slice(&v.to_le_bytes());
             }
-            out
         }
-        Payload::Control(text) | Payload::ControlReply(text) => text.as_bytes().to_vec(),
+        Payload::Control(text) | Payload::ControlReply(text) => {
+            out.extend_from_slice(text.as_bytes());
+        }
         Payload::Error { code, message } => {
-            let mut out = Vec::with_capacity(2 + message.len());
+            out.reserve(2 + message.len());
             out.extend_from_slice(&code.to_u16().to_le_bytes());
             out.extend_from_slice(message.as_bytes());
-            out
         }
     }
 }
@@ -692,6 +732,64 @@ mod tests {
                 message: "queue full".into(),
             },
         ));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_capacity() {
+        let frames = [
+            Frame::new(
+                7,
+                Payload::InferRequest {
+                    dims: vec![2, 3],
+                    data: vec![1.0, -2.5, 0.0, f32::MIN_POSITIVE, 1e30, -0.0],
+                },
+            ),
+            Frame::new(
+                8,
+                Payload::InferReply {
+                    classes: vec![1, 0],
+                    logits: vec![0.1, 0.9, 0.8, 0.2],
+                    width: 2,
+                },
+            ),
+            Frame::new(0, Payload::Control("{\"cmd\":\"stats\"}".into())),
+            Frame::new(
+                9,
+                Payload::Error {
+                    code: ErrorCode::Internal,
+                    message: "boom".into(),
+                },
+            ),
+        ];
+        let mut scratch = Vec::new();
+        for frame in &frames {
+            encode_into(frame, &mut scratch);
+            assert_eq!(scratch, encode(frame));
+        }
+        // A warm buffer is reused, not reallocated.
+        let cap = scratch.capacity();
+        encode_into(&frames[0], &mut scratch);
+        assert_eq!(scratch.capacity(), cap, "warm encode buffer reallocated");
+    }
+
+    #[test]
+    fn borrowed_infer_reply_encode_is_byte_identical() {
+        let classes = [3u32, 0, 7];
+        let logits = [0.25f32, -1.5, f32::NAN, 0.0, 9.0, 2.0];
+        let owned = Frame::new(
+            42,
+            Payload::InferReply {
+                classes: classes.to_vec(),
+                logits: logits.to_vec(),
+                width: 2,
+            },
+        );
+        let mut fast = Vec::new();
+        encode_infer_reply_into(42, &classes, &logits, 2, &mut fast);
+        assert_eq!(fast, encode(&owned));
+        let (back, consumed) = decode(&fast, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(consumed, fast.len());
+        assert_eq!(back.request_id, 42);
     }
 
     #[test]

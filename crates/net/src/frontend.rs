@@ -29,8 +29,8 @@
 
 use crate::control::{handle_control, ControlAction};
 use crate::frame::{
-    write_frame, ErrorCode, Frame, FrameReader, Payload, PollFrame, ReadFrameError,
-    DEFAULT_MAX_PAYLOAD,
+    encode_infer_reply_into, write_frame, ErrorCode, Frame, FrameReader, Payload, PollFrame,
+    ReadFrameError, DEFAULT_MAX_PAYLOAD,
 };
 use crate::router::{RouterError, RouterTicket, ShardRouter};
 use cn_serve::{AdmissionQueue, PushError, Reply, ServeError};
@@ -328,6 +328,28 @@ fn handler_loop(shared: &Shared) {
     }
 }
 
+/// Per-connection reusable buffers: the row-staging tensor for submits,
+/// the class/logit staging for reply assembly, and the wire-encode
+/// buffer. One connection serves its whole lifetime out of these — in
+/// steady state the handler's reply path performs no heap allocation.
+struct ConnScratch {
+    row: Tensor,
+    classes: Vec<u32>,
+    logits: Vec<f32>,
+    wire: Vec<u8>,
+}
+
+impl ConnScratch {
+    fn new() -> ConnScratch {
+        ConnScratch {
+            row: Tensor::zeros(&[1]),
+            classes: Vec::new(),
+            logits: Vec::new(),
+            wire: Vec::new(),
+        }
+    }
+}
+
 /// One in-flight batched request: the per-row shard tickets and the rows
 /// already answered.
 struct PendingRequest {
@@ -373,25 +395,27 @@ impl PendingRequest {
         Ok(())
     }
 
-    /// Assembles the wire reply (every row must be answered).
-    fn into_frame(self) -> Frame {
-        let mut classes = Vec::with_capacity(self.replies.len());
-        let mut logits = Vec::new();
+    /// Assembles the wire reply into `scratch` and writes it (every row
+    /// must be answered). Staging and encode buffers are reused across
+    /// requests — the steady-state reply path allocates nothing.
+    fn write_reply(&self, stream: &mut TcpStream, scratch: &mut ConnScratch) -> io::Result<()> {
+        scratch.classes.clear();
+        scratch.logits.clear();
         let mut width = 0;
-        for reply in self.replies {
-            let reply = reply.expect("all rows answered");
+        for reply in &self.replies {
+            let reply = reply.as_ref().expect("all rows answered");
             width = reply.logits.len();
-            classes.push(reply.class as u32);
-            logits.extend_from_slice(&reply.logits);
+            scratch.classes.push(reply.class as u32);
+            scratch.logits.extend_from_slice(&reply.logits);
         }
-        Frame::new(
+        encode_infer_reply_into(
             self.request_id,
-            Payload::InferReply {
-                classes,
-                logits,
-                width,
-            },
-        )
+            &scratch.classes,
+            &scratch.logits,
+            width,
+            &mut scratch.wire,
+        );
+        write_bytes_blocking(stream, &scratch.wire)
     }
 }
 
@@ -410,14 +434,22 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
 
     let mut reader = FrameReader::with_cap(shared.config.max_payload);
     let mut pending: VecDeque<PendingRequest> = VecDeque::new();
+    let mut scratch = ConnScratch::new();
     let mut peer_closed = false;
+    // Reply-poll backoff: start eager, double on every poll that makes no
+    // progress, snap back the moment a frame or a reply moves. Keeps the
+    // first reply's latency at REPLY_POLL while a stalled pipeline decays
+    // to REPLY_POLL_MAX instead of spinning the CPU at 50 µs forever.
+    let mut poll = REPLY_POLL;
 
     loop {
-        flush_ready(&mut stream, &mut pending)?;
+        if flush_ready(&mut stream, &mut pending, &mut scratch)? {
+            poll = REPLY_POLL;
+        }
 
         if shared.draining.load(Ordering::Acquire) || peer_closed {
             // Drain: stop reading, flush everything in flight, close.
-            return flush_all(&mut stream, &mut pending);
+            return flush_all(&mut stream, &mut pending, &mut scratch);
         }
 
         // Pipelining bound: past it, stop reading — TCP backpressure.
@@ -429,16 +461,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
 
         match reader.poll(&mut stream) {
             Ok(PollFrame::Frame(frame)) => {
-                dispatch(frame, &mut stream, &mut pending, shared)?;
+                poll = REPLY_POLL;
+                dispatch(frame, &mut stream, &mut pending, shared, &mut scratch)?;
             }
             Ok(PollFrame::Pending) => {
-                // Nothing readable. With rows in flight, nap just long
-                // enough for the workers to make progress; idle
+                // Nothing readable. With rows in flight, nap at the
+                // backed-off tick and widen it for next time; idle
                 // connections back off to the configured tick.
                 if pending.is_empty() {
                     std::thread::sleep(shared.config.read_timeout);
                 } else {
-                    std::thread::sleep(REPLY_POLL);
+                    std::thread::sleep(poll);
+                    poll = (poll * 2).min(REPLY_POLL_MAX);
                 }
             }
             Ok(PollFrame::Eof) => peer_closed = true,
@@ -455,7 +489,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                         },
                     ),
                 );
-                return flush_all(&mut stream, &mut pending);
+                return flush_all(&mut stream, &mut pending, &mut scratch);
             }
             Err(ReadFrameError::Io(_)) => {
                 // Peer vanished; nothing left to flush to.
@@ -465,10 +499,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     }
 }
 
-/// How long a handler with rows in flight sleeps between polls. Short,
-/// because it bounds reply latency; `thread::sleep` is hrtimer-backed,
-/// so unlike a socket timeout it actually honors microseconds.
+/// The eager end of the reply-poll backoff: how long a handler with rows
+/// in flight first sleeps between polls. Short, because it bounds reply
+/// latency; `thread::sleep` is hrtimer-backed, so unlike a socket timeout
+/// it actually honors microseconds.
 const REPLY_POLL: Duration = Duration::from_micros(50);
+
+/// The backed-off end: consecutive no-progress polls double the sleep up
+/// to this cap, so a connection stuck behind a slow batch costs ~1k
+/// wakeups/s instead of 20k.
+const REPLY_POLL_MAX: Duration = Duration::from_millis(1);
 
 /// Writes one frame on a connection whose read side runs non-blocking:
 /// flips the socket to blocking for the write — so `write_timeout`
@@ -480,17 +520,28 @@ fn write_blocking(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
     result
 }
 
+/// [`write_blocking`] for pre-encoded bytes — the reply hot path, which
+/// encodes into [`ConnScratch::wire`] instead of an owned frame.
+fn write_bytes_blocking(stream: &mut TcpStream, bytes: &[u8]) -> io::Result<()> {
+    use io::Write;
+    stream.set_nonblocking(false)?;
+    let result = stream.write_all(bytes);
+    stream.set_nonblocking(true)?;
+    result
+}
+
 /// Routes one decoded frame.
 fn dispatch(
     frame: Frame,
     stream: &mut TcpStream,
     pending: &mut VecDeque<PendingRequest>,
     shared: &Shared,
+    scratch: &mut ConnScratch,
 ) -> io::Result<()> {
     let request_id = frame.request_id;
     match frame.payload {
         Payload::InferRequest { dims, data } => {
-            match submit_batch(&shared.router, request_id, &dims, &data) {
+            match submit_batch(&shared.router, request_id, &dims, &data, &mut scratch.row) {
                 Ok(request) => pending.push_back(request),
                 Err((code, message)) => {
                     write_blocking(
@@ -534,6 +585,7 @@ fn submit_batch(
     request_id: u64,
     dims: &[usize],
     data: &[f32],
+    row: &mut Tensor,
 ) -> Result<PendingRequest, (ErrorCode, String)> {
     let sample_dims = router.sample_dims();
     if dims.len() != sample_dims.len() + 1 || dims[1..] != *sample_dims {
@@ -546,9 +598,14 @@ fn submit_batch(
     let row_len: usize = sample_dims.iter().product();
     debug_assert_eq!(data.len(), rows * row_len, "codec validated the length");
     let mut tickets = Vec::with_capacity(rows);
+    // `row` is the connection's staging tensor: the router's shard clones
+    // it into the admitted request, so the staging buffer itself is
+    // reused for every row of every batch on this connection.
+    row.resize_in_place(sample_dims);
     for r in 0..rows {
-        let row = Tensor::from_vec(data[r * row_len..(r + 1) * row_len].to_vec(), sample_dims);
-        match router.route(&row) {
+        row.data_mut()
+            .copy_from_slice(&data[r * row_len..(r + 1) * row_len]);
+        match router.route(&*row) {
             Ok(ticket) => tickets.push(Some(ticket)),
             Err(RouterError::Overloaded) => {
                 return Err((
@@ -574,12 +631,20 @@ fn submit_batch(
 
 /// Writes replies for every front-of-queue request whose rows have all
 /// completed (in submission order; ids pin the pairing for the client).
-fn flush_ready(stream: &mut TcpStream, pending: &mut VecDeque<PendingRequest>) -> io::Result<()> {
+/// Returns whether any reply (or error frame) was written — the
+/// handler's poll backoff resets on that progress signal.
+fn flush_ready(
+    stream: &mut TcpStream,
+    pending: &mut VecDeque<PendingRequest>,
+    scratch: &mut ConnScratch,
+) -> io::Result<bool> {
+    let mut progressed = false;
     while let Some(front) = pending.front_mut() {
         match front.poll() {
             Ok(true) => {
                 let request = pending.pop_front().expect("front exists");
-                write_blocking(stream, &request.into_frame())?;
+                request.write_reply(stream, scratch)?;
+                progressed = true;
             }
             Ok(false) => break,
             Err(e) => {
@@ -594,30 +659,48 @@ fn flush_ready(stream: &mut TcpStream, pending: &mut VecDeque<PendingRequest>) -
                         },
                     ),
                 )?;
+                progressed = true;
             }
         }
     }
-    Ok(())
+    Ok(progressed)
 }
 
 /// Blocks until every pending request is answered and written — the
 /// drain/EOF path. Write errors abort (the peer is gone; shard replies
 /// are still consumed so the router's in-flight counters settle).
-fn flush_all(stream: &mut TcpStream, pending: &mut VecDeque<PendingRequest>) -> io::Result<()> {
+fn flush_all(
+    stream: &mut TcpStream,
+    pending: &mut VecDeque<PendingRequest>,
+    scratch: &mut ConnScratch,
+) -> io::Result<()> {
     let mut write_error = None;
     while let Some(mut request) = pending.pop_front() {
-        let frame = match request.wait_all() {
-            Ok(()) => request.into_frame(),
-            Err(e) => Frame::new(
-                request.request_id,
-                Payload::Error {
-                    code: ErrorCode::Internal,
-                    message: format!("shard failure: {e}"),
-                },
-            ),
+        let result = match request.wait_all() {
+            Ok(()) => {
+                if write_error.is_none() {
+                    request.write_reply(stream, scratch)
+                } else {
+                    Ok(())
+                }
+            }
+            Err(e) => {
+                let frame = Frame::new(
+                    request.request_id,
+                    Payload::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("shard failure: {e}"),
+                    },
+                );
+                if write_error.is_none() {
+                    write_blocking(stream, &frame)
+                } else {
+                    Ok(())
+                }
+            }
         };
         if write_error.is_none() {
-            if let Err(e) = write_blocking(stream, &frame) {
+            if let Err(e) = result {
                 write_error = Some(e);
             }
         }

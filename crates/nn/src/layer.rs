@@ -1,6 +1,8 @@
 //! The layer abstraction.
 
 use crate::param::Param;
+use cn_tensor::alloc::Arena;
+use cn_tensor::ops::Activation;
 use cn_tensor::Tensor;
 
 /// A differentiable network layer with cached-activation backprop.
@@ -101,6 +103,39 @@ pub trait Layer: Send + Sync {
     /// layers can delegate to their innermost output operator.
     fn infer_fused_relu(&self, _x: &Tensor) -> Option<Tensor> {
         None
+    }
+
+    /// Allocation-free [`infer`](Layer::infer) into a recycled output
+    /// tensor: reshape `out` in place (its capacity is reused), write
+    /// the result, draw any internal scratch from `arena`, and return
+    /// `true`. Returning `false` (the default) tells the caller to fall
+    /// back to the allocating [`infer`](Layer::infer) path.
+    ///
+    /// `act` is a trailing activation the caller wants fused into the
+    /// writeback (the `<layer> → Relu` peephole): implementations must
+    /// only accept `Activation::Relu` when the fused result is **bitwise
+    /// identical** to `infer` followed by `v.max(0.0)` — otherwise
+    /// return `false` and let the caller fuse/fall back itself. With
+    /// `Activation::Identity` the output contract is exactly
+    /// [`infer`](Layer::infer)'s.
+    ///
+    /// Implementations may only allocate through `arena` (or not at
+    /// all) once `out`'s capacity and the arena have warmed up — this is
+    /// what makes steady-state `Sequential::infer_with` heap-silent.
+    fn infer_into(&self, x: &Tensor, act: Activation, out: &mut Tensor, arena: &Arena) -> bool {
+        let _ = (x, act, out, arena);
+        false
+    }
+
+    /// Bytes of [`Arena`] scratch one [`infer_into`](Layer::infer_into)
+    /// call draws for an input of shape `in_dims` — used by
+    /// [`crate::ShapePlan`] to size a session's arena exactly. Must
+    /// account every `alloc_f32` at [`Arena::f32_slot_bytes`]
+    /// granularity. Layers that never touch the arena keep the default
+    /// zero.
+    fn infer_scratch_bytes(&self, in_dims: &[usize]) -> usize {
+        let _ = in_dims;
+        0
     }
 
     /// Packs the layer's frozen *effective* weights into the GEMM panel

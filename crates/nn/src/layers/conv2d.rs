@@ -4,7 +4,8 @@ use crate::init::{bias_uniform, kaiming_uniform};
 use crate::layer::Layer;
 use crate::param::Param;
 use cn_tensor::ops::{
-    col2im, im2col, nchw_to_rows, rows_to_nchw, Activation, Conv2dGeometry, Layout, PackedB,
+    col2im, gemm_into, im2col, im2col_into, nchw_to_rows, rows_to_nchw, rows_to_nchw_into,
+    Activation, Conv2dGeometry, Epilogue, Layout, PackedB,
 };
 use cn_tensor::{SeededRng, Tensor};
 use std::sync::Arc;
@@ -183,6 +184,69 @@ impl Layer for Conv2d {
     fn infer_fused_relu(&self, x: &Tensor) -> Option<Tensor> {
         self.check_input(x);
         Some(self.apply_act(x, &self.geometry(x), Activation::Relu))
+    }
+
+    fn infer_into(
+        &self,
+        x: &Tensor,
+        act: Activation,
+        out: &mut Tensor,
+        arena: &cn_tensor::alloc::Arena,
+    ) -> bool {
+        // Only deployed (pre-packed) convolutions have an allocation-free
+        // path; unpacked layers fall back to the allocating `infer`.
+        let Some(packed) = self.packed.as_deref() else {
+            return false;
+        };
+        self.check_input(x);
+        let geo = self.geometry(x);
+        let batch = x.dims()[0];
+        let rows = batch * geo.patches_per_sample();
+        let out_c = self.out_channels();
+
+        let mut cols = arena.alloc_f32(rows * geo.patch_len());
+        im2col_into(x, &geo, &mut cols);
+        let mut y_rows = arena.alloc_f32(rows * out_c);
+        let epilogue = match act {
+            Activation::Identity => Epilogue::Bias(self.b.value.data()),
+            Activation::Relu => Epilogue::BiasRelu(self.b.value.data()),
+        };
+        gemm_into(
+            &mut y_rows,
+            rows,
+            out_c,
+            &cols,
+            Layout::RowMajor,
+            packed,
+            epilogue,
+        );
+        out.resize_in_place(&[batch, out_c, geo.out_h(), geo.out_w()]);
+        rows_to_nchw_into(
+            &y_rows,
+            batch,
+            out_c,
+            geo.out_h(),
+            geo.out_w(),
+            out.data_mut(),
+        );
+        true
+    }
+
+    fn infer_scratch_bytes(&self, in_dims: &[usize]) -> usize {
+        use cn_tensor::alloc::Arena;
+        assert_eq!(in_dims.len(), 4, "Conv2d expects NCHW input dims");
+        let geo = Conv2dGeometry {
+            in_c: self.in_channels(),
+            in_h: in_dims[2],
+            in_w: in_dims[3],
+            kh: self.kernel(),
+            kw: self.kernel(),
+            stride: self.stride,
+            pad: self.pad,
+        };
+        let rows = in_dims[0] * geo.patches_per_sample();
+        Arena::f32_slot_bytes(rows * geo.patch_len())
+            + Arena::f32_slot_bytes(rows * self.out_channels())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -119,6 +119,25 @@ impl Layer for Dense {
         Some(self.apply_act(x, Activation::Relu))
     }
 
+    fn infer_into(
+        &self,
+        x: &Tensor,
+        act: Activation,
+        out: &mut Tensor,
+        _arena: &cn_tensor::alloc::Arena,
+    ) -> bool {
+        assert_eq!(x.rank(), 2, "Dense expects [N, in] input");
+        assert_eq!(
+            x.dims()[1],
+            self.in_features(),
+            "Dense {}: input features {} != expected {}",
+            self.name,
+            x.dims()[1],
+            self.in_features()
+        );
+        super::matrix_infer_act_into(x, self.packed.as_deref(), &self.b.value, act, out)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self
             .cache_x

@@ -34,6 +34,24 @@ impl Layer for Flatten {
         x.reshape(&[n, rest])
     }
 
+    fn infer_into(
+        &self,
+        x: &Tensor,
+        act: cn_tensor::ops::Activation,
+        out: &mut Tensor,
+        _arena: &cn_tensor::alloc::Arena,
+    ) -> bool {
+        if act != cn_tensor::ops::Activation::Identity {
+            return false;
+        }
+        assert!(x.rank() >= 2, "Flatten expects rank >= 2");
+        let n = x.dims()[0];
+        let rest: usize = x.dims()[1..].iter().product();
+        out.resize_in_place(&[n, rest]);
+        out.data_mut().copy_from_slice(x.data());
+        true
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let dims = self
             .cache_dims

@@ -18,7 +18,7 @@ pub use flatten::Flatten;
 pub use pool::{AvgPool2d, MaxPool2d};
 pub use relu::Relu;
 
-use cn_tensor::ops::gemm::MR;
+use cn_tensor::ops::gemm::{gemm_bias_act_into, MR};
 use cn_tensor::ops::{gemm_bias_act, Activation, Layout, PackedB};
 use cn_tensor::Tensor;
 
@@ -52,4 +52,26 @@ pub(crate) fn matrix_infer_act(
     }
     let packed = PackedB::from_tensor(&w_eff, Layout::Transposed);
     gemm_bias_act(x, Layout::RowMajor, &packed, Some(bias), act)
+}
+
+/// Allocation-free sibling of [`matrix_infer_act`] for deployed layers:
+/// only the pre-packed branch exists here (a compiled deployment always
+/// packs), writing into the recycled `out` tensor. Returns `false` when
+/// the layer is unpacked so the caller falls back to the allocating
+/// path. Bitwise identical to [`matrix_infer_act`] — same kernel, same
+/// epilogue.
+pub(crate) fn matrix_infer_act_into(
+    x: &Tensor,
+    packed: Option<&PackedB>,
+    bias: &Tensor,
+    act: Activation,
+    out: &mut Tensor,
+) -> bool {
+    match packed {
+        Some(packed) => {
+            gemm_bias_act_into(out, x, Layout::RowMajor, packed, Some(bias), act);
+            true
+        }
+        None => false,
+    }
 }

@@ -1,8 +1,10 @@
 //! Pooling layers.
 
 use crate::layer::Layer;
+use cn_tensor::alloc::Arena;
 use cn_tensor::ops::{
-    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolGeometry,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, max_pool2d, max_pool2d_backward,
+    max_pool2d_into, Activation, PoolGeometry,
 };
 use cn_tensor::Tensor;
 
@@ -36,6 +38,16 @@ impl Layer for MaxPool2d {
 
     fn infer(&self, x: &Tensor) -> Tensor {
         max_pool2d(x, self.geo).0
+    }
+
+    fn infer_into(&self, x: &Tensor, act: Activation, out: &mut Tensor, _arena: &Arena) -> bool {
+        // No fused activation: pooling is not followed by an epilogue in
+        // any planned model, so only the identity contract is claimed.
+        if act != Activation::Identity {
+            return false;
+        }
+        max_pool2d_into(x, self.geo, out);
+        true
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -88,6 +100,14 @@ impl Layer for AvgPool2d {
 
     fn infer(&self, x: &Tensor) -> Tensor {
         avg_pool2d(x, self.geo)
+    }
+
+    fn infer_into(&self, x: &Tensor, act: Activation, out: &mut Tensor, _arena: &Arena) -> bool {
+        if act != Activation::Identity {
+            return false;
+        }
+        avg_pool2d_into(x, self.geo, out);
+        true
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

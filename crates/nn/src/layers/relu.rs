@@ -34,6 +34,25 @@ impl Layer for Relu {
         x.map(|v| v.max(0.0))
     }
 
+    fn infer_into(
+        &self,
+        x: &Tensor,
+        act: cn_tensor::ops::Activation,
+        out: &mut Tensor,
+        _arena: &cn_tensor::alloc::Arena,
+    ) -> bool {
+        // A trailing fused ReLU is not this layer's business — decline
+        // so the caller keeps the exact unfused sequence.
+        if act != cn_tensor::ops::Activation::Identity {
+            return false;
+        }
+        out.resize_in_place(x.dims());
+        for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+            *o = v.max(0.0);
+        }
+        true
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self
             .mask

@@ -54,6 +54,7 @@ pub mod model;
 pub mod noise;
 pub mod optim;
 pub mod param;
+pub mod plan;
 pub mod summary;
 pub mod trainer;
 pub mod zoo;
@@ -61,3 +62,4 @@ pub mod zoo;
 pub use layer::Layer;
 pub use model::Sequential;
 pub use param::Param;
+pub use plan::{InferScratch, ShapePlan};

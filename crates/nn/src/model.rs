@@ -3,7 +3,9 @@
 use crate::layer::Layer;
 use crate::layers::Relu;
 use crate::param::Param;
+use crate::plan::{InferScratch, ShapePlan};
 use cn_tensor::error::{Result, TensorError};
+use cn_tensor::ops::Activation;
 use cn_tensor::Tensor;
 use std::collections::HashMap;
 
@@ -109,6 +111,92 @@ impl Sequential {
             i += 1;
         }
         cur
+    }
+
+    /// [`infer`](Self::infer) through caller-owned scratch: the
+    /// allocation-free steady-state entry point.
+    ///
+    /// Layers that implement [`Layer::infer_into`] write into the
+    /// scratch's ping-pong activation tensors and draw temporaries from
+    /// its arena; layers without an into-path fall back to the allocating
+    /// [`Layer::infer`] (warmup and exotic layers only — the deployed
+    /// dense/conv stacks cover every step). The `<layer> → Relu` fusion
+    /// peephole of [`infer`](Self::infer) is preserved, and the result is
+    /// bitwise identical to `infer(x)` — same kernels, same epilogues,
+    /// only the output memory differs.
+    ///
+    /// The returned reference borrows from `scratch`; copy it out (or
+    /// consume it) before the next call overwrites the buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics with "arena overflow" if `scratch`'s arena is smaller than
+    /// the model's temporaries at this input shape (i.e. the
+    /// [`ShapePlan`] used to size it did not cover `x`).
+    pub fn infer_with<'s>(&self, x: &Tensor, scratch: &'s mut InferScratch) -> &'s Tensor {
+        scratch.arena.reset();
+        let InferScratch { ping, pong, arena } = scratch;
+        let mut src: &mut Tensor = ping;
+        let mut dst: &mut Tensor = pong;
+        let mut first = true;
+        let mut i = 0;
+        while i < self.layers.len() {
+            let layer = self.layers[i].as_ref();
+            let input: &Tensor = if first { x } else { &*src };
+            let relu_next = self
+                .layers
+                .get(i + 1)
+                .is_some_and(|l| l.as_any().is::<Relu>());
+            let mut fused = false;
+            if relu_next {
+                if layer.infer_into(input, Activation::Relu, dst, arena) {
+                    fused = true;
+                } else if let Some(y) = layer.infer_fused_relu(input) {
+                    // Allocating fused fallback (unpacked layers).
+                    *dst = y;
+                    fused = true;
+                }
+            }
+            if fused {
+                i += 2;
+            } else if layer.infer_into(input, Activation::Identity, dst, arena) {
+                i += 1;
+            } else {
+                *dst = layer.infer(input);
+                i += 1;
+            }
+            std::mem::swap(&mut src, &mut dst);
+            first = false;
+        }
+        if first {
+            // Zero-layer model: `infer` returns the input unchanged.
+            src.resize_in_place(x.dims());
+            src.data_mut().copy_from_slice(x.data());
+        }
+        &*src
+    }
+
+    /// Measures the scratch a deployment of this model needs at
+    /// `[max_batch, …sample_dims]` inputs by dry-running every layer on
+    /// zeros (plan-time allocations are fine; the point is that the
+    /// steady state afterwards makes none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero or the model rejects the shape.
+    pub fn shape_plan(&self, sample_dims: &[usize], max_batch: usize) -> ShapePlan {
+        assert!(max_batch > 0, "shape plan needs a positive max batch");
+        let mut dims = vec![max_batch];
+        dims.extend_from_slice(sample_dims);
+        let mut arena_bytes = 0usize;
+        let mut peak = 0usize;
+        let mut cur = Tensor::zeros(&dims);
+        for layer in &self.layers {
+            arena_bytes += layer.infer_scratch_bytes(cur.dims());
+            cur = layer.infer(&cur);
+            peak = peak.max(cur.numel());
+        }
+        ShapePlan::new(max_batch, sample_dims, peak, arena_bytes)
     }
 
     /// Runs the forward pass, returning every intermediate activation
@@ -460,6 +548,61 @@ mod tests {
         assert_eq!(m.infer(&x), reference, "fused infer diverged");
         m.pack_weights();
         assert_eq!(m.infer(&x), reference, "packed infer diverged");
+    }
+
+    #[test]
+    fn infer_with_is_bitwise_equal_to_infer() {
+        use crate::layers::{Conv2d, Flatten, MaxPool2d, Relu};
+        use crate::plan::InferScratch;
+        let mut rng = SeededRng::new(13);
+        let mut m = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 3 * 3, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 3, &mut rng)),
+        ]);
+        let x = rng.normal_tensor(&[2, 1, 6, 6], 0.0, 1.0);
+        let plan = m.shape_plan(&[1, 6, 6], 2);
+        let mut scratch = InferScratch::from_plan(&plan);
+        // Unpacked: into-paths decline, every fallback still matches.
+        assert_eq!(*m.infer_with(&x, &mut scratch), m.infer(&x));
+        m.pack_weights();
+        let reference = m.infer(&x);
+        assert_eq!(*m.infer_with(&x, &mut scratch), reference);
+        // Repeat to exercise warm-buffer reuse, plus a smaller batch.
+        assert_eq!(*m.infer_with(&x, &mut scratch), reference);
+        let x1 = rng.normal_tensor(&[1, 1, 6, 6], 0.0, 1.0);
+        assert_eq!(*m.infer_with(&x1, &mut scratch), m.infer(&x1));
+    }
+
+    #[test]
+    fn shape_plan_covers_and_sizes() {
+        use crate::layers::{Conv2d, Flatten, Relu};
+        let mut rng = SeededRng::new(14);
+        let m = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 6 * 6, 3, &mut rng)),
+        ]);
+        let plan = m.shape_plan(&[1, 6, 6], 8);
+        assert!(plan.covers(&[8, 1, 6, 6]));
+        assert!(plan.covers(&[1, 1, 6, 6]));
+        assert!(!plan.covers(&[9, 1, 6, 6]));
+        assert!(!plan.covers(&[8, 1, 6, 7]));
+        assert!(!plan.covers(&[8, 6, 6]));
+        // Peak activation is the conv output [8, 4, 6, 6].
+        assert_eq!(plan.peak_activation_elems(), 8 * 4 * 6 * 6);
+        // Arena holds the conv's im2col patches and GEMM rows; dense and
+        // relu layers add nothing (the packed dense writes straight into
+        // the ping-pong tensor).
+        let l = m.layer(0);
+        assert_eq!(plan.arena_bytes(), l.infer_scratch_bytes(&[8, 1, 6, 6]));
+        assert!(plan.arena_bytes() > 0);
     }
 
     #[test]

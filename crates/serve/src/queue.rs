@@ -86,21 +86,38 @@ impl<T> AdmissionQueue<T> {
     ///
     /// Panics if `max_batch` is zero.
     pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Vec<T> {
+        let mut batch = Vec::new();
+        self.pop_batch_into(max_batch, max_wait, &mut batch);
+        batch
+    }
+
+    /// [`pop_batch`](AdmissionQueue::pop_batch) into a caller-owned
+    /// vector: `batch` is cleared and refilled, reusing its capacity.
+    /// A long-lived consumer (a batching worker) that passes the same
+    /// vector every iteration allocates nothing here once the vector has
+    /// grown to `max_batch`. `batch` is left empty exactly when the queue
+    /// is closed and fully drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn pop_batch_into(&self, max_batch: usize, max_wait: Duration, batch: &mut Vec<T>) {
         assert!(max_batch > 0, "max_batch must be positive");
+        batch.clear();
         let mut inner = self.lock();
         loop {
             if !inner.items.is_empty() {
                 break;
             }
             if inner.closed {
-                return Vec::new();
+                return;
             }
             inner = self
                 .not_empty
                 .wait(inner)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
-        let mut batch = Vec::with_capacity(max_batch.min(inner.items.len()));
+        batch.reserve(max_batch.min(inner.items.len()));
         let deadline = Instant::now() + max_wait;
         loop {
             while batch.len() < max_batch {
@@ -129,7 +146,6 @@ impl<T> AdmissionQueue<T> {
         // Items may remain (e.g. a burst larger than max_batch); make sure
         // another consumer wakes up for them.
         self.not_empty.notify_one();
-        batch
     }
 
     /// Closes the queue: future pushes fail, blocked consumers wake, and
@@ -219,6 +235,28 @@ mod tests {
         let batch = q.pop_batch(4, Duration::from_millis(20));
         assert_eq!(batch, vec![9]);
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn pop_batch_into_reuses_capacity_and_signals_drain() {
+        let q = AdmissionQueue::new(8);
+        let mut batch: Vec<u32> = Vec::new();
+        for round in 0..3u32 {
+            for i in 0..4 {
+                q.push(round * 10 + i).unwrap();
+            }
+            q.pop_batch_into(4, Duration::ZERO, &mut batch);
+            assert_eq!(batch.len(), 4, "round {round}");
+        }
+        let cap = batch.capacity();
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        q.pop_batch_into(4, Duration::ZERO, &mut batch);
+        assert_eq!(batch.capacity(), cap, "warm vector was reallocated");
+        q.close();
+        q.pop_batch_into(4, Duration::ZERO, &mut batch);
+        assert!(batch.is_empty(), "closed+drained must leave batch empty");
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! One serving instance: admission queue → dynamic batcher → worker
-//! sessions → per-request reply channels.
+//! sessions → per-request reply slots.
 
 use crate::config::ServeConfig;
 use crate::queue::{AdmissionQueue, PushError};
 use crate::stats::{ServerStats, StatsCollector};
 use cn_analog::engine::{CompiledModel, Session};
 use cn_tensor::Tensor;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Why a request could not be served.
@@ -56,10 +56,90 @@ pub struct Reply {
     pub batch_size: usize,
 }
 
+/// The reply rendezvous one request rides on — a one-shot slot the worker
+/// fills and the client drains.
+///
+/// This replaces the previous per-request `mpsc` channel: an mpsc send
+/// heap-allocates a node per message, which broke the zero-allocation
+/// steady-state contract of the worker loop. The slot is a plain
+/// mutex+condvar state machine; the client pre-allocates the logits
+/// buffer at submit time (sized from the instance's last observed reply
+/// width), so the worker only copies into warm client-owned memory.
+#[derive(Debug)]
+struct ReplySlot {
+    // cn-lint: allow(lock-in-hot-path, reason = "uncontended per-request oneshot held for a copy of one logits row; replaces an mpsc channel whose send allocated per reply")
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+/// Lifecycle of one reply slot.
+#[derive(Debug)]
+enum SlotState {
+    /// Waiting for the worker; holds the client's pre-allocated logits
+    /// buffer the worker will fill.
+    Pending(Vec<f32>),
+    /// The worker delivered; waiting for the client to take it.
+    Ready(Reply),
+    /// One side departed: the client dropped its ticket, or the request
+    /// was dropped unreplied (worker panic / server teardown).
+    Abandoned,
+    /// The client consumed the reply; the ticket is spent.
+    Taken,
+}
+
+impl ReplySlot {
+    fn new(logits_capacity: usize) -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            // cn-lint: allow(lock-in-hot-path, reason = "see ReplySlot::state — per-request oneshot, not a shared hot lock")
+            state: Mutex::new(SlotState::Pending(Vec::with_capacity(logits_capacity))),
+            cv: Condvar::new(),
+        })
+    }
+
+    // cn-lint: allow(lock-in-hot-path, reason = "per-request oneshot slot: uncontended except for the one worker/client handoff")
+    fn lock(&self) -> std::sync::MutexGuard<'_, SlotState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Worker side: deliver one reply row. Allocation-free whenever the
+    /// client's pre-allocated buffer already holds `row_logits.len()`
+    /// capacity (steady state; the first requests against a fresh
+    /// instance arrive before the reply width is known and grow it once).
+    fn fulfill(&self, row_logits: &[f32], class: usize, batch_size: usize) {
+        let mut state = self.lock();
+        if let SlotState::Pending(buf) = &mut *state {
+            let mut logits = std::mem::take(buf);
+            logits.clear();
+            logits.extend_from_slice(row_logits);
+            *state = SlotState::Ready(Reply {
+                logits,
+                class,
+                batch_size,
+            });
+            drop(state);
+            self.cv.notify_all();
+        }
+        // Abandoned: the client left; nothing to deliver.
+    }
+
+    /// Either side: mark the slot abandoned if still pending, waking a
+    /// blocked waiter.
+    fn abandon(&self) {
+        let mut state = self.lock();
+        if matches!(*state, SlotState::Pending(_)) {
+            *state = SlotState::Abandoned;
+            drop(state);
+            self.cv.notify_all();
+        }
+    }
+}
+
 /// A pending reply handle returned by [`Server::submit`].
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<Reply>,
+    slot: Arc<ReplySlot>,
 }
 
 impl Ticket {
@@ -69,39 +149,86 @@ impl Ticket {
     ///
     /// [`ServeError::WorkerGone`] if the executing worker panicked.
     pub fn wait(self) -> Result<Reply, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::WorkerGone)
+        let mut state = self.slot.lock();
+        loop {
+            match &mut *state {
+                SlotState::Ready(_) => {
+                    let SlotState::Ready(reply) = std::mem::replace(&mut *state, SlotState::Taken)
+                    else {
+                        unreachable!("matched Ready above");
+                    };
+                    return Ok(reply);
+                }
+                SlotState::Abandoned | SlotState::Taken => return Err(ServeError::WorkerGone),
+                SlotState::Pending(_) => {
+                    state = self
+                        .slot
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+            }
+        }
     }
 
     /// Non-blocking poll: `None` while the request is still in flight.
     ///
     /// Once this returns `Some`, the ticket is spent — further polls
-    /// report [`ServeError::WorkerGone`] because the reply channel has
-    /// been consumed. Network frontends use this to multiplex many
-    /// in-flight tickets over one connection-handler thread.
+    /// report [`ServeError::WorkerGone`] because the reply has been
+    /// consumed. Network frontends use this to multiplex many in-flight
+    /// tickets over one connection-handler thread.
     pub fn try_wait(&mut self) -> Option<Result<Reply, ServeError>> {
-        match self.rx.try_recv() {
-            Ok(reply) => Some(Ok(reply)),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::WorkerGone)),
+        let mut state = self.slot.lock();
+        match &mut *state {
+            SlotState::Pending(_) => None,
+            SlotState::Ready(_) => {
+                let SlotState::Ready(reply) = std::mem::replace(&mut *state, SlotState::Taken)
+                else {
+                    unreachable!("matched Ready above");
+                };
+                Some(Ok(reply))
+            }
+            SlotState::Abandoned | SlotState::Taken => Some(Err(ServeError::WorkerGone)),
         }
     }
 }
 
-/// One queued request: the sample, its reply channel and the admission
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        // A departed client: let the worker skip the copy.
+        self.slot.abandon();
+    }
+}
+
+/// One queued request: the sample, its reply slot and the admission
 /// timestamp the latency histogram is fed from.
 struct Request {
     input: Tensor,
-    tx: mpsc::Sender<Reply>,
+    slot: Arc<ReplySlot>,
     enqueued_at: Instant,
 }
 
+impl Drop for Request {
+    fn drop(&mut self) {
+        // Dropped unreplied (worker panic, server teardown mid-flight):
+        // wake the waiting client with WorkerGone instead of hanging it.
+        // After a normal fulfill the slot is Ready and this is a no-op.
+        self.slot.abandon();
+    }
+}
+
 /// State shared between the server handle and its workers: the hot-swap
-/// deployment slot and the health counters.
+/// deployment slot, the health counters, and the last observed reply
+/// width (logits per sample) used to pre-size client reply buffers.
 struct Shared {
     // cn-lint: allow(lock-in-hot-path, reason = "hot-swap slot: locked once per install/rebind at a batch boundary, never per request")
     slot: Mutex<Arc<CompiledModel>>,
     epoch: AtomicU64,
     stats: StatsCollector,
+    /// Logits-per-sample of the most recent batch; 0 until the first
+    /// batch completes. Written by workers, read by `submit` to size the
+    /// client-side reply buffer so the worker never allocates to reply.
+    reply_width: AtomicUsize,
 }
 
 /// A multi-threaded dynamic-batching inference server over one compiled
@@ -111,10 +238,14 @@ struct Shared {
 /// own a [`Session`] bound to the instance's current [`CompiledModel`],
 /// coalesce queued requests into micro-batches (up to
 /// `max_batch`/`max_wait`), execute them, and scatter per-row replies back
-/// through per-request channels. [`install`](Server::install) hot-swaps
+/// through per-request reply slots. [`install`](Server::install) hot-swaps
 /// the deployment (e.g. after a drift-aware recompilation) without
 /// stopping traffic: workers rebind their session at the next batch
 /// boundary.
+///
+/// The worker loop is allocation-free in the steady state: batch staging,
+/// session scratch, prediction buffers and reply payloads all live in
+/// pre-sized, recycled memory (see `run_batch`).
 ///
 /// Dropping the server closes the queue, drains already-admitted
 /// requests and joins the workers.
@@ -145,6 +276,7 @@ impl Server {
             slot: Mutex::new(Arc::clone(&compiled)),
             epoch: AtomicU64::new(0),
             stats: StatsCollector::new(),
+            reply_width: AtomicUsize::new(0),
         });
         let workers = (0..config.workers)
             .map(|w| {
@@ -189,14 +321,18 @@ impl Server {
                 got: input.dims().to_vec(),
             });
         }
-        let (tx, rx) = mpsc::channel();
+        // The reply buffer is allocated here, on the client's thread, at
+        // the width the last batch produced — the worker then fills it
+        // without allocating. Before any batch has run the width is
+        // unknown (0) and the first replies grow their buffers: warmup.
+        let slot = ReplySlot::new(self.shared.reply_width.load(Ordering::Relaxed));
         let request = Request {
             input: input.clone(),
-            tx,
+            slot: Arc::clone(&slot),
             enqueued_at: Instant::now(),
         };
         match self.queue.push(request) {
-            Ok(()) => Ok(Ticket { rx }),
+            Ok(()) => Ok(Ticket { slot }),
             Err(PushError::Full(_)) => Err(ServeError::QueueFull),
             Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
         }
@@ -284,6 +420,16 @@ fn lock_slot(slot: &Mutex<Arc<CompiledModel>>) -> std::sync::MutexGuard<'_, Arc<
     slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// The recycled per-worker memory: the coalesced batch, the staging
+/// tensor the batch is assembled into, and the dims scratch for reshaping
+/// it. All of it reaches its high-water size within the first few batches
+/// and is reused verbatim afterwards.
+struct WorkerScratch {
+    batch: Vec<Request>,
+    stage: Tensor,
+    dims: Vec<usize>,
+}
+
 /// The batcher/executor loop each worker thread runs: pop a coalesced
 /// batch, rebind to the latest deployment if it changed, assemble the
 /// batch tensor, infer, scatter per-row replies, record stats.
@@ -293,25 +439,36 @@ fn worker_loop(
     config: &ServeConfig,
     sample_dims: &[usize],
 ) {
-    let mut session = Session::new(Arc::clone(&lock_slot(&shared.slot)));
+    // Plan the session at max_batch up front so every batch size the
+    // queue can produce runs in pre-sized scratch.
+    let mut session = Session::with_plan(
+        Arc::clone(&lock_slot(&shared.slot)),
+        sample_dims,
+        config.max_batch,
+    );
     let mut seen_epoch = shared.epoch.load(Ordering::Acquire);
-    let mut batch_buf: Vec<f32> = Vec::new();
+    let mut scratch = WorkerScratch {
+        // cn-lint: allow(alloc-in-hot-loop, reason = "grown once per worker at startup, before the steady-state loop")
+        batch: Vec::with_capacity(config.max_batch),
+        stage: Tensor::zeros(&[0]),
+        // cn-lint: allow(alloc-in-hot-loop, reason = "grown once per worker at startup, before the steady-state loop")
+        dims: Vec::with_capacity(sample_dims.len() + 1),
+    };
     loop {
-        let batch = queue.pop_batch(config.max_batch, config.max_wait);
-        if batch.is_empty() {
+        queue.pop_batch_into(config.max_batch, config.max_wait, &mut scratch.batch);
+        if scratch.batch.is_empty() {
             return; // closed and drained
         }
         // A panic while executing one batch must not kill the worker: a
         // dead thread silently shrinks the pool until the server stops
-        // serving. The batch dies with the panic (its reply channels
-        // drop, so its clients observe a closed server), the panic is
+        // serving. The batch dies with the panic (its reply slots are
+        // abandoned, so its clients observe WorkerGone), the panic is
         // counted, and the worker takes the next batch.
         let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_batch(
                 &mut session,
                 &mut seen_epoch,
-                &mut batch_buf,
-                batch,
+                &mut scratch,
                 shared,
                 config,
                 sample_dims,
@@ -319,19 +476,21 @@ fn worker_loop(
         }));
         if unwound.is_err() {
             shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-            batch_buf = Vec::new();
+            // Drop whatever the panic left behind: each undelivered
+            // request abandons its slot in Drop, releasing its client.
+            scratch.batch.clear();
         }
     }
 }
 
 /// Executes one coalesced batch: rebind to the latest deployment if it
 /// changed, assemble the batch tensor, infer, scatter per-row replies,
-/// record stats.
+/// record stats. Steady-state allocation count: zero — staging, session
+/// scratch, predictions and reply payloads are all recycled memory.
 fn run_batch(
     session: &mut Session,
     seen_epoch: &mut u64,
-    batch_buf: &mut Vec<f32>,
-    batch: Vec<Request>,
+    scratch: &mut WorkerScratch,
     shared: &Shared,
     config: &ServeConfig,
     sample_dims: &[usize],
@@ -343,21 +502,22 @@ fn run_batch(
     }
 
     let sample_len: usize = sample_dims.iter().product();
-    let n = batch.len();
-    batch_buf.clear();
-    batch_buf.reserve(n * sample_len);
-    for request in &batch {
-        batch_buf.extend_from_slice(request.input.data());
+    let n = scratch.batch.len();
+    scratch.dims.clear();
+    scratch.dims.push(n);
+    scratch.dims.extend_from_slice(sample_dims);
+    scratch.stage.resize_in_place(&scratch.dims);
+    let stage_data = scratch.stage.data_mut();
+    for (row, request) in scratch.batch.iter().enumerate() {
+        stage_data[row * sample_len..(row + 1) * sample_len].copy_from_slice(request.input.data());
     }
-    let mut dims = vec![n];
-    dims.extend_from_slice(sample_dims);
-    let x = Tensor::from_vec(std::mem::take(batch_buf), &dims);
-    let logits = session.logits_batch(&x);
-    *batch_buf = x.into_vec();
+    let (logits, preds) = session.infer_logits_preds(&scratch.stage);
 
     let classes = logits.dims()[1];
     let data = logits.data();
-    let preds = logits.argmax_rows();
+    // Publish the reply width so subsequent submits pre-size their reply
+    // buffers and the fulfill below never allocates.
+    shared.reply_width.store(classes, Ordering::Relaxed);
     // Account the batch *before* dispatching replies: a client that
     // receives the last reply and immediately reads `stats()` must
     // see its own request counted (the counters used to be bumped
@@ -369,7 +529,7 @@ fn run_batch(
         .stats
         .batch_slots
         .fetch_add(config.max_batch as u64, Ordering::Relaxed);
-    for (row, request) in batch.into_iter().enumerate() {
+    for (row, request) in scratch.batch.drain(..).enumerate() {
         let micros = request
             .enqueued_at
             .elapsed()
@@ -377,12 +537,9 @@ fn run_batch(
             .min(u128::from(u64::MAX));
         shared.stats.latency.record(micros as u64);
         let row_logits = &data[row * classes..(row + 1) * classes];
-        // A departed client (dropped Ticket) is not an error.
-        let _ = request.tx.send(Reply {
-            logits: row_logits.to_vec(),
-            class: preds[row],
-            batch_size: n,
-        });
+        // A departed client (dropped Ticket) abandoned its slot; fulfill
+        // is then a no-op, not an error.
+        request.slot.fulfill(row_logits, preds[row], n);
     }
 }
 
@@ -455,11 +612,29 @@ mod tests {
             std::thread::yield_now();
         };
         assert_eq!(reply.logits.len(), 3);
-        // The ticket is spent: the channel was consumed.
+        // The ticket is spent: the reply was consumed.
         assert!(matches!(
             ticket.try_wait(),
             Some(Err(ServeError::WorkerGone))
         ));
+    }
+
+    #[test]
+    fn dropped_ticket_does_not_wedge_the_worker() {
+        let srv = server(&ServeConfig::new(2).max_wait(Duration::from_millis(1)));
+        let x = Tensor::zeros(&[4]);
+        drop(srv.submit(&x).unwrap());
+        // The worker skips the abandoned slot and keeps serving.
+        let reply = srv.classify(&x).unwrap();
+        assert_eq!(reply.logits.len(), 3);
+    }
+
+    #[test]
+    fn reply_width_is_published_after_first_batch() {
+        let srv = server(&ServeConfig::new(2).max_wait(Duration::from_millis(1)));
+        assert_eq!(srv.shared.reply_width.load(Ordering::Relaxed), 0);
+        srv.classify(&Tensor::zeros(&[4])).unwrap();
+        assert_eq!(srv.shared.reply_width.load(Ordering::Relaxed), 3);
     }
 
     #[test]

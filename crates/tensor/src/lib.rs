@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod error;
 pub mod hash;
 pub mod io;

@@ -128,36 +128,50 @@ pub fn gemm_into(
         let row0 = chunk_idx * rb;
         let rows = c_chunk.len() / n;
         let row_panels = rows.div_ceil(MR);
-        let mut a_buf = vec![0.0f32; row_panels * k * MR];
-        pack::pack_a_block(a, m, k, a_layout, row0, rows, &mut a_buf);
-        for ip in 0..row_panels {
-            let ap = &a_buf[ip * k * MR..(ip + 1) * k * MR];
-            let tile_rows = MR.min(rows - ip * MR);
-            for jp in 0..b.panels() {
-                // Full tiles keep all 8 accumulator rows live; ragged
-                // tails (and whole short-m products) skip the padded
-                // lanes' arithmetic entirely.
-                let acc = if tile_rows == MR {
-                    kernel::microkernel(k, ap, b.panel(jp), path)
-                } else {
-                    kernel::microkernel_rows(k, ap, b.panel(jp), tile_rows, path)
-                };
-                let col0 = jp * NR;
-                kernel::write_tile(
-                    c_chunk,
-                    n,
-                    kernel::TileBounds {
-                        row0: ip * MR,
-                        col0,
-                        rows: tile_rows,
-                        cols: NR.min(n - col0),
-                    },
-                    &acc,
-                    &epilogue,
-                );
+        A_PANELS.with_borrow_mut(|a_buf| {
+            // `pack_a_block` requires a zeroed buffer (ragged tail panels
+            // rely on the zero padding), so the recycled scratch is re-memset
+            // each call; within its high-water capacity this is heap-free.
+            a_buf.clear();
+            a_buf.resize(row_panels * k * MR, 0.0);
+            pack::pack_a_block(a, m, k, a_layout, row0, rows, a_buf);
+            for ip in 0..row_panels {
+                let ap = &a_buf[ip * k * MR..(ip + 1) * k * MR];
+                let tile_rows = MR.min(rows - ip * MR);
+                for jp in 0..b.panels() {
+                    // Full tiles keep all 8 accumulator rows live; ragged
+                    // tails (and whole short-m products) skip the padded
+                    // lanes' arithmetic entirely.
+                    let acc = if tile_rows == MR {
+                        kernel::microkernel(k, ap, b.panel(jp), path)
+                    } else {
+                        kernel::microkernel_rows(k, ap, b.panel(jp), tile_rows, path)
+                    };
+                    let col0 = jp * NR;
+                    kernel::write_tile(
+                        c_chunk,
+                        n,
+                        kernel::TileBounds {
+                            row0: ip * MR,
+                            col0,
+                            rows: tile_rows,
+                            cols: NR.min(n - col0),
+                        },
+                        &acc,
+                        &epilogue,
+                    );
+                }
             }
-        }
+        });
     });
+}
+
+thread_local! {
+    /// Recycled A-panel packing scratch. One buffer per thread: the
+    /// inline (single-threaded) driver and each persistent worker
+    /// thread pay one allocation at their high-water size, then every
+    /// later GEMM packs into warm memory.
+    static A_PANELS: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Fused `epilogue(A · B + bias)` over a pre-packed right operand — the
@@ -179,6 +193,27 @@ pub fn gemm_bias_act(
     bias: Option<&Tensor>,
     act: Activation,
 ) -> Tensor {
+    let mut out = Tensor::zeros(&[0, 0]);
+    gemm_bias_act_into(&mut out, a, a_layout, b, bias, act);
+    out
+}
+
+/// [`gemm_bias_act`] into a caller-owned tensor: `out` is reshaped in
+/// place to `[m, b.n()]` (reusing its capacity — heap-free at or below
+/// its high-water size) and fully overwritten. Bitwise identical to the
+/// allocating variant; this is the steady-state inference entry point.
+///
+/// # Panics
+///
+/// Same contract as [`gemm_bias_act`].
+pub fn gemm_bias_act_into(
+    out: &mut Tensor,
+    a: &Tensor,
+    a_layout: Layout,
+    b: &PackedB,
+    bias: Option<&Tensor>,
+    act: Activation,
+) {
     assert_eq!(a.rank(), 2, "gemm_bias_act lhs must be rank-2");
     let (m, k) = match a_layout {
         Layout::RowMajor => (a.dims()[0], a.dims()[1]),
@@ -194,7 +229,7 @@ pub fn gemm_bias_act(
         assert_eq!(bias.rank(), 1, "gemm_bias_act bias must be rank-1");
     }
     let n = b.n();
-    let mut out = Tensor::zeros(&[m, n]);
+    out.resize_in_place(&[m, n]);
     let epilogue = match (bias, act) {
         (None, Activation::Identity) => Epilogue::None,
         (None, Activation::Relu) => Epilogue::Relu,
@@ -202,7 +237,6 @@ pub fn gemm_bias_act(
         (Some(bias), Activation::Relu) => Epilogue::BiasRelu(bias.data()),
     };
     gemm_into(out.data_mut(), m, n, a.data(), a_layout, b, epilogue);
-    out
 }
 
 #[cfg(test)]

@@ -14,10 +14,15 @@ pub mod reduce;
 
 pub use concat::{concat_channels, split_channels};
 pub use elementwise::{broadcast_zip, reduce_to_suffix};
-pub use gemm::{gemm_bias_act, gemm_into, Activation, Epilogue, Layout, PackedB};
-pub use im2col::{col2im, conv_out_dim, im2col, nchw_to_rows, rows_to_nchw, Conv2dGeometry};
+pub use gemm::{
+    gemm_bias_act, gemm_bias_act_into, gemm_into, Activation, Epilogue, Layout, PackedB,
+};
+pub use im2col::{
+    col2im, conv_out_dim, im2col, im2col_into, nchw_to_rows, rows_to_nchw, rows_to_nchw_into,
+    Conv2dGeometry,
+};
 pub use pad::{pad_nchw, unpad_nchw};
 pub use pool::{
-    avg_pool2d, avg_pool2d_backward, avg_pool_to, avg_pool_to_backward, max_pool2d,
-    max_pool2d_backward, PoolGeometry,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, avg_pool_to, avg_pool_to_backward,
+    max_pool2d, max_pool2d_backward, max_pool2d_into, PoolGeometry,
 };

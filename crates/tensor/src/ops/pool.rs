@@ -102,6 +102,19 @@ pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[u32], input_dims: &[usiz
 ///
 /// Panics if `input` is not rank-4 or the window does not fit.
 pub fn avg_pool2d(input: &Tensor, geo: PoolGeometry) -> Tensor {
+    let mut out = Tensor::zeros(&[0]);
+    avg_pool2d_into(input, geo, &mut out);
+    out
+}
+
+/// [`avg_pool2d`] into a caller-owned output tensor (resized in place):
+/// bitwise-identical values, allocation-free once `out` has grown to the
+/// output size.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-4 or the window does not fit.
+pub fn avg_pool2d_into(input: &Tensor, geo: PoolGeometry, out: &mut Tensor) {
     assert_eq!(input.rank(), 4, "avg_pool2d expects NCHW input");
     let (n, c, h, w) = (
         input.dims()[0],
@@ -112,7 +125,7 @@ pub fn avg_pool2d(input: &Tensor, geo: PoolGeometry) -> Tensor {
     let oh = conv_out_dim(h, geo.kernel, geo.stride, 0);
     let ow = conv_out_dim(w, geo.kernel, geo.stride, 0);
     let inv = 1.0 / (geo.kernel * geo.kernel) as f32;
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    out.resize_in_place(&[n, c, oh, ow]);
     let x = input.data();
     let o = out.data_mut();
     for nc in 0..n * c {
@@ -129,7 +142,57 @@ pub fn avg_pool2d(input: &Tensor, geo: PoolGeometry) -> Tensor {
             }
         }
     }
-    out
+}
+
+/// Inference-path max pooling into a caller-owned output tensor: the
+/// pooled values of [`max_pool2d`] bit for bit (including NaN
+/// propagation) without materialising the argmax — the backward pass is
+/// the only consumer of those indices.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-4 or the window does not fit.
+pub fn max_pool2d_into(input: &Tensor, geo: PoolGeometry, out: &mut Tensor) {
+    assert_eq!(input.rank(), 4, "max_pool2d expects NCHW input");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = conv_out_dim(h, geo.kernel, geo.stride, 0);
+    let ow = conv_out_dim(w, geo.kernel, geo.stride, 0);
+    out.resize_in_place(&[n, c, oh, ow]);
+    let x = input.data();
+    let o = out.data_mut();
+    for nc in 0..n * c {
+        let base = nc * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = usize::MAX;
+                'window: for ky in 0..geo.kernel {
+                    for kx in 0..geo.kernel {
+                        let iy = oy * geo.stride + ky;
+                        let ix = ox * geo.stride + kx;
+                        let idx = base + iy * w + ix;
+                        let v = x[idx];
+                        if v.is_nan() {
+                            // NaN poisons the window, exactly as in
+                            // `max_pool2d`.
+                            best = v;
+                            break 'window;
+                        }
+                        if best_idx == usize::MAX || v > best {
+                            best = v;
+                            best_idx = idx;
+                        }
+                    }
+                }
+                o[nc * oh * ow + oy * ow + ox] = best;
+            }
+        }
+    }
 }
 
 /// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
@@ -423,6 +486,22 @@ mod tests {
     #[should_panic(expected = "cannot pool")]
     fn avg_pool_to_upsampling_panics() {
         avg_pool_to(&Tensor::ones(&[1, 1, 4, 4]), 8, 8);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_pools_bitwise() {
+        let mut rng = SeededRng::new(7);
+        let x = rng.normal_tensor(&[2, 3, 6, 6], 0.0, 1.0);
+        let geo = PoolGeometry::square(2);
+        let mut out = Tensor::zeros(&[0]);
+        avg_pool2d_into(&x, geo, &mut out);
+        assert_eq!(out, avg_pool2d(&x, geo));
+        max_pool2d_into(&x, geo, &mut out);
+        assert_eq!(out, max_pool2d(&x, geo).0);
+        // NaN propagation is preserved in the argmax-free scan.
+        let poisoned = Tensor::from_vec(vec![5.0, f32::NAN, 7.0, 1.0], &[1, 1, 2, 2]);
+        max_pool2d_into(&poisoned, geo, &mut out);
+        assert!(out.data()[0].is_nan());
     }
 
     #[test]

@@ -22,6 +22,14 @@ impl Shape {
         &self.0
     }
 
+    /// Replaces the dimensions in place, reusing the existing backing
+    /// vector's capacity — the allocation-free counterpart of
+    /// [`Shape::new`] used by scratch-buffer reshaping on hot paths.
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        self.0.clear();
+        self.0.extend_from_slice(dims);
+    }
+
     /// Number of dimensions (rank).
     pub fn rank(&self) -> usize {
         self.0.len()

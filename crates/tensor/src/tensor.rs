@@ -136,6 +136,20 @@ impl Tensor {
         self.data
     }
 
+    /// Reshapes this tensor in place to `dims`, zero-filling the data.
+    ///
+    /// Both the shape vector and the data vector reuse their existing
+    /// capacity, so repeated calls at or below the high-water size touch
+    /// the heap zero times — this is how scratch tensors on the
+    /// inference hot path are recycled between batches. Previous
+    /// contents are discarded (every element reads 0.0 afterwards).
+    pub fn resize_in_place(&mut self, dims: &[usize]) {
+        self.shape.set_dims(dims);
+        let len = self.shape.numel();
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
+
     /// Element at a multi-index.
     ///
     /// # Panics
